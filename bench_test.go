@@ -1,0 +1,220 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the DCART paper (one Benchmark per experiment, driving the harness in
+// internal/bench) and additionally provide native Go microbenchmarks of
+// the index substrate and the six engines.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks execute the full experiment at a reduced
+// scale per iteration; use cmd/dcart-bench for full-scale runs and
+// readable tables.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/art"
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctt"
+	"repro/internal/cuart"
+	"repro/internal/engine"
+	"repro/internal/olc"
+	"repro/internal/workload"
+)
+
+// benchOpts is the reduced scale each figure benchmark runs per iteration.
+func benchOpts() bench.Options {
+	return bench.Options{NumKeys: 5_000, NumOps: 25_000, Seed: 1, Out: io.Discard}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(id, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (the harness prints the same rows
+// the paper reports; here output goes to io.Discard and we measure cost).
+func BenchmarkFig2aBreakdown(b *testing.B)       { benchFigure(b, "fig2a") }
+func BenchmarkFig2bRedundancy(b *testing.B)      { benchFigure(b, "fig2b") }
+func BenchmarkFig2cLineUtilization(b *testing.B) { benchFigure(b, "fig2c") }
+func BenchmarkFig2dSyncVsOps(b *testing.B)       { benchFigure(b, "fig2d") }
+func BenchmarkFig2eWriteRatio(b *testing.B)      { benchFigure(b, "fig2e") }
+func BenchmarkFig3Distribution(b *testing.B)     { benchFigure(b, "fig3") }
+func BenchmarkTable1Config(b *testing.B)         { benchFigure(b, "table1") }
+func BenchmarkFig7LockContentions(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig8KeyMatches(b *testing.B)       { benchFigure(b, "fig8") }
+func BenchmarkFig9ExecutionTime(b *testing.B)    { benchFigure(b, "fig9") }
+func BenchmarkFig10LatencyCurves(b *testing.B)   { benchFigure(b, "fig10") }
+func BenchmarkFig11Energy(b *testing.B)          { benchFigure(b, "fig11") }
+func BenchmarkFig12aOpsSweep(b *testing.B)       { benchFigure(b, "fig12a") }
+func BenchmarkFig12bMixSweep(b *testing.B)       { benchFigure(b, "fig12b") }
+func BenchmarkAblations(b *testing.B)            { benchFigure(b, "ablate") }
+
+// ---- native index microbenchmarks ----------------------------------------
+
+func loadWorkload(b *testing.B, name string, keys, ops int) *workload.Workload {
+	b.Helper()
+	return workload.MustGenerate(workload.Spec{
+		Name: name, NumKeys: keys, NumOps: ops, ReadRatio: 0.5, Seed: 1,
+	})
+}
+
+func BenchmarkARTGet(b *testing.B) {
+	w := loadWorkload(b, workload.RS, 100_000, 1)
+	tr := art.New()
+	tr.Load(w.Keys, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(w.Keys[i%len(w.Keys)])
+	}
+}
+
+func BenchmarkARTPut(b *testing.B) {
+	w := loadWorkload(b, workload.RS, 100_000, 1)
+	tr := art.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(w.Keys[i%len(w.Keys)], uint64(i))
+	}
+}
+
+func BenchmarkARTDelete(b *testing.B) {
+	w := loadWorkload(b, workload.RS, 100_000, 1)
+	tr := art.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := w.Keys[i%len(w.Keys)]
+		if i%2 == 0 {
+			tr.Put(k, uint64(i))
+		} else {
+			tr.Delete(k)
+		}
+	}
+}
+
+func BenchmarkARTWalk(b *testing.B) {
+	w := loadWorkload(b, workload.DICT, 50_000, 1)
+	tr := art.New()
+	tr.Load(w.Keys, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Walk(func(k []byte, v uint64) bool { n++; return true })
+		if n != tr.Len() {
+			b.Fatal("walk miscount")
+		}
+	}
+}
+
+func BenchmarkARTScanPrefix(b *testing.B) {
+	w := loadWorkload(b, workload.EA, 50_000, 1)
+	tr := art.New()
+	tr.Load(w.Keys, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ScanPrefix([]byte{byte('a' + i%26)}, func(k []byte, v uint64) bool { return true })
+	}
+}
+
+func BenchmarkConcurrentTreeGet(b *testing.B) {
+	w := loadWorkload(b, workload.RS, 100_000, 1)
+	tr := olc.New(nil)
+	for i, k := range w.Keys {
+		tr.Put(k, uint64(i))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tr.Get(w.Keys[i%len(w.Keys)])
+			i++
+		}
+	})
+}
+
+func BenchmarkConcurrentTreePut(b *testing.B) {
+	w := loadWorkload(b, workload.RS, 100_000, 1)
+	tr := olc.New(nil)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tr.Put(w.Keys[i%len(w.Keys)], uint64(i))
+			i++
+		}
+	})
+}
+
+// ---- engine throughput benchmarks -----------------------------------------
+
+// benchEngine measures functional engine throughput (simulation speed, not
+// modeled target time): ns/op is the sandbox cost of simulating one
+// operation.
+func benchEngine(b *testing.B, mk func() engine.Engine) {
+	w := loadWorkload(b, workload.IPGEO, 20_000, 100_000)
+	e := mk()
+	e.Load(w.Keys, nil)
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := b.N - done
+		if n > len(w.Ops) {
+			n = len(w.Ops)
+		}
+		e.Run(w.Ops[:n])
+		done += n
+	}
+}
+
+func BenchmarkEngineART(b *testing.B) {
+	benchEngine(b, func() engine.Engine { return baseline.NewART(engine.Config{}) })
+}
+
+func BenchmarkEngineHeart(b *testing.B) {
+	benchEngine(b, func() engine.Engine { return baseline.NewHeart(engine.Config{}) })
+}
+
+func BenchmarkEngineSMART(b *testing.B) {
+	benchEngine(b, func() engine.Engine { return baseline.NewSMART(engine.Config{}) })
+}
+
+func BenchmarkEngineCuART(b *testing.B) {
+	benchEngine(b, func() engine.Engine { return cuart.New(cuart.Config{}) })
+}
+
+func BenchmarkEngineDCARTC(b *testing.B) {
+	benchEngine(b, func() engine.Engine { return ctt.New(ctt.Config{}) })
+}
+
+func BenchmarkEngineDCART(b *testing.B) {
+	benchEngine(b, func() engine.Engine { return accel.New(accel.Config{}) })
+}
+
+// BenchmarkWorkloadGeneration measures generator cost per operation.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.MustGenerate(workload.Spec{
+			Name: workload.IPGEO, NumKeys: 5000, NumOps: 20000, Seed: int64(i),
+		})
+	}
+}
+
+// Example-level sanity: the facade compiles against its documented use.
+func ExampleNewTree() {
+	tr := core.NewTree()
+	tr.Put([]byte("k"), 7)
+	v, ok := tr.Get([]byte("k"))
+	fmt.Println(v, ok)
+	// Output: 7 true
+}

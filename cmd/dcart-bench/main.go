@@ -1,0 +1,55 @@
+// Command dcart-bench regenerates the DCART paper's tables and figures.
+//
+// Usage:
+//
+//	dcart-bench -list
+//	dcart-bench -exp fig9 [-keys 100000] [-ops 500000] [-seed 1] [-zipf 1.25]
+//	dcart-bench -exp all
+//
+// Each experiment prints the rows or series of the corresponding paper
+// table/figure; EXPERIMENTS.md records paper-claimed vs measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig2a..fig12b, table1, ablate, or 'all')")
+	list := flag.Bool("list", false, "list experiments and exit")
+	keys := flag.Int("keys", 0, "unique keys per workload (default 100000)")
+	ops := flag.Int("ops", 0, "operations per run (default 5x keys)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	zipf := flag.Float64("zipf", 0, "Zipf skew s (default 1.25)")
+	threads := flag.Int("threads", 0, "modeled CPU threads (default 96)")
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.List() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: dcart-bench -exp <id> | -list")
+		os.Exit(2)
+	}
+	o := bench.Options{
+		NumKeys: *keys, NumOps: *ops, Seed: *seed, ZipfS: *zipf,
+		Threads: *threads, Out: os.Stdout,
+	}
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(o)
+	} else {
+		err = bench.Run(*exp, o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcart-bench:", err)
+		os.Exit(1)
+	}
+}

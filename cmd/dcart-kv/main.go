@@ -1,0 +1,81 @@
+// Command dcart-kv is a small TCP key-value server backed by the
+// thread-safe adaptive radix tree — the kind of component the paper's
+// introduction places ART inside ("large-scale database systems and
+// key-value stores"). One goroutine per connection exercises the
+// lock-coupling concurrency substrate under real network load.
+//
+// Protocol (text, one command per line):
+//
+//	PUT <key> <uint64>     -> OK | OK replaced
+//	GET <key>              -> VALUE <uint64> | NOT_FOUND
+//	DEL <key>              -> OK | NOT_FOUND
+//	SCAN <prefix> <limit>  -> KEY <key> <value> lines, then END
+//	LEN                    -> LEN <n>
+//	STATS                  -> one line of metrics counters
+//	QUIT                   -> closes the connection
+//
+// Keys are printable tokens (no spaces); the server appends the 0x00
+// terminator internally so prefix relationships are safe.
+//
+// Usage:
+//
+//	dcart-kv [-addr :7070] [-snapshot file]
+//
+// With -snapshot, the store loads the file at startup (if present) and
+// writes it back on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/kvserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file to load/save")
+	flag.Parse()
+
+	srv := kvserver.New()
+	if *snapshot != "" {
+		if err := srv.LoadSnapshot(*snapshot); err != nil && !os.IsNotExist(err) {
+			log.Fatalf("dcart-kv: load snapshot: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dcart-kv: listen: %v", err)
+	}
+	log.Printf("dcart-kv: serving on %s (%d keys loaded)", ln.Addr(), srv.Len())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if *snapshot != "" {
+			if err := srv.SaveSnapshot(*snapshot); err != nil {
+				log.Printf("dcart-kv: save snapshot: %v", err)
+			} else {
+				log.Printf("dcart-kv: snapshot saved to %s", *snapshot)
+			}
+		}
+		ln.Close()
+		os.Exit(0)
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcart-kv:", err)
+			return
+		}
+		go srv.Serve(conn)
+	}
+}

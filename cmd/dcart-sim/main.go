@@ -1,0 +1,98 @@
+// Command dcart-sim drives the DCART accelerator simulator on a single
+// workload and reports its cycle count, modeled time/energy, buffer hit
+// ratios, and counter set — the quickest way to inspect the accelerator's
+// behaviour under different configurations.
+//
+// Usage:
+//
+//	dcart-sim [-workload IPGEO] [-keys 100000] [-ops 500000]
+//	          [-sous 16] [-batch 4096] [-treebuf 4194304]
+//	          [-no-shortcuts] [-no-combining] [-lru] [-no-overlap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "IPGEO", "workload: IPGEO DICT EA DE RS RD")
+	keys := flag.Int("keys", 100_000, "unique keys")
+	ops := flag.Int("ops", 500_000, "operations")
+	seed := flag.Int64("seed", 1, "workload seed")
+	readRatio := flag.Float64("reads", 0.5, "read ratio")
+	sous := flag.Int("sous", 0, "number of SOUs (default 16)")
+	batch := flag.Int("batch", 0, "PCU batch size (default 4096)")
+	treebuf := flag.Int("treebuf", 0, "Tree_buffer bytes (default 4MB)")
+	noShortcuts := flag.Bool("no-shortcuts", false, "disable the Shortcut_Table")
+	noCombining := flag.Bool("no-combining", false, "disable operation combining")
+	lru := flag.Bool("lru", false, "use LRU instead of value-aware Tree_buffer")
+	noOverlap := flag.Bool("no-overlap", false, "disable PCU/SOU overlap")
+	resources := flag.Bool("resources", false, "print the U280 resource estimate and exit")
+	trace := flag.String("trace", "", "load the workload from a trace file (see workload-gen -o)")
+	flag.Parse()
+
+	if *resources {
+		cfg := accel.Config{NumSOUs: *sous, BatchSize: *batch, TreeBufBytes: *treebuf}.Defaults()
+		fmt.Printf("configuration: %d SOUs, buffers %d/%d/%d/%d KB\n",
+			cfg.NumSOUs, cfg.ScanBufBytes>>10, cfg.BucketBufBytes>>10,
+			cfg.ShortcutBufBytes>>10, cfg.TreeBufBytes>>10)
+		fmt.Println("estimate:     ", cfg.Resources())
+		fmt.Println("fits U280:    ", cfg.Resources().FitsU280())
+		fmt.Println("SOU headroom: ", accel.MaxSOUsOnU280(cfg))
+		return
+	}
+
+	var w *core.Workload
+	var err error
+	if *trace != "" {
+		f, ferr := os.Open(*trace)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "dcart-sim:", ferr)
+			os.Exit(1)
+		}
+		w, err = workload.ReadFrom(f)
+		f.Close()
+		if err == nil {
+			*wname, *keys, *ops = w.Name, len(w.Keys), len(w.Ops)
+		}
+	} else {
+		w, err = core.GenerateWorkload(core.WorkloadSpec{
+			Name: *wname, NumKeys: *keys, NumOps: *ops, ReadRatio: *readRatio, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcart-sim:", err)
+		os.Exit(1)
+	}
+
+	e := accel.New(accel.Config{
+		NumSOUs: *sous, BatchSize: *batch, TreeBufBytes: *treebuf,
+		DisableShortcuts: *noShortcuts, DisableCombining: *noCombining,
+		UseLRUTreeBuffer: *lru, DisableOverlap: *noOverlap,
+	})
+	e.Load(w.Keys, nil)
+	res := e.Run(w.Ops)
+	rep := platform.ModelFor(res)
+
+	fmt.Printf("workload        %s (%d keys, %d ops, %.0f%% reads)\n",
+		*wname, *keys, *ops, 100**readRatio)
+	fmt.Printf("cycles          %d (%.2f cycles/op)\n", e.Cycles(),
+		float64(e.Cycles())/float64(*ops))
+	fmt.Printf("modeled time    %.6gs  (%.3g ops/s @ %.0f MHz)\n",
+		rep.Seconds, rep.Throughput(res.Ops), e.Config().ClockHz/1e6)
+	fmt.Printf("modeled energy  %.4g J @ %.0f W\n", rep.Joules, rep.Watts)
+	fmt.Printf("off-chip bytes  %d\n", res.OffchipBytes)
+	names := [4]string{"Scan_buffer", "Bucket_buffer", "Shortcut_buffer", "Tree_buffer"}
+	for i, st := range e.BufferStats() {
+		fmt.Printf("%-15s hits=%d misses=%d evictions=%d bypasses=%d hit-ratio=%.3f\n",
+			names[i], st.Hits, st.Misses, st.Evictions, st.Bypasses, st.HitRatio())
+	}
+	fmt.Printf("counters        %s\n", res.Metrics)
+}

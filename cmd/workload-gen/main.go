@@ -1,0 +1,102 @@
+// Command workload-gen generates one of the paper's six workloads and
+// prints its statistics (and optionally the keys/operations themselves),
+// useful for inspecting the generators' prefix and popularity skew.
+//
+// Usage:
+//
+//	workload-gen [-workload IPGEO] [-keys 100000] [-ops 500000] [-dump]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "IPGEO", "workload: IPGEO DICT EA DE RS RD")
+	keys := flag.Int("keys", 100_000, "unique keys")
+	ops := flag.Int("ops", 500_000, "operations")
+	seed := flag.Int64("seed", 1, "seed")
+	readRatio := flag.Float64("reads", 0.5, "read ratio")
+	dump := flag.Bool("dump", false, "dump the operation stream to stdout")
+	out := flag.String("o", "", "save the workload to a binary trace file")
+	flag.Parse()
+
+	w, err := core.GenerateWorkload(core.WorkloadSpec{
+		Name: *wname, NumKeys: *keys, NumOps: *ops, ReadRatio: *readRatio, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workload-gen:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workload-gen:", err)
+			os.Exit(1)
+		}
+		n, err := w.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workload-gen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes, %d keys, %d ops)\n", *out, n, len(w.Keys), len(w.Ops))
+		return
+	}
+
+	if *dump {
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		for _, op := range w.Ops {
+			fmt.Fprintf(out, "%s %x %d\n", op.Kind, op.Key, op.Value)
+		}
+		return
+	}
+
+	hist := workload.PrefixHistogram(w.Ops)
+	type pc struct {
+		p byte
+		c int64
+	}
+	var list []pc
+	var total int64
+	for p, c := range hist {
+		if c > 0 {
+			list = append(list, pc{byte(p), c})
+			total += c
+		}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].c > list[j].c })
+
+	fmt.Printf("workload %s: %d keys, %d ops\n", w.Name, len(w.Keys), len(w.Ops))
+	fmt.Printf("active prefixes: %d\n", len(list))
+	for i := 0; i < 8 && i < len(list); i++ {
+		fmt.Printf("  prefix 0x%02X: %d ops (%.1f%%)\n",
+			list[i].p, list[i].c, 100*float64(list[i].c)/float64(total))
+	}
+	perKey := workload.KeyAccessCounts(w.Ops)
+	counts := make([]int64, 0, len(perKey))
+	for _, c := range perKey {
+		counts = append(counts, c)
+	}
+	fmt.Printf("unique keys touched: %d\n", len(perKey))
+	fmt.Printf("top-5%% key share of ops: %.1f%%\n", 100*metrics.TopShare(counts, 0.05))
+	reads := 0
+	for _, op := range w.Ops {
+		if op.Kind == workload.Read {
+			reads++
+		}
+	}
+	fmt.Printf("read ratio: %.3f\n", float64(reads)/float64(len(w.Ops)))
+}

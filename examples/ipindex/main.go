@@ -1,0 +1,125 @@
+// ipindex: an IP-geolocation range index over the ART — the paper's IPGEO
+// scenario. IPv4 range starts are stored as binary-comparable 4-byte keys
+// mapping to country codes; a lookup finds the covering range with one
+// ordered predecessor search, and prefix scans answer "every range in this
+// /8" analytics queries.
+//
+// Run with:
+//
+//	go run ./examples/ipindex
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// countries is a toy country table; values index into it.
+var countries = []string{"US", "CN", "DE", "FR", "JP", "BR", "IN", "GB", "KR", "NL"}
+
+func ipKey(a, b, c, d byte) []byte { return []byte{a, b, c, d} }
+
+func ipString(k []byte) string {
+	return fmt.Sprintf("%d.%d.%d.%d", k[0], k[1], k[2], k[3])
+}
+
+func main() {
+	idx := core.NewTree()
+	rng := rand.New(rand.NewSource(7))
+
+	// Load 100k synthetic range starts, clustered in a few hot /8s like
+	// the real GeoLite2 table.
+	hot := []byte{0x67, 0x68, 0x2a, 0xb0}
+	for i := 0; i < 100_000; i++ {
+		var first byte
+		if rng.Intn(2) == 0 {
+			first = hot[rng.Intn(len(hot))]
+		} else {
+			first = byte(rng.Intn(224)) // below multicast space
+		}
+		key := ipKey(first, byte(rng.Intn(256)), byte(rng.Intn(256)), 0)
+		idx.Put(key, uint64(rng.Intn(len(countries))))
+	}
+	fmt.Printf("loaded %d IP ranges\n", idx.Len())
+
+	// Point lookups: the covering range of an address is the greatest
+	// range start <= address — a bounded descending... here via an
+	// ascending scan from 0 up to the address, keeping the last hit
+	// (bounded by the address itself as the inclusive upper bound).
+	lookup := func(addr []byte) (string, []byte, bool) {
+		var lastKey []byte
+		var lastVal uint64
+		found := false
+		// Scan only the address's /8 first (ranges rarely span /8s here);
+		// fall back to a full bounded scan if the /8 has no predecessor.
+		idx.AscendRange(ipKey(addr[0], 0, 0, 0), addr, func(k []byte, v uint64) bool {
+			lastKey, lastVal, found = append(lastKey[:0], k...), v, true
+			return true
+		})
+		if !found {
+			idx.AscendRange(nil, addr, func(k []byte, v uint64) bool {
+				lastKey, lastVal, found = append(lastKey[:0], k...), v, true
+				return true
+			})
+		}
+		if !found {
+			return "", nil, false
+		}
+		return countries[lastVal], lastKey, true
+	}
+
+	for _, probe := range [][]byte{
+		ipKey(0x67, 12, 34, 56),
+		ipKey(0x2a, 200, 1, 9),
+		ipKey(0x05, 5, 5, 5),
+	} {
+		if cc, rangeStart, ok := lookup(probe); ok {
+			fmt.Printf("%-15s -> %s (range %s)\n", ipString(probe), cc, ipString(rangeStart))
+		} else {
+			fmt.Printf("%-15s -> no covering range\n", ipString(probe))
+		}
+	}
+
+	// Analytics: count ranges per country inside the hot /8 0x67 with a
+	// prefix scan (descends straight to the subtree).
+	var perCountry [16]int
+	n := 0
+	idx.ScanPrefix([]byte{0x67}, func(k []byte, v uint64) bool {
+		perCountry[v]++
+		n++
+		return true
+	})
+	fmt.Printf("\n/8 block 103.0.0.0/8 holds %d ranges:\n", n)
+	for i, c := range perCountry[:len(countries)] {
+		if c > 0 {
+			fmt.Printf("  %s: %d\n", countries[i], c)
+		}
+	}
+
+	// Ordered neighborhood: the five ranges after a given start.
+	fmt.Println("\nfive ranges from 103.50.0.0 onward:")
+	count := 0
+	idx.AscendRange(ipKey(0x67, 50, 0, 0), nil, func(k []byte, v uint64) bool {
+		fmt.Printf("  %s -> %s\n", ipString(k), countries[v])
+		count++
+		return count < 5
+	})
+
+	// Sanity: the index respects binary order for IPv4 keys.
+	var prev []byte
+	ok := true
+	idx.Walk(func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			ok = false
+			return false
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+	fmt.Println("\nindex order consistent:", ok)
+	_ = binary.BigEndian
+}

@@ -1,0 +1,62 @@
+// Quickstart: the adaptive radix tree as an ordered key-value index.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	tree := core.NewTree()
+
+	// Point operations. Keys are binary-comparable byte strings; values
+	// are uint64 (a payload pointer or inline value).
+	tree.Put([]byte("apple"), 1)
+	tree.Put([]byte("apricot"), 2)
+	tree.Put([]byte("banana"), 3)
+	tree.Put([]byte("blueberry"), 4)
+	tree.Put([]byte("cherry"), 5)
+
+	if v, ok := tree.Get([]byte("banana")); ok {
+		fmt.Println("banana ->", v)
+	}
+
+	// Overwrites report replacement.
+	replaced := tree.Put([]byte("cherry"), 50)
+	fmt.Println("cherry replaced:", replaced)
+
+	// Ordered iteration, a radix tree's native strength.
+	fmt.Println("all fruit in order:")
+	tree.Walk(func(key []byte, value uint64) bool {
+		fmt.Printf("  %s = %d\n", key, value)
+		return true
+	})
+
+	// Prefix scans descend directly to the matching subtree.
+	fmt.Println("a-fruit:")
+	tree.ScanPrefix([]byte("a"), func(key []byte, value uint64) bool {
+		fmt.Printf("  %s = %d\n", key, value)
+		return true
+	})
+
+	// Range scans with inclusive bounds.
+	fmt.Println("banana..cherry:")
+	tree.AscendRange([]byte("banana"), []byte("cherry"), func(key []byte, value uint64) bool {
+		fmt.Printf("  %s = %d\n", key, value)
+		return true
+	})
+
+	// Deletion shrinks nodes and restores path compression.
+	tree.Delete([]byte("apricot"))
+	fmt.Println("after delete, len =", tree.Len())
+
+	// Structural statistics: node-kind census, height, modeled footprint.
+	st := tree.Stats()
+	fmt.Printf("stats: %d keys, height %d, N4=%d N16=%d N48=%d N256=%d, %d modeled bytes\n",
+		st.Keys, st.Height, st.N4, st.N16, st.N48, st.N256, st.ModeledBytes)
+}

@@ -1,0 +1,156 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/ctt"
+	"repro/internal/cuart"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// allEngines builds one instance of each evaluated system.
+func allEngines(cfg engine.Config) map[string]engine.Engine {
+	return map[string]engine.Engine{
+		"ART":     baseline.NewART(cfg),
+		"Heart":   baseline.NewHeart(cfg),
+		"SMART":   baseline.NewSMART(cfg),
+		"CuART":   cuart.New(cuart.Config{Config: cfg}),
+		"DCART-C": ctt.New(ctt.Config{Config: cfg}),
+		"DCART":   accel.New(accel.Config{CollectReads: cfg.CollectReads}),
+	}
+}
+
+// TestCrossEngineStateConvergence is the repository's central integration
+// invariant: every engine — three CPU disciplines, the GPU model, the
+// software CTT, and the accelerator simulator — executes the same
+// operation stream, and all six final index states must be identical
+// (coalescing and reordering may change *when* work happens, but per-key
+// last-write-wins semantics fix the final state).
+func TestCrossEngineStateConvergence(t *testing.T) {
+	for _, wname := range workload.All {
+		wname := wname
+		t.Run(wname, func(t *testing.T) {
+			w := workload.MustGenerate(workload.Spec{
+				Name: wname, NumKeys: 3000, NumOps: 15000,
+				ReadRatio: 0.4, InsertFraction: 0.3, Seed: 91,
+			})
+			// Reference: sequential replay.
+			ref := map[string]uint64{}
+			for i, k := range w.Keys {
+				ref[string(k)] = uint64(i)
+			}
+			for _, op := range w.Ops {
+				switch op.Kind {
+				case workload.Write:
+					ref[string(op.Key)] = op.Value
+				case workload.Delete:
+					delete(ref, string(op.Key))
+				}
+			}
+
+			for name, e := range allEngines(engine.Config{Threads: 32}) {
+				e.Load(w.Keys, nil)
+				e.Run(w.Ops)
+				tree := treeOf(t, name, e)
+				if tree.Len() != len(ref) {
+					t.Fatalf("%s: %d keys, reference %d", name, tree.Len(), len(ref))
+				}
+				for ks, want := range ref {
+					got, ok := tree.Get([]byte(ks))
+					if !ok || got != want {
+						t.Fatalf("%s: key %x = (%d,%v), want %d", name, ks, got, ok, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// treeOf extracts the underlying index from any engine type.
+func treeOf(t *testing.T, name string, e engine.Engine) interface {
+	Get([]byte) (uint64, bool)
+	Len() int
+} {
+	t.Helper()
+	switch v := e.(type) {
+	case *baseline.Engine:
+		return v.Tree()
+	case *cuart.Engine:
+		return v.Tree()
+	case *ctt.Engine:
+		return v.Tree()
+	case *accel.Engine:
+		return v.Tree()
+	default:
+		t.Fatalf("unknown engine type for %s", name)
+		return nil
+	}
+}
+
+// TestCrossEngineCounterSanity checks cross-engine relationships the
+// paper's figures rely on, on a reuse-heavy stream: the data-centric
+// engines (DCART-C, DCART) must beat every operation-centric engine on
+// partial-key matches and lock contention.
+func TestCrossEngineCounterSanity(t *testing.T) {
+	w := workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 2000, NumOps: 40000,
+		ReadRatio: 0.5, InsertFraction: 0.05, ZipfS: 1.25, Seed: 92,
+	})
+	matches := map[string]int64{}
+	contention := map[string]int64{}
+	for name, e := range allEngines(engine.Config{Threads: 96}) {
+		e.Load(w.Keys, nil)
+		res := e.Run(w.Ops)
+		matches[name] = res.Metrics.Get("key_matches")
+		contention[name] = res.Metrics.Get("lock_contention")
+	}
+	for _, dc := range []string{"DCART-C", "DCART"} {
+		for _, base := range []string{"ART", "Heart", "SMART", "CuART"} {
+			if matches[dc] >= matches[base] {
+				t.Errorf("%s key matches (%d) not below %s (%d)",
+					dc, matches[dc], base, matches[base])
+			}
+			if contention[dc] > contention[base] {
+				t.Errorf("%s contention (%d) above %s (%d)",
+					dc, contention[dc], base, contention[base])
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossRuns: the whole pipeline (generation, execution,
+// counting) is bit-for-bit reproducible.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() map[string]map[string]int64 {
+		w := workload.MustGenerate(workload.Spec{
+			Name: workload.EA, NumKeys: 1500, NumOps: 8000, Seed: 93,
+		})
+		out := map[string]map[string]int64{}
+		for name, e := range allEngines(engine.Config{Threads: 16}) {
+			e.Load(w.Keys, nil)
+			e.Run(w.Ops)
+			switch v := e.(type) {
+			case *baseline.Engine:
+				out[name] = v.Metrics().Snapshot()
+			case *cuart.Engine:
+				out[name] = v.Metrics().Snapshot()
+			case *ctt.Engine:
+				out[name] = v.Metrics().Snapshot()
+			case *accel.Engine:
+				out[name] = v.Metrics().Snapshot()
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for name, am := range a {
+		for k, v := range am {
+			if b[name][k] != v {
+				t.Fatalf("%s counter %s differs across runs: %d vs %d", name, k, v, b[name][k])
+			}
+		}
+	}
+}

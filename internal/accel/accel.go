@@ -1,0 +1,638 @@
+package accel
+
+import (
+	"repro/internal/art"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// shortcutEntry is one Shortcut_Table record: the paper's
+// <Key_ID, Address_Target_Node, Address_Parent_Node>.
+type shortcutEntry struct {
+	target art.NodeRef
+	parent art.NodeRef
+}
+
+// BatchStat records the modeled cycle cost of one operation batch, used
+// by the overlap computation (Fig 6) and the latency model (Fig 10).
+type BatchStat struct {
+	Ops       int
+	PCUCycles int64
+	SOUCycles int64 // max over the 16 SOUs (they run in parallel)
+}
+
+// Engine is the DCART accelerator simulator.
+type Engine struct {
+	cfg Config
+
+	tree *art.Tree
+	ms   *metrics.Set
+	red  *metrics.RedundancyTracker
+
+	scanBuf     *mem.Cache
+	bucketBuf   *mem.Cache
+	shortcutBuf *mem.Cache
+	treeBuf     *mem.ObjectCache
+	hbm         *mem.DRAM
+
+	shortcuts map[string]shortcutEntry
+	byAddr    map[uint64][]string
+
+	// batch-scoped state
+	bucketLen    []int64 // ops per bucket (node value source, §III-E)
+	souCycles    []int64
+	curSOU       int
+	currentValue int64
+
+	// prefixSkip is the number of leading bytes shared by every loaded
+	// key; the PCU's Get_Prefix stage reads the prefix after them (a
+	// host-configured register).
+	prefixSkip int
+
+	suppressAccess bool
+	// jumpAccess marks shortcut-based GetAt/PutAt fetches: charged as
+	// node accesses and cycles but not as partial-key matches (the
+	// shortcut replaces the radix descent).
+	jumpAccess bool
+	measuring  bool
+
+	batches []BatchStat
+}
+
+// New returns a DCART accelerator simulator with the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.Defaults()
+	e := &Engine{
+		cfg:       cfg,
+		tree:      art.New(art.WithRegistry()),
+		ms:        metrics.NewSet(),
+		hbm:       cfg.HBM,
+		shortcuts: make(map[string]shortcutEntry),
+		byAddr:    make(map[uint64][]string),
+		bucketLen: make([]int64, cfg.NumBuckets),
+		souCycles: make([]int64, cfg.NumSOUs),
+	}
+	treePolicy := mem.Policy(mem.NewValueAware())
+	if cfg.UseLRUTreeBuffer {
+		treePolicy = mem.NewLRU()
+	}
+	lb := cfg.BufferLineBytes
+	e.scanBuf = mem.NewCache("Scan_buffer", cfg.ScanBufBytes, lb, mem.NewLRU())
+	e.bucketBuf = mem.NewCache("Bucket_buffer", cfg.BucketBufBytes, lb, mem.NewLRU())
+	e.shortcutBuf = mem.NewCache("Shortcut_buffer", cfg.ShortcutBufBytes, lb, mem.NewLRU())
+	e.treeBuf = mem.NewObjectCache("Tree_buffer", cfg.TreeBufBytes, treePolicy)
+
+	e.newTrackers()
+	e.tree.SetAccessHook(e.onAccess)
+	e.tree.SetReplaceHook(e.onReplace)
+	e.tree.SetPrefixHook(e.onPrefixChange)
+	return e
+}
+
+func (e *Engine) newTrackers() {
+	e.red = metrics.NewRedundancyTracker(e.cfg.NumSOUs)
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "DCART" }
+
+// Tree exposes the index for verification.
+func (e *Engine) Tree() *art.Tree { return e.tree }
+
+// Metrics returns the live counter set.
+func (e *Engine) Metrics() *metrics.Set { return e.ms }
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// BufferStats returns the four on-chip buffers' cache statistics, in
+// Table I order (Scan, Bucket, Shortcut, Tree).
+func (e *Engine) BufferStats() [4]mem.CacheStats {
+	return [4]mem.CacheStats{
+		e.scanBuf.Stats(), e.bucketBuf.Stats(), e.shortcutBuf.Stats(), e.treeBuf.Stats(),
+	}
+}
+
+// Batches returns per-batch cycle statistics for the latest Run calls.
+func (e *Engine) Batches() []BatchStat { return e.batches }
+
+// Cycles returns the total modeled cycles, including the PCU/SOU overlap
+// and the HBM bandwidth floor.
+func (e *Engine) Cycles() int64 {
+	var total int64
+	if e.cfg.DisableOverlap {
+		for _, b := range e.batches {
+			total += b.PCUCycles + b.SOUCycles
+		}
+	} else {
+		// Fig 6: while the SOUs process batch i, the PCU combines batch
+		// i+1; each stage of the software pipeline costs the max of the
+		// two overlapped phases.
+		for i, b := range e.batches {
+			if i == 0 {
+				total += b.PCUCycles
+			} else if prev := e.batches[i-1]; prev.SOUCycles > b.PCUCycles {
+				total += prev.SOUCycles
+			} else {
+				total += b.PCUCycles
+			}
+		}
+		if n := len(e.batches); n > 0 {
+			total += e.batches[n-1].SOUCycles
+		}
+	}
+	if floor := e.hbm.BandwidthFloorCycles(); floor > total {
+		total = floor
+	}
+	return total
+}
+
+// Seconds converts Cycles to modeled seconds at the configured clock.
+func (e *Engine) Seconds() float64 {
+	return float64(e.Cycles()) / e.cfg.ClockHz
+}
+
+// onAccess models a Traverse_Tree node fetch: one partial-key-match step
+// plus a Tree_buffer access that either hits on-chip BRAM or goes to HBM.
+func (e *Engine) onAccess(addr uint64, size int, kind art.NodeKind) {
+	if !e.measuring || e.suppressAccess {
+		return
+	}
+	if !e.jumpAccess {
+		e.ms.Inc(metrics.CtrKeyMatches)
+	}
+	e.ms.Inc(metrics.CtrNodeAccesses)
+	if e.red.Touch(addr) {
+		e.ms.Inc(metrics.CtrRedundantNodes)
+	}
+	cyc := int64(cycMatch)
+	if kind == art.Node48 {
+		cyc = cycMatchN48
+	}
+	if e.treeBuf.Access(addr, size, e.currentValue) {
+		cyc += cycBufHit
+		e.ms.Inc(metrics.CtrOnchipHits)
+	} else {
+		// One burst fetch covers the whole node; the SOU pipeline keeps
+		// MemoryParallelism independent groups in flight, overlapping
+		// their miss latencies.
+		cyc += int64(e.hbm.Access(size)) / int64(e.cfg.MemoryParallelism)
+	}
+	e.souCycles[e.curSOU] += cyc
+}
+
+// onReplace mirrors ctt: grows rewrite Shortcut_Table entries in place
+// (the §III-C update rule); frees drop them.
+func (e *Engine) onReplace(oldAddr, newAddr uint64) {
+	if newAddr == 0 {
+		e.invalidate(oldAddr)
+		return
+	}
+	keys, ok := e.byAddr[oldAddr]
+	if !ok {
+		return
+	}
+	delete(e.byAddr, oldAddr)
+	for _, k := range keys {
+		sc, ok := e.shortcuts[k]
+		if !ok || sc.target.Addr != oldAddr {
+			continue
+		}
+		sc.target.Addr = newAddr
+		e.shortcuts[k] = sc
+		e.byAddr[newAddr] = append(e.byAddr[newAddr], k)
+		if e.measuring {
+			e.chargeShortcutWrite(k)
+		}
+	}
+}
+
+func (e *Engine) onPrefixChange(addr uint64) { e.invalidate(addr) }
+
+func (e *Engine) invalidate(addr uint64) {
+	keys, ok := e.byAddr[addr]
+	if !ok {
+		return
+	}
+	delete(e.byAddr, addr)
+	for _, k := range keys {
+		if sc, ok := e.shortcuts[k]; ok && sc.target.Addr == addr {
+			delete(e.shortcuts, k)
+			if e.measuring {
+				e.ms.Inc(metrics.CtrShortcutMaintain)
+			}
+		}
+	}
+}
+
+// shortcutSlotAddr maps a key to its Shortcut_Table slot address.
+func shortcutSlotAddr(key []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return shortcutTableBase + (h%shortcutTableSlots)*shortcutTableStride
+}
+
+// chargeShortcutLookup models the Index_Shortcut stage.
+func (e *Engine) chargeShortcutLookup(key []byte) {
+	cyc := int64(0)
+	_, misses := e.shortcutBuf.Access(shortcutSlotAddr(key), shortcutEntryBytes, 0)
+	if misses > 0 {
+		cyc += int64(e.hbm.Access(misses*e.cfg.BufferLineBytes)) / int64(e.cfg.MemoryParallelism)
+	} else {
+		cyc += cycBufHit
+		e.ms.Inc(metrics.CtrOnchipHits)
+	}
+	e.souCycles[e.curSOU] += cyc
+}
+
+// chargeShortcutWrite models the Generate_Shortcut stage (posted write:
+// bandwidth, no latency stall).
+func (e *Engine) chargeShortcutWrite(key string) {
+	e.ms.Inc(metrics.CtrShortcutMaintain)
+	_, misses := e.shortcutBuf.Access(shortcutSlotAddr([]byte(key)), shortcutEntryBytes, 0)
+	if misses > 0 {
+		e.hbm.Access(misses * e.cfg.BufferLineBytes)
+	}
+	e.souCycles[e.curSOU] += cycShortcut
+}
+
+func (e *Engine) storeShortcut(key string, sc shortcutEntry) {
+	if old, ok := e.shortcuts[key]; !ok || old.target.Addr != sc.target.Addr {
+		e.byAddr[sc.target.Addr] = append(e.byAddr[sc.target.Addr], key)
+	}
+	e.shortcuts[key] = sc
+	e.chargeShortcutWrite(key)
+}
+
+// Load implements engine.Engine (not measured). Loading derives the
+// combining-prefix position: leading bytes common to the whole key set
+// are skipped by Get_Prefix.
+func (e *Engine) Load(keys [][]byte, values []uint64) {
+	e.measuring = false
+	e.prefixSkip = commonPrefixLenAll(keys)
+	e.tree.Load(keys, values)
+}
+
+// Reset implements engine.Engine: counters, buffers, and cycle history
+// clear; the index and Shortcut_Table persist.
+func (e *Engine) Reset() {
+	e.ms.Reset()
+	e.newTrackers()
+	e.scanBuf.Reset()
+	e.bucketBuf.Reset()
+	e.shortcutBuf.Reset()
+	e.treeBuf.Reset()
+	e.hbm.Reset()
+	e.batches = nil
+}
+
+// bucketOf maps a key to its bucket table: the PrefixBits-bit key prefix
+// (taken after the key set's common leading bytes, which carry no
+// information — e.g. the zero high bytes of dense integer keys), assigned
+// to bucket labels round-robin so populous adjacent prefixes (ASCII
+// letters, IPv4 hot ranges) spread across the tables.
+func (e *Engine) bucketOf(key []byte) int {
+	i := e.prefixSkip
+	var b0, b1 byte
+	if i < len(key) {
+		b0 = key[i]
+	}
+	if i+1 < len(key) {
+		b1 = key[i+1]
+	}
+	v := uint32(b0)<<8 | uint32(b1)
+	prefix := v >> uint(16-e.cfg.PrefixBits)
+	return int(prefix) % e.cfg.NumBuckets
+}
+
+// commonPrefixLenAll returns the length of the byte prefix shared by every
+// key (capped so at least one varying byte remains).
+func commonPrefixLenAll(keys [][]byte) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	cp := len(keys[0])
+	for _, k := range keys[1:] {
+		n := cp
+		if len(k) < n {
+			n = len(k)
+		}
+		i := 0
+		for i < n && k[i] == keys[0][i] {
+			i++
+		}
+		cp = i
+		if cp == 0 {
+			return 0
+		}
+	}
+	if cp > 0 && cp >= len(keys[0]) {
+		cp = len(keys[0]) - 1
+	}
+	return cp
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(ops []workload.Op) *engine.Result {
+	e.measuring = true
+	defer func() { e.measuring = false }()
+
+	res := &engine.Result{Name: "DCART", Ops: len(ops), Metrics: e.ms}
+	for start := 0; start < len(ops); start += e.cfg.BatchSize {
+		end := start + e.cfg.BatchSize
+		if end > len(ops) {
+			end = len(ops)
+		}
+		e.batches = append(e.batches, e.runBatch(ops[start:end], start, res))
+	}
+
+	res.RedundantRatio = e.red.Ratio()
+	res.OffchipBytes = e.hbm.Bytes()
+	res.Cycles = e.Cycles()
+	ts := e.treeBuf.Stats()
+	res.CacheHitRatio = ts.HitRatio()
+	// The FPGA fetches whole nodes, not speculative 64-byte lines; line
+	// utilization is effectively the node utilization, reported as 1.
+	res.LineUtilization = 1
+	return res
+}
+
+type group struct {
+	key []byte
+	ops []int
+}
+
+// runBatch models one batch through PCU -> Dispatcher -> SOUs.
+func (e *Engine) runBatch(batch []workload.Op, base int, res *engine.Result) BatchStat {
+	stat := BatchStat{Ops: len(batch)}
+
+	// --- PCU: Scan_Operation, Get_Prefix, Combine_Operation (Fig 5). -----
+	pcu := int64(cycPCUStages)
+	for i := range e.bucketLen {
+		e.bucketLen[i] = 0
+	}
+	buckets := make([][]int, e.cfg.NumBuckets)
+	bucketOffsets := make([]int64, e.cfg.NumBuckets)
+	for i := range batch {
+		pcu++ // II=1 pipeline advance
+		// Scan_buffer streams the op records; sequential prefetch hides
+		// latency, bandwidth is still paid.
+		opAddr := opStreamBase + uint64(base+i)*opRecordBytes
+		if _, m := e.scanBuf.Access(opAddr, opRecordBytes, 0); m > 0 {
+			e.hbm.Access(m * e.cfg.BufferLineBytes)
+		}
+		b := e.bucketOf(batch[i].Key)
+		buckets[b] = append(buckets[b], i)
+		e.bucketLen[b]++
+		e.ms.Inc(metrics.CtrCombineSteps)
+		// Posted append to Bucket_Table_b through the Bucket_buffer.
+		wAddr := bucketTablesBase + uint64(b)*bucketTableStride +
+			uint64(bucketOffsets[b])*bucketEntryBytes
+		bucketOffsets[b]++
+		if _, m := e.bucketBuf.Access(wAddr, bucketEntryBytes, 0); m > 0 {
+			e.hbm.Access(m * e.cfg.BufferLineBytes)
+		}
+	}
+	stat.PCUCycles = pcu
+
+	// --- Dispatcher + SOUs. ----------------------------------------------
+	for i := range e.souCycles {
+		e.souCycles[i] = 0
+	}
+	conflictTargets := make(map[uint64]map[int]bool)
+	// The 16 SOUs run in parallel and share the Tree_buffer; interleave
+	// their group streams round-robin so the buffer sees the hardware's
+	// interleaved access pattern rather than one bucket's artificially
+	// serialized locality.
+	perBucket := make([][]group, e.cfg.NumBuckets)
+	maxGroups := 0
+	for b, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		perBucket[b] = e.groupByKey(batch, bucket)
+		e.curSOU = b % e.cfg.NumSOUs
+		e.souCycles[e.curSOU] += cycDispatch + cycSOUStages
+		if len(perBucket[b]) > maxGroups {
+			maxGroups = len(perBucket[b])
+		}
+	}
+	for step := 0; step < maxGroups; step++ {
+		for b := range perBucket {
+			if step >= len(perBucket[b]) {
+				continue
+			}
+			e.curSOU = b % e.cfg.NumSOUs
+			e.currentValue = e.bucketLen[b]
+			e.execGroup(batch, perBucket[b][step], base, e.curSOU, conflictTargets, res)
+		}
+	}
+	for _, owners := range conflictTargets {
+		if n := len(owners); n > 1 {
+			e.ms.Add(metrics.CtrLockContention, int64(n-1))
+		}
+	}
+
+	var souMax int64
+	for _, c := range e.souCycles {
+		if c > souMax {
+			souMax = c
+		}
+	}
+	stat.SOUCycles = souMax
+	return stat
+}
+
+// groupByKey coalesces same-key operations within a bucket (stream order
+// preserved within a group).
+func (e *Engine) groupByKey(batch []workload.Op, bucket []int) []group {
+	if e.cfg.DisableCombining {
+		out := make([]group, 0, len(bucket))
+		for _, i := range bucket {
+			out = append(out, group{key: batch[i].Key, ops: []int{i}})
+		}
+		return out
+	}
+	idx := make(map[string]int, len(bucket))
+	var out []group
+	for _, i := range bucket {
+		ks := string(batch[i].Key)
+		if gi, ok := idx[ks]; ok {
+			out[gi].ops = append(out[gi].ops, i)
+			continue
+		}
+		idx[ks] = len(out)
+		out = append(out, group{key: batch[i].Key, ops: []int{i}})
+	}
+	return out
+}
+
+// execGroup runs the four SOU stages for one coalesced group.
+func (e *Engine) execGroup(batch []workload.Op, g group, base, sou int,
+	conflictTargets map[uint64]map[int]bool, res *engine.Result) {
+
+	ks := string(g.key)
+	hasWrite := false
+	for _, oi := range g.ops {
+		if batch[oi].Kind != workload.Read {
+			hasWrite = true
+			break
+		}
+	}
+
+	// Stage 1: Index_Shortcut.
+	var ref shortcutEntry
+	haveRef, fromShortcut := false, false
+	if !e.cfg.DisableShortcuts {
+		e.chargeShortcutLookup(g.key)
+		if sc, ok := e.shortcuts[ks]; ok {
+			ref, haveRef, fromShortcut = sc, true, true
+			e.ms.Inc(metrics.CtrShortcutHit)
+		} else {
+			e.ms.Inc(metrics.CtrShortcutMiss)
+		}
+	}
+	// Stage 2: Traverse_Tree (full descent only on shortcut miss).
+	if !haveRef {
+		e.red.NextOp()
+		if target, parent, ok := e.tree.Locate(g.key); ok {
+			ref = shortcutEntry{target: target, parent: parent}
+			haveRef = true
+		}
+	}
+
+	if hasWrite {
+		e.ms.Inc(metrics.CtrLockAcquire) // single ownership acquisition
+		if haveRef {
+			owners := conflictTargets[ref.target.Addr]
+			if owners == nil {
+				owners = make(map[int]bool, 1)
+				conflictTargets[ref.target.Addr] = owners
+			}
+			owners[sou] = true
+		}
+	}
+
+	// Stage 3: Trigger_Operation.
+	applied := false
+	regenerated := false
+	if haveRef {
+		e.jumpAccess = fromShortcut
+		applied = e.applyViaRef(batch, g, base, &ref, res)
+		e.jumpAccess = false
+	}
+	if !applied && fromShortcut {
+		// Stale entry: one fresh traversal re-locates the target, then
+		// the group retries (re-applying an op is idempotent per key).
+		delete(e.shortcuts, ks)
+		e.ms.Inc(metrics.CtrShortcutMaintain)
+		e.red.NextOp()
+		if target, parent, ok := e.tree.Locate(g.key); ok {
+			ref = shortcutEntry{target: target, parent: parent}
+			applied = e.applyViaRef(batch, g, base, &ref, res)
+			regenerated = applied
+		}
+	}
+	if !applied {
+		e.applyDirect(batch, g, base, res)
+		if !e.cfg.DisableShortcuts {
+			if target, parent, ok := e.tree.Locate(g.key); ok {
+				e.storeShortcut(ks, shortcutEntry{target: target, parent: parent})
+			}
+		}
+		return
+	}
+	// Stage 4: Generate_Shortcut.
+	if !e.cfg.DisableShortcuts && (!fromShortcut || regenerated) {
+		e.storeShortcut(ks, ref)
+	}
+
+	if n := len(g.ops) - 1; n > 0 {
+		e.ms.Add(metrics.CtrCoalesced, int64(n))
+	}
+}
+
+// applyViaRef triggers the group's ops on the located node. See
+// ctt.applyViaRef for the semantics; here each op also charges its
+// Trigger_Operation cycles.
+func (e *Engine) applyViaRef(batch []workload.Op, g group, base int,
+	ref *shortcutEntry, res *engine.Result) bool {
+
+	for gi, oi := range g.ops {
+		op := &batch[oi]
+		e.red.NextOp()
+		if gi > 0 {
+			e.suppressAccess = true
+		}
+		switch op.Kind {
+		case workload.Read:
+			e.ms.Inc(metrics.CtrOpsRead)
+			e.souCycles[e.curSOU] += cycTrigRead
+			v, found, valid := e.tree.GetAt(ref.target, op.Key)
+			if !valid {
+				e.suppressAccess = false
+				return false
+			}
+			if e.cfg.CollectReads {
+				res.Reads = append(res.Reads,
+					engine.ReadResult{Index: base + oi, Value: v, OK: found})
+			}
+		case workload.Write:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.souCycles[e.curSOU] += cycTrigWrite
+			pr := e.tree.PutAt(ref.target, ref.parent, op.Key, op.Value)
+			if !pr.Valid {
+				e.suppressAccess = false
+				return false
+			}
+			if pr.TargetChanged {
+				e.suppressAccess = false
+				ref.target = pr.NewTarget
+				e.chargeShortcutWrite(string(g.key))
+			}
+		case workload.Delete:
+			e.suppressAccess = false
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.souCycles[e.curSOU] += cycTrigWrite
+			e.tree.Delete(op.Key)
+		}
+	}
+	e.suppressAccess = false
+	return true
+}
+
+// applyDirect executes the group with plain traversals (fallback). The
+// first operation pays the descent; the coalesced rest act on the same
+// already-fetched path.
+func (e *Engine) applyDirect(batch []workload.Op, g group, base int, res *engine.Result) {
+	defer func() { e.suppressAccess = false }()
+	for gi, oi := range g.ops {
+		op := &batch[oi]
+		e.red.NextOp()
+		if gi > 0 {
+			e.suppressAccess = true
+		}
+		switch op.Kind {
+		case workload.Read:
+			e.ms.Inc(metrics.CtrOpsRead)
+			e.souCycles[e.curSOU] += cycTrigRead
+			v, ok := e.tree.Get(op.Key)
+			if e.cfg.CollectReads {
+				res.Reads = append(res.Reads,
+					engine.ReadResult{Index: base + oi, Value: v, OK: ok})
+			}
+		case workload.Write:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.souCycles[e.curSOU] += cycTrigWrite
+			e.tree.Put(op.Key, op.Value)
+		case workload.Delete:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.souCycles[e.curSOU] += cycTrigWrite
+			e.tree.Delete(op.Key)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func testWorkload(readRatio float64) *workload.Workload {
+	return workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 3000, NumOps: 15000,
+		ReadRatio: readRatio, InsertFraction: 0.3, Seed: 51,
+	})
+}
+
+// perKeyReplay mirrors ctt's reference: DCART preserves per-key order.
+func perKeyReplay(w *workload.Workload) (map[int]engine.ReadResult, map[string]uint64) {
+	state := make(map[string]uint64)
+	for i, k := range w.Keys {
+		state[string(k)] = uint64(i)
+	}
+	reads := make(map[int]engine.ReadResult)
+	for i, op := range w.Ops {
+		ks := string(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			v, ok := state[ks]
+			reads[i] = engine.ReadResult{Index: i, Value: v, OK: ok}
+		case workload.Write:
+			state[ks] = op.Value
+		case workload.Delete:
+			delete(state, ks)
+		}
+	}
+	return reads, state
+}
+
+func TestFunctionalEquivalence(t *testing.T) {
+	for _, name := range workload.All {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := workload.MustGenerate(workload.Spec{
+				Name: name, NumKeys: 2000, NumOps: 10000,
+				ReadRatio: 0.5, InsertFraction: 0.3, Seed: 51,
+			})
+			wantReads, wantFinal := perKeyReplay(w)
+			e := New(Config{CollectReads: true, BatchSize: 512})
+			e.Load(w.Keys, nil)
+			res := e.Run(w.Ops)
+
+			if e.Tree().Len() != len(wantFinal) {
+				t.Fatalf("final keys = %d, want %d", e.Tree().Len(), len(wantFinal))
+			}
+			for ks, v := range wantFinal {
+				got, ok := e.Tree().Get([]byte(ks))
+				if !ok || got != v {
+					t.Fatalf("state mismatch at %x: (%d,%v) want %d", ks, got, ok, v)
+				}
+			}
+			byIndex := map[int]engine.ReadResult{}
+			for _, r := range res.Reads {
+				byIndex[r.Index] = r
+			}
+			for i, want := range wantReads {
+				if byIndex[i] != want {
+					t.Fatalf("read %d = %+v, want %+v", i, byIndex[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestCyclesPositiveAndScale(t *testing.T) {
+	w := testWorkload(0.5)
+	e := New(Config{})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	cyc := e.Cycles()
+	if cyc <= 0 {
+		t.Fatal("no cycles modeled")
+	}
+	// Sanity: a pipelined 16-SOU accelerator should need only a few
+	// cycles per op on average (the paper's headline), and certainly not
+	// fewer than ~ops/16 (each op passes through some pipeline).
+	perOp := float64(cyc) / float64(len(w.Ops))
+	if perOp < 0.5 || perOp > 100 {
+		t.Fatalf("cycles per op = %.2f, outside plausible [0.5, 100]", perOp)
+	}
+	if e.Seconds() <= 0 {
+		t.Fatal("seconds not positive")
+	}
+}
+
+func TestOverlapReducesCycles(t *testing.T) {
+	w := testWorkload(0.5)
+	with := New(Config{BatchSize: 1024})
+	with.Load(w.Keys, nil)
+	with.Run(w.Ops)
+
+	without := New(Config{BatchSize: 1024, DisableOverlap: true})
+	without.Load(w.Keys, nil)
+	without.Run(w.Ops)
+
+	if with.Cycles() >= without.Cycles() {
+		t.Fatalf("overlap (%d cycles) should beat no-overlap (%d)",
+			with.Cycles(), without.Cycles())
+	}
+}
+
+func TestValueAwareProtectsHotNodes(t *testing.T) {
+	// §III-E's claim: value-aware Tree_buffer management "effectively
+	// prevents cache thrashing for high-value nodes". Build one hot
+	// prefix owning most operations plus scan-like cold traffic over the
+	// other prefixes, sized so the cold stream overruns a small
+	// Tree_buffer between reuses of each hot node. After the polluted
+	// run, probe the hot keys: under the value-aware policy they must
+	// still be resident (high probe hit ratio); under LRU the cold stream
+	// has evicted them.
+	hotKeys := make([][]byte, 100)
+	for i := range hotKeys {
+		hotKeys[i] = []byte{0x67, 0x00, byte(i), 0x01}
+	}
+	// Cold keys are ordered suffix-major so a sequential sweep cycles
+	// through all prefixes: every batch's cold traffic spreads evenly
+	// over the cold buckets, keeping each cold bucket's operation count
+	// (= node value) well below the hot bucket's.
+	coldKeys := make([][]byte, 0, 40000)
+	for j := 0; j < 160; j++ {
+		for p := 0; p < 250; p++ {
+			if p == 0x67 {
+				continue
+			}
+			coldKeys = append(coldKeys, []byte{byte(p), byte(j), byte(p ^ j), 0x02})
+		}
+	}
+	keys := append(append([][]byte{}, hotKeys...), coldKeys...)
+
+	var pollute []workload.Op
+	cold := 0
+	for i := 0; i < 40000; i++ {
+		if i%5 == 0 {
+			pollute = append(pollute, workload.Op{Kind: workload.Read, Key: hotKeys[(i/5)%len(hotKeys)]})
+		} else {
+			pollute = append(pollute, workload.Op{Kind: workload.Read, Key: coldKeys[cold%len(coldKeys)]})
+			cold++
+		}
+	}
+	probe := make([]workload.Op, len(hotKeys))
+	for i, k := range hotKeys {
+		probe[i] = workload.Op{Kind: workload.Read, Key: k}
+	}
+
+	probeHitRatio := func(lru bool) float64 {
+		e := New(Config{TreeBufBytes: 8 << 10, UseLRUTreeBuffer: lru})
+		e.Load(keys, nil)
+		e.Run(pollute)
+		before := e.BufferStats()[3]
+		e.Run(probe)
+		after := e.BufferStats()[3]
+		dh := after.Hits - before.Hits
+		dm := after.Misses - before.Misses
+		return float64(dh) / float64(dh+dm)
+	}
+	va, lru := probeHitRatio(false), probeHitRatio(true)
+	if va <= lru {
+		t.Fatalf("value-aware probe hit ratio %.3f not above LRU %.3f", va, lru)
+	}
+	if va < 0.5 {
+		t.Fatalf("value-aware failed to keep hot nodes resident: probe hit ratio %.3f", va)
+	}
+}
+
+func TestShortcutsReduceCycles(t *testing.T) {
+	w := workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 1500, NumOps: 30000,
+		ReadRatio: 0.5, InsertFraction: 0.05, Seed: 53,
+	})
+	on := New(Config{})
+	on.Load(w.Keys, nil)
+	on.Run(w.Ops)
+
+	off := New(Config{DisableShortcuts: true})
+	off.Load(w.Keys, nil)
+	off.Run(w.Ops)
+
+	if on.Metrics().Get(metrics.CtrShortcutHit) == 0 {
+		t.Fatal("no shortcut hits")
+	}
+	if on.Metrics().Get(metrics.CtrKeyMatches) >= off.Metrics().Get(metrics.CtrKeyMatches) {
+		t.Fatalf("shortcuts should reduce key matches (%d vs %d)",
+			on.Metrics().Get(metrics.CtrKeyMatches), off.Metrics().Get(metrics.CtrKeyMatches))
+	}
+}
+
+func TestCombiningReducesLocks(t *testing.T) {
+	w := workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 1500, NumOps: 30000,
+		ReadRatio: 0.2, InsertFraction: 0.05, Seed: 54,
+	})
+	on := New(Config{})
+	on.Load(w.Keys, nil)
+	on.Run(w.Ops)
+
+	off := New(Config{DisableCombining: true})
+	off.Load(w.Keys, nil)
+	off.Run(w.Ops)
+
+	if on.Metrics().Get(metrics.CtrLockAcquire) >= off.Metrics().Get(metrics.CtrLockAcquire) {
+		t.Fatalf("combining should reduce lock acquisitions (%d vs %d)",
+			on.Metrics().Get(metrics.CtrLockAcquire), off.Metrics().Get(metrics.CtrLockAcquire))
+	}
+}
+
+func TestBatchStatsAndOverlapIdentity(t *testing.T) {
+	w := testWorkload(0.5)
+	e := New(Config{BatchSize: 1000})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	batches := e.Batches()
+	if len(batches) != (len(w.Ops)+999)/1000 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	var opsTotal int
+	for _, b := range batches {
+		if b.PCUCycles <= 0 || b.SOUCycles <= 0 {
+			t.Fatalf("non-positive batch cycles: %+v", b)
+		}
+		opsTotal += b.Ops
+	}
+	if opsTotal != len(w.Ops) {
+		t.Fatalf("batch ops sum = %d", opsTotal)
+	}
+	// Overlapped total is bounded by the serialized total and by the
+	// slowest-phase lower bound.
+	var serial, pcuSum, souSum int64
+	for _, b := range batches {
+		serial += b.PCUCycles + b.SOUCycles
+		pcuSum += b.PCUCycles
+		souSum += b.SOUCycles
+	}
+	cyc := e.Cycles()
+	if cyc > serial {
+		t.Fatalf("overlap total %d exceeds serial %d", cyc, serial)
+	}
+	if cyc < pcuSum || cyc < souSum {
+		t.Fatalf("overlap total %d below phase lower bounds (%d, %d)", cyc, pcuSum, souSum)
+	}
+}
+
+func TestBufferStatsPopulated(t *testing.T) {
+	w := testWorkload(0.5)
+	e := New(Config{})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	st := e.BufferStats()
+	for i, s := range st {
+		if s.Hits+s.Misses == 0 {
+			t.Fatalf("buffer %d saw no traffic", i)
+		}
+	}
+	if e.Metrics().Get(metrics.CtrOnchipHits) == 0 {
+		t.Fatal("no on-chip hits counted")
+	}
+}
+
+func TestTableIConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.NumSOUs != 16 || c.NumBuckets != 16 {
+		t.Fatalf("units: %+v", c)
+	}
+	if c.ScanBufBytes != 512<<10 || c.BucketBufBytes != 2<<20 ||
+		c.ShortcutBufBytes != 128<<10 || c.TreeBufBytes != 4<<20 {
+		t.Fatalf("Table I buffer sizes wrong: %+v", c)
+	}
+	if c.ClockHz != 230e6 {
+		t.Fatalf("clock = %v, want 230MHz", c.ClockHz)
+	}
+}
+
+func TestResetKeepsIndex(t *testing.T) {
+	w := testWorkload(0.5)
+	e := New(Config{})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	e.Reset()
+	if e.Cycles() != 0 {
+		t.Fatalf("cycles after reset = %d", e.Cycles())
+	}
+	if e.Tree().Len() == 0 {
+		t.Fatal("reset dropped the index")
+	}
+	if e.Metrics().Get(metrics.CtrKeyMatches) != 0 {
+		t.Fatal("counters survived reset")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := testWorkload(0.5)
+	run := func() (int64, map[string]int64) {
+		e := New(Config{})
+		e.Load(w.Keys, nil)
+		e.Run(w.Ops)
+		return e.Cycles(), e.Metrics().Snapshot()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 {
+		t.Fatalf("cycles differ: %d vs %d", c1, c2)
+	}
+	for k, v := range m1 {
+		if m2[k] != v {
+			t.Fatalf("counter %s differs: %d vs %d", k, v, m2[k])
+		}
+	}
+}

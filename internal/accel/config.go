@@ -1,0 +1,139 @@
+// Package accel simulates the DCART hardware accelerator (§III): a
+// behavioral, cycle-approximate model of the Xilinx Alveo U280 design with
+// one Prefix-based Combining Unit (PCU), one Dispatcher, sixteen
+// Shortcut-based Operating Units (SOUs), the four on-chip BRAM buffers of
+// Table I, a value-aware Tree_buffer replacement policy (§III-E), an HBM
+// off-chip memory model, and the PCU/SOU batch overlap of Fig 6.
+//
+// The simulator executes operations functionally (on the art substrate)
+// on a single goroutine while modeling 16-way SOU parallelism in its cycle
+// accounting, so every run is deterministic and every figure reproducible
+// bit-for-bit. See DESIGN.md §2 for why a behavioral simulator is the
+// faithful substitution for the paper's RTL.
+package accel
+
+import "repro/internal/mem"
+
+// Table I parameters and the microarchitectural cost model.
+type Config struct {
+	// NumSOUs is the number of Shortcut-based Operating Units (Table I: 16).
+	NumSOUs int
+	// NumBuckets is the number of Bucket_Tables (§III-B: sixteen).
+	NumBuckets int
+	// PrefixBits is the combining prefix width (§III-B: first 8 key bits).
+	PrefixBits int
+	// BatchSize is the number of operations per PCU batch (§III-D).
+	BatchSize int
+
+	// On-chip buffer capacities in bytes (Table I).
+	ScanBufBytes     int // 512 KB
+	BucketBufBytes   int // 2 MB
+	ShortcutBufBytes int // 128 KB
+	TreeBufBytes     int // 4 MB
+
+	// BufferLineBytes is the BRAM buffer line granularity.
+	BufferLineBytes int
+
+	// ClockHz is the accelerator clock (230 MHz per §IV-A).
+	ClockHz float64
+
+	// HBM is the off-chip memory model; nil selects mem.HBM2().
+	HBM *mem.DRAM
+
+	// MemoryParallelism is the number of outstanding HBM requests each
+	// SOU's pipeline sustains across independent groups (miss latency is
+	// overlapped by that factor). Traversal steps within one operation
+	// are dependent and never overlap.
+	MemoryParallelism int
+
+	// Ablations (off in the paper's DCART configuration).
+	UseLRUTreeBuffer bool // replace value-aware management with LRU
+	DisableOverlap   bool // serialize PCU and SOU phases (no Fig 6 overlap)
+	DisableShortcuts bool // no Shortcut_Table
+	DisableCombining bool // no same-key coalescing within buckets
+
+	// CollectReads records read results for verification.
+	CollectReads bool
+}
+
+// Defaults fills unset fields with the paper's Table I configuration.
+func (c Config) Defaults() Config {
+	if c.NumSOUs <= 0 {
+		c.NumSOUs = 16
+	}
+	if c.NumBuckets <= 0 {
+		c.NumBuckets = 16
+	}
+	if c.PrefixBits <= 0 || c.PrefixBits > 16 {
+		c.PrefixBits = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.ScanBufBytes <= 0 {
+		c.ScanBufBytes = 512 << 10
+	}
+	if c.BucketBufBytes <= 0 {
+		c.BucketBufBytes = 2 << 20
+	}
+	if c.ShortcutBufBytes <= 0 {
+		c.ShortcutBufBytes = 128 << 10
+	}
+	if c.TreeBufBytes <= 0 {
+		c.TreeBufBytes = 4 << 20
+	}
+	if c.BufferLineBytes <= 0 {
+		c.BufferLineBytes = 64
+	}
+	if c.ClockHz <= 0 {
+		c.ClockHz = 230e6
+	}
+	if c.HBM == nil {
+		c.HBM = mem.HBM2()
+	}
+	if c.MemoryParallelism <= 0 {
+		c.MemoryParallelism = 4
+	}
+	return c
+}
+
+// Pipeline cost constants, in accelerator cycles. The pipelined units
+// sustain one operation per cycle when fed (II=1); the constants below are
+// the additional stage costs charged on each event.
+const (
+	// cycPCUStages is the PCU pipeline depth (Scan_Operation,
+	// Get_Prefix, Combine_Operation; Fig 5).
+	cycPCUStages = 3
+	// cycSOUStages is the SOU pipeline depth (Index_Shortcut,
+	// Traverse_Tree, Trigger_Operation, Generate_Shortcut; Fig 5).
+	cycSOUStages = 4
+	// cycBufHit is an on-chip buffer access.
+	cycBufHit = 2
+	// cycMatch is one partial-key comparison step (the FPGA compares all
+	// of a node's keys in parallel; N48's indirection costs one more).
+	cycMatch     = 1
+	cycMatchN48  = 2
+	cycDispatch  = 1 // Dispatcher work per bucket
+	cycTrigRead  = 1 // Trigger_Operation, read
+	cycTrigWrite = 2 // Trigger_Operation, write
+	cycShortcut  = 2 // Generate_Shortcut table update
+)
+
+// Record sizes in bytes for off-chip structures.
+const (
+	opRecordBytes       = 24 // kind + value + key descriptor
+	bucketEntryBytes    = 24 // combined-op record in a Bucket_Table
+	shortcutEntryBytes  = 32 // <key id, target addr, parent addr, meta>
+	shortcutTableSlots  = 1 << 16
+	shortcutTableStride = 64
+)
+
+// Synthetic address-space bases for the off-chip regions the buffers
+// front. The art arena allocates node addresses starting at 0x1000 and
+// grows by at most a few GB in any run, so regions are spaced 1 TB apart.
+const (
+	opStreamBase      = uint64(1) << 40
+	bucketTablesBase  = uint64(2) << 40
+	bucketTableStride = uint64(1) << 32
+	shortcutTableBase = uint64(3) << 40
+)

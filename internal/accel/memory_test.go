@@ -1,0 +1,73 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+func memWorkload() *workload.Workload {
+	return workload.MustGenerate(workload.Spec{
+		Name: workload.RS, NumKeys: 20000, NumOps: 60000,
+		ReadRatio: 0.5, ZipfS: 1.01, Seed: 71, // near-uniform: maximal misses
+	})
+}
+
+func TestBandwidthFloorBinds(t *testing.T) {
+	// With an absurdly narrow off-chip interface, total cycles must be
+	// pinned to the bandwidth floor rather than the pipeline time.
+	w := memWorkload()
+	narrow := &mem.DRAM{Name: "narrow", LatencyCycles: 25, BytesPerCycle: 0.5}
+	e := New(Config{HBM: narrow, TreeBufBytes: 16 << 10})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	if got, floor := e.Cycles(), narrow.BandwidthFloorCycles(); got != floor {
+		t.Fatalf("cycles %d should equal bandwidth floor %d", got, floor)
+	}
+
+	// With the real HBM the pipeline, not bandwidth, dominates.
+	e2 := New(Config{TreeBufBytes: 16 << 10})
+	e2.Load(w.Keys, nil)
+	e2.Run(w.Ops)
+	if e2.Cycles() == e2.Config().HBM.BandwidthFloorCycles() {
+		t.Fatal("real HBM should not be bandwidth-bound at this scale")
+	}
+}
+
+func TestMemoryParallelismReducesCycles(t *testing.T) {
+	w := memWorkload()
+	run := func(mlp int) int64 {
+		e := New(Config{MemoryParallelism: mlp, TreeBufBytes: 16 << 10})
+		e.Load(w.Keys, nil)
+		e.Run(w.Ops)
+		return e.Cycles()
+	}
+	serial, overlapped := run(1), run(8)
+	if overlapped >= serial {
+		t.Fatalf("MLP=8 (%d cycles) should beat MLP=1 (%d)", overlapped, serial)
+	}
+	// The gain must come from miss latency, i.e. be substantial on a
+	// miss-heavy configuration.
+	if float64(overlapped) > 0.8*float64(serial) {
+		t.Fatalf("MLP gain too small: %d vs %d", overlapped, serial)
+	}
+}
+
+func TestOffchipBytesTracked(t *testing.T) {
+	w := memWorkload()
+	e := New(Config{TreeBufBytes: 16 << 10})
+	e.Load(w.Keys, nil)
+	res := e.Run(w.Ops)
+	if res.OffchipBytes <= 0 {
+		t.Fatal("no off-chip traffic recorded")
+	}
+	// A bigger Tree_buffer must reduce off-chip traffic.
+	e2 := New(Config{TreeBufBytes: 8 << 20})
+	e2.Load(w.Keys, nil)
+	res2 := e2.Run(w.Ops)
+	if res2.OffchipBytes >= res.OffchipBytes {
+		t.Fatalf("bigger buffer did not reduce traffic: %d vs %d",
+			res2.OffchipBytes, res.OffchipBytes)
+	}
+}

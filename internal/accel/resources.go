@@ -1,0 +1,100 @@
+package accel
+
+import "fmt"
+
+// ResourceEstimate models the FPGA resource footprint of a DCART
+// configuration, in the style of a Vivado utilization report. The paper
+// implements DCART on the XCU280 (1.3M LUTs, 2.6M registers, ~9 MB of
+// on-chip block memory, 8 GB HBM); the per-unit constants below are
+// engineering estimates for a pipelined traversal datapath and match the
+// scale of published HBM-FPGA index accelerators.
+type ResourceEstimate struct {
+	LUTs      int
+	Registers int
+	// OnChipBytes is BRAM+URAM demand: the four Table I buffers plus
+	// per-unit FIFOs.
+	OnChipBytes int
+	// HBMBytes is the off-chip working-set budget (tree + tables).
+	HBMBytes int64
+}
+
+// U280 device capacities (§IV-A).
+const (
+	U280LUTs        = 1_300_000
+	U280Registers   = 2_600_000
+	U280OnChipBytes = 9 << 20 // "9 M BRAM resources"
+	U280HBMBytes    = 8 << 30
+)
+
+// Per-unit resource constants.
+const (
+	lutsPerSOU = 14_000 // 4-stage pipeline: comparators, hash, control
+	regsPerSOU = 22_000
+	lutsPCU    = 9_000 // scan + prefix extract + bucket router
+	regsPCU    = 15_000
+	lutsDisp   = 2_500
+	regsDisp   = 4_000
+	lutsHBMIf  = 60_000 // HBM AXI infrastructure, shared
+	regsHBMIf  = 90_000
+	fifoBytes  = 8 << 10 // per-unit staging FIFOs
+)
+
+// Resources estimates the configuration's footprint.
+func (c Config) Resources() ResourceEstimate {
+	c = c.Defaults()
+	return ResourceEstimate{
+		LUTs:      lutsHBMIf + lutsPCU + lutsDisp + c.NumSOUs*lutsPerSOU,
+		Registers: regsHBMIf + regsPCU + regsDisp + c.NumSOUs*regsPerSOU,
+		OnChipBytes: c.ScanBufBytes + c.BucketBufBytes + c.ShortcutBufBytes +
+			c.TreeBufBytes + (c.NumSOUs+2)*fifoBytes,
+		HBMBytes: int64(U280HBMBytes),
+	}
+}
+
+// Utilization reports each resource as a fraction of the U280's capacity.
+type Utilization struct {
+	LUTs      float64
+	Registers float64
+	OnChip    float64
+}
+
+// Utilization computes the estimate relative to the U280.
+func (r ResourceEstimate) Utilization() Utilization {
+	return Utilization{
+		LUTs:      float64(r.LUTs) / U280LUTs,
+		Registers: float64(r.Registers) / U280Registers,
+		OnChip:    float64(r.OnChipBytes) / U280OnChipBytes,
+	}
+}
+
+// FitsU280 reports whether the configuration fits the paper's device.
+func (r ResourceEstimate) FitsU280() bool {
+	u := r.Utilization()
+	return u.LUTs <= 1 && u.Registers <= 1 && u.OnChip <= 1
+}
+
+// String renders a utilization-report line set.
+func (r ResourceEstimate) String() string {
+	u := r.Utilization()
+	return fmt.Sprintf(
+		"LUT %d (%.1f%%), FF %d (%.1f%%), on-chip %d KB (%.1f%%)",
+		r.LUTs, 100*u.LUTs, r.Registers, 100*u.Registers,
+		r.OnChipBytes>>10, 100*u.OnChip)
+}
+
+// MaxSOUsOnU280 returns the largest SOU count whose estimate still fits
+// the device with the given buffer configuration — the scaling headroom
+// the sweep-sous experiment explores.
+func MaxSOUsOnU280(base Config) int {
+	for n := 1; ; n++ {
+		c := base
+		c.NumSOUs = n
+		c.NumBuckets = n
+		if !c.Resources().FitsU280() {
+			return n - 1
+		}
+		if n > 4096 {
+			return n
+		}
+	}
+}

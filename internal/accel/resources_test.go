@@ -1,0 +1,65 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIConfigFitsU280(t *testing.T) {
+	// The paper's shipped configuration must fit its own device.
+	r := Config{}.Resources()
+	if !r.FitsU280() {
+		t.Fatalf("Table I configuration does not fit the U280: %s", r)
+	}
+	u := r.Utilization()
+	// And it should be a plausible mid-size design, not a rounding error
+	// or a full-chip monster.
+	if u.LUTs < 0.05 || u.LUTs > 0.8 {
+		t.Fatalf("LUT utilization %.2f implausible", u.LUTs)
+	}
+	if u.OnChip < 0.5 {
+		t.Fatalf("Table I buffers (6.6MB of 9MB) should dominate on-chip: %.2f", u.OnChip)
+	}
+}
+
+func TestResourcesScaleWithSOUs(t *testing.T) {
+	small := Config{NumSOUs: 4}.Resources()
+	big := Config{NumSOUs: 32}.Resources()
+	if big.LUTs <= small.LUTs || big.Registers <= small.Registers {
+		t.Fatal("logic must scale with SOU count")
+	}
+	if big.LUTs-small.LUTs != 28*lutsPerSOU {
+		t.Fatalf("LUT delta = %d, want %d", big.LUTs-small.LUTs, 28*lutsPerSOU)
+	}
+}
+
+func TestMaxSOUsHeadroom(t *testing.T) {
+	max := MaxSOUsOnU280(Config{})
+	if max < 16 {
+		t.Fatalf("the paper's 16 SOUs must fit; headroom = %d", max)
+	}
+	if max > 2000 {
+		t.Fatalf("headroom %d implausible for 14k LUTs/SOU", max)
+	}
+	// A config with enormous buffers runs out of on-chip memory fast.
+	tight := MaxSOUsOnU280(Config{TreeBufBytes: 8 << 20})
+	if tight >= max {
+		t.Fatal("bigger buffers should reduce SOU headroom")
+	}
+}
+
+func TestResourceStringReadable(t *testing.T) {
+	s := Config{}.Resources().String()
+	for _, want := range []string{"LUT", "FF", "on-chip", "%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("resource string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestOversizedConfigRejected(t *testing.T) {
+	r := Config{TreeBufBytes: 32 << 20}.Resources() // 32MB > 9MB on-chip
+	if r.FitsU280() {
+		t.Fatal("32MB tree buffer cannot fit the U280")
+	}
+}

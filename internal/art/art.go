@@ -1,0 +1,237 @@
+// Package art implements an Adaptive Radix Tree (Leis, Kemper, Neumann,
+// ICDE'13): a space-adaptive radix tree over binary-comparable byte-string
+// keys with path compression, lazy expansion, and the four internal node
+// layouts N4/N16/N48/N256 that grow and shrink with occupancy.
+//
+// This implementation is the substrate for every engine in the DCART
+// reproduction. Beyond the standard map operations it provides:
+//
+//   - a synthetic arena allocator that assigns every node a stable address,
+//     so cache/DRAM models can replay the exact access stream;
+//   - an access hook invoked once per node visited during a descent, which
+//     the engines use to count partial-key matches, node fetches and
+//     redundancy (Figs 2(b), 8 of the paper);
+//   - Locate/GetAt/PutAt, the "shortcut" interface used by the DCART
+//     simulator to jump directly to a key's target node without a root
+//     descent (§III-C of the paper);
+//   - node-replacement and prefix-change notifications, which the
+//     simulator uses to keep its Shortcut_Table coherent.
+//
+// Keys may be arbitrary byte strings, including keys that are proper
+// prefixes of other keys (a key terminating inside an internal node is held
+// in that node's embedded leaf slot). Tree is not safe for concurrent use;
+// the concurrent variants live in internal/olc and internal/baseline.
+package art
+
+import "bytes"
+
+// AccessHook observes one node fetch during a tree descent. addr is the
+// node's synthetic address, size its modeled footprint in bytes, and kind
+// its layout. Hooks must be fast; they run on the descent hot path.
+type AccessHook func(addr uint64, size int, kind NodeKind)
+
+// ReplaceHook observes structural events that move or mutate nodes in ways
+// a shortcut table must track: grow/shrink (the node at oldAddr was
+// replaced by newAddr) and removal (newAddr == 0).
+type ReplaceHook func(oldAddr, newAddr uint64)
+
+// PrefixHook observes in-place changes to a node's compressed path (prefix
+// splits on insert, path merges on delete). Any cached search state that
+// recorded a depth for addr is stale after this fires.
+type PrefixHook func(addr uint64)
+
+// Tree is an adaptive radix tree mapping byte-string keys to uint64 values.
+// The zero value is not usable; construct with New.
+type Tree struct {
+	root node
+	size int
+
+	nextAddr uint64
+	registry map[uint64]node // addr -> node; nil unless WithRegistry
+	bytes    int64           // modeled footprint of live nodes
+	counts   [5]int64        // live nodes by kind
+
+	onAccess  AccessHook
+	onReplace ReplaceHook
+	onPrefix  PrefixHook
+}
+
+// Option configures a Tree at construction.
+type Option func(*Tree)
+
+// WithRegistry keeps an address→node registry so that NodeAt / GetAt /
+// PutAt (the shortcut interface) can resolve synthetic addresses. The
+// DCART simulator requires it; plain index use does not.
+func WithRegistry() Option {
+	return func(t *Tree) { t.registry = make(map[uint64]node) }
+}
+
+// New returns an empty tree.
+func New(opts ...Option) *Tree {
+	t := &Tree{nextAddr: 0x1000}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// SetAccessHook installs (or clears, with nil) the per-node access hook.
+func (t *Tree) SetAccessHook(h AccessHook) { t.onAccess = h }
+
+// SetReplaceHook installs the node-replacement hook.
+func (t *Tree) SetReplaceHook(h ReplaceHook) { t.onReplace = h }
+
+// SetPrefixHook installs the prefix-change hook.
+func (t *Tree) SetPrefixHook(h PrefixHook) { t.onPrefix = h }
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// ModeledBytes returns the modeled memory footprint of all live nodes.
+func (t *Tree) ModeledBytes() int64 { return t.bytes }
+
+// access fires the access hook for a node fetch.
+func (t *Tree) access(n node) {
+	if t.onAccess != nil {
+		h := n.h()
+		t.onAccess(h.addr, modeledSizeOf(n), h.kind)
+	}
+}
+
+// alloc assigns an address to a freshly built node and registers it.
+func (t *Tree) alloc(n node) node {
+	h := n.h()
+	size := modeledSizeOf(n)
+	h.addr = t.nextAddr
+	t.nextAddr += uint64((size + 63) &^ 63) // 64-byte aligned addresses
+	if t.registry != nil {
+		t.registry[h.addr] = n
+	}
+	t.bytes += int64(size)
+	t.counts[h.kind]++
+	return n
+}
+
+// free unregisters a node that left the tree.
+func (t *Tree) free(n node) {
+	h := n.h()
+	if t.registry != nil {
+		delete(t.registry, h.addr)
+	}
+	t.bytes -= int64(modeledSizeOf(n))
+	t.counts[h.kind]--
+	if t.onReplace != nil {
+		t.onReplace(h.addr, 0)
+	}
+}
+
+// replace unregisters old and registers repl as its successor (grow/shrink).
+func (t *Tree) replace(old, repl node) {
+	oh, rh := old.h(), repl.h()
+	if t.registry != nil {
+		delete(t.registry, oh.addr)
+	}
+	t.bytes -= int64(modeledSizeOf(old))
+	t.counts[oh.kind]--
+	if t.onReplace != nil {
+		t.onReplace(oh.addr, rh.addr)
+	}
+}
+
+// prefixChanged fires the prefix hook.
+func (t *Tree) prefixChanged(n node) {
+	if t.onPrefix != nil {
+		t.onPrefix(n.h().addr)
+	}
+}
+
+func (t *Tree) newLeaf(key []byte, value uint64) *leafNode {
+	l := &leafNode{key: append([]byte(nil), key...), value: value}
+	l.hdr.kind = Leaf
+	t.alloc(l)
+	return l
+}
+
+func (t *Tree) newNode4(prefix []byte) *node4 {
+	n := &node4{}
+	n.hdr.kind = Node4
+	n.hdr.prefix = prefix
+	t.alloc(n)
+	return n
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	depth := 0
+	for n != nil {
+		t.access(n)
+		h := n.h()
+		if h.kind == Leaf {
+			l := n.(*leafNode)
+			if bytes.Equal(l.key, key) {
+				return l.value, true
+			}
+			return 0, false
+		}
+		if !prefixMatches(key, depth, h.prefix) {
+			return 0, false
+		}
+		depth += len(h.prefix)
+		if depth == len(key) {
+			if h.leaf != nil {
+				t.access(h.leaf)
+				return h.leaf.value, true
+			}
+			return 0, false
+		}
+		c, _ := findChild(n, key[depth])
+		n = c
+		depth++
+	}
+	return 0, false
+}
+
+// Put stores value under key, replacing any previous value. It reports
+// whether a previous value was replaced.
+func (t *Tree) Put(key []byte, value uint64) bool {
+	newRoot, replaced := t.insert(t.root, key, 0, value)
+	t.root = newRoot
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	newRoot, deleted := t.remove(t.root, key, 0)
+	if deleted {
+		t.root = newRoot
+		t.size--
+	}
+	return deleted
+}
+
+// prefixMatches reports whether key[depth:] starts with prefix.
+func prefixMatches(key []byte, depth int, prefix []byte) bool {
+	if len(key)-depth < len(prefix) {
+		return false
+	}
+	return bytes.Equal(key[depth:depth+len(prefix)], prefix)
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a, b.
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func copyBytes(b []byte) []byte { return append([]byte(nil), b...) }

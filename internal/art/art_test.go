@@ -1,0 +1,596 @@
+package art
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key64(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete([]byte("missing")) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, _, ok := tr.Minimum(); ok {
+		t.Fatal("Minimum on empty tree returned ok")
+	}
+	if _, _, ok := tr.Maximum(); ok {
+		t.Fatal("Maximum on empty tree returned ok")
+	}
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := New()
+	if replaced := tr.Put([]byte("hello"), 42); replaced {
+		t.Fatal("first Put reported replaced")
+	}
+	v, ok := tr.Get([]byte("hello"))
+	if !ok || v != 42 {
+		t.Fatalf("Get = (%d,%v), want (42,true)", v, ok)
+	}
+	if replaced := tr.Put([]byte("hello"), 43); !replaced {
+		t.Fatal("second Put did not report replaced")
+	}
+	if v, _ := tr.Get([]byte("hello")); v != 43 {
+		t.Fatalf("after overwrite Get = %d, want 43", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	// Keys that are proper prefixes of each other must coexist.
+	tr := New()
+	keys := [][]byte{
+		[]byte("a"), []byte("ab"), []byte("abc"), []byte("abcd"),
+		[]byte("abd"), []byte(""), []byte("b"),
+	}
+	for i, k := range keys {
+		tr.Put(k, uint64(i))
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = (%d,%v), want (%d,true)", k, v, ok, i)
+		}
+	}
+	// Delete the middle of the chain; neighbours must survive.
+	if !tr.Delete([]byte("ab")) {
+		t.Fatal("Delete(ab) failed")
+	}
+	if _, ok := tr.Get([]byte("ab")); ok {
+		t.Fatal("ab still present after delete")
+	}
+	for _, k := range [][]byte{[]byte("a"), []byte("abc"), []byte("abcd"), []byte("abd")} {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("key %q lost after deleting ab", k)
+		}
+	}
+}
+
+func TestNodeGrowthSequence(t *testing.T) {
+	// Insert 256 single-byte-suffix keys under one parent to force the
+	// N4 -> N16 -> N48 -> N256 growth chain.
+	tr := New()
+	for i := 0; i < 256; i++ {
+		k := []byte{0xAA, byte(i)}
+		tr.Put(k, uint64(i))
+		// Every key inserted so far must remain reachable at every step.
+		if i == 3 || i == 4 || i == 15 || i == 16 || i == 47 || i == 48 || i == 255 {
+			for j := 0; j <= i; j++ {
+				v, ok := tr.Get([]byte{0xAA, byte(j)})
+				if !ok || v != uint64(j) {
+					t.Fatalf("after %d inserts: Get(%d) = (%d,%v)", i+1, j, v, ok)
+				}
+			}
+		}
+	}
+	st := tr.Stats()
+	if st.N256 != 1 {
+		t.Fatalf("want exactly one N256, got stats %+v", st)
+	}
+	if st.N4+st.N16+st.N48 != 0 {
+		t.Fatalf("unexpected internal nodes: %+v", st)
+	}
+}
+
+func TestNodeShrinkSequence(t *testing.T) {
+	tr := New()
+	for i := 0; i < 256; i++ {
+		tr.Put([]byte{0xAA, byte(i)}, uint64(i))
+	}
+	// Delete down past each shrink threshold.
+	for i := 255; i >= 1; i-- {
+		if !tr.Delete([]byte{0xAA, byte(i)}) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		for j := 0; j < i; j++ {
+			if _, ok := tr.Get([]byte{0xAA, byte(j)}); !ok {
+				t.Fatalf("key %d lost after deleting down to %d", j, i)
+			}
+		}
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	st := tr.Stats()
+	if st.N16+st.N48+st.N256 != 0 {
+		t.Fatalf("large nodes not shrunk away: %+v", st)
+	}
+}
+
+func TestPathCompressionSplitAndMerge(t *testing.T) {
+	tr := New()
+	// Two keys sharing a long prefix: one N4 with a long compressed path.
+	a := []byte("shared/long/prefix/alpha")
+	b := []byte("shared/long/prefix/beta")
+	tr.Put(a, 1)
+	tr.Put(b, 2)
+	st := tr.Stats()
+	if st.N4 != 1 || st.Height != 2 {
+		t.Fatalf("want single N4 of height 2, got %+v", st)
+	}
+	if st.AvgPrefixLen < 18 {
+		t.Fatalf("path compression missing: avg prefix %v", st.AvgPrefixLen)
+	}
+	// A key diverging inside the compressed path forces a prefix split.
+	c := []byte("shared/other")
+	tr.Put(c, 3)
+	for k, want := range map[string]uint64{string(a): 1, string(b): 2, string(c): 3} {
+		if v, ok := tr.Get([]byte(k)); !ok || v != want {
+			t.Fatalf("Get(%q) = (%d,%v), want (%d,true)", k, v, ok, want)
+		}
+	}
+	// Deleting the splitter must re-merge the path.
+	tr.Delete(c)
+	st = tr.Stats()
+	if st.N4 != 1 || st.Height != 2 {
+		t.Fatalf("path not merged after delete: %+v", st)
+	}
+}
+
+func TestWalkSortedOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	ref := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := key64(rng.Uint64() % 100000)
+		v := rng.Uint64()
+		tr.Put(k, v)
+		ref[string(k)] = v
+	}
+	var keys []string
+	tr.Walk(func(k []byte, v uint64) bool {
+		keys = append(keys, string(k))
+		if ref[string(k)] != v {
+			t.Fatalf("Walk value mismatch at %x", k)
+		}
+		return true
+	})
+	if len(keys) != len(ref) {
+		t.Fatalf("Walk visited %d keys, want %d", len(keys), len(ref))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("Walk order not sorted")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	n := 0
+	done := tr.Walk(func(k []byte, v uint64) bool {
+		n++
+		return n < 10
+	})
+	if done || n != 10 {
+		t.Fatalf("Walk early stop: done=%v n=%d", done, n)
+	}
+}
+
+func TestMinimumMaximum(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	lo, hi := uint64(1<<63), uint64(0)
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64() % (1 << 40)
+		tr.Put(key64(v), v)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mk, mv, ok := tr.Minimum()
+	if !ok || !bytes.Equal(mk, key64(lo)) || mv != lo {
+		t.Fatalf("Minimum = (%x,%d,%v), want %d", mk, mv, ok, lo)
+	}
+	xk, xv, ok := tr.Maximum()
+	if !ok || !bytes.Equal(xk, key64(hi)) || xv != hi {
+		t.Fatalf("Maximum = (%x,%d,%v), want %d", xk, xv, ok, hi)
+	}
+}
+
+func TestMinimumWithEmbeddedLeaf(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("ab"), 1)
+	tr.Put([]byte("abc"), 2)
+	tr.Put([]byte("abd"), 3)
+	k, v, ok := tr.Minimum()
+	if !ok || string(k) != "ab" || v != 1 {
+		t.Fatalf("Minimum = (%q,%d,%v), want (ab,1)", k, v, ok)
+	}
+	k, v, ok = tr.Maximum()
+	if !ok || string(k) != "abd" || v != 3 {
+		t.Fatalf("Maximum = (%q,%d,%v), want (abd,3)", k, v, ok)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr := New()
+	words := []string{"ant", "antelope", "anthem", "bee", "beetle", "cat", "an"}
+	for i, w := range words {
+		tr.Put(append([]byte(w), 0), uint64(i))
+	}
+	var got []string
+	tr.ScanPrefix([]byte("ant"), func(k []byte, v uint64) bool {
+		got = append(got, string(k[:len(k)-1]))
+		return true
+	})
+	want := []string{"ant", "antelope", "anthem"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ScanPrefix(ant) = %v, want %v", got, want)
+	}
+	got = nil
+	tr.ScanPrefix([]byte("zz"), func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("ScanPrefix(zz) = %v, want empty", got)
+	}
+	// Prefix ending inside a compressed path.
+	got = nil
+	tr.ScanPrefix([]byte("bee"), func(k []byte, v uint64) bool {
+		got = append(got, string(k[:len(k)-1]))
+		return true
+	})
+	want = []string{"bee", "beetle"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ScanPrefix(bee) = %v, want %v", got, want)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key64(uint64(i*3)), uint64(i*3))
+	}
+	var got []uint64
+	tr.AscendRange(key64(300), key64(330), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	var want []uint64
+	for v := uint64(300); v <= 330; v += 3 {
+		want = append(want, v)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("AscendRange = %v, want %v", got, want)
+	}
+	// Open-ended ranges.
+	n := 0
+	tr.AscendRange(nil, key64(29), func(k []byte, v uint64) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("AscendRange(nil,29) visited %d, want 10", n)
+	}
+	n = 0
+	tr.AscendRange(key64(2970), nil, func(k []byte, v uint64) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("AscendRange(2970,nil) visited %d, want 10", n)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	var keys [][]byte
+	for i := 0; i < 3000; i++ {
+		k := key64(rng.Uint64() % 50000)
+		if !tr.Put(k, uint64(i)) {
+			keys = append(keys, k)
+		}
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete #%d failed", i)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("double Delete #%d succeeded", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	st := tr.Stats()
+	if st.Leaves+st.N4+st.N16+st.N48+st.N256 != 0 {
+		t.Fatalf("leaked nodes: %+v", st)
+	}
+	if st.ModeledBytes != 0 {
+		t.Fatalf("leaked modeled bytes: %d", st.ModeledBytes)
+	}
+}
+
+// TestQuickMapEquivalence drives random operation sequences against both
+// the tree and a Go map and requires identical observable behaviour.
+func TestQuickMapEquivalence(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]uint64{}
+		ops := int(n)%2000 + 100
+		for i := 0; i < ops; i++ {
+			// Short keys maximize structural churn (shared prefixes).
+			klen := 1 + rng.Intn(6)
+			k := make([]byte, klen)
+			for j := range k {
+				k[j] = byte(rng.Intn(4)) // tiny alphabet: deep collisions
+			}
+			switch rng.Intn(3) {
+			case 0: // put
+				v := rng.Uint64()
+				repl := tr.Put(k, v)
+				_, had := ref[string(k)]
+				if repl != had {
+					return false
+				}
+				ref[string(k)] = v
+			case 1: // get
+				v, ok := tr.Get(k)
+				rv, rok := ref[string(k)]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			case 2: // delete
+				del := tr.Delete(k)
+				_, had := ref[string(k)]
+				if del != had {
+					return false
+				}
+				delete(ref, string(k))
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		// Final sweep: every reference key present with the right value.
+		for k, rv := range ref {
+			v, ok := tr.Get([]byte(k))
+			if !ok || v != rv {
+				return false
+			}
+		}
+		count := 0
+		tr.Walk(func(k []byte, v uint64) bool { count++; return true })
+		return count == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSortedIteration: Walk always yields strictly increasing keys.
+func TestQuickSortedIteration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		for i := 0; i < 500; i++ {
+			klen := 1 + rng.Intn(10)
+			k := make([]byte, klen)
+			rng.Read(k)
+			tr.Put(k, uint64(i))
+		}
+		var prev []byte
+		ok := true
+		tr.Walk(func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				ok = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNodeInvariants checks structural invariants after random loads:
+// child counts within kind capacity, N4 minimum occupancy after compaction,
+// and stats counts consistent with a full walk.
+func TestQuickNodeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var keys [][]byte
+		for i := 0; i < 800; i++ {
+			k := make([]byte, 1+rng.Intn(8))
+			for j := range k {
+				k[j] = byte(rng.Intn(16))
+			}
+			if !tr.Put(k, uint64(i)) {
+				keys = append(keys, k)
+			}
+		}
+		for _, k := range keys {
+			if rng.Intn(2) == 0 {
+				tr.Delete(k)
+			}
+		}
+		ok := true
+		var walk func(n node) int
+		walk = func(n node) int {
+			if n == nil {
+				return 0
+			}
+			h := n.h()
+			if h.kind == Leaf {
+				return 1
+			}
+			if int(h.nChildren) > h.kind.Capacity() {
+				ok = false
+			}
+			occupancy := int(h.nChildren)
+			if h.leaf != nil {
+				occupancy++
+			}
+			// After compaction an internal node must justify existing:
+			// at least 2 occupants (children + embedded leaf).
+			if occupancy < 2 {
+				ok = false
+			}
+			total := 0
+			if h.leaf != nil {
+				total++
+			}
+			seen := 0
+			forEachChild(n, func(b byte, c node) bool {
+				seen++
+				total += walk(c)
+				return true
+			})
+			if seen != int(h.nChildren) {
+				ok = false
+			}
+			return total
+		}
+		leaves := walk(tr.root)
+		return ok && leaves == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessHookFires(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	var accesses int
+	tr.SetAccessHook(func(addr uint64, size int, kind NodeKind) {
+		accesses++
+		if addr == 0 || size <= 0 {
+			t.Fatalf("bad access event addr=%d size=%d", addr, size)
+		}
+	})
+	tr.Get(key64(50))
+	if accesses == 0 {
+		t.Fatal("access hook never fired on Get")
+	}
+	n := accesses
+	tr.SetAccessHook(nil)
+	tr.Get(key64(51))
+	if accesses != n {
+		t.Fatal("access hook fired after being cleared")
+	}
+}
+
+func TestReplaceHookOnGrow(t *testing.T) {
+	tr := New()
+	var replaced, freed int
+	tr.SetReplaceHook(func(oldAddr, newAddr uint64) {
+		if newAddr == 0 {
+			freed++
+		} else {
+			replaced++
+		}
+	})
+	for i := 0; i < 5; i++ { // forces one N4 -> N16 grow
+		tr.Put([]byte{1, byte(i)}, uint64(i))
+	}
+	if replaced != 1 {
+		t.Fatalf("grow replace events = %d, want 1", replaced)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Delete([]byte{1, byte(i)})
+	}
+	if freed == 0 {
+		t.Fatal("no free events on delete")
+	}
+}
+
+func TestPrefixHookOnSplit(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("abcdef1"), 1)
+	tr.Put([]byte("abcdef2"), 2)
+	var prefixEvents int
+	tr.SetPrefixHook(func(addr uint64) { prefixEvents++ })
+	tr.Put([]byte("abcX"), 3) // splits the compressed path
+	if prefixEvents != 1 {
+		t.Fatalf("prefix events = %d, want 1", prefixEvents)
+	}
+}
+
+func TestStatsHeightAndKinds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	st := tr.Stats()
+	if st.Keys != 10000 || st.Leaves != 10000 {
+		t.Fatalf("stats counts wrong: %+v", st)
+	}
+	if st.N256 == 0 {
+		t.Fatalf("dense load should produce N256 nodes: %+v", st)
+	}
+	if st.Height < 2 || st.Height > 10 {
+		t.Fatalf("implausible height %d", st.Height)
+	}
+	if st.ModeledBytes <= 0 {
+		t.Fatalf("modeled bytes %d", st.ModeledBytes)
+	}
+}
+
+func TestModeledSizes(t *testing.T) {
+	// Canonical sizes must be monotone in capacity and match the
+	// header+keys+pointers layout of Leis et al.
+	sizes := []int{
+		ModeledSize(Node4, 0), ModeledSize(Node16, 0),
+		ModeledSize(Node48, 0), ModeledSize(Node256, 0),
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not monotone: %v", sizes)
+		}
+	}
+	if ModeledSize(Leaf, 8) != 16+8+8 {
+		t.Fatalf("leaf size = %d", ModeledSize(Leaf, 8))
+	}
+}

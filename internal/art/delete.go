@@ -1,0 +1,161 @@
+package art
+
+// Shrink thresholds with hysteresis: a node shrinks only when its occupancy
+// falls comfortably below the next smaller kind's capacity, so a workload
+// oscillating around a boundary does not thrash between layouts.
+const (
+	shrink16to4   = 3
+	shrink48to16  = 12
+	shrink256to48 = 40
+)
+
+// remove deletes key from the subtree rooted at n (path consumes
+// key[:depth]), returning the new subtree root and whether a key was
+// removed.
+func (t *Tree) remove(n node, key []byte, depth int) (node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	t.access(n)
+	h := n.h()
+
+	if h.kind == Leaf {
+		l := n.(*leafNode)
+		if equalKeys(l.key, key) {
+			t.free(l)
+			return nil, true
+		}
+		return n, false
+	}
+
+	if !prefixMatches(key, depth, h.prefix) {
+		return n, false
+	}
+	depth += len(h.prefix)
+
+	if depth == len(key) {
+		if h.leaf == nil {
+			return n, false
+		}
+		t.free(h.leaf)
+		h.leaf = nil
+		return t.compact(n), true
+	}
+
+	b := key[depth]
+	c, idx := findChild(n, b)
+	if c == nil {
+		return n, false
+	}
+	nc, deleted := t.remove(c, key, depth+1)
+	if !deleted {
+		return n, false
+	}
+	if nc == nil {
+		removeChildRaw(n, b)
+	} else if nc != c {
+		setChildAt(n, idx, nc)
+	}
+	return t.compact(n), true
+}
+
+// compact applies post-delete maintenance to n: collapse an emptied N4
+// into its sole survivor (restoring path compression) or shrink an
+// underfull node to the next smaller kind. Returns the node now rooting
+// this position.
+func (t *Tree) compact(n node) node {
+	h := n.h()
+	switch v := n.(type) {
+	case *node4:
+		switch {
+		case h.nChildren == 0 && h.leaf != nil:
+			// Only the embedded leaf remains: the node dissolves into it.
+			l := h.leaf
+			t.free(n)
+			return l
+		case h.nChildren == 0 && h.leaf == nil:
+			t.free(n)
+			return nil
+		case h.nChildren == 1 && h.leaf == nil:
+			c := v.children[0]
+			if cl, isLeaf := c.(*leafNode); isLeaf {
+				// Leaves carry their full key; no prefix to maintain.
+				t.free(n)
+				return cl
+			}
+			// Merge the child upward: its path absorbs this node's prefix
+			// and the linking byte.
+			ch := c.h()
+			merged := make([]byte, 0, len(h.prefix)+1+len(ch.prefix))
+			merged = append(merged, h.prefix...)
+			merged = append(merged, v.keys[0])
+			merged = append(merged, ch.prefix...)
+			ch.prefix = merged
+			t.prefixChanged(c)
+			t.free(n)
+			return c
+		}
+	case *node16:
+		if int(h.nChildren) <= shrink16to4 {
+			return t.shrink(n)
+		}
+	case *node48:
+		if int(h.nChildren) <= shrink48to16 {
+			return t.shrink(n)
+		}
+	case *node256:
+		if int(h.nChildren) <= shrink256to48 {
+			return t.shrink(n)
+		}
+	}
+	return n
+}
+
+// shrink converts n to the next smaller kind. Like grow, the replacement
+// gets a fresh address and the old one is reported replaced.
+func (t *Tree) shrink(n node) node {
+	h := n.h()
+	var s node
+	switch v := n.(type) {
+	case *node16:
+		ns := &node4{}
+		ns.hdr = header{kind: Node4, prefix: h.prefix, leaf: h.leaf}
+		for i := 0; i < int(h.nChildren); i++ {
+			ns.keys[i] = v.keys[i]
+			ns.children[i] = v.children[i]
+		}
+		ns.hdr.nChildren = h.nChildren
+		s = ns
+	case *node48:
+		ns := &node16{}
+		ns.hdr = header{kind: Node16, prefix: h.prefix, leaf: h.leaf}
+		i := 0
+		for b := 0; b < 256; b++ {
+			if idx := v.index[b]; idx != 0 {
+				ns.keys[i] = byte(b)
+				ns.children[i] = v.children[idx-1]
+				i++
+			}
+		}
+		ns.hdr.nChildren = uint16(i)
+		s = ns
+	case *node256:
+		ns := &node48{}
+		ns.hdr = header{kind: Node48, prefix: h.prefix, leaf: h.leaf}
+		i := 0
+		for b := 0; b < 256; b++ {
+			if c := v.children[b]; c != nil {
+				ns.children[i] = c
+				ns.index[b] = byte(i + 1)
+				i++
+			}
+		}
+		ns.hdr.nChildren = uint16(i)
+		s = ns
+	default:
+		panic("art: shrink on non-shrinkable node")
+	}
+	t.alloc(s)
+	t.replace(n, s)
+	return s
+}

@@ -1,0 +1,89 @@
+package art
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTreeOps drives the tree with an operation tape decoded from raw
+// fuzz input and cross-checks every answer against a Go map. Run the seed
+// corpus with `go test`; explore with `go test -fuzz=FuzzTreeOps`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte("\x01a\x01b\x02a\x03a\x01ab\x01abc\x02ab"))
+	f.Add([]byte{1, 0, 1, 1, 2, 0, 3, 1, 1, 5, 5, 5})
+	f.Add(bytes.Repeat([]byte{1, 7, 7, 2, 7, 7, 3, 7, 7}, 20))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New(WithRegistry())
+		ref := map[string]uint64{}
+		i := 0
+		next := func() (byte, bool) {
+			if i >= len(data) {
+				return 0, false
+			}
+			b := data[i]
+			i++
+			return b, true
+		}
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			// Key: up to 4 bytes read from the tape.
+			klen := int(op>>4)%4 + 1
+			key := make([]byte, 0, klen)
+			for j := 0; j < klen; j++ {
+				b, ok := next()
+				if !ok {
+					break
+				}
+				key = append(key, b%8)
+			}
+			if len(key) == 0 {
+				break
+			}
+			switch op % 3 {
+			case 0:
+				v := uint64(op) * 31
+				repl := tr.Put(key, v)
+				if _, had := ref[string(key)]; had != repl {
+					t.Fatalf("Put(%x) replaced=%v, map had=%v", key, repl, had)
+				}
+				ref[string(key)] = v
+			case 1:
+				v, ok := tr.Get(key)
+				rv, rok := ref[string(key)]
+				if ok != rok || (ok && v != rv) {
+					t.Fatalf("Get(%x) = (%d,%v), want (%d,%v)", key, v, ok, rv, rok)
+				}
+			case 2:
+				del := tr.Delete(key)
+				if _, had := ref[string(key)]; had != del {
+					t.Fatalf("Delete(%x) = %v, map had=%v", key, del, had)
+				}
+				delete(ref, string(key))
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("Len=%d, map=%d", tr.Len(), len(ref))
+			}
+		}
+		// Full sweep: content and order.
+		var prev []byte
+		n := 0
+		tr.Walk(func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("walk order violated at %x", k)
+			}
+			if ref[string(k)] != v {
+				t.Fatalf("walk value mismatch at %x", k)
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		if n != len(ref) {
+			t.Fatalf("walk visited %d, map has %d", n, len(ref))
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package art
+
+// insert adds (key, value) to the subtree rooted at n, whose path consumes
+// key[:depth]. It returns the possibly replaced subtree root and whether an
+// existing value was overwritten.
+func (t *Tree) insert(n node, key []byte, depth int, value uint64) (node, bool) {
+	if n == nil {
+		return t.newLeaf(key, value), false
+	}
+	t.access(n)
+	h := n.h()
+
+	if h.kind == Leaf {
+		l := n.(*leafNode)
+		if equalKeys(l.key, key) {
+			l.value = value
+			return n, true
+		}
+		// Lazy-expansion split: build an N4 holding the common prefix of
+		// the two keys past depth, with both leaves below it.
+		cp := commonPrefixLen(l.key[depth:], key[depth:])
+		nn := t.newNode4(copyBytes(key[depth : depth+cp]))
+		t.placeLeaf(nn, l, depth+cp)
+		t.placeLeaf(nn, t.newLeaf(key, value), depth+cp)
+		return nn, false
+	}
+
+	p := h.prefix
+	cp := commonPrefixLen(p, key[depth:])
+	if cp < len(p) {
+		// Prefix mismatch: split this node's compressed path at cp.
+		nn := t.newNode4(copyBytes(p[:cp]))
+		splitByte := p[cp]
+		h.prefix = copyBytes(p[cp+1:])
+		t.prefixChanged(n)
+		addChildRaw(nn, splitByte, n)
+		if depth+cp == len(key) {
+			nn.hdr.leaf = t.newLeaf(key, value)
+		} else {
+			addChildRaw(nn, key[depth+cp], t.newLeaf(key, value))
+		}
+		return nn, false
+	}
+
+	depth += len(p)
+	if depth == len(key) {
+		// Key terminates at this node: use the embedded leaf slot.
+		if h.leaf != nil {
+			t.access(h.leaf)
+			h.leaf.value = value
+			return n, true
+		}
+		h.leaf = t.newLeaf(key, value)
+		return n, false
+	}
+
+	b := key[depth]
+	c, idx := findChild(n, b)
+	if c == nil {
+		return t.addChild(n, b, t.newLeaf(key, value)), false
+	}
+	nc, replaced := t.insert(c, key, depth+1, value)
+	if nc != c {
+		setChildAt(n, idx, nc)
+	}
+	return n, replaced
+}
+
+// placeLeaf attaches l below n (an N4 under construction) given that
+// l.key[:depth] equals n's consumed path. If the key is exhausted the leaf
+// becomes n's embedded leaf.
+func (t *Tree) placeLeaf(n *node4, l *leafNode, depth int) {
+	if depth == len(l.key) {
+		n.hdr.leaf = l
+		return
+	}
+	addChildRaw(n, l.key[depth], l)
+}
+
+// addChild inserts child under byte b, growing n to the next kind first if
+// it is full. It returns the node now rooting this position (n or its
+// grown replacement).
+func (t *Tree) addChild(n node, b byte, child node) node {
+	if !full(n) {
+		addChildRaw(n, b, child)
+		return n
+	}
+	g := t.grow(n)
+	addChildRaw(g, b, child)
+	return g
+}
+
+// grow converts a full node to the next larger kind, moving its header
+// state and children. The grown node gets a fresh address; the old node is
+// reported replaced (shortcut tables key on addresses).
+func (t *Tree) grow(n node) node {
+	h := n.h()
+	var g node
+	switch v := n.(type) {
+	case *node4:
+		ng := &node16{}
+		ng.hdr = header{kind: Node16, prefix: h.prefix, leaf: h.leaf}
+		for i := 0; i < int(h.nChildren); i++ {
+			ng.keys[i] = v.keys[i]
+			ng.children[i] = v.children[i]
+		}
+		ng.hdr.nChildren = h.nChildren
+		g = ng
+	case *node16:
+		ng := &node48{}
+		ng.hdr = header{kind: Node48, prefix: h.prefix, leaf: h.leaf}
+		for i := 0; i < int(h.nChildren); i++ {
+			ng.children[i] = v.children[i]
+			ng.index[v.keys[i]] = byte(i + 1)
+		}
+		ng.hdr.nChildren = h.nChildren
+		g = ng
+	case *node48:
+		ng := &node256{}
+		ng.hdr = header{kind: Node256, prefix: h.prefix, leaf: h.leaf}
+		for b := 0; b < 256; b++ {
+			if idx := v.index[b]; idx != 0 {
+				ng.children[b] = v.children[idx-1]
+			}
+		}
+		ng.hdr.nChildren = h.nChildren
+		g = ng
+	default:
+		panic("art: grow on non-growable node")
+	}
+	t.alloc(g)
+	t.replace(n, g)
+	return g
+}
+
+// equalKeys compares two keys for equality.
+func equalKeys(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package art
+
+import "bytes"
+
+// Walk visits every key/value pair in ascending key order. fn returning
+// false stops the walk. Walk reports whether it ran to completion.
+func (t *Tree) Walk(fn func(key []byte, value uint64) bool) bool {
+	return t.walk(t.root, fn)
+}
+
+func (t *Tree) walk(n node, fn func(key []byte, value uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	t.access(n)
+	h := n.h()
+	if h.kind == Leaf {
+		l := n.(*leafNode)
+		return fn(l.key, l.value)
+	}
+	// A key terminating at this node sorts before every key in its
+	// children (it is a strict prefix of all of them).
+	if h.leaf != nil {
+		if !fn(h.leaf.key, h.leaf.value) {
+			return false
+		}
+	}
+	return forEachChild(n, func(_ byte, c node) bool {
+		return t.walk(c, fn)
+	})
+}
+
+// Minimum returns the smallest key and its value.
+func (t *Tree) Minimum() (key []byte, value uint64, ok bool) {
+	n := t.root
+	for n != nil {
+		t.access(n)
+		h := n.h()
+		if h.kind == Leaf {
+			l := n.(*leafNode)
+			return l.key, l.value, true
+		}
+		if h.leaf != nil {
+			return h.leaf.key, h.leaf.value, true
+		}
+		var first node
+		forEachChild(n, func(_ byte, c node) bool {
+			first = c
+			return false
+		})
+		n = first
+	}
+	return nil, 0, false
+}
+
+// Maximum returns the largest key and its value.
+func (t *Tree) Maximum() (key []byte, value uint64, ok bool) {
+	n := t.root
+	for n != nil {
+		t.access(n)
+		h := n.h()
+		if h.kind == Leaf {
+			l := n.(*leafNode)
+			return l.key, l.value, true
+		}
+		var last node
+		forEachChildReverse(n, func(_ byte, c node) bool {
+			last = c
+			return false
+		})
+		if last == nil {
+			// Internal node with only an embedded leaf (transient shape).
+			if h.leaf != nil {
+				return h.leaf.key, h.leaf.value, true
+			}
+			return nil, 0, false
+		}
+		n = last
+	}
+	return nil, 0, false
+}
+
+// ScanPrefix visits, in ascending order, every key that starts with
+// prefix. It descends directly to the prefix's subtree, so cost is
+// O(depth + matches). fn returning false stops the scan.
+func (t *Tree) ScanPrefix(prefix []byte, fn func(key []byte, value uint64) bool) bool {
+	n := t.root
+	depth := 0
+	for n != nil {
+		t.access(n)
+		h := n.h()
+		if h.kind == Leaf {
+			l := n.(*leafNode)
+			if len(l.key) >= len(prefix) && bytes.Equal(l.key[:len(prefix)], prefix) {
+				return fn(l.key, l.value)
+			}
+			return true
+		}
+		p := h.prefix
+		rem := prefix[depth:]
+		if len(rem) <= len(p) {
+			// The prefix ends inside this node's compressed path: the whole
+			// subtree matches iff the path extends the prefix.
+			if bytes.Equal(p[:len(rem)], rem) {
+				return t.walk(n, fn)
+			}
+			return true
+		}
+		if !bytes.Equal(p, rem[:len(p)]) {
+			return true
+		}
+		depth += len(p)
+		if depth == len(prefix) {
+			return t.walk(n, fn)
+		}
+		c, _ := findChild(n, prefix[depth])
+		n = c
+		depth++
+	}
+	return true
+}
+
+// AscendRange visits keys k with lo <= k <= hi in ascending order. Either
+// bound may be nil for an open end. fn returning false stops the scan.
+// The traversal terminates as soon as it passes hi; keys below lo are
+// skipped but still traversed (use ScanPrefix when the range is a prefix).
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, value uint64) bool) bool {
+	return t.ascend(t.root, lo, hi, fn)
+}
+
+func (t *Tree) ascend(n node, lo, hi []byte, fn func(key []byte, value uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	t.access(n)
+	h := n.h()
+	if h.kind == Leaf {
+		l := n.(*leafNode)
+		if inRange(l.key, lo, hi) {
+			return fn(l.key, l.value)
+		}
+		// A leaf above hi terminates the in-order scan early.
+		return hi == nil || bytes.Compare(l.key, hi) <= 0
+	}
+	if h.leaf != nil {
+		if inRange(h.leaf.key, lo, hi) {
+			if !fn(h.leaf.key, h.leaf.value) {
+				return false
+			}
+		} else if hi != nil && bytes.Compare(h.leaf.key, hi) > 0 {
+			return false
+		}
+	}
+	return forEachChild(n, func(_ byte, c node) bool {
+		return t.ascend(c, lo, hi, fn)
+	})
+}
+
+func inRange(k, lo, hi []byte) bool {
+	if lo != nil && bytes.Compare(k, lo) < 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(k, hi) > 0 {
+		return false
+	}
+	return true
+}

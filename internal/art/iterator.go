@@ -1,0 +1,233 @@
+package art
+
+import "bytes"
+
+// Iterator is a resumable cursor over the tree in ascending key order,
+// supporting Seek. Unlike Walk, it does not hold the whole traversal on
+// the Go stack, so callers can interleave iteration with other work.
+//
+// The iterator captures no snapshot: mutating the tree while an iterator
+// is open invalidates it (behaviour is then unspecified, though memory
+// safety is preserved). This is the usual contract for in-memory ordered
+// containers.
+type Iterator struct {
+	tree  *Tree
+	stack []iterFrame
+	key   []byte
+	value uint64
+	valid bool
+}
+
+// iterFrame is one level of the descent: a node plus the next child
+// position to visit. pos semantics depend on the node kind:
+//   - n4/n16: index into the keys array
+//   - n48/n256: next byte value to probe (0..256)
+//
+// pos == -1 means the node's embedded leaf is still pending.
+type iterFrame struct {
+	n   node
+	pos int
+}
+
+// Iterate returns an iterator positioned before the first key; call Next
+// to advance.
+func (t *Tree) Iterate() *Iterator {
+	it := &Iterator{tree: t}
+	if t.root != nil {
+		it.push(t.root)
+	}
+	return it
+}
+
+// push enters a node, scheduling its embedded leaf (if any) first.
+func (it *Iterator) push(n node) {
+	pos := 0
+	if h := n.h(); h.kind != Leaf && h.leaf != nil {
+		pos = -1
+	}
+	it.stack = append(it.stack, iterFrame{n: n, pos: pos})
+}
+
+// Next advances to the next key, reporting whether one exists.
+func (it *Iterator) Next() bool {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		h := top.n.h()
+
+		if h.kind == Leaf {
+			l := top.n.(*leafNode)
+			it.stack = it.stack[:len(it.stack)-1]
+			it.setCurrent(l)
+			return true
+		}
+		if top.pos == -1 {
+			top.pos = 0
+			it.setCurrent(h.leaf)
+			return true
+		}
+
+		child, next := nextChildFrom(top.n, top.pos)
+		if child == nil {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		top.pos = next
+		it.push(child)
+	}
+	it.valid = false
+	return false
+}
+
+// nextChildFrom returns the first child at or after position pos, plus
+// the position to resume from afterwards; nil when exhausted.
+func nextChildFrom(n node, pos int) (node, int) {
+	switch v := n.(type) {
+	case *node4:
+		if pos < int(v.hdr.nChildren) {
+			return v.children[pos], pos + 1
+		}
+	case *node16:
+		if pos < int(v.hdr.nChildren) {
+			return v.children[pos], pos + 1
+		}
+	case *node48:
+		for b := pos; b < 256; b++ {
+			if idx := v.index[b]; idx != 0 {
+				return v.children[idx-1], b + 1
+			}
+		}
+	case *node256:
+		for b := pos; b < 256; b++ {
+			if c := v.children[b]; c != nil {
+				return c, b + 1
+			}
+		}
+	}
+	return nil, 0
+}
+
+func (it *Iterator) setCurrent(l *leafNode) {
+	it.key = l.key
+	it.value = l.value
+	it.valid = true
+}
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current key (valid until the next mutation; do not
+// modify).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() uint64 { return it.value }
+
+// Seek repositions the iterator so the next call to Next returns the
+// first key >= target. Seek is O(depth) plus the per-level position scan.
+func (it *Iterator) Seek(target []byte) {
+	it.stack = it.stack[:0]
+	it.valid = false
+	n := it.tree.root
+	depth := 0
+	for n != nil {
+		h := n.h()
+		if h.kind == Leaf {
+			l := n.(*leafNode)
+			if bytes.Compare(l.key, target) >= 0 {
+				it.stack = append(it.stack, iterFrame{n: n, pos: 0})
+			}
+			return
+		}
+		// Compare the compressed path against the target window.
+		p := h.prefix
+		rem := target[depth:]
+		cp := commonPrefixLen(p, rem)
+		if cp < len(p) {
+			if cp == len(rem) || p[cp] > rem[cp] {
+				// Subtree entirely >= target: everything here qualifies.
+				it.push(n)
+			}
+			// Else the subtree is entirely < target: nothing to add.
+			return
+		}
+		depth += len(p)
+		if depth == len(target) {
+			// Target ends exactly here: the whole node (including its
+			// embedded leaf) is >= target.
+			it.push(n)
+			return
+		}
+		b := target[depth]
+		// Schedule the children strictly greater than b, then descend
+		// into the child equal to b (whose subtree straddles the bound).
+		eq, framePos := seekFrame(n, b)
+		if framePos >= 0 {
+			it.stack = append(it.stack, iterFrame{n: n, pos: framePos})
+		}
+		if eq == nil {
+			return
+		}
+		n = eq
+		depth++
+	}
+}
+
+// seekFrame returns the child exactly at byte b (nil if none) and the
+// frame position from which strictly-greater children start (-1 when
+// there are none).
+func seekFrame(n node, b byte) (node, int) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < int(v.hdr.nChildren); i++ {
+			if v.keys[i] >= b {
+				eqChild := node(nil)
+				pos := i
+				if v.keys[i] == b {
+					eqChild = v.children[i]
+					pos = i + 1
+				}
+				if pos >= int(v.hdr.nChildren) {
+					pos = -1
+				}
+				return eqChild, pos
+			}
+		}
+		return nil, -1
+	case *node16:
+		for i := 0; i < int(v.hdr.nChildren); i++ {
+			if v.keys[i] >= b {
+				eqChild := node(nil)
+				pos := i
+				if v.keys[i] == b {
+					eqChild = v.children[i]
+					pos = i + 1
+				}
+				if pos >= int(v.hdr.nChildren) {
+					pos = -1
+				}
+				return eqChild, pos
+			}
+		}
+		return nil, -1
+	case *node48:
+		var eq node
+		if idx := v.index[b]; idx != 0 {
+			eq = v.children[idx-1]
+		}
+		for nb := int(b) + 1; nb < 256; nb++ {
+			if v.index[nb] != 0 {
+				return eq, nb
+			}
+		}
+		return eq, -1
+	case *node256:
+		eq := v.children[b]
+		for nb := int(b) + 1; nb < 256; nb++ {
+			if v.children[nb] != nil {
+				return eq, nb
+			}
+		}
+		return eq, -1
+	}
+	return nil, -1
+}

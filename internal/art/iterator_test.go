@@ -1,0 +1,193 @@
+package art
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIteratorMatchesWalk(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 1+rng.Intn(9))
+		rng.Read(k)
+		tr.Put(k, uint64(i))
+	}
+	var walkKeys [][]byte
+	tr.Walk(func(k []byte, v uint64) bool {
+		walkKeys = append(walkKeys, append([]byte(nil), k...))
+		return true
+	})
+	it := tr.Iterate()
+	i := 0
+	for it.Next() {
+		if i >= len(walkKeys) {
+			t.Fatal("iterator yielded more keys than Walk")
+		}
+		if !bytes.Equal(it.Key(), walkKeys[i]) {
+			t.Fatalf("key %d: iterator %x, walk %x", i, it.Key(), walkKeys[i])
+		}
+		i++
+	}
+	if i != len(walkKeys) {
+		t.Fatalf("iterator yielded %d keys, walk %d", i, len(walkKeys))
+	}
+	if it.Valid() {
+		t.Fatal("exhausted iterator still valid")
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	it := New().Iterate()
+	if it.Next() {
+		t.Fatal("empty tree iterator advanced")
+	}
+}
+
+func TestIteratorEmbeddedLeaves(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"a", "ab", "abc", "b"} {
+		tr.Put([]byte(k), 1)
+	}
+	var got []string
+	it := tr.Iterate()
+	for it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	want := []string{"a", "ab", "abc", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeekBasics(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key64(uint64(i*10)), uint64(i))
+	}
+	it := tr.Iterate()
+	it.Seek(key64(250)) // exact hit
+	if !it.Next() || !bytes.Equal(it.Key(), key64(250)) {
+		t.Fatalf("Seek(250) -> %x", it.Key())
+	}
+	it.Seek(key64(251)) // between keys
+	if !it.Next() || !bytes.Equal(it.Key(), key64(260)) {
+		t.Fatalf("Seek(251) -> %x", it.Key())
+	}
+	it.Seek(key64(0)) // at minimum
+	if !it.Next() || !bytes.Equal(it.Key(), key64(0)) {
+		t.Fatalf("Seek(0) -> %x", it.Key())
+	}
+	it.Seek(key64(100000)) // past maximum
+	if it.Next() {
+		t.Fatalf("Seek past max yielded %x", it.Key())
+	}
+}
+
+func TestSeekThenIterateAll(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key64(uint64(i*3)), uint64(i))
+	}
+	it := tr.Iterate()
+	it.Seek(key64(1500))
+	var got []uint64
+	for it.Next() {
+		got = append(got, workloadDecode(it.Key()))
+	}
+	want := 0
+	for v := uint64(1500); v <= 2997; v += 3 {
+		if got[want] != v {
+			t.Fatalf("position %d: got %d want %d", want, got[want], v)
+		}
+		want++
+	}
+	if want != len(got) {
+		t.Fatalf("got %d keys, want %d", len(got), want)
+	}
+}
+
+func workloadDecode(k []byte) uint64 {
+	var v uint64
+	for _, b := range k {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// TestQuickSeekEquivalence: for random trees and random targets, Seek
+// positions exactly at the first key >= target and iterates the sorted
+// remainder.
+func TestQuickSeekEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, keys, _ := buildRandomTree(rng, 300, 6, 6)
+		target := make([]byte, 1+rng.Intn(6))
+		for j := range target {
+			target[j] = byte(rng.Intn(6))
+		}
+		idx := sort.SearchStrings(keys, string(target))
+		it := tr.Iterate()
+		it.Seek(target)
+		for _, want := range keys[idx:] {
+			if !it.Next() {
+				return false
+			}
+			if string(it.Key()) != want {
+				return false
+			}
+		}
+		return !it.Next()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeekWithEmbeddedLeaves exercises Seek across prefix-key chains.
+func TestQuickSeekWithEmbeddedLeaves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]bool{}
+		// Dense prefix chains: many keys that are prefixes of each other.
+		for i := 0; i < 200; i++ {
+			l := 1 + rng.Intn(5)
+			k := make([]byte, l)
+			for j := range k {
+				k[j] = byte(rng.Intn(3))
+			}
+			tr.Put(k, 1)
+			ref[string(k)] = true
+		}
+		keys := make([]string, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		target := make([]byte, 1+rng.Intn(4))
+		for j := range target {
+			target[j] = byte(rng.Intn(3))
+		}
+		idx := sort.SearchStrings(keys, string(target))
+		it := tr.Iterate()
+		it.Seek(target)
+		for _, want := range keys[idx:] {
+			if !it.Next() || string(it.Key()) != want {
+				return false
+			}
+		}
+		return !it.Next()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+package art
+
+// NodeKind identifies the five node layouts of an adaptive radix tree:
+// leaves plus the four internal layouts of Leis et al. (ICDE'13), which
+// hold up to 4, 16, 48, and 256 children respectively.
+type NodeKind uint8
+
+// Node kinds, ordered by capacity.
+const (
+	Leaf NodeKind = iota
+	Node4
+	Node16
+	Node48
+	Node256
+)
+
+// String returns the paper's name for the kind (N4, N16, ...).
+func (k NodeKind) String() string {
+	switch k {
+	case Leaf:
+		return "Leaf"
+	case Node4:
+		return "N4"
+	case Node16:
+		return "N16"
+	case Node48:
+		return "N48"
+	case Node256:
+		return "N256"
+	default:
+		return "N?"
+	}
+}
+
+// Capacity returns the maximum child count of the kind (0 for leaves).
+func (k NodeKind) Capacity() int {
+	switch k {
+	case Node4:
+		return 4
+	case Node16:
+		return 16
+	case Node48:
+		return 48
+	case Node256:
+		return 256
+	default:
+		return 0
+	}
+}
+
+// header is the common state shared by all internal nodes: the compressed
+// path (pessimistic, stored in full), the synthetic memory address used by
+// the memory models, and the optional leaf for a key that terminates
+// exactly at this node (so the tree supports keys that are proper prefixes
+// of other keys).
+type header struct {
+	kind      NodeKind
+	addr      uint64
+	nChildren uint16
+	prefix    []byte
+	leaf      *leafNode
+}
+
+// node is implemented by the five concrete node types.
+type node interface {
+	h() *header
+}
+
+type leafNode struct {
+	hdr   header
+	key   []byte
+	value uint64
+}
+
+func (l *leafNode) h() *header { return &l.hdr }
+
+type node4 struct {
+	hdr      header
+	keys     [4]byte // sorted
+	children [4]node
+}
+
+func (n *node4) h() *header { return &n.hdr }
+
+type node16 struct {
+	hdr      header
+	keys     [16]byte // sorted
+	children [16]node
+}
+
+func (n *node16) h() *header { return &n.hdr }
+
+type node48 struct {
+	hdr      header
+	index    [256]byte // 0 = empty, else child slot + 1
+	children [48]node
+}
+
+func (n *node48) h() *header { return &n.hdr }
+
+type node256 struct {
+	hdr      header
+	children [256]node
+}
+
+func (n *node256) h() *header { return &n.hdr }
+
+// findChild returns the child of n for key byte b and an opaque slot index
+// usable with setChildAt. The index is only meaningful while n's child set
+// is unchanged. Returns (nil, -1) when absent.
+func findChild(n node, b byte) (node, int) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < int(v.hdr.nChildren); i++ {
+			if v.keys[i] == b {
+				return v.children[i], i
+			}
+		}
+	case *node16:
+		for i := 0; i < int(v.hdr.nChildren); i++ {
+			if v.keys[i] == b {
+				return v.children[i], i
+			}
+		}
+	case *node48:
+		if idx := v.index[b]; idx != 0 {
+			return v.children[idx-1], int(idx - 1)
+		}
+	case *node256:
+		if c := v.children[b]; c != nil {
+			return c, int(b)
+		}
+	}
+	return nil, -1
+}
+
+// setChildAt replaces the child at the slot index previously returned by
+// findChild for byte b.
+func setChildAt(n node, idx int, child node) {
+	switch v := n.(type) {
+	case *node4:
+		v.children[idx] = child
+	case *node16:
+		v.children[idx] = child
+	case *node48:
+		v.children[idx] = child
+	case *node256:
+		v.children[idx] = child
+	}
+}
+
+// addChildRaw inserts child under byte b, assuming capacity is available
+// and b is not already present. Callers must grow the node first if full.
+func addChildRaw(n node, b byte, child node) {
+	h := n.h()
+	switch v := n.(type) {
+	case *node4:
+		i := int(h.nChildren)
+		for i > 0 && v.keys[i-1] > b {
+			v.keys[i] = v.keys[i-1]
+			v.children[i] = v.children[i-1]
+			i--
+		}
+		v.keys[i] = b
+		v.children[i] = child
+	case *node16:
+		i := int(h.nChildren)
+		for i > 0 && v.keys[i-1] > b {
+			v.keys[i] = v.keys[i-1]
+			v.children[i] = v.children[i-1]
+			i--
+		}
+		v.keys[i] = b
+		v.children[i] = child
+	case *node48:
+		slot := int(h.nChildren)
+		// nChildren slots are always compact in this implementation:
+		// removeChildRaw compacts on delete.
+		v.children[slot] = child
+		v.index[b] = byte(slot + 1)
+	case *node256:
+		v.children[b] = child
+	}
+	h.nChildren++
+}
+
+// removeChildRaw removes the child under byte b. The caller must have
+// verified presence.
+func removeChildRaw(n node, b byte) {
+	h := n.h()
+	switch v := n.(type) {
+	case *node4:
+		i := 0
+		for ; i < int(h.nChildren); i++ {
+			if v.keys[i] == b {
+				break
+			}
+		}
+		copy(v.keys[i:], v.keys[i+1:int(h.nChildren)])
+		copy(v.children[i:], v.children[i+1:int(h.nChildren)])
+		v.children[h.nChildren-1] = nil
+	case *node16:
+		i := 0
+		for ; i < int(h.nChildren); i++ {
+			if v.keys[i] == b {
+				break
+			}
+		}
+		copy(v.keys[i:], v.keys[i+1:int(h.nChildren)])
+		copy(v.children[i:], v.children[i+1:int(h.nChildren)])
+		v.children[h.nChildren-1] = nil
+	case *node48:
+		slot := int(v.index[b]) - 1
+		v.index[b] = 0
+		last := int(h.nChildren) - 1
+		if slot != last {
+			// Compact: move the last slot into the hole and fix its index.
+			moved := v.children[last]
+			v.children[slot] = moved
+			for kb := 0; kb < 256; kb++ {
+				if int(v.index[kb]) == last+1 {
+					v.index[kb] = byte(slot + 1)
+					break
+				}
+			}
+		}
+		v.children[last] = nil
+	case *node256:
+		v.children[b] = nil
+	}
+	h.nChildren--
+}
+
+// full reports whether n has reached its kind's child capacity.
+func full(n node) bool {
+	h := n.h()
+	return int(h.nChildren) >= h.kind.Capacity()
+}
+
+// forEachChild calls fn for every (byte, child) pair in ascending byte
+// order; fn returning false stops the iteration and propagates false.
+func forEachChild(n node, fn func(b byte, c node) bool) bool {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < int(v.hdr.nChildren); i++ {
+			if !fn(v.keys[i], v.children[i]) {
+				return false
+			}
+		}
+	case *node16:
+		for i := 0; i < int(v.hdr.nChildren); i++ {
+			if !fn(v.keys[i], v.children[i]) {
+				return false
+			}
+		}
+	case *node48:
+		for b := 0; b < 256; b++ {
+			if idx := v.index[b]; idx != 0 {
+				if !fn(byte(b), v.children[idx-1]) {
+					return false
+				}
+			}
+		}
+	case *node256:
+		for b := 0; b < 256; b++ {
+			if c := v.children[b]; c != nil {
+				if !fn(byte(b), c) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// forEachChildReverse is forEachChild in descending byte order.
+func forEachChildReverse(n node, fn func(b byte, c node) bool) bool {
+	switch v := n.(type) {
+	case *node4:
+		for i := int(v.hdr.nChildren) - 1; i >= 0; i-- {
+			if !fn(v.keys[i], v.children[i]) {
+				return false
+			}
+		}
+	case *node16:
+		for i := int(v.hdr.nChildren) - 1; i >= 0; i-- {
+			if !fn(v.keys[i], v.children[i]) {
+				return false
+			}
+		}
+	case *node48:
+		for b := 255; b >= 0; b-- {
+			if idx := v.index[b]; idx != 0 {
+				if !fn(byte(b), v.children[idx-1]) {
+					return false
+				}
+			}
+		}
+	case *node256:
+		for b := 255; b >= 0; b-- {
+			if c := v.children[b]; c != nil {
+				if !fn(byte(b), c) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ModeledSize returns the canonical in-memory footprint in bytes of a node
+// of the given kind, as the memory models account it. The internal-node
+// sizes follow Leis et al. Table 1 (header + key array + pointer array);
+// leaves are header + value + key bytes.
+func ModeledSize(kind NodeKind, keyLen int) int {
+	const hdr = 16 // type tag + prefix length + child count + padding
+	switch kind {
+	case Leaf:
+		return hdr + 8 + keyLen
+	case Node4:
+		return hdr + 4 + 4*8
+	case Node16:
+		return hdr + 16 + 16*8
+	case Node48:
+		return hdr + 256 + 48*8
+	case Node256:
+		return hdr + 256*8
+	default:
+		return hdr
+	}
+}
+
+func modeledSizeOf(n node) int {
+	if l, ok := n.(*leafNode); ok {
+		return ModeledSize(Leaf, len(l.key))
+	}
+	return ModeledSize(n.h().kind, 0)
+}

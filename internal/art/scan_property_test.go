@@ -1,0 +1,186 @@
+package art
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomTree loads a tree plus a sorted reference of its contents.
+func buildRandomTree(rng *rand.Rand, n, alphabet, maxLen int) (*Tree, []string, map[string]uint64) {
+	tr := New()
+	ref := map[string]uint64{}
+	for i := 0; i < n; i++ {
+		k := make([]byte, 1+rng.Intn(maxLen))
+		for j := range k {
+			k[j] = byte(rng.Intn(alphabet))
+		}
+		v := rng.Uint64()
+		tr.Put(k, v)
+		ref[string(k)] = v
+	}
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return tr, keys, ref
+}
+
+// TestQuickScanPrefixEquivalence: ScanPrefix(prefix) yields exactly the
+// sorted keys with that prefix, in order.
+func TestQuickScanPrefixEquivalence(t *testing.T) {
+	f := func(seed int64, plen uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, keys, ref := buildRandomTree(rng, 400, 5, 7)
+		prefix := make([]byte, int(plen)%4)
+		for j := range prefix {
+			prefix[j] = byte(rng.Intn(5))
+		}
+		var want []string
+		for _, k := range keys {
+			if bytes.HasPrefix([]byte(k), prefix) {
+				want = append(want, k)
+			}
+		}
+		var got []string
+		tr.ScanPrefix(prefix, func(k []byte, v uint64) bool {
+			if ref[string(k)] != v {
+				return false
+			}
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAscendRangeEquivalence: AscendRange(lo,hi) equals the sorted
+// reference filtered to [lo,hi].
+func TestQuickAscendRangeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, keys, _ := buildRandomTree(rng, 300, 6, 6)
+		mkBound := func() []byte {
+			if rng.Intn(4) == 0 {
+				return nil // open end
+			}
+			b := make([]byte, 1+rng.Intn(5))
+			for j := range b {
+				b[j] = byte(rng.Intn(6))
+			}
+			return b
+		}
+		lo, hi := mkBound(), mkBound()
+		if lo != nil && hi != nil && bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		var want []string
+		for _, k := range keys {
+			kb := []byte(k)
+			if lo != nil && bytes.Compare(kb, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(kb, hi) > 0 {
+				continue
+			}
+			want = append(want, k)
+		}
+		var got []string
+		tr.AscendRange(lo, hi, func(k []byte, v uint64) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinMaxMatchWalk: Minimum/Maximum equal the first/last Walk keys
+// after arbitrary churn.
+func TestQuickMinMaxMatchWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, keys, _ := buildRandomTree(rng, 200, 8, 6)
+		// Random deletions.
+		for _, k := range keys {
+			if rng.Intn(3) == 0 {
+				tr.Delete([]byte(k))
+			}
+		}
+		var first, last []byte
+		tr.Walk(func(k []byte, v uint64) bool {
+			if first == nil {
+				first = append([]byte(nil), k...)
+			}
+			last = append(last[:0], k...)
+			return true
+		})
+		mk, _, mok := tr.Minimum()
+		xk, _, xok := tr.Maximum()
+		if first == nil {
+			return !mok && !xok
+		}
+		return mok && xok && bytes.Equal(mk, first) && bytes.Equal(xk, last)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLocateConsistency: for every present key, Locate+GetAt answers
+// exactly like Get.
+func TestQuickLocateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(WithRegistry())
+		ref := map[string]uint64{}
+		for i := 0; i < 300; i++ {
+			k := make([]byte, 1+rng.Intn(6))
+			for j := range k {
+				k[j] = byte(rng.Intn(6))
+			}
+			v := rng.Uint64()
+			tr.Put(k, v)
+			ref[string(k)] = v
+		}
+		for ks, want := range ref {
+			k := []byte(ks)
+			target, _, ok := tr.Locate(k)
+			if !ok {
+				continue // bare-leaf root or prefix-split path: allowed
+			}
+			v, found, valid := tr.GetAt(target, k)
+			if !valid || !found || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package art
+
+import "bytes"
+
+// This file implements the "shortcut" interface of the DCART paper
+// (§III-C): a Shortcut_Table entry <key, target-node-address,
+// parent-node-address> lets an operating unit jump straight to the
+// internal node that owns a key's final slot, skipping the root descent.
+//
+// The tree guarantees address stability except across grow/shrink (which
+// fire the ReplaceHook) and prefix rewrites (PrefixHook); holders of
+// NodeRefs subscribe to those hooks to invalidate stale entries, and GetAt
+// / PutAt additionally re-validate at use time, falling back to a full
+// descent when a reference cannot be proven safe.
+
+// NodeRef identifies a node for shortcut-based access. Depth is the number
+// of key bytes consumed after matching the node's compressed path, i.e.
+// the index of the child byte the key selects at this node.
+type NodeRef struct {
+	Addr  uint64
+	Kind  NodeKind
+	Depth int
+}
+
+// NodeInfo describes a node for memory modeling.
+type NodeInfo struct {
+	Kind      NodeKind
+	NChildren int
+	PrefixLen int
+	Size      int
+}
+
+// NodeAt resolves a synthetic address to node metadata. Requires
+// WithRegistry. ok is false when no live node has that address.
+func (t *Tree) NodeAt(addr uint64) (NodeInfo, bool) {
+	n, ok := t.registry[addr]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	h := n.h()
+	return NodeInfo{
+		Kind:      h.kind,
+		NChildren: int(h.nChildren),
+		PrefixLen: len(h.prefix),
+		Size:      modeledSizeOf(n),
+	}, true
+}
+
+// Locate descends for key and returns the target node — the deepest
+// internal node owning key's final slot (an existing leaf, the embedded
+// leaf slot, or the empty slot an insert would fill) — and its parent
+// (Addr 0 when the target is the root). ok is false when the tree is
+// empty, rooted at a bare leaf, or the descent hits a compressed-path
+// mismatch (an insert there must split a prefix, which the shortcut
+// interface does not perform).
+//
+// Locate fires the access hook for each node visited, like Get.
+func (t *Tree) Locate(key []byte) (target, parent NodeRef, ok bool) {
+	n := t.root
+	if n == nil || n.h().kind == Leaf {
+		return NodeRef{}, NodeRef{}, false
+	}
+	depth := 0
+	var par NodeRef
+	for {
+		t.access(n)
+		h := n.h()
+		if !prefixMatches(key, depth, h.prefix) {
+			return NodeRef{}, NodeRef{}, false
+		}
+		depth += len(h.prefix)
+		self := NodeRef{Addr: h.addr, Kind: h.kind, Depth: depth}
+		if depth == len(key) {
+			return self, par, true
+		}
+		c, _ := findChild(n, key[depth])
+		if c == nil || c.h().kind == Leaf {
+			return self, par, true
+		}
+		par = self
+		n = c
+		depth++
+	}
+}
+
+// resolveTarget maps ref back to a live internal node and re-validates the
+// ref against key: the node's compressed path must occupy exactly the
+// window of key ending at ref.Depth. Returns nil when the ref cannot be
+// trusted.
+func (t *Tree) resolveTarget(ref NodeRef, key []byte) node {
+	if t.registry == nil {
+		return nil
+	}
+	n, ok := t.registry[ref.Addr]
+	if !ok {
+		return nil
+	}
+	h := n.h()
+	if h.kind == Leaf || ref.Depth > len(key) {
+		return nil
+	}
+	start := ref.Depth - len(h.prefix)
+	if start < 0 {
+		return nil
+	}
+	if !bytes.Equal(key[start:ref.Depth], h.prefix) {
+		return nil
+	}
+	return n
+}
+
+// GetAt reads key assuming ref is its target node, touching only the
+// target node (and the leaf) instead of the whole root path. valid=false
+// means the reference was stale and the caller must fall back to Get.
+func (t *Tree) GetAt(ref NodeRef, key []byte) (value uint64, found, valid bool) {
+	n := t.resolveTarget(ref, key)
+	if n == nil {
+		return 0, false, false
+	}
+	t.access(n)
+	h := n.h()
+	if ref.Depth == len(key) {
+		if h.leaf == nil {
+			return 0, false, true
+		}
+		t.access(h.leaf)
+		return h.leaf.value, true, true
+	}
+	c, _ := findChild(n, key[ref.Depth])
+	if c == nil {
+		return 0, false, true
+	}
+	if l, isLeaf := c.(*leafNode); isLeaf {
+		t.access(l)
+		if equalKeys(l.key, key) {
+			return l.value, true, true
+		}
+		return 0, false, true
+	}
+	// The tree deepened below this slot since the shortcut was taken.
+	return 0, false, false
+}
+
+// PutResult reports the outcome of PutAt.
+type PutResult struct {
+	// Valid is false when the references were stale; the caller must fall
+	// back to Put (no mutation happened).
+	Valid bool
+	// Replaced is true when an existing value was overwritten.
+	Replaced bool
+	// TargetChanged is true when the write grew the target node; NewTarget
+	// is its replacement reference and any shortcut entry should be
+	// updated (paper: "the corresponding entry in Shortcut_Table needs to
+	// be updated when this operation causes a change in the type of
+	// Node_X").
+	TargetChanged bool
+	NewTarget     NodeRef
+}
+
+// PutAt writes (key, value) assuming target is key's target node and
+// parent its parent (parent.Addr == 0 when target is the root). On a
+// stale reference it performs no mutation and returns Valid=false.
+func (t *Tree) PutAt(target, parent NodeRef, key []byte, value uint64) PutResult {
+	n := t.resolveTarget(target, key)
+	if n == nil {
+		return PutResult{}
+	}
+	t.access(n)
+	h := n.h()
+
+	if target.Depth == len(key) {
+		if h.leaf != nil {
+			t.access(h.leaf)
+			h.leaf.value = value
+			return PutResult{Valid: true, Replaced: true}
+		}
+		h.leaf = t.newLeaf(key, value)
+		t.size++
+		return PutResult{Valid: true}
+	}
+
+	b := key[target.Depth]
+	c, idx := findChild(n, b)
+	switch {
+	case c == nil:
+		// Fresh insert at this node. If the node is full it will grow and
+		// change address, so the parent link must be verified first.
+		if full(n) && !t.verifyParentLink(parent, n, key) {
+			return PutResult{}
+		}
+		g := t.addChild(n, b, t.newLeaf(key, value))
+		t.size++
+		res := PutResult{Valid: true}
+		if g != n {
+			t.relink(parent, g, key)
+			gh := g.h()
+			res.TargetChanged = true
+			res.NewTarget = NodeRef{Addr: gh.addr, Kind: gh.kind, Depth: target.Depth}
+		}
+		return res
+
+	default:
+		if l, isLeaf := c.(*leafNode); isLeaf {
+			t.access(l)
+			if equalKeys(l.key, key) {
+				l.value = value
+				return PutResult{Valid: true, Replaced: true}
+			}
+			// Split the leaf locally, exactly as a full descent would.
+			depth := target.Depth + 1
+			cp := commonPrefixLen(l.key[depth:], key[depth:])
+			nn := t.newNode4(copyBytes(key[depth : depth+cp]))
+			t.placeLeaf(nn, l, depth+cp)
+			t.placeLeaf(nn, t.newLeaf(key, value), depth+cp)
+			setChildAt(n, idx, nn)
+			t.size++
+			return PutResult{Valid: true}
+		}
+		// Subtree deepened; this node is no longer key's target.
+		return PutResult{}
+	}
+}
+
+// verifyParentLink checks that parent resolves to a live node whose child
+// slot for key actually points at child (or that child is the root when
+// parent.Addr is 0).
+func (t *Tree) verifyParentLink(parent NodeRef, child node, key []byte) bool {
+	if parent.Addr == 0 {
+		return t.root == child
+	}
+	p, ok := t.registry[parent.Addr]
+	if !ok || parent.Depth >= len(key) {
+		return false
+	}
+	c, _ := findChild(p, key[parent.Depth])
+	return c == child
+}
+
+// relink points the parent's child slot (or the root) at g after a grow.
+// Callers must have validated the link via verifyParentLink.
+func (t *Tree) relink(parent NodeRef, g node, key []byte) {
+	if parent.Addr == 0 {
+		t.root = g
+		return
+	}
+	p := t.registry[parent.Addr]
+	t.access(p)
+	_, idx := findChild(p, key[parent.Depth])
+	setChildAt(p, idx, g)
+}

@@ -1,0 +1,321 @@
+package art
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocateBasics(t *testing.T) {
+	tr := New(WithRegistry())
+	if _, _, ok := tr.Locate([]byte("x")); ok {
+		t.Fatal("Locate on empty tree returned ok")
+	}
+	tr.Put([]byte("only"), 1)
+	if _, _, ok := tr.Locate([]byte("only")); ok {
+		t.Fatal("Locate on bare-leaf root returned ok")
+	}
+	tr.Put([]byte("other"), 2)
+	target, parent, ok := tr.Locate([]byte("only"))
+	if !ok {
+		t.Fatal("Locate failed on 2-key tree")
+	}
+	if parent.Addr != 0 {
+		t.Fatal("root target should have zero parent addr")
+	}
+	if target.Kind != Node4 {
+		t.Fatalf("target kind = %v, want N4", target.Kind)
+	}
+}
+
+func TestGetAtHappyPath(t *testing.T) {
+	tr := New(WithRegistry())
+	keys := [][]byte{[]byte("apple"), []byte("apply"), []byte("banana")}
+	for i, k := range keys {
+		tr.Put(k, uint64(i))
+	}
+	for i, k := range keys {
+		target, _, ok := tr.Locate(k)
+		if !ok {
+			t.Fatalf("Locate(%q) failed", k)
+		}
+		v, found, valid := tr.GetAt(target, k)
+		if !valid || !found || v != uint64(i) {
+			t.Fatalf("GetAt(%q) = (%d,%v,%v)", k, v, found, valid)
+		}
+	}
+	// GetAt for an absent key that shares the target node: found=false,
+	// but the reference itself is valid.
+	target, _, _ := tr.Locate([]byte("apple"))
+	if _, found, valid := tr.GetAt(target, []byte("appld")); found || !valid {
+		t.Fatal("GetAt for absent sibling key should be (not found, valid)")
+	}
+}
+
+func TestGetAtStaleAfterGrow(t *testing.T) {
+	tr := New(WithRegistry())
+	for i := 0; i < 4; i++ {
+		tr.Put([]byte{9, byte(i)}, uint64(i))
+	}
+	target, _, ok := tr.Locate([]byte{9, 0})
+	if !ok {
+		t.Fatal("Locate failed")
+	}
+	tr.Put([]byte{9, 100}, 100) // grows N4 -> N16, invalidating the addr
+	if _, _, valid := tr.GetAt(target, []byte{9, 0}); valid {
+		t.Fatal("GetAt accepted a reference to a grown-away node")
+	}
+}
+
+func TestGetAtStaleAfterDeepening(t *testing.T) {
+	tr := New(WithRegistry())
+	tr.Put([]byte("aa"), 1)
+	tr.Put([]byte("ab"), 2)
+	target, _, _ := tr.Locate([]byte("ab"))
+	// Deepen below the 'b' slot: the leaf becomes an internal subtree.
+	tr.Put([]byte("abX"), 3)
+	tr.Put([]byte("abY"), 4)
+	_, _, valid := tr.GetAt(target, []byte("ab"))
+	if valid {
+		// Only acceptable if the embedded-leaf path answered correctly.
+		v, found, _ := tr.GetAt(target, []byte("ab"))
+		if !found || v != 2 {
+			t.Fatal("stale deepened reference produced a wrong answer")
+		}
+	}
+}
+
+func TestPutAtUpdateAndInsert(t *testing.T) {
+	tr := New(WithRegistry())
+	tr.Put([]byte{1, 1}, 10)
+	tr.Put([]byte{1, 2}, 20)
+
+	// Update through a shortcut.
+	target, parent, _ := tr.Locate([]byte{1, 1})
+	res := tr.PutAt(target, parent, []byte{1, 1}, 11)
+	if !res.Valid || !res.Replaced || res.TargetChanged {
+		t.Fatalf("PutAt update = %+v", res)
+	}
+	if v, _ := tr.Get([]byte{1, 1}); v != 11 {
+		t.Fatalf("value after PutAt = %d", v)
+	}
+
+	// Insert a new sibling through the same target.
+	res = tr.PutAt(target, parent, []byte{1, 3}, 30)
+	if !res.Valid || res.Replaced {
+		t.Fatalf("PutAt insert = %+v", res)
+	}
+	if v, ok := tr.Get([]byte{1, 3}); !ok || v != 30 {
+		t.Fatalf("inserted key = (%d,%v)", v, ok)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestPutAtGrowUpdatesRoot(t *testing.T) {
+	tr := New(WithRegistry())
+	for i := 0; i < 4; i++ {
+		tr.Put([]byte{7, byte(i)}, uint64(i))
+	}
+	target, parent, _ := tr.Locate([]byte{7, 0})
+	res := tr.PutAt(target, parent, []byte{7, 99}, 99)
+	if !res.Valid || !res.TargetChanged {
+		t.Fatalf("PutAt grow = %+v", res)
+	}
+	if res.NewTarget.Kind != Node16 {
+		t.Fatalf("grown kind = %v, want N16", res.NewTarget.Kind)
+	}
+	// The tree root must have been relinked to the grown node.
+	for i := 0; i < 4; i++ {
+		if v, ok := tr.Get([]byte{7, byte(i)}); !ok || v != uint64(i) {
+			t.Fatalf("key %d lost after PutAt grow: (%d,%v)", i, v, ok)
+		}
+	}
+	if v, ok := tr.Get([]byte{7, 99}); !ok || v != 99 {
+		t.Fatal("grown insert missing")
+	}
+	// The new target reference must be immediately usable.
+	if _, found, valid := tr.GetAt(res.NewTarget, []byte{7, 99}); !found || !valid {
+		t.Fatal("NewTarget reference not usable")
+	}
+}
+
+func TestPutAtGrowRelinkDeepParent(t *testing.T) {
+	tr := New(WithRegistry())
+	// Build a two-level structure: a root N4 over two N4 subtrees; then
+	// grow one subtree via PutAt and verify the deep parent is relinked.
+	for i := 0; i < 4; i++ {
+		tr.Put([]byte{0xA, 1, byte(i)}, uint64(i))
+	}
+	for i := 0; i < 2; i++ {
+		tr.Put([]byte{0xB, 2, byte(i)}, uint64(100+i))
+	}
+	target, parent, ok := tr.Locate([]byte{0xA, 1, 0})
+	if !ok || parent.Addr == 0 {
+		t.Fatalf("expected deep target with real parent, ok=%v parent=%+v", ok, parent)
+	}
+	res := tr.PutAt(target, parent, []byte{0xA, 1, 200}, 200)
+	if !res.Valid || !res.TargetChanged {
+		t.Fatalf("PutAt = %+v", res)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := tr.Get([]byte{0xA, 1, byte(i)}); !ok {
+			t.Fatalf("key %d lost after deep grow", i)
+		}
+	}
+	if v, ok := tr.Get([]byte{0xA, 1, 200}); !ok || v != 200 {
+		t.Fatal("grown insert missing")
+	}
+}
+
+func TestPutAtLeafSplit(t *testing.T) {
+	tr := New(WithRegistry())
+	tr.Put([]byte("car"), 1)
+	tr.Put([]byte("dog"), 2)
+	target, parent, _ := tr.Locate([]byte("car"))
+	// "cart...": shares the leaf slot 'c' but diverges deeper -> local split.
+	res := tr.PutAt(target, parent, []byte("carton"), 3)
+	if !res.Valid || res.Replaced {
+		t.Fatalf("PutAt leaf split = %+v", res)
+	}
+	for k, want := range map[string]uint64{"car": 1, "dog": 2, "carton": 3} {
+		if v, ok := tr.Get([]byte(k)); !ok || v != want {
+			t.Fatalf("Get(%q) = (%d,%v) want %d", k, v, ok, want)
+		}
+	}
+}
+
+func TestPutAtStaleRefRejected(t *testing.T) {
+	tr := New(WithRegistry())
+	for i := 0; i < 4; i++ {
+		tr.Put([]byte{5, byte(i)}, uint64(i))
+	}
+	target, parent, _ := tr.Locate([]byte{5, 0})
+	tr.Put([]byte{5, 50}, 50) // grow invalidates target.Addr
+	res := tr.PutAt(target, parent, []byte{5, 0}, 999)
+	if res.Valid {
+		t.Fatal("PutAt accepted stale reference")
+	}
+	if v, _ := tr.Get([]byte{5, 0}); v != 0 {
+		t.Fatalf("stale PutAt mutated the tree: %d", v)
+	}
+}
+
+// TestQuickShortcutEquivalence: interleaving shortcut-based access with
+// normal access never diverges from a reference map, across random
+// workloads with churn that grows/splits/deletes nodes. Stale references
+// must either answer identically or report invalid.
+func TestQuickShortcutEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(WithRegistry())
+		ref := map[string]uint64{}
+		type sc struct {
+			target, parent NodeRef
+		}
+		shortcuts := map[string]sc{}
+		// Invalidate like the DCART Shortcut_Table does: on replacement
+		// and prefix changes, drop affected entries.
+		invalid := map[uint64]bool{}
+		tr.SetReplaceHook(func(oldAddr, newAddr uint64) { invalid[oldAddr] = true })
+		tr.SetPrefixHook(func(addr uint64) { invalid[addr] = true })
+
+		randKey := func() []byte {
+			k := make([]byte, 1+rng.Intn(5))
+			for j := range k {
+				k[j] = byte(rng.Intn(5))
+			}
+			return k
+		}
+		for i := 0; i < 1200; i++ {
+			k := randKey()
+			ks := string(k)
+			switch rng.Intn(5) {
+			case 0, 1: // shortcut-path put (falls back like an SOU would)
+				s, ok := shortcuts[ks]
+				if ok && !invalid[s.target.Addr] && !invalid[s.parent.Addr] {
+					res := tr.PutAt(s.target, s.parent, k, uint64(i))
+					if res.Valid {
+						if res.TargetChanged {
+							shortcuts[ks] = sc{res.NewTarget, s.parent}
+						}
+						ref[ks] = uint64(i)
+						break
+					}
+					delete(shortcuts, ks)
+				}
+				tr.Put(k, uint64(i))
+				ref[ks] = uint64(i)
+				if tgt, par, ok := tr.Locate(k); ok {
+					shortcuts[ks] = sc{tgt, par}
+				}
+			case 2, 3: // shortcut-path get
+				s, ok := shortcuts[ks]
+				want, has := ref[ks]
+				if ok && !invalid[s.target.Addr] {
+					v, found, valid := tr.GetAt(s.target, k)
+					if valid {
+						if found != has || (found && v != want) {
+							return false
+						}
+						break
+					}
+					delete(shortcuts, ks)
+				}
+				v, found := tr.Get(k)
+				if found != has || (found && v != want) {
+					return false
+				}
+			case 4: // delete (always full-path)
+				del := tr.Delete(k)
+				_, has := ref[ks]
+				if del != has {
+					return false
+				}
+				delete(ref, ks)
+				delete(shortcuts, ks)
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		for ks, want := range ref {
+			v, ok := tr.Get([]byte(ks))
+			if !ok || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeAt(t *testing.T) {
+	tr := New(WithRegistry())
+	tr.Put([]byte("k1"), 1)
+	tr.Put([]byte("k2"), 2)
+	target, _, _ := tr.Locate([]byte("k1"))
+	info, ok := tr.NodeAt(target.Addr)
+	if !ok || info.Kind != Node4 || info.NChildren != 2 {
+		t.Fatalf("NodeAt = %+v, %v", info, ok)
+	}
+	if _, ok := tr.NodeAt(0xdeadbeef); ok {
+		t.Fatal("NodeAt resolved a bogus address")
+	}
+}
+
+func TestNodeAtRequiresRegistry(t *testing.T) {
+	tr := New() // no registry
+	tr.Put([]byte("k1"), 1)
+	tr.Put([]byte("k2"), 2)
+	target, _, _ := tr.Locate([]byte("k1"))
+	if _, ok := tr.NodeAt(target.Addr); ok {
+		t.Fatal("NodeAt without registry should fail")
+	}
+	if _, _, valid := tr.GetAt(target, []byte("k1")); valid {
+		t.Fatal("GetAt without registry should be invalid")
+	}
+}

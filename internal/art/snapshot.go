@@ -1,0 +1,187 @@
+package art
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Snapshot format: a sorted stream of key/value pairs with a checksummed
+// footer. Rebuilding from sorted pairs reproduces the tree exactly (ART
+// shape is insertion-order independent), so structure is not serialized.
+//
+//	magic   [8]byte  "ARTSNAP1"
+//	count   uint64
+//	entries count x { keyLen uvarint, key [keyLen]byte, value uint64 }
+//	crc32   uint32 (IEEE, over everything before it)
+var snapshotMagic = [8]byte{'A', 'R', 'T', 'S', 'N', 'A', 'P', '1'}
+
+// WriteTo serializes the tree's contents to w in snapshot format,
+// returning the bytes written. The tree is not mutated.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	return WriteSnapshot(w, t.size, t.Walk)
+}
+
+// WriteSnapshot writes count entries, supplied in ascending key order by
+// iterate, in snapshot format. It is the codec behind Tree.WriteTo and is
+// reusable by any ordered key/value container (e.g. the concurrent tree).
+func WriteSnapshot(w io.Writer, count int,
+	iterate func(fn func(key []byte, value uint64) bool) bool) (int64, error) {
+
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return 0, err
+	}
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(count))
+	if _, err := bw.Write(u64[:]); err != nil {
+		return 0, err
+	}
+
+	var outerErr error
+	var varint [binary.MaxVarintLen64]byte
+	written := int64(16)
+	n := 0
+	iterate(func(key []byte, value uint64) bool {
+		vn := binary.PutUvarint(varint[:], uint64(len(key)))
+		if _, err := bw.Write(varint[:vn]); err != nil {
+			outerErr = err
+			return false
+		}
+		if _, err := bw.Write(key); err != nil {
+			outerErr = err
+			return false
+		}
+		binary.BigEndian.PutUint64(u64[:], value)
+		if _, err := bw.Write(u64[:]); err != nil {
+			outerErr = err
+			return false
+		}
+		written += int64(vn + len(key) + 8)
+		n++
+		return true
+	})
+	if outerErr != nil {
+		return written, outerErr
+	}
+	if n != count {
+		return written, fmt.Errorf("art: snapshot iterate yielded %d entries, declared %d", n, count)
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	// Footer goes to w only (it is the checksum of what crc consumed).
+	var foot [4]byte
+	binary.BigEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := w.Write(foot[:]); err != nil {
+		return written, err
+	}
+	return written + 4, nil
+}
+
+// hashingReader hashes exactly the bytes its consumer reads, leaving any
+// underlying read-ahead out of the sum.
+type hashingReader struct {
+	r   io.Reader
+	crc interface{ Write(p []byte) (int, error) }
+}
+
+func (h *hashingReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if n > 0 {
+		h.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+// ReadSnapshot reconstructs a tree from snapshot data, validating the
+// checksum. Options are forwarded to New (e.g. WithRegistry).
+func ReadSnapshot(r io.Reader, opts ...Option) (*Tree, error) {
+	t := New(opts...)
+	err := ReadSnapshotEntries(r, func(key []byte, value uint64) error {
+		if t.Put(key, value) {
+			return fmt.Errorf("duplicate key %x", key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadSnapshotEntries streams a snapshot's entries to fn, validating the
+// format and checksum. fn returning an error aborts the read.
+func ReadSnapshotEntries(r io.Reader, fn func(key []byte, value uint64) error) error {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	// payload hashes exactly the bytes consumed from it; br below it may
+	// read ahead (including into the footer) without affecting the sum.
+	payload := &hashingReader{r: br, crc: crc}
+
+	var magic [8]byte
+	if _, err := io.ReadFull(payload, magic[:]); err != nil {
+		return fmt.Errorf("art: snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("art: bad snapshot magic %q", magic[:])
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(payload, u64[:]); err != nil {
+		return fmt.Errorf("art: snapshot count: %w", err)
+	}
+	count := binary.BigEndian.Uint64(u64[:])
+
+	single := make([]byte, 1)
+	readUvarint := func() (uint64, error) {
+		var x uint64
+		var shift uint
+		for {
+			if _, err := io.ReadFull(payload, single); err != nil {
+				return 0, err
+			}
+			b := single[0]
+			if b < 0x80 {
+				return x | uint64(b)<<shift, nil
+			}
+			x |= uint64(b&0x7f) << shift
+			shift += 7
+			if shift > 63 {
+				return 0, fmt.Errorf("uvarint overflow")
+			}
+		}
+	}
+	for i := uint64(0); i < count; i++ {
+		klen, err := readUvarint()
+		if err != nil {
+			return fmt.Errorf("art: entry %d key length: %w", i, err)
+		}
+		if klen > 1<<20 {
+			return fmt.Errorf("art: entry %d key length %d implausible", i, klen)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(payload, key); err != nil {
+			return fmt.Errorf("art: entry %d key: %w", i, err)
+		}
+		if _, err := io.ReadFull(payload, u64[:]); err != nil {
+			return fmt.Errorf("art: entry %d value: %w", i, err)
+		}
+		if err := fn(key, binary.BigEndian.Uint64(u64[:])); err != nil {
+			return fmt.Errorf("art: entry %d: %w", i, err)
+		}
+	}
+
+	want := crc.Sum32() // payload fully consumed; footer not hashed
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return fmt.Errorf("art: snapshot footer: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(foot[:]); got != want {
+		return fmt.Errorf("art: snapshot checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	return nil
+}

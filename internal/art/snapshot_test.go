@@ -1,0 +1,136 @@
+package art
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(23))
+	ref := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 1+rng.Intn(12))
+		rng.Read(k)
+		v := rng.Uint64()
+		tr.Put(k, v)
+		ref[string(k)] = v
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != len(ref) {
+		t.Fatalf("restored %d keys, want %d", back.Len(), len(ref))
+	}
+	for ks, want := range ref {
+		if v, ok := back.Get([]byte(ks)); !ok || v != want {
+			t.Fatalf("restored Get(%x) = (%d,%v), want %d", ks, v, ok, want)
+		}
+	}
+	// Structural equality: same node census (shape is content-determined).
+	a, b := tr.Stats(), back.Stats()
+	if a.N4 != b.N4 || a.N16 != b.N16 || a.N48 != b.N48 || a.N256 != b.N256 ||
+		a.Height != b.Height {
+		t.Fatalf("restored structure differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestSnapshotEmptyTree(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("restored empty tree has %d keys", back.Len())
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	data := buf.Bytes()
+
+	// Flip a payload byte: either the load fails structurally or the
+	// checksum catches it.
+	for _, pos := range []int{20, len(data) / 2, len(data) - 5} {
+		corrupted := append([]byte(nil), data...)
+		corrupted[pos] ^= 0xFF
+		if _, err := ReadSnapshot(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+	// Truncation.
+	if _, err := ReadSnapshot(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSnapshotPreservesRegistryOption(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("a"), 1)
+	tr.Put([]byte("b"), 2)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	back, err := ReadSnapshot(&buf, WithRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, _, ok := back.Locate([]byte("a")); !ok {
+		t.Fatal("restored tree lacks registry support")
+	} else if _, ok := back.NodeAt(target.Addr); !ok {
+		t.Fatal("registry not populated on restore")
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, keys, ref := buildRandomTree(rng, 150, 7, 8)
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != len(keys) {
+			return false
+		}
+		for _, k := range keys {
+			v, ok := back.Get([]byte(k))
+			if !ok || v != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package art
+
+// Stats summarizes the structural state of a tree.
+type Stats struct {
+	Keys         int
+	Leaves       int64
+	N4, N16, N48 int64
+	N256         int64
+	Height       int     // max nodes on a root-to-leaf path
+	AvgPrefixLen float64 // mean compressed-path length over internal nodes
+	ModeledBytes int64   // footprint under the canonical size model
+}
+
+// Stats walks the tree and returns its structural summary. The walk does
+// not fire access hooks (it is bookkeeping, not a modeled tree operation).
+func (t *Tree) Stats() Stats {
+	s := Stats{
+		Keys:         t.size,
+		Leaves:       t.counts[Leaf],
+		N4:           t.counts[Node4],
+		N16:          t.counts[Node16],
+		N48:          t.counts[Node48],
+		N256:         t.counts[Node256],
+		ModeledBytes: t.bytes,
+	}
+	var prefixSum, internal int64
+	var walk func(n node, depth int)
+	walk = func(n node, depth int) {
+		if n == nil {
+			return
+		}
+		if depth > s.Height {
+			s.Height = depth
+		}
+		if n.h().kind == Leaf {
+			return
+		}
+		prefixSum += int64(len(n.h().prefix))
+		internal++
+		forEachChild(n, func(_ byte, c node) bool {
+			walk(c, depth+1)
+			return true
+		})
+	}
+	walk(t.root, 1)
+	if internal > 0 {
+		s.AvgPrefixLen = float64(prefixSum) / float64(internal)
+	}
+	return s
+}
+
+// Load inserts keys[i] -> values[i] in order; values may be nil, in which
+// case each key maps to its index. A convenience for benchmark setup.
+func (t *Tree) Load(keys [][]byte, values []uint64) {
+	for i, k := range keys {
+		v := uint64(i)
+		if values != nil {
+			v = values[i]
+		}
+		t.Put(k, v)
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Ablate quantifies DCART's individual design choices (DESIGN.md §7) by
+// disabling one at a time on the IPGEO workload and reporting modeled
+// cycles plus the mechanism each feature targets:
+//
+//   - shortcuts off   -> more partial-key matches (§III-C)
+//   - combining off   -> more lock acquisitions, no coalescing (§III-B)
+//   - LRU Tree_buffer -> hot nodes thrash (§III-E)
+//   - overlap off     -> PCU time no longer hidden (§III-D, Fig 6)
+func Ablate(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	configs := []struct {
+		name string
+		cfg  accel.Config
+	}{
+		{"DCART (full)", accel.Config{}},
+		{"no shortcuts", accel.Config{DisableShortcuts: true}},
+		{"no combining", accel.Config{DisableCombining: true}},
+		{"LRU tree buffer", accel.Config{UseLRUTreeBuffer: true}},
+		{"no PCU/SOU overlap", accel.Config{DisableOverlap: true}},
+	}
+	var baseCycles int64
+	tw := table(o)
+	fmt.Fprintln(tw, "configuration\tcycles\tvs full\tkey-matches\tlocks\ttree-buf hit")
+	for i, c := range configs {
+		e := accel.New(c.cfg)
+		e.Load(w.Keys, nil)
+		res := e.Run(w.Ops)
+		cyc := e.Cycles()
+		if i == 0 {
+			baseCycles = cyc
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2fx\t%d\t%d\t%s\n",
+			c.name, cyc, float64(cyc)/float64(baseCycles),
+			res.Metrics.Get(metrics.CtrKeyMatches),
+			res.Metrics.Get(metrics.CtrLockAcquire),
+			pct(res.CacheHitRatio))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,182 @@
+// Package bench contains one runner per table and figure of the DCART
+// paper's evaluation (§IV). Each runner generates the workloads, drives
+// the engines, applies the platform models, and prints the same rows or
+// series the paper reports, as aligned text tables.
+//
+// Workload sizes default to sandbox scale (the paper used 50M keys);
+// every runner accepts Options to scale up. EXPERIMENTS.md records the
+// paper-claimed versus measured values for every experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/ctt"
+	"repro/internal/cuart"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Options parameterizes an experiment run.
+type Options struct {
+	NumKeys int     // unique keys per workload (default 100k)
+	NumOps  int     // operations per run (default 5x keys)
+	Seed    int64   // workload seed
+	ZipfS   float64 // temporal skew (default 1.25, the benchmark regime)
+	Threads int     // modeled CPU concurrency (default 96)
+	Out     io.Writer
+}
+
+func (o Options) defaults() Options {
+	if o.NumKeys <= 0 {
+		o.NumKeys = 100_000
+	}
+	if o.NumOps <= 0 {
+		o.NumOps = 5 * o.NumKeys
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.25
+	}
+	if o.Threads <= 0 {
+		o.Threads = 96
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	return o
+}
+
+// cpuCacheBytes scales the modeled LLC so the cache:tree ratio matches the
+// paper's testbed (105 MB LLC vs multi-GB trees, ~1:40): roughly one byte
+// of modeled cache per key.
+func (o Options) cpuCacheBytes() int {
+	c := o.NumKeys
+	if c < 64<<10 {
+		c = 64 << 10
+	}
+	return c
+}
+
+func (o Options) spec(name string, readRatio float64) workload.Spec {
+	return workload.Spec{
+		Name: name, NumKeys: o.NumKeys, NumOps: o.NumOps,
+		ReadRatio: readRatio, InsertFraction: 0.1, ZipfS: o.ZipfS, Seed: o.Seed,
+	}
+}
+
+// EngineNames lists the six evaluated systems in figure order.
+var EngineNames = []string{"ART", "Heart", "SMART", "CuART", "DCART-C", "DCART"}
+
+// newEngines builds all six engines with the experiment's scaled configs.
+func newEngines(o Options) []engine.Engine {
+	cfg := engine.Config{Threads: o.Threads, CacheBytes: o.cpuCacheBytes()}
+	return []engine.Engine{
+		baseline.NewART(cfg),
+		baseline.NewHeart(cfg),
+		baseline.NewSMART(cfg),
+		cuart.New(cuart.Config{Config: engine.Config{CacheBytes: 4 * o.cpuCacheBytes()}}),
+		ctt.New(ctt.Config{Config: cfg}),
+		accel.New(accel.Config{}),
+	}
+}
+
+// newCPUBaselines builds the three CPU baselines only (Fig 2 experiments).
+func newCPUBaselines(o Options) []engine.Engine {
+	cfg := engine.Config{Threads: o.Threads, CacheBytes: o.cpuCacheBytes()}
+	return []engine.Engine{baseline.NewART(cfg), baseline.NewHeart(cfg), baseline.NewSMART(cfg)}
+}
+
+// runOne loads and runs a single engine over a workload.
+func runOne(e engine.Engine, w *workload.Workload) *engine.Result {
+	e.Load(w.Keys, nil)
+	return e.Run(w.Ops)
+}
+
+// Runner executes one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(o Options) error
+}
+
+// registry holds all experiments, in paper order.
+var registry = []Runner{
+	{"fig2a", "Execution-time breakdown of CPU baselines (traversal/sync/others)", Fig2a},
+	{"fig2b", "Ratio of redundant traversed nodes", Fig2b},
+	{"fig2c", "Cache-line utilization of fetched index data", Fig2c},
+	{"fig2d", "Synchronization share vs number of concurrent operations (IPGEO)", Fig2d},
+	{"fig2e", "Execution time vs write ratio (IPGEO)", Fig2e},
+	{"fig3", "Operation distribution over key prefixes; access skew", Fig3},
+	{"table1", "DCART configuration (Table I)", Table1},
+	{"fig7", "Lock contentions of all solutions", Fig7},
+	{"fig8", "Partial key matches of all solutions", Fig8},
+	{"fig9", "Execution time and speedups of all solutions", Fig9},
+	{"fig10", "Throughput vs P99 latency curves (real-world workloads)", Fig10},
+	{"fig11", "Energy consumption and savings", Fig11},
+	{"fig12a", "Sensitivity: performance vs number of operations (IPGEO)", Fig12a},
+	{"fig12b", "Sensitivity: performance vs read/write mix A-E (IPGEO)", Fig12b},
+	{"ablate", "DCART design ablations (shortcuts, combining, value-aware, overlap)", Ablate},
+	{"sweep-sous", "Extension: DCART scaling with SOU count", SweepSOUs},
+	{"sweep-batch", "Extension: DCART sensitivity to PCU batch size", SweepBatch},
+	{"sweep-prefix", "Extension: DCART sensitivity to combining-prefix width", SweepPrefix},
+	{"sweep-treebuf", "Extension: Tree_buffer size x replacement policy", SweepTreeBuf},
+	{"extra-btree", "Extension: ART vs B+tree write amplification (paper SV claim)", BTreeCompare},
+}
+
+// List returns the experiment IDs in order.
+func List() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) error {
+	for _, r := range registry {
+		if r.ID == id {
+			fmt.Fprintf(o.defaults().Out, "== %s: %s ==\n", r.ID, r.Title)
+			return r.Run(o)
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, r := range registry {
+		ids[i] = r.ID
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(o Options) error {
+	for _, r := range registry {
+		fmt.Fprintf(o.defaults().Out, "\n== %s: %s ==\n", r.ID, r.Title)
+		if err := r.Run(o); err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// table returns a tabwriter over the options' output.
+func table(o Options) *tabwriter.Writer {
+	return tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+func engTime(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3gs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gus", s*1e6)
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for every runner to finish quickly.
+func tiny() (Options, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return Options{NumKeys: 2000, NumOps: 8000, Seed: 7, Out: &buf}, &buf
+}
+
+func TestEveryRunnerProducesOutput(t *testing.T) {
+	for _, r := range List() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			o, buf := tiny()
+			if err := Run(r.ID, o); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(strings.Split(out, "\n")) < 3 {
+				t.Fatalf("runner %s produced almost no output:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	o, _ := tiny()
+	if err := Run("fig99", o); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestListStable(t *testing.T) {
+	a, b := List(), List()
+	if len(a) != len(b) || len(a) < 14 {
+		t.Fatalf("List() unstable or incomplete: %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("List() order unstable")
+		}
+	}
+}
+
+func TestFig9ContainsAllEngines(t *testing.T) {
+	o, buf := tiny()
+	if err := Run("fig9", o); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range EngineNames {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("fig9 output missing engine %s", name)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	o, buf := tiny()
+	if err := Run("table1", o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"16x SOUs", "512 KB", "2 MB", "128 KB", "4 MB", "230 MHz"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/workload"
+)
+
+// BTreeCompare validates the paper's §V claim that ART's write
+// amplification is smaller than a B+ tree's because ART "does not hold
+// the entire keys in its internal nodes": both indexes ingest the same
+// insert stream; we report modeled bytes written per insert (every node
+// modified by an operation contributes its full modeled size), node
+// accesses per lookup, and total footprint.
+func BTreeCompare(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tindex\tbytes-written/insert\tamplification\taccesses/lookup\theight\tfootprint")
+	for _, wname := range []string{workload.EA, workload.RS} {
+		w, err := workload.Generate(o.spec(wname, 0))
+		if err != nil {
+			return err
+		}
+
+		// --- B+ tree ------------------------------------------------------
+		bt := btree.New()
+		for i, k := range w.Keys {
+			bt.Put(k, uint64(i))
+		}
+		bt.ResetCounters()
+		inserts := 0
+		for _, op := range w.Ops {
+			if op.Kind == workload.Write {
+				bt.Put(op.Key, op.Value)
+				inserts++
+			}
+		}
+		btWritePerOp := float64(bt.BytesWritten()) / float64(inserts)
+		bt.ResetCounters()
+		lookups := 0
+		for _, op := range w.Ops {
+			bt.Get(op.Key)
+			lookups++
+		}
+		btAccessPerOp := float64(bt.NodeAccesses()) / float64(lookups)
+
+		// --- ART ----------------------------------------------------------
+		// Write bytes for ART: every node the write path modifies. Leaf
+		// creation/update writes the leaf; grow/shrink rewrites the
+		// replacement node (observed via the replace hook and resolved
+		// through the address registry); linking writes one 16B slot.
+		at := art.New(art.WithRegistry())
+		at.Load(w.Keys, nil)
+		var artWriteBytes int64
+		at.SetReplaceHook(func(oldAddr, newAddr uint64) {
+			if newAddr != 0 {
+				if info, ok := at.NodeAt(newAddr); ok {
+					artWriteBytes += int64(info.Size)
+				}
+			}
+		})
+		for _, op := range w.Ops {
+			if op.Kind == workload.Write {
+				replaced := at.Put(op.Key, op.Value)
+				if replaced {
+					artWriteBytes += 8 // value slot update
+				} else {
+					// New leaf + parent slot write.
+					artWriteBytes += int64(art.ModeledSize(art.Leaf, len(op.Key))) + 16
+				}
+			}
+		}
+		artWritePerOp := float64(artWriteBytes) / float64(inserts)
+
+		var artAccesses int64
+		at.SetAccessHook(func(addr uint64, size int, kind art.NodeKind) { artAccesses++ })
+		for _, op := range w.Ops {
+			at.Get(op.Key)
+		}
+		artAccessPerOp := float64(artAccesses) / float64(lookups)
+		artStats := at.Stats()
+
+		fmt.Fprintf(tw, "%s\tB+tree\t%.0f B\t%.1fx\t%.2f\t%d\t%d KB\n",
+			wname, btWritePerOp, btWritePerOp/artWritePerOp,
+			btAccessPerOp, bt.Height(), bt.ModeledBytes()>>10)
+		fmt.Fprintf(tw, "%s\tART\t%.0f B\t1.0x\t%.2f\t%d\t%d KB\n",
+			wname, artWritePerOp, artAccessPerOp, artStats.Height,
+			artStats.ModeledBytes>>10)
+	}
+	return tw.Flush()
+}

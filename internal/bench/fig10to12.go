@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/ctt"
+	"repro/internal/cuart"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig10 prints throughput / P99-latency curves for every solution over the
+// three real-world workloads. Each engine's modeled per-batch service time
+// feeds an open-loop batch queue (internal/sim); offered load sweeps from
+// 20% to 120% of saturation. Paper claim: DCART achieves both lower P99
+// latency and higher saturated throughput than every baseline.
+func Fig10(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tsolution\tload\toffered ops/s\tachieved ops/s\tmean\tP99")
+	for _, wname := range workload.RealWorld {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		for i, e := range newEngines(o) {
+			res := runOne(e, w)
+			rep := platform.ModelFor(res)
+			perOp := rep.Seconds / float64(res.Ops)
+
+			// Batch granularity: CPU rounds, GPU kernels, DCART batches.
+			batch := o.Threads
+			switch EngineNames[i] {
+			case "CuART":
+				batch = 8192
+			case "DCART-C", "DCART":
+				batch = 4096
+			}
+			srv := sim.BatchServer{
+				MaxBatch: batch,
+				ServiceSeconds: func(n int) float64 {
+					return perOp * float64(n)
+				},
+			}
+			for _, frac := range []float64{0.2, 0.6, 0.9, 1.1} {
+				cap := sim.SaturationThroughput(srv)
+				lp := sim.RunOpenLoop(srv, cap*frac, 30_000, o.Seed+int64(100*frac))
+				fmt.Fprintf(tw, "%s\t%s\t%.0f%%\t%.3g\t%.3g\t%s\t%s\n",
+					wname, EngineNames[i], 100*frac,
+					lp.OfferedOpsPerSec, lp.AchievedOpsPerSec,
+					engTime(lp.MeanLatencySeconds), engTime(lp.P99LatencySeconds))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig11 prints the modeled energy of every solution and DCART's savings.
+// Paper claim: DCART saves 315.1-493.5x vs ART, 92.7-148.9x vs SMART,
+// 71.1-126.2x vs CuART, and 48.1-97.6x vs DCART-C.
+func Fig11(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tsolution\tenergy\tavg power\tDCART saving")
+	for _, wname := range workload.All {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		joules := make([]float64, len(EngineNames))
+		watts := make([]float64, len(EngineNames))
+		for i, e := range newEngines(o) {
+			res := runOne(e, w)
+			r := platform.ModelFor(res)
+			joules[i], watts[i] = r.Joules, r.Watts
+		}
+		dcart := joules[len(joules)-1]
+		for i, name := range EngineNames {
+			fmt.Fprintf(tw, "%s\t%s\t%.4g J\t%.0f W\t%.1fx\n",
+				wname, name, joules[i], watts[i], joules[i]/dcart)
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig12a prints modeled execution time as the number of concurrently
+// in-flight operations grows (IPGEO, all solutions). The concurrency knob
+// is each system's natural window: the CPU round / CAS window for the
+// baselines, the resident-lane count for the GPU, and the combining batch
+// for DCART-C and DCART. Paper claim: DCART's advantage grows with the
+// number of concurrent operations (more coalescing, while the baselines
+// contend more).
+func Fig12a(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	tw := table(o)
+	fmt.Fprintln(tw, "concurrent-ops\tsolution\ttime\tDCART speedup")
+	for _, conc := range []int{96, 384, 1536, 6144} {
+		cfg := engine.Config{Threads: conc, CacheBytes: o.cpuCacheBytes()}
+		engines := []engine.Engine{
+			baseline.NewART(cfg), baseline.NewHeart(cfg), baseline.NewSMART(cfg),
+			cuart.New(cuart.Config{Config: engine.Config{
+				Threads: conc, CacheBytes: 4 * o.cpuCacheBytes()}}),
+			ctt.New(ctt.Config{Config: cfg, BatchSize: conc}),
+			accel.New(accel.Config{BatchSize: conc}),
+		}
+		secs := make([]float64, len(EngineNames))
+		for i, e := range engines {
+			res := runOne(e, w)
+			if EngineNames[i] == "CuART" || EngineNames[i] == "DCART" {
+				secs[i] = platform.ModelFor(res).Seconds
+			} else {
+				secs[i] = modelWithThreads(res, conc).Seconds
+			}
+		}
+		dcart := secs[len(secs)-1]
+		for i, name := range EngineNames {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%.1fx\n", conc, name, engTime(secs[i]), secs[i]/dcart)
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig12b prints modeled execution time across the A-E read/write mixes
+// (IPGEO, all solutions). Paper claim: DCART's improvement grows as the
+// write ratio rises (more lock contention to remove).
+func Fig12b(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "mix\tsolution\ttime\tDCART speedup")
+	for _, mix := range workload.Mixes {
+		w, err := workload.Generate(o.spec(workload.IPGEO, mix.ReadRatio))
+		if err != nil {
+			return err
+		}
+		secs := make([]float64, len(EngineNames))
+		for i, e := range newEngines(o) {
+			res := runOne(e, w)
+			secs[i] = platform.ModelFor(res).Seconds
+		}
+		dcart := secs[len(secs)-1]
+		for i, name := range EngineNames {
+			fmt.Fprintf(tw, "%s (%.0f%%r)\t%s\t%s\t%.1fx\n",
+				mix.Name, 100*mix.ReadRatio, name, engTime(secs[i]), secs[i]/dcart)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Fig2a prints the execution-time breakdown (traversal / synchronization /
+// others) of the three CPU baselines over the six workloads. Paper claim:
+// >95.8% of SMART's time is traversal + synchronization.
+func Fig2a(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tsolution\ttraversal\tsync\tothers\ttotal")
+	for _, wname := range workload.All {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		for _, e := range newCPUBaselines(o) {
+			res := runOne(e, w)
+			r := platform.ModelFor(res)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+				wname, res.Name,
+				pct(r.Breakdown.Share(platform.PhaseTraversal)),
+				pct(r.Breakdown.Share(platform.PhaseSync)),
+				pct(r.Breakdown.Share(platform.PhaseOther)+r.Breakdown.Share(platform.PhaseCombine)),
+				engTime(r.Seconds))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig2b prints the fraction of traversed nodes that are redundant within
+// the concurrency window. Paper claim: 77.8-86.1% across baselines.
+func Fig2b(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tsolution\tredundant-nodes")
+	for _, wname := range workload.All {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		for _, e := range newCPUBaselines(o) {
+			res := runOne(e, w)
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", wname, res.Name, pct(res.RedundantRatio))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig2c prints the cache-line utilization of fetched index data. Paper
+// claim: 20.2% useful bytes per 64-byte line on average.
+func Fig2c(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tsolution\tline-utilization")
+	for _, wname := range workload.All {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		for _, e := range newCPUBaselines(o) {
+			res := runOne(e, w)
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", wname, res.Name, pct(res.LineUtilization))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig2d prints the synchronization share of execution time as the number
+// of concurrently in-flight operations grows (IPGEO). Paper claim: the
+// share rises from 16.2% to 62.1% for Heart/SMART and from 24.1% to
+// 71.3% for ART as concurrency increases.
+func Fig2d(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	tw := table(o)
+	fmt.Fprintln(tw, "concurrent-ops\tsolution\tsync-share\ttotal")
+	for _, conc := range []int{48, 96, 384, 1536, 6144} {
+		oo := o
+		oo.Threads = conc
+		for _, e := range newCPUBaselines(oo) {
+			res := runOne(e, w)
+			r := modelWithThreads(res, conc)
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n",
+				conc, res.Name, pct(r.Breakdown.Share(platform.PhaseSync)), engTime(r.Seconds))
+		}
+	}
+	return tw.Flush()
+}
+
+// modelWithThreads applies the CPU model at an explicit thread count (the
+// Fig 2(d)/12(a) concurrency sweeps go beyond the physical 96 cores:
+// in-flight operations queue on SMT/async runtimes, so parallel work is
+// still bounded by the socket pair while contention scales with the
+// window).
+func modelWithThreads(res *engine.Result, conc int) platform.Report {
+	m := platform.Xeon8468()
+	if conc < m.Threads {
+		m.Threads = conc
+	}
+	return m.Model(res)
+}
+
+// Fig2e prints execution time versus write ratio (IPGEO). Paper claim:
+// performance deteriorates rapidly as the write ratio increases.
+func Fig2e(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "write-ratio\tsolution\ttotal\tsync-share")
+	for _, wr := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		w, err := workload.Generate(o.spec(workload.IPGEO, 1-wr))
+		if err != nil {
+			return err
+		}
+		for _, e := range newCPUBaselines(o) {
+			res := runOne(e, w)
+			r := platform.ModelFor(res)
+			fmt.Fprintf(tw, "%.0f%%\t%s\t%s\t%s\n",
+				100*wr, res.Name, engTime(r.Seconds), pct(r.Breakdown.Share(platform.PhaseSync)))
+		}
+	}
+	return tw.Flush()
+}

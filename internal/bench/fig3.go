@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/art"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig3 characterizes the operation distribution of the real-world
+// workloads: operations per 8-bit key prefix (the paper's histogram, here
+// as the top prefixes plus summary statistics) and the access-skew claim
+// that a few percent of the nodes serve almost all tree traversals
+// (paper: >=96.65% of traversals touch 5% of nodes).
+func Fig3(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\thot prefixes (ops%)\thot-prefix/avg\ttop-5%-node traversal share")
+	for _, wname := range workload.RealWorld {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		hist := workload.PrefixHistogram(w.Ops)
+		type pc struct {
+			p byte
+			c int64
+		}
+		var total int64
+		var nonzero int
+		var list []pc
+		for p, c := range hist {
+			total += c
+			if c > 0 {
+				nonzero++
+				list = append(list, pc{byte(p), c})
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].c > list[j].c })
+		top := ""
+		for i := 0; i < 3 && i < len(list); i++ {
+			top += fmt.Sprintf("0x%02X:%.1f%% ", list[i].p, 100*float64(list[i].c)/float64(total))
+		}
+		avg := float64(total) / float64(nonzero)
+		ratio := float64(list[0].c) / avg
+
+		// Node-level access concentration: replay the stream on a plain
+		// ART with a per-node access counter.
+		tree := art.New()
+		counts := map[uint64]int64{}
+		tree.Load(w.Keys, nil)
+		tree.SetAccessHook(func(addr uint64, size int, kind art.NodeKind) {
+			counts[addr]++
+		})
+		for _, op := range w.Ops {
+			switch op.Kind {
+			case workload.Read:
+				tree.Get(op.Key)
+			case workload.Write:
+				tree.Put(op.Key, op.Value)
+			case workload.Delete:
+				tree.Delete(op.Key)
+			}
+		}
+		perNode := make([]int64, 0, len(counts))
+		for _, c := range counts {
+			perNode = append(perNode, c)
+		}
+		share := metrics.TopShare(perNode, 0.05)
+		fmt.Fprintf(tw, "%s\t%s\t%.1fx\t%s\n", wname, top, ratio, pct(share))
+	}
+	return tw.Flush()
+}

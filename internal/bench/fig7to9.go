@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Table1 prints the DCART configuration (paper Table I).
+func Table1(o Options) error {
+	o = o.defaults()
+	c := accel.Config{}.Defaults()
+	tw := table(o)
+	fmt.Fprintf(tw, "Units\t1x PCU, 1x Dispatcher, %dx SOUs\n", c.NumSOUs)
+	fmt.Fprintf(tw, "Scan_buffer\t%d KB\n", c.ScanBufBytes>>10)
+	fmt.Fprintf(tw, "Bucket_buffer\t%d MB\n", c.BucketBufBytes>>20)
+	fmt.Fprintf(tw, "Shortcut_buffer\t%d KB\n", c.ShortcutBufBytes>>10)
+	fmt.Fprintf(tw, "Tree_buffer\t%d MB\n", c.TreeBufBytes>>20)
+	fmt.Fprintf(tw, "Clock\t%.0f MHz\n", c.ClockHz/1e6)
+	fmt.Fprintf(tw, "Off-chip\t%s (%d cycles, %.0f B/cycle)\n",
+		c.HBM.Name, c.HBM.LatencyCycles, c.HBM.BytesPerCycle)
+	fmt.Fprintf(tw, "Bucket_Tables\t%d (8-bit prefix labels)\n", c.NumBuckets)
+	fmt.Fprintf(tw, "U280 estimate\t%s\n", c.Resources())
+	fmt.Fprintf(tw, "SOU headroom\t%d SOUs fit the U280 with these buffers\n",
+		accel.MaxSOUsOnU280(c))
+	return tw.Flush()
+}
+
+// counterFigure runs all six engines over all six workloads and prints one
+// counter, plus DCART's ratio against each baseline (the paper's headline
+// form for Figs 7 and 8).
+func counterFigure(o Options, counter string) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintf(tw, "workload\t%s\t%s\t%s\t%s\t%s\t%s\tDCART vs others\n",
+		EngineNames[0], EngineNames[1], EngineNames[2], EngineNames[3], EngineNames[4], EngineNames[5])
+	for _, wname := range workload.All {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		vals := make([]int64, len(EngineNames))
+		for i, e := range newEngines(o) {
+			res := runOne(e, w)
+			vals[i] = res.Metrics.Get(counter)
+		}
+		// The paper's ratio compares the data-centric designs (DCART-C and
+		// DCART) against the four operation-centric baselines.
+		dcart := float64(vals[len(vals)-1])
+		lo, hi := 1e18, 0.0
+		for _, v := range vals[:4] {
+			if v == 0 {
+				continue
+			}
+			r := dcart / float64(v)
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		if lo > hi {
+			lo, hi = 0, 0
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%-%.1f%%\n",
+			wname, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], 100*lo, 100*hi)
+	}
+	return tw.Flush()
+}
+
+// Fig7 prints the number of lock contentions per solution. Paper claim:
+// DCART-C and DCART induce only 3.2-19.7% of the baselines' contentions.
+func Fig7(o Options) error {
+	return counterFigure(o, metrics.CtrLockContention)
+}
+
+// Fig8 prints the number of partial key matches per solution. Paper
+// claim: DCART performs 3.2-5.7% of ART's, 6.5-14.3% of SMART's, and
+// 8.8-15.9% of CuART's matches.
+func Fig8(o Options) error {
+	return counterFigure(o, metrics.CtrKeyMatches)
+}
+
+// Fig9 prints the modeled execution time of every solution and DCART's
+// speedup over each. Paper claim: 123.8-151.7x vs ART, 35.9-44.2x vs
+// SMART, 21.1-31.2x vs CuART; DCART-C only slightly outperforms the
+// baselines.
+func Fig9(o Options) error {
+	o = o.defaults()
+	tw := table(o)
+	fmt.Fprintln(tw, "workload\tsolution\ttime\tthroughput\tDCART speedup")
+	for _, wname := range workload.All {
+		w, err := workload.Generate(o.spec(wname, 0.5))
+		if err != nil {
+			return err
+		}
+		secs := make([]float64, len(EngineNames))
+		for i, e := range newEngines(o) {
+			res := runOne(e, w)
+			r := platform.ModelFor(res)
+			secs[i] = r.Seconds
+		}
+		dcart := secs[len(secs)-1]
+		for i, name := range EngineNames {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.3g ops/s\t%.1fx\n",
+				wname, name, engTime(secs[i]), float64(o.NumOps)/secs[i], secs[i]/dcart)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// SweepSOUs varies the number of Shortcut-based Operating Units (the
+// paper fixes 16; this extension quantifies the scaling headroom and the
+// load-imbalance ceiling imposed by per-bucket dispatch).
+func SweepSOUs(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	tw := table(o)
+	fmt.Fprintln(tw, "SOUs\tcycles\tcycles/op\tthroughput\tspeedup vs 1")
+	var base int64
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		e := accel.New(accel.Config{NumSOUs: n, NumBuckets: n})
+		e.Load(w.Keys, nil)
+		e.Run(w.Ops)
+		cyc := e.Cycles()
+		if base == 0 {
+			base = cyc
+		}
+		sec := e.Seconds()
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.3g ops/s\t%.2fx\n",
+			n, cyc, float64(cyc)/float64(o.NumOps), float64(o.NumOps)/sec,
+			float64(base)/float64(cyc))
+	}
+	return tw.Flush()
+}
+
+// SweepBatch varies the PCU batch size: small batches waste the Fig 6
+// overlap and pipeline fill; huge batches delay operations (latency) and
+// stop fitting the Bucket_buffer.
+func SweepBatch(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	tw := table(o)
+	fmt.Fprintln(tw, "batch\tcycles\tcycles/op\tshortcut-hit\tcoalesced")
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		e := accel.New(accel.Config{BatchSize: n})
+		e.Load(w.Keys, nil)
+		res := e.Run(w.Ops)
+		hits := res.Metrics.Get(metrics.CtrShortcutHit)
+		miss := res.Metrics.Get(metrics.CtrShortcutMiss)
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%s\t%d\n",
+			n, e.Cycles(), float64(e.Cycles())/float64(o.NumOps),
+			pct(float64(hits)/float64(hits+miss)),
+			res.Metrics.Get(metrics.CtrCoalesced))
+	}
+	return tw.Flush()
+}
+
+// SweepPrefix varies the combining-prefix width. Narrow prefixes starve
+// the bucket tables of discrimination (everything collides); wide ones
+// fragment groups so less coalescing happens per bucket.
+func SweepPrefix(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	tw := table(o)
+	fmt.Fprintln(tw, "prefix-bits\tcycles\tcycles/op\tlock-acquire\tcontention")
+	for _, bits := range []int{4, 6, 8, 10, 12} {
+		e := accel.New(accel.Config{PrefixBits: bits})
+		e.Load(w.Keys, nil)
+		res := e.Run(w.Ops)
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%d\t%d\n",
+			bits, e.Cycles(), float64(e.Cycles())/float64(o.NumOps),
+			res.Metrics.Get(metrics.CtrLockAcquire),
+			res.Metrics.Get(metrics.CtrLockContention))
+	}
+	return tw.Flush()
+}
+
+// SweepTreeBuf varies the Tree_buffer capacity, comparing value-aware
+// and LRU management at each size (the §III-E design choice).
+func SweepTreeBuf(o Options) error {
+	o = o.defaults()
+	w, err := workload.Generate(o.spec(workload.IPGEO, 0.5))
+	if err != nil {
+		return err
+	}
+	tw := table(o)
+	fmt.Fprintln(tw, "tree-buffer\tpolicy\thit-ratio\tcycles/op\ttime")
+	for _, kb := range []int{64, 256, 1024, 4096} {
+		for _, lru := range []bool{false, true} {
+			e := accel.New(accel.Config{TreeBufBytes: kb << 10, UseLRUTreeBuffer: lru})
+			e.Load(w.Keys, nil)
+			res := e.Run(w.Ops)
+			policy := "value-aware"
+			if lru {
+				policy = "LRU"
+			}
+			rep := platform.U280().Model(res)
+			fmt.Fprintf(tw, "%dKB\t%s\t%s\t%.2f\t%s\n",
+				kb, policy, pct(res.CacheHitRatio),
+				float64(e.Cycles())/float64(o.NumOps), engTime(rep.Seconds))
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,435 @@
+// Package btree implements an in-memory B+ tree over binary-comparable
+// byte-string keys, the classical range-index design the DCART paper's
+// related-work section contrasts with ART: "B+tree suffers from write
+// amplification... ART has smaller write amplification because it does
+// not hold the entire keys in its internal nodes" (§V).
+//
+// The tree exists to validate that claim quantitatively (the extra-btree
+// experiment): it carries the same modeled-size instrumentation as
+// internal/art — every node has a modeled byte footprint, and mutations
+// accrue a bytes-written counter covering every node modified by the
+// operation (the write-amplification measure for page-based structures).
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Degree is the maximum number of keys per node. 2*Degree entries make a
+// classic page-sized node once keys are counted.
+const defaultDegree = 64
+
+// Tree is an in-memory B+ tree mapping byte keys to uint64 values.
+// Not safe for concurrent use.
+type Tree struct {
+	root   *node
+	size   int
+	degree int
+
+	// Instrumentation.
+	nodeAccesses int64
+	bytesWritten int64
+	splits       int64
+	merges       int64
+}
+
+// node is either a leaf (values != nil) or an internal node
+// (children != nil). Internal nodes hold len(children)-1 separator keys;
+// child i covers keys < keys[i], the last child covers the rest.
+type node struct {
+	keys     [][]byte
+	values   []uint64 // leaves only, parallel to keys
+	children []*node  // internal only
+	next     *node    // leaf chain for range scans
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// New returns an empty B+ tree with the default degree.
+func New() *Tree { return NewDegree(defaultDegree) }
+
+// NewDegree returns an empty tree with the given maximum keys per node
+// (minimum 4).
+func NewDegree(degree int) *Tree {
+	if degree < 4 {
+		degree = 4
+	}
+	return &Tree{degree: degree}
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// NodeAccesses returns the number of node visits so far.
+func (t *Tree) NodeAccesses() int64 { return t.nodeAccesses }
+
+// BytesWritten returns the modeled bytes written by mutations so far:
+// every modified node contributes its full modeled size (a page-based
+// structure rewrites the page).
+func (t *Tree) BytesWritten() int64 { return t.bytesWritten }
+
+// Splits and Merges return structural-operation counts.
+func (t *Tree) Splits() int64 { return t.splits }
+func (t *Tree) Merges() int64 { return t.merges }
+
+// ResetCounters zeroes the instrumentation.
+func (t *Tree) ResetCounters() {
+	t.nodeAccesses, t.bytesWritten, t.splits, t.merges = 0, 0, 0, 0
+}
+
+// modeledSize is the node's byte footprint: header + full keys (B+ trees
+// store whole keys in internal nodes too — the §V contrast with ART) +
+// values or child pointers.
+func (n *node) modeledSize() int {
+	s := 16
+	for _, k := range n.keys {
+		s += 2 + len(k)
+	}
+	if n.leaf() {
+		s += 8 * len(n.values)
+	} else {
+		s += 8 * len(n.children)
+	}
+	return s
+}
+
+func (t *Tree) access(n *node) { t.nodeAccesses++ }
+
+func (t *Tree) wrote(n *node) { t.bytesWritten += int64(n.modeledSize()) }
+
+// findChild returns the child index for key in an internal node.
+func (n *node) findChild(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(key, n.keys[i]) < 0
+	})
+}
+
+// findKey returns the position of key in a leaf and whether it is present.
+func (n *node) findKey(key []byte) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) >= 0
+	})
+	return i, i < len(n.keys) && bytes.Equal(n.keys[i], key)
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		t.access(n)
+		if n.leaf() {
+			if i, ok := n.findKey(key); ok {
+				return n.values[i], true
+			}
+			return 0, false
+		}
+		n = n.children[n.findChild(key)]
+	}
+	return 0, false
+}
+
+// Put stores value under key, reporting whether an existing value was
+// replaced.
+func (t *Tree) Put(key []byte, value uint64) bool {
+	if t.root == nil {
+		t.root = &node{keys: [][]byte{append([]byte(nil), key...)}, values: []uint64{value}}
+		t.size = 1
+		t.wrote(t.root)
+		return false
+	}
+	replaced, split, sepKey, right := t.insert(t.root, key, value)
+	if split {
+		// Root split: grow the tree by one level.
+		newRoot := &node{
+			keys:     [][]byte{sepKey},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+		t.wrote(newRoot)
+	}
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// insert descends to the leaf, splitting full children on the way back up.
+func (t *Tree) insert(n *node, key []byte, value uint64) (replaced, split bool, sepKey []byte, right *node) {
+	t.access(n)
+	if n.leaf() {
+		i, ok := n.findKey(key)
+		if ok {
+			n.values[i] = value
+			t.wrote(n)
+			return true, false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = append([]byte(nil), key...)
+		n.values = append(n.values, 0)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+		t.wrote(n)
+		if len(n.keys) > t.degree {
+			sep, r := t.splitLeaf(n)
+			return false, true, sep, r
+		}
+		return false, false, nil, nil
+	}
+
+	ci := n.findChild(key)
+	replaced, childSplit, childSep, childRight := t.insert(n.children[ci], key, value)
+	if childSplit {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = childSep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = childRight
+		t.wrote(n)
+		if len(n.keys) > t.degree {
+			sep, r := t.splitInternalReturn(n)
+			return replaced, true, sep, r
+		}
+	}
+	return replaced, false, nil, nil
+}
+
+// splitLeaf halves a leaf, returning the separator and the new right node.
+func (t *Tree) splitLeaf(n *node) ([]byte, *node) {
+	t.splits++
+	mid := len(n.keys) / 2
+	right := &node{
+		keys:   append([][]byte(nil), n.keys[mid:]...),
+		values: append([]uint64(nil), n.values[mid:]...),
+		next:   n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.values = n.values[:mid:mid]
+	n.next = right
+	t.wrote(n)
+	t.wrote(right)
+	return right.keys[0], right
+}
+
+// splitInternalReturn halves an internal node.
+func (t *Tree) splitInternalReturn(n *node) ([]byte, *node) {
+	t.splits++
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	t.wrote(n)
+	t.wrote(right)
+	return sep, right
+}
+
+// Delete removes key, reporting whether it was present. Underflowed nodes
+// borrow from or merge with siblings.
+func (t *Tree) Delete(key []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.remove(t.root, key)
+	if deleted {
+		t.size--
+		// Shrink the root when it degenerates.
+		if !t.root.leaf() && len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		} else if t.root.leaf() && len(t.root.keys) == 0 {
+			t.root = nil
+		}
+	}
+	return deleted
+}
+
+func (t *Tree) remove(n *node, key []byte) bool {
+	t.access(n)
+	if n.leaf() {
+		i, ok := n.findKey(key)
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.values = append(n.values[:i], n.values[i+1:]...)
+		t.wrote(n)
+		return true
+	}
+	ci := n.findChild(key)
+	child := n.children[ci]
+	if !t.remove(child, key) {
+		return false
+	}
+	// Rebalance an underflowed child (minimum occupancy degree/4 keeps
+	// rebalancing rare without hurting the experiment's fidelity).
+	minKeys := t.degree / 4
+	if childLen(child) >= minKeys {
+		return true
+	}
+	t.rebalance(n, ci)
+	return true
+}
+
+func childLen(n *node) int { return len(n.keys) }
+
+// rebalance fixes n.children[ci] by borrowing from a sibling or merging.
+func (t *Tree) rebalance(n *node, ci int) {
+	child := n.children[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 && childLen(n.children[ci-1]) > t.degree/4 {
+		left := n.children[ci-1]
+		if child.leaf() {
+			last := len(left.keys) - 1
+			child.keys = append([][]byte{left.keys[last]}, child.keys...)
+			child.values = append([]uint64{left.values[last]}, child.values...)
+			left.keys = left.keys[:last]
+			left.values = left.values[:last]
+			n.keys[ci-1] = child.keys[0]
+		} else {
+			last := len(left.keys) - 1
+			child.keys = append([][]byte{n.keys[ci-1]}, child.keys...)
+			child.children = append([]*node{left.children[last+1]}, child.children...)
+			n.keys[ci-1] = left.keys[last]
+			left.keys = left.keys[:last]
+			left.children = left.children[:last+1]
+		}
+		t.wrote(left)
+		t.wrote(child)
+		t.wrote(n)
+		return
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 && childLen(n.children[ci+1]) > t.degree/4 {
+		right := n.children[ci+1]
+		if child.leaf() {
+			child.keys = append(child.keys, right.keys[0])
+			child.values = append(child.values, right.values[0])
+			right.keys = right.keys[1:]
+			right.values = right.values[1:]
+			n.keys[ci] = right.keys[0]
+		} else {
+			child.keys = append(child.keys, n.keys[ci])
+			child.children = append(child.children, right.children[0])
+			n.keys[ci] = right.keys[0]
+			right.keys = right.keys[1:]
+			right.children = right.children[1:]
+		}
+		t.wrote(right)
+		t.wrote(child)
+		t.wrote(n)
+		return
+	}
+	// Merge with a sibling.
+	t.merges++
+	li := ci
+	if li == len(n.children)-1 {
+		li = ci - 1
+	}
+	if li < 0 {
+		return // single child; root shrink handles it
+	}
+	left, right := n.children[li], n.children[li+1]
+	if left.leaf() {
+		left.keys = append(left.keys, right.keys...)
+		left.values = append(left.values, right.values...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[li])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:li], n.keys[li+1:]...)
+	n.children = append(n.children[:li+1], n.children[li+2:]...)
+	t.wrote(left)
+	t.wrote(n)
+}
+
+// Walk visits all key/value pairs in ascending order via the leaf chain.
+func (t *Tree) Walk(fn func(key []byte, value uint64) bool) bool {
+	n := t.root
+	if n == nil {
+		return true
+	}
+	for !n.leaf() {
+		t.access(n)
+		n = n.children[0]
+	}
+	for n != nil {
+		t.access(n)
+		for i, k := range n.keys {
+			if !fn(k, n.values[i]) {
+				return false
+			}
+		}
+		n = n.next
+	}
+	return true
+}
+
+// AscendRange visits keys in [lo, hi] in ascending order (nil = open end).
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, value uint64) bool) bool {
+	n := t.root
+	if n == nil {
+		return true
+	}
+	for !n.leaf() {
+		t.access(n)
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[n.findChild(lo)]
+		}
+	}
+	for n != nil {
+		t.access(n)
+		for i, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(k, hi) > 0 {
+				return true
+			}
+			if !fn(k, n.values[i]) {
+				return false
+			}
+		}
+		n = n.next
+	}
+	return true
+}
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 0
+	n := t.root
+	for n != nil {
+		h++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// ModeledBytes sums the modeled size of all live nodes.
+func (t *Tree) ModeledBytes() int64 {
+	var total int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		total += int64(n.modeledSize())
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return total
+}

@@ -1,0 +1,200 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key64(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+func TestBasics(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("empty Get")
+	}
+	if tr.Put([]byte("a"), 1) {
+		t.Fatal("fresh Put replaced")
+	}
+	if !tr.Put([]byte("a"), 2) {
+		t.Fatal("overwrite not reported")
+	}
+	if v, ok := tr.Get([]byte("a")); !ok || v != 2 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if !tr.Delete([]byte("a")) || tr.Delete([]byte("a")) || tr.Len() != 0 {
+		t.Fatal("delete broken")
+	}
+}
+
+func TestSplitsAndOrder(t *testing.T) {
+	tr := NewDegree(8)
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, v := range perm {
+		tr.Put(key64(uint64(v)), uint64(v))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Splits() == 0 {
+		t.Fatal("no splits on 10k inserts at degree 8")
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d, implausibly flat", tr.Height())
+	}
+	i := uint64(0)
+	tr.Walk(func(k []byte, v uint64) bool {
+		if v != i || !bytes.Equal(k, key64(i)) {
+			t.Fatalf("walk position %d got %d", i, v)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("walk visited %d", i)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	tr := NewDegree(8)
+	rng := rand.New(rand.NewSource(2))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if !tr.Delete(key64(uint64(v))) {
+			t.Fatalf("Delete(%d) failed", v)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after full delete", tr.Len())
+	}
+	if tr.Merges() == 0 {
+		t.Fatal("no merges during teardown")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key64(uint64(i*2)), uint64(i*2))
+	}
+	var got []uint64
+	tr.AscendRange(key64(100), key64(120), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestQuickMapEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewDegree(6) // tiny degree: constant splitting/merging
+		ref := map[string]uint64{}
+		for i := 0; i < 3000; i++ {
+			k := make([]byte, 1+rng.Intn(6))
+			for j := range k {
+				k[j] = byte(rng.Intn(8))
+			}
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Uint64()
+				repl := tr.Put(k, v)
+				if _, had := ref[string(k)]; had != repl {
+					return false
+				}
+				ref[string(k)] = v
+			case 2:
+				v, ok := tr.Get(k)
+				rv, rok := ref[string(k)]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			case 3:
+				del := tr.Delete(k)
+				if _, had := ref[string(k)]; had != del {
+					return false
+				}
+				delete(ref, string(k))
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		for k, want := range ref {
+			if v, ok := tr.Get([]byte(k)); !ok || v != want {
+				return false
+			}
+		}
+		// Sorted, complete iteration.
+		var keys []string
+		tr.Walk(func(k []byte, v uint64) bool {
+			keys = append(keys, string(k))
+			return true
+		})
+		return len(keys) == len(ref) && sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAmplificationVsART(t *testing.T) {
+	// The §V claim this package exists to check: B+ trees rewrite
+	// page-sized nodes holding full keys, so their modeled bytes written
+	// per insert far exceed ART's (small adaptive nodes, key bytes only
+	// in leaves). The full experiment is `dcart-bench -exp extra-btree`;
+	// this is the invariant at test scale.
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	var keys [][]byte
+	for i := 0; i < 20000; i++ {
+		k := make([]byte, 16)
+		rng.Read(k)
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		tr.Put(k, 1)
+	}
+	perInsert := float64(tr.BytesWritten()) / float64(len(keys))
+	// A degree-64 node with 16-byte keys is ~1.5KB; each insert rewrites
+	// one, so hundreds of bytes per insert minimum.
+	if perInsert < 200 {
+		t.Fatalf("B+ write amplification %f bytes/insert implausibly low", perInsert)
+	}
+}
+
+func TestInstrumentationCounters(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), 1)
+	tr.Get([]byte("k"))
+	if tr.NodeAccesses() == 0 || tr.BytesWritten() == 0 {
+		t.Fatal("counters not accruing")
+	}
+	tr.ResetCounters()
+	if tr.NodeAccesses() != 0 || tr.BytesWritten() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if tr.ModeledBytes() <= 0 {
+		t.Fatal("modeled bytes")
+	}
+}

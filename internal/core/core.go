@@ -1,0 +1,109 @@
+// Package core is the public facade of the DCART reproduction: it
+// re-exports the index structures, the six evaluated engines, the
+// workload generators, and the platform models under one import, so a
+// downstream user (and the examples under examples/) can drive the
+// library without knowing its internal package layout.
+//
+// Three levels of API:
+//
+//   - Index level: NewTree returns an adaptive radix tree usable as a
+//     plain ordered key-value index; NewConcurrentTree returns the
+//     thread-safe variant.
+//   - Engine level: NewDCART, NewDCARTC, NewART, NewHeart, NewSMART, and
+//     NewCuART return the evaluated systems behind the common Engine
+//     interface (Load + Run over an operation stream).
+//   - Experiment level: the internal/bench package regenerates every
+//     table and figure of the paper; cmd/dcart-bench is its CLI.
+package core
+
+import (
+	"repro/internal/accel"
+	"repro/internal/art"
+	"repro/internal/baseline"
+	"repro/internal/ctt"
+	"repro/internal/cuart"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/olc"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Index types.
+type (
+	// Tree is a single-threaded adaptive radix tree (Leis et al.,
+	// ICDE'13) over binary-comparable byte-string keys.
+	Tree = art.Tree
+	// ConcurrentTree is the thread-safe ART with node-level lock
+	// coupling (the substrate of the paper's CPU baselines).
+	ConcurrentTree = olc.Tree
+	// NodeKind identifies the N4/N16/N48/N256/leaf layouts.
+	NodeKind = art.NodeKind
+)
+
+// NewTree returns an empty adaptive radix tree.
+func NewTree() *Tree { return art.New() }
+
+// NewConcurrentTree returns an empty thread-safe adaptive radix tree.
+// Pass nil to let the tree keep private metrics.
+func NewConcurrentTree(ms *metrics.Set) *ConcurrentTree { return olc.New(ms) }
+
+// Engine-level types.
+type (
+	// Engine is the interface all six evaluated systems implement.
+	Engine = engine.Engine
+	// EngineConfig is the shared modeled-execution configuration.
+	EngineConfig = engine.Config
+	// Result is an engine's measurement record.
+	Result = engine.Result
+	// Op is one operation of a workload stream.
+	Op = workload.Op
+	// Workload is a generated key set plus operation stream.
+	Workload = workload.Workload
+	// WorkloadSpec parameterizes workload generation.
+	WorkloadSpec = workload.Spec
+	// DCARTConfig is the accelerator's Table I configuration.
+	DCARTConfig = accel.Config
+	// CTTConfig parameterizes the software CTT engine.
+	CTTConfig = ctt.Config
+	// CuARTConfig parameterizes the GPU baseline model.
+	CuARTConfig = cuart.Config
+	// Report is a modeled time/energy outcome.
+	Report = platform.Report
+)
+
+// Operation kinds.
+const (
+	Read   = workload.Read
+	Write  = workload.Write
+	Delete = workload.Delete
+)
+
+// NewDCART returns the DCART accelerator simulator (the paper's
+// contribution) with Table I defaults for any zero field.
+func NewDCART(cfg DCARTConfig) Engine { return accel.New(cfg) }
+
+// NewDCARTC returns the software CTT engine (DCART-C).
+func NewDCARTC(cfg CTTConfig) Engine { return ctt.New(cfg) }
+
+// NewART returns the lock-based concurrent ART baseline [9].
+func NewART(cfg EngineConfig) Engine { return baseline.NewART(cfg) }
+
+// NewHeart returns the CAS-based Heart baseline [17].
+func NewHeart(cfg EngineConfig) Engine { return baseline.NewHeart(cfg) }
+
+// NewSMART returns the SMART baseline [11].
+func NewSMART(cfg EngineConfig) Engine { return baseline.NewSMART(cfg) }
+
+// NewCuART returns the GPU (SIMT batch) baseline [6].
+func NewCuART(cfg CuARTConfig) Engine { return cuart.New(cfg) }
+
+// GenerateWorkload builds one of the six paper workloads (IPGEO, DICT,
+// EA, DE, RS, RD).
+func GenerateWorkload(spec WorkloadSpec) (*Workload, error) {
+	return workload.Generate(spec)
+}
+
+// Model converts an engine result into modeled time and energy on the
+// paper's testbed for that engine (Xeon / A100 / U280).
+func Model(res *Result) Report { return platform.ModelFor(res) }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestTreeFacade(t *testing.T) {
+	tr := NewTree()
+	tr.Put([]byte("a"), 1)
+	tr.Put([]byte("b"), 2)
+	if v, ok := tr.Get([]byte("a")); !ok || v != 1 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestConcurrentTreeFacade(t *testing.T) {
+	ms := metrics.NewSet()
+	tr := NewConcurrentTree(ms)
+	tr.Put([]byte("x"), 9)
+	if v, ok := tr.Get([]byte("x")); !ok || v != 9 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if ms.Get(metrics.CtrOpsWrite) != 1 {
+		t.Fatal("metrics not wired")
+	}
+	if NewConcurrentTree(nil) == nil {
+		t.Fatal("nil metrics should still construct")
+	}
+}
+
+// TestAllEnginesThroughFacade drives every evaluated system through the
+// facade on one workload and checks each produced consistent results and
+// a positive modeled time.
+func TestAllEnginesThroughFacade(t *testing.T) {
+	w, err := GenerateWorkload(WorkloadSpec{
+		Name: workload.IPGEO, NumKeys: 2000, NumOps: 10000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]Engine{
+		"ART":     NewART(EngineConfig{}),
+		"Heart":   NewHeart(EngineConfig{}),
+		"SMART":   NewSMART(EngineConfig{}),
+		"CuART":   NewCuART(CuARTConfig{}),
+		"DCART-C": NewDCARTC(CTTConfig{}),
+		"DCART":   NewDCART(DCARTConfig{}),
+	}
+	for name, e := range engines {
+		e.Load(w.Keys, nil)
+		res := e.Run(w.Ops)
+		if res.Ops != len(w.Ops) {
+			t.Fatalf("%s: ops = %d", name, res.Ops)
+		}
+		rep := Model(res)
+		if rep.Seconds <= 0 || rep.Joules <= 0 {
+			t.Fatalf("%s: modeled %+v", name, rep)
+		}
+	}
+}
+
+func TestGenerateWorkloadErrors(t *testing.T) {
+	if _, err := GenerateWorkload(WorkloadSpec{Name: "BOGUS"}); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestOpKindsExported(t *testing.T) {
+	if Read == Write || Write == Delete {
+		t.Fatal("op kind constants collide")
+	}
+}

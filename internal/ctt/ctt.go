@@ -1,0 +1,533 @@
+// Package ctt implements DCART-C: the software-only version of the
+// paper's data-centric Combine-Traverse-Trigger processing model (§II-C,
+// §IV-A), running on the art substrate.
+//
+// The engine processes the operation stream in batches. Each batch passes
+// through the three CTT phases:
+//
+//  1. Combine — operations are assigned to one of NumBuckets disjoint
+//     bucket tables by the leading PrefixBits bits of their key, so all
+//     operations that can target the same ART nodes share a bucket.
+//  2. Traverse — each bucket is processed by one logical worker. Within a
+//     bucket, operations on the same key form a group; the worker locates
+//     the group's target node once — via the software Shortcut_Table
+//     (<key, target-node, parent-node>) when possible, via one top-down
+//     traversal otherwise.
+//  3. Trigger — all operations of the group execute together against the
+//     located node, acquiring that node's lock once for the whole group.
+//
+// Because buckets are disjoint by key prefix, two workers can conflict
+// only on nodes shared across prefixes (near the root); the engine counts
+// those residual conflicts as lock contention, reproducing the paper's
+// observation that CTT removes 80-97% of lock contention (Fig 7).
+//
+// The software model pays for its gains with bookkeeping that the paper's
+// hardware hides: per-op combining steps and Shortcut_Table maintenance
+// are counted separately (CtrCombineSteps, CtrShortcutMaintain) and
+// charged by the CPU timing model, which is why DCART-C only slightly
+// outperforms SMART in Fig 9 while DCART (the FPGA) is far ahead.
+package ctt
+
+import (
+	"repro/internal/art"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the CTT engine.
+type Config struct {
+	engine.Config
+	// BatchSize is the number of operations combined per CTT batch
+	// (default 4096).
+	BatchSize int
+	// NumBuckets is the number of disjoint bucket tables (default 16,
+	// matching the paper's sixteen Bucket_Tables / SOUs).
+	NumBuckets int
+	// PrefixBits is the number of leading key bits used as the combining
+	// prefix (default 8, "the first 8 bits of the key" per §III-B).
+	PrefixBits int
+	// DisableShortcuts turns off the Shortcut_Table (ablation).
+	DisableShortcuts bool
+	// DisableCombining processes each operation as its own group
+	// (ablation: traversal sharing and lock coalescing disappear).
+	DisableCombining bool
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	c.Config = c.Config.Defaults()
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.NumBuckets <= 0 {
+		c.NumBuckets = 16
+	}
+	if c.PrefixBits <= 0 || c.PrefixBits > 16 {
+		c.PrefixBits = 8
+	}
+	return c
+}
+
+// shortcutEntry is one Shortcut_Table record.
+type shortcutEntry struct {
+	target art.NodeRef
+	parent art.NodeRef
+}
+
+// Engine is the DCART-C software engine.
+type Engine struct {
+	name string
+	cfg  Config
+
+	tree    *art.Tree
+	ms      *metrics.Set
+	red     *metrics.RedundancyTracker
+	lineUse *mem.LineUseTracker
+
+	shortcuts map[string]shortcutEntry
+	byAddr    map[uint64][]string // target addr -> keys, for invalidation
+
+	// prefixSkip is the number of leading bytes shared by every loaded
+	// key; the combining prefix starts after them (a host-configured
+	// register in the hardware analogue).
+	prefixSkip int
+
+	measuring bool
+	// suppressAccess is set while triggering the 2nd..nth operation of a
+	// coalesced group: the target node is already at hand, so those
+	// operations cause no additional fetches or key matches.
+	suppressAccess bool
+	// jumpAccess is set during shortcut-based GetAt/PutAt: the fetches
+	// still happen (and are charged) but no partial-key matching runs —
+	// the shortcut replaces the radix descent (Fig 8's metric).
+	jumpAccess bool
+}
+
+// New returns a DCART-C engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.Defaults()
+	e := &Engine{
+		name:      "DCART-C",
+		cfg:       cfg,
+		tree:      art.New(art.WithRegistry()),
+		ms:        metrics.NewSet(),
+		shortcuts: make(map[string]shortcutEntry),
+		byAddr:    make(map[uint64][]string),
+	}
+	e.newTrackers()
+	e.tree.SetAccessHook(e.onAccess)
+	e.tree.SetReplaceHook(e.onReplace)
+	e.tree.SetPrefixHook(e.onPrefixChange)
+	return e
+}
+
+func (e *Engine) newTrackers() {
+	e.red = metrics.NewRedundancyTracker(e.cfg.NumBuckets)
+	e.lineUse = mem.NewLineUseTracker(e.cfg.CacheBytes, e.cfg.LineSize)
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return e.name }
+
+// Tree exposes the index for verification.
+func (e *Engine) Tree() *art.Tree { return e.tree }
+
+// Metrics returns the live counter set.
+func (e *Engine) Metrics() *metrics.Set { return e.ms }
+
+// ShortcutCount returns the live Shortcut_Table population.
+func (e *Engine) ShortcutCount() int { return len(e.shortcuts) }
+
+func (e *Engine) onAccess(addr uint64, size int, kind art.NodeKind) {
+	if !e.measuring || e.suppressAccess {
+		return
+	}
+	if !e.jumpAccess {
+		e.ms.Inc(metrics.CtrKeyMatches)
+	}
+	e.ms.Inc(metrics.CtrNodeAccesses)
+	if e.red.Touch(addr) {
+		e.ms.Inc(metrics.CtrRedundantNodes)
+	}
+	// Same CPU line-touch model as the baselines: header/probe bytes plus
+	// the child-slot line for big nodes.
+	useful := 18
+	if kind == art.Leaf {
+		useful = size - 16
+		if useful < 9 {
+			useful = 9
+		}
+	} else if kind == art.Node16 {
+		useful = 34
+	}
+	e.lineUse.Access(addr, useful)
+	if size > e.cfg.LineSize {
+		e.lineUse.Access(addr+uint64(size)/2, 8)
+	}
+}
+
+// onReplace keeps the Shortcut_Table coherent across node replacement.
+// A grow/shrink (newAddr != 0) rewrites affected entries to the new
+// address — the paper's "the corresponding entry in Shortcut_Table needs
+// to be updated when this operation causes a change in the type of
+// Node_X" — since the node's consumed depth is unchanged. A free
+// (newAddr == 0) drops the entries.
+func (e *Engine) onReplace(oldAddr, newAddr uint64) {
+	if newAddr == 0 {
+		e.invalidate(oldAddr)
+		return
+	}
+	keys, ok := e.byAddr[oldAddr]
+	if !ok {
+		return
+	}
+	delete(e.byAddr, oldAddr)
+	for _, k := range keys {
+		sc, ok := e.shortcuts[k]
+		if !ok || sc.target.Addr != oldAddr {
+			continue
+		}
+		sc.target.Addr = newAddr
+		e.shortcuts[k] = sc
+		e.byAddr[newAddr] = append(e.byAddr[newAddr], k)
+		if e.measuring {
+			e.ms.Inc(metrics.CtrShortcutMaintain)
+		}
+	}
+}
+
+// onPrefixChange drops entries whose recorded depth went stale.
+func (e *Engine) onPrefixChange(addr uint64) {
+	e.invalidate(addr)
+}
+
+func (e *Engine) invalidate(addr uint64) {
+	keys, ok := e.byAddr[addr]
+	if !ok {
+		return
+	}
+	delete(e.byAddr, addr)
+	for _, k := range keys {
+		if sc, ok := e.shortcuts[k]; ok && sc.target.Addr == addr {
+			delete(e.shortcuts, k)
+			if e.measuring {
+				e.ms.Inc(metrics.CtrShortcutMaintain)
+			}
+		}
+	}
+}
+
+func (e *Engine) storeShortcut(key string, sc shortcutEntry) {
+	if old, ok := e.shortcuts[key]; ok && old.target.Addr == sc.target.Addr {
+		e.shortcuts[key] = sc
+		e.ms.Inc(metrics.CtrShortcutMaintain)
+		return
+	}
+	e.shortcuts[key] = sc
+	e.byAddr[sc.target.Addr] = append(e.byAddr[sc.target.Addr], key)
+	e.ms.Inc(metrics.CtrShortcutMaintain)
+}
+
+// Load implements engine.Engine. Loading also derives the combining
+// prefix position: leading bytes common to the whole key set carry no
+// information, so the PCU prefix starts after them.
+func (e *Engine) Load(keys [][]byte, values []uint64) {
+	e.measuring = false
+	e.prefixSkip = commonPrefixLenAll(keys)
+	e.tree.Load(keys, values)
+}
+
+// Reset implements engine.Engine. The Shortcut_Table persists (it is part
+// of the index state, not a measurement).
+func (e *Engine) Reset() {
+	e.ms.Reset()
+	e.newTrackers()
+}
+
+// bucketOf maps a key to its bucket table: the PrefixBits-bit key prefix
+// (taken after the key set's common leading bytes, which carry no
+// information — e.g. the zero high bytes of dense integer keys), assigned
+// to bucket labels round-robin so populous adjacent prefixes (ASCII
+// letters, IPv4 hot ranges) spread across the tables.
+func (e *Engine) bucketOf(key []byte) int {
+	i := e.prefixSkip
+	var b0, b1 byte
+	if i < len(key) {
+		b0 = key[i]
+	}
+	if i+1 < len(key) {
+		b1 = key[i+1]
+	}
+	v := uint32(b0)<<8 | uint32(b1)
+	prefix := v >> uint(16-e.cfg.PrefixBits)
+	return int(prefix) % e.cfg.NumBuckets
+}
+
+// commonPrefixLenAll returns the length of the byte prefix shared by every
+// key (capped so at least one varying byte remains).
+func commonPrefixLenAll(keys [][]byte) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	cp := len(keys[0])
+	for _, k := range keys[1:] {
+		n := cp
+		if len(k) < n {
+			n = len(k)
+		}
+		i := 0
+		for i < n && k[i] == keys[0][i] {
+			i++
+		}
+		cp = i
+		if cp == 0 {
+			return 0
+		}
+	}
+	if cp > 0 && cp >= len(keys[0]) {
+		cp = len(keys[0]) - 1
+	}
+	return cp
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(ops []workload.Op) *engine.Result {
+	e.measuring = true
+	defer func() { e.measuring = false }()
+
+	res := &engine.Result{Name: e.name, Ops: len(ops), Metrics: e.ms}
+	for start := 0; start < len(ops); start += e.cfg.BatchSize {
+		end := start + e.cfg.BatchSize
+		if end > len(ops) {
+			end = len(ops)
+		}
+		e.runBatch(ops[start:end], start, res)
+	}
+	res.RedundantRatio = e.red.Ratio()
+	res.LineUtilization = e.lineUse.Utilization()
+	res.CacheHitRatio = e.lineUse.Stats().HitRatio()
+	res.OffchipBytes = e.lineUse.FetchedBytes()
+	return res
+}
+
+// group is a set of same-key operations coalesced within one bucket.
+type group struct {
+	key []byte
+	ops []int // batch-relative op indices, in stream order
+}
+
+// runBatch performs Combine, then Traverse+Trigger per bucket.
+func (e *Engine) runBatch(batch []workload.Op, base int, res *engine.Result) {
+	// --- Combine: bucketize by prefix (the PCU's job). -------------------
+	buckets := make([][]int, e.cfg.NumBuckets)
+	for i := range batch {
+		b := e.bucketOf(batch[i].Key)
+		buckets[b] = append(buckets[b], i)
+		e.ms.Inc(metrics.CtrCombineSteps)
+	}
+
+	// conflictTargets maps each write-group's target node to the set of
+	// buckets (logically parallel workers) that locked it this batch.
+	// Groups within one bucket execute serially on one worker and never
+	// contend with each other — contention is a cross-worker event.
+	conflictTargets := make(map[uint64]map[int]bool)
+
+	// --- Traverse + Trigger: one logical worker per bucket. --------------
+	for bi, bucket := range buckets {
+		for _, g := range e.groupByKey(batch, bucket) {
+			e.execGroup(batch, g, base, bi, conflictTargets, res)
+		}
+	}
+
+	for _, owners := range conflictTargets {
+		if n := len(owners); n > 1 {
+			e.ms.Add(metrics.CtrLockContention, int64(n-1))
+		}
+	}
+}
+
+// groupByKey coalesces a bucket's operations by key, preserving
+// first-appearance order across groups and stream order within a group.
+func (e *Engine) groupByKey(batch []workload.Op, bucket []int) []group {
+	if e.cfg.DisableCombining {
+		out := make([]group, 0, len(bucket))
+		for _, i := range bucket {
+			out = append(out, group{key: batch[i].Key, ops: []int{i}})
+		}
+		return out
+	}
+	idx := make(map[string]int, len(bucket))
+	var out []group
+	for _, i := range bucket {
+		ks := string(batch[i].Key)
+		if gi, ok := idx[ks]; ok {
+			out[gi].ops = append(out[gi].ops, i)
+			continue
+		}
+		idx[ks] = len(out)
+		out = append(out, group{key: batch[i].Key, ops: []int{i}})
+	}
+	return out
+}
+
+// execGroup locates the group's target node (shortcut or traversal) and
+// triggers all of its operations together.
+func (e *Engine) execGroup(batch []workload.Op, g group, base, bucket int,
+	conflictTargets map[uint64]map[int]bool, res *engine.Result) {
+
+	ks := string(g.key)
+	hasWrite := false
+	for _, oi := range g.ops {
+		if batch[oi].Kind != workload.Read {
+			hasWrite = true
+			break
+		}
+	}
+
+	// --- locate the target ----------------------------------------------
+	var ref shortcutEntry
+	haveRef := false
+	fromShortcut := false
+	if !e.cfg.DisableShortcuts {
+		if sc, ok := e.shortcuts[ks]; ok {
+			ref = sc
+			haveRef = true
+			fromShortcut = true
+			e.ms.Inc(metrics.CtrShortcutHit)
+		} else {
+			e.ms.Inc(metrics.CtrShortcutMiss)
+		}
+	}
+	if !haveRef {
+		e.red.NextOp()
+		if target, parent, ok := e.tree.Locate(g.key); ok {
+			ref = shortcutEntry{target: target, parent: parent}
+			haveRef = true
+		}
+	}
+
+	// --- trigger ----------------------------------------------------------
+	if hasWrite {
+		// One lock acquisition serves the whole group (§II-C Obs. 1).
+		e.ms.Inc(metrics.CtrLockAcquire)
+		if haveRef {
+			owners := conflictTargets[ref.target.Addr]
+			if owners == nil {
+				owners = make(map[int]bool, 1)
+				conflictTargets[ref.target.Addr] = owners
+			}
+			owners[bucket] = true
+		}
+	}
+
+	applied := false
+	if haveRef {
+		applied = e.applyViaRef(batch, g, base, &ref, fromShortcut, res)
+	}
+	if !applied {
+		// Fallback: direct per-op execution (tree empty, bare-leaf root,
+		// prefix-split insert, or a stale shortcut that failed
+		// re-validation mid-group).
+		if fromShortcut {
+			delete(e.shortcuts, ks)
+			e.ms.Inc(metrics.CtrShortcutMaintain)
+		}
+		e.applyDirect(batch, g, base, res)
+		// Re-locate to (re)generate the shortcut for future groups.
+		if !e.cfg.DisableShortcuts {
+			if target, parent, ok := e.tree.Locate(g.key); ok {
+				e.storeShortcut(ks, shortcutEntry{target: target, parent: parent})
+			}
+		}
+		return
+	}
+	if !e.cfg.DisableShortcuts {
+		e.storeShortcut(ks, ref)
+	}
+
+	// Coalesced ops beyond the first are the model's savings.
+	if n := len(g.ops) - 1; n > 0 {
+		e.ms.Add(metrics.CtrCoalesced, int64(n))
+	}
+}
+
+// applyViaRef executes the group's ops against the located node. Returns
+// false when the reference went stale and nothing beyond already-applied
+// reads happened (writes re-validate before mutating, so a false return
+// can safely fall back to direct execution).
+func (e *Engine) applyViaRef(batch []workload.Op, g group, base int,
+	ref *shortcutEntry, fromShortcut bool, res *engine.Result) bool {
+
+	e.jumpAccess = fromShortcut
+	defer func() { e.jumpAccess = false }()
+	for gi, oi := range g.ops {
+		op := &batch[oi]
+		e.red.NextOp()
+		// The first operation of the group fetches the target node (and
+		// leaf); the coalesced rest execute on the already-fetched node —
+		// the Trigger_Operation stage performs them together, so they add
+		// no node fetches or key matches.
+		if gi > 0 {
+			e.suppressAccess = true
+		}
+		switch op.Kind {
+		case workload.Read:
+			e.ms.Inc(metrics.CtrOpsRead)
+			v, found, valid := e.tree.GetAt(ref.target, op.Key)
+			if !valid {
+				e.suppressAccess = false
+				return false
+			}
+			if e.cfg.CollectReads {
+				res.Reads = append(res.Reads,
+					engine.ReadResult{Index: base + oi, Value: v, OK: found})
+			}
+		case workload.Write:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			pr := e.tree.PutAt(ref.target, ref.parent, op.Key, op.Value)
+			if !pr.Valid {
+				e.suppressAccess = false
+				return false
+			}
+			if pr.TargetChanged {
+				// A structural change mid-group does cause new fetches;
+				// stop suppressing for the remainder.
+				e.suppressAccess = false
+				ref.target = pr.NewTarget
+				e.ms.Inc(metrics.CtrShortcutMaintain)
+			}
+		case workload.Delete:
+			// Deletes restructure arbitrarily; always direct.
+			e.suppressAccess = false
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.tree.Delete(op.Key)
+		}
+	}
+	e.suppressAccess = false
+	return true
+}
+
+// applyDirect executes the group's ops with plain traversals.
+func (e *Engine) applyDirect(batch []workload.Op, g group, base int, res *engine.Result) {
+	for _, oi := range g.ops {
+		op := &batch[oi]
+		e.red.NextOp()
+		switch op.Kind {
+		case workload.Read:
+			e.ms.Inc(metrics.CtrOpsRead)
+			v, ok := e.tree.Get(op.Key)
+			if e.cfg.CollectReads {
+				res.Reads = append(res.Reads,
+					engine.ReadResult{Index: base + oi, Value: v, OK: ok})
+			}
+		case workload.Write:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.tree.Put(op.Key, op.Value)
+		case workload.Delete:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.tree.Delete(op.Key)
+		}
+	}
+}

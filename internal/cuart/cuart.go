@@ -1,0 +1,258 @@
+// Package cuart models CuART (Koppehel et al., ICPP'21): a CUDA-based
+// radix-tree lookup and update engine, the paper's GPU baseline.
+//
+// CuART executes operations in bulk: the host batches operations into
+// kernel launches; on the device, each warp of 32 lanes traverses the tree
+// in SIMT lockstep, one operation per lane. The model reproduces the three
+// properties that determine CuART's behaviour in the paper's figures:
+//
+//   - batching amortizes per-operation overhead but every lane still
+//     performs its own top-down traversal — no cross-lane coalescing, so
+//     partial-key matches stay high (Fig 8);
+//   - lockstep execution makes a warp as slow as its deepest lane; the
+//     wasted lane-steps are counted (CtrWarpSteps) and charged by the GPU
+//     timing model;
+//   - updates use global-memory atomics (CAS on leaf slots); conflicting
+//     atomics within the device's concurrent window are counted as
+//     contention (Fig 7).
+//
+// Execution is functional and deterministic on the art substrate; lanes
+// within a warp execute in lane order, which is one valid SIMT serial
+// schedule.
+package cuart
+
+import (
+	"repro/internal/art"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Extra counters specific to the GPU model.
+const (
+	// CtrWarpSteps counts lockstep traversal steps summed over warps
+	// (each step costs all 32 lanes a cycle, useful or not).
+	CtrWarpSteps = "warp_steps"
+	// CtrKernelLaunches counts host-side kernel launches.
+	CtrKernelLaunches = "kernel_launches"
+	// CtrMaskedLaneSteps counts lane-steps wasted to divergence (lanes
+	// idling while their warp finishes deeper traversals).
+	CtrMaskedLaneSteps = "masked_lane_steps"
+)
+
+// Config parameterizes the CuART model.
+type Config struct {
+	engine.Config
+	// BatchSize is the number of operations per kernel launch (default
+	// 65536; CuART streams large batches to keep the device busy).
+	BatchSize int
+	// WarpWidth is the SIMT width (32 on NVIDIA hardware).
+	WarpWidth int
+}
+
+// Defaults fills unset fields. The GPU's concurrent window (for conflict
+// accounting) defaults to 2048 resident lanes, its cache model to an
+// A100-like 40 MB L2 with 128-byte lines.
+func (c Config) Defaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 2048
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 40 << 20
+	}
+	if c.LineSize <= 0 {
+		c.LineSize = 128
+	}
+	c.Config = c.Config.Defaults()
+	if c.BatchSize <= 0 {
+		c.BatchSize = 65536
+	}
+	if c.WarpWidth <= 0 {
+		c.WarpWidth = 32
+	}
+	return c
+}
+
+// Engine is the modeled CuART engine.
+type Engine struct {
+	name string
+	cfg  Config
+
+	tree    *art.Tree
+	ms      *metrics.Set
+	red     *metrics.RedundancyTracker
+	lineUse *mem.LineUseTracker
+
+	measuring bool
+	opDepth   int64 // node accesses by the op in flight
+	lastLeaf  uint64
+
+	// Sliding-window atomic-conflict tracking over the device's resident
+	// lanes (Threads).
+	lastWriter map[uint64]int
+	opIndex    int
+}
+
+// New returns a CuART engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.Defaults()
+	e := &Engine{
+		name: "CuART",
+		cfg:  cfg,
+		tree: art.New(),
+		ms:   metrics.NewSet(CtrWarpSteps, CtrKernelLaunches, CtrMaskedLaneSteps),
+	}
+	e.newTrackers()
+	e.tree.SetAccessHook(e.onAccess)
+	return e
+}
+
+func (e *Engine) newTrackers() {
+	// See baseline.newTrackers: redundancy is judged over the on-chip
+	// residency window, several times the resident-lane count.
+	e.red = metrics.NewRedundancyTracker(4 * e.cfg.Threads)
+	e.lineUse = mem.NewLineUseTracker(e.cfg.CacheBytes, e.cfg.LineSize)
+	e.lastWriter = make(map[uint64]int)
+	e.opIndex = 0
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return e.name }
+
+// Tree exposes the index for verification.
+func (e *Engine) Tree() *art.Tree { return e.tree }
+
+// Metrics returns the live counter set.
+func (e *Engine) Metrics() *metrics.Set { return e.ms }
+
+func (e *Engine) onAccess(addr uint64, size int, kind art.NodeKind) {
+	if !e.measuring {
+		return
+	}
+	e.ms.Inc(metrics.CtrKeyMatches)
+	e.ms.Inc(metrics.CtrNodeAccesses)
+	e.opDepth++
+	if e.red.Touch(addr) {
+		e.ms.Inc(metrics.CtrRedundantNodes)
+	}
+	// A lane reads the header/probe bytes and one child slot, not the
+	// whole node (same touch model as the CPU baselines, 128B lines).
+	useful := 18
+	if kind == art.Leaf {
+		useful = size - 16
+		if useful < 9 {
+			useful = 9
+		}
+	}
+	e.lineUse.Access(addr, useful)
+	if size > e.cfg.LineSize {
+		e.lineUse.Access(addr+uint64(size)/2, 8)
+	}
+	if kind == art.Leaf {
+		e.lastLeaf = addr
+	}
+}
+
+// Load implements engine.Engine.
+func (e *Engine) Load(keys [][]byte, values []uint64) {
+	e.measuring = false
+	e.tree.Load(keys, values)
+}
+
+// Reset implements engine.Engine.
+func (e *Engine) Reset() {
+	e.ms.Reset()
+	e.newTrackers()
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(ops []workload.Op) *engine.Result {
+	e.measuring = true
+	defer func() { e.measuring = false }()
+
+	res := &engine.Result{Name: e.name, Ops: len(ops), Metrics: e.ms}
+	for start := 0; start < len(ops); start += e.cfg.BatchSize {
+		end := start + e.cfg.BatchSize
+		if end > len(ops) {
+			end = len(ops)
+		}
+		e.runKernel(ops[start:end], start, res)
+	}
+	res.RedundantRatio = e.red.Ratio()
+	res.LineUtilization = e.lineUse.Utilization()
+	res.CacheHitRatio = e.lineUse.Stats().HitRatio()
+	res.OffchipBytes = e.lineUse.FetchedBytes()
+	return res
+}
+
+// runKernel models one kernel launch over a batch.
+func (e *Engine) runKernel(batch []workload.Op, base int, res *engine.Result) {
+	e.ms.Inc(CtrKernelLaunches)
+	for w := 0; w < len(batch); w += e.cfg.WarpWidth {
+		wEnd := w + e.cfg.WarpWidth
+		if wEnd > len(batch) {
+			wEnd = len(batch)
+		}
+		e.runWarp(batch[w:wEnd], base+w, res)
+	}
+}
+
+// noteAtomic records an atomic RMW on a leaf slot and counts a conflict
+// when another atomic hit the same slot within the resident-lane window.
+func (e *Engine) noteAtomic(target uint64) {
+	if target == 0 {
+		return
+	}
+	if last, ok := e.lastWriter[target]; ok && e.opIndex-last <= e.cfg.Threads {
+		e.ms.Inc(metrics.CtrLockContention)
+	}
+	e.lastWriter[target] = e.opIndex
+}
+
+// runWarp executes up to WarpWidth lanes in lockstep: each lane runs its
+// own traversal; the warp's cost is its deepest lane.
+func (e *Engine) runWarp(lanes []workload.Op, base int, res *engine.Result) {
+
+	maxDepth := int64(0)
+	var depths [64]int64 // WarpWidth <= 64 in any sane config
+	for i := range lanes {
+		op := &lanes[i]
+		e.red.NextOp()
+		e.opIndex++
+		e.opDepth = 0
+		e.lastLeaf = 0
+		switch op.Kind {
+		case workload.Read:
+			e.ms.Inc(metrics.CtrOpsRead)
+			v, ok := e.tree.Get(op.Key)
+			if e.cfg.CollectReads {
+				res.Reads = append(res.Reads,
+					engine.ReadResult{Index: base + i, Value: v, OK: ok})
+			}
+		case workload.Write:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.tree.Put(op.Key, op.Value)
+			// GPU update: CAS on the leaf slot.
+			e.ms.Inc(metrics.CtrAtomicOps)
+			e.noteAtomic(e.lastLeaf)
+		case workload.Delete:
+			e.ms.Inc(metrics.CtrOpsWrite)
+			e.tree.Delete(op.Key)
+			e.ms.Inc(metrics.CtrAtomicOps)
+		}
+		if i < len(depths) {
+			depths[i] = e.opDepth
+		}
+		if e.opDepth > maxDepth {
+			maxDepth = e.opDepth
+		}
+	}
+	// Lockstep: the warp advances maxDepth steps; shallower lanes idle.
+	e.ms.Add(CtrWarpSteps, maxDepth)
+	for i := range lanes {
+		if i < len(depths) {
+			e.ms.Add(CtrMaskedLaneSteps, maxDepth-depths[i])
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package cuart
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func testWorkload(readRatio float64) *workload.Workload {
+	return workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 2000, NumOps: 10000,
+		ReadRatio: readRatio, Seed: 41,
+	})
+}
+
+func TestFunctionalEquivalence(t *testing.T) {
+	w := testWorkload(0.5)
+	// Per-lane execution is sequential in stream order, so reads follow
+	// plain sequential replay.
+	state := map[string]uint64{}
+	for i, k := range w.Keys {
+		state[string(k)] = uint64(i)
+	}
+	wantReads := map[int]engine.ReadResult{}
+	for i, op := range w.Ops {
+		ks := string(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			v, ok := state[ks]
+			wantReads[i] = engine.ReadResult{Index: i, Value: v, OK: ok}
+		case workload.Write:
+			state[ks] = op.Value
+		case workload.Delete:
+			delete(state, ks)
+		}
+	}
+
+	e := New(Config{Config: engine.Config{CollectReads: true}})
+	e.Load(w.Keys, nil)
+	res := e.Run(w.Ops)
+
+	if e.Tree().Len() != len(state) {
+		t.Fatalf("final keys = %d, want %d", e.Tree().Len(), len(state))
+	}
+	for ks, v := range state {
+		got, ok := e.Tree().Get([]byte(ks))
+		if !ok || got != v {
+			t.Fatalf("state mismatch at %x", ks)
+		}
+	}
+	for _, r := range res.Reads {
+		if want := wantReads[r.Index]; r != want {
+			t.Fatalf("read %d = %+v, want %+v", r.Index, r, want)
+		}
+	}
+}
+
+func TestWarpStepCounting(t *testing.T) {
+	w := testWorkload(1.0)
+	e := New(Config{})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+
+	steps := e.Metrics().Get(CtrWarpSteps)
+	matches := e.Metrics().Get(metrics.CtrKeyMatches)
+	if steps == 0 {
+		t.Fatal("no warp steps")
+	}
+	// Warp steps are per-warp maxima: total lane work (matches) must be
+	// at most steps*32 and at least steps (a warp is as deep as its
+	// deepest lane).
+	if matches > steps*32 {
+		t.Fatalf("matches %d > steps*32 %d", matches, steps*32)
+	}
+	if matches < steps {
+		t.Fatalf("matches %d < warp steps %d", matches, steps)
+	}
+	// Divergence waste is the difference, exactly.
+	masked := e.Metrics().Get(CtrMaskedLaneSteps)
+	warps := (len(w.Ops) + 31) / 32
+	_ = warps
+	if masked == 0 {
+		t.Fatal("no masked lane steps despite variable tree depth")
+	}
+}
+
+func TestKernelLaunchCount(t *testing.T) {
+	w := testWorkload(0.5)
+	e := New(Config{BatchSize: 3000})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	want := int64((len(w.Ops) + 2999) / 3000)
+	if got := e.Metrics().Get(CtrKernelLaunches); got != want {
+		t.Fatalf("kernel launches = %d, want %d", got, want)
+	}
+}
+
+func TestAtomicsNotLocks(t *testing.T) {
+	w := testWorkload(0.0) // all writes
+	e := New(Config{})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	if e.Metrics().Get(metrics.CtrLockAcquire) != 0 {
+		t.Fatal("GPU model acquired locks")
+	}
+	if e.Metrics().Get(metrics.CtrAtomicOps) != int64(len(w.Ops)) {
+		t.Fatalf("atomics = %d, want %d", e.Metrics().Get(metrics.CtrAtomicOps), len(w.Ops))
+	}
+	if e.Metrics().Get(metrics.CtrLockContention) == 0 {
+		t.Fatal("no atomic conflicts on a Zipfian write workload")
+	}
+}
+
+func TestNoCoalescing(t *testing.T) {
+	// CuART performs one traversal per lane: no cross-lane coalescing.
+	w := testWorkload(0.5)
+	e := New(Config{})
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+	if e.Metrics().Get(metrics.CtrCoalesced) != 0 {
+		t.Fatal("CuART coalesced operations")
+	}
+	// Matches scale with ops (every op traverses).
+	perOp := float64(e.Metrics().Get(metrics.CtrKeyMatches)) / float64(len(w.Ops))
+	if perOp < 2 {
+		t.Fatalf("matches per op = %.1f, implausibly low for per-lane traversal", perOp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := testWorkload(0.5)
+	run := func() map[string]int64 {
+		e := New(Config{})
+		e.Load(w.Keys, nil)
+		e.Run(w.Ops)
+		return e.Metrics().Snapshot()
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("counter %s differs: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.WarpWidth != 32 || c.BatchSize != 65536 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.LineSize != 128 {
+		t.Fatalf("GPU line size = %d, want 128", c.LineSize)
+	}
+}

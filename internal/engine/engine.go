@@ -1,0 +1,94 @@
+// Package engine defines the interface every evaluated index engine
+// implements (the CPU baselines ART/Heart/SMART, the GPU baseline CuART,
+// the software CTT model DCART-C, and the DCART accelerator simulator),
+// plus the result record the experiment harness consumes.
+//
+// Engines execute operation streams *functionally* and *deterministically*
+// while modeling concurrent execution: operations are processed in rounds
+// of Config.Threads logically-parallel operations, and synchronization
+// events (lock acquisitions, contended locks, atomic RMWs) are counted
+// according to each engine's concurrency discipline. Counts feed the
+// platform timing/energy models; see DESIGN.md §4 for why counts, not
+// wall-clock, are the ground truth in this reproduction.
+package engine
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Config carries the modeled-execution parameters shared by engines.
+type Config struct {
+	// Threads is the modeled concurrency: operations are grouped into
+	// rounds of this many logically-concurrent operations. The paper's
+	// CPU testbed runs 96 cores.
+	Threads int
+	// CacheBytes models the effective on-chip cache available to the
+	// index (per-socket LLC share in the CPU baselines).
+	CacheBytes int
+	// LineSize is the fetch granularity in bytes (64 on the paper's CPUs).
+	LineSize int
+	// CollectReads makes Run record every read's result for equivalence
+	// checking (costs memory; off for large benchmark runs).
+	CollectReads bool
+}
+
+// Defaults fills unset fields with the paper-testbed defaults.
+func (c Config) Defaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 96
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 8 << 20
+	}
+	if c.LineSize <= 0 {
+		c.LineSize = 64
+	}
+	return c
+}
+
+// ReadResult records the outcome of one read operation for verification.
+type ReadResult struct {
+	Index int // position in the op stream
+	Value uint64
+	OK    bool
+}
+
+// Result is what an engine reports after running an operation stream.
+type Result struct {
+	Name string
+	Ops  int
+	// Metrics is the engine's counter set (key matches, node accesses,
+	// lock/atomic events, shortcut hits, ...).
+	Metrics *metrics.Set
+	// RedundantRatio is the fraction of node fetches that were redundant
+	// within a round of concurrent operations (Fig 2(b)).
+	RedundantRatio float64
+	// LineUtilization is useful-bytes / fetched-bytes at line granularity
+	// (Fig 2(c)).
+	LineUtilization float64
+	// CacheHitRatio is the modeled on-chip hit ratio for index accesses.
+	CacheHitRatio float64
+	// OffchipBytes is the modeled off-chip traffic in bytes.
+	OffchipBytes int64
+	// Cycles is the modeled cycle count, for engines that have their own
+	// cycle-accurate model (the DCART accelerator); 0 otherwise.
+	Cycles int64
+	// Reads holds per-read outcomes when Config.CollectReads is set.
+	Reads []ReadResult
+}
+
+// Engine is one evaluated system.
+type Engine interface {
+	// Name returns the engine's display name (e.g. "SMART", "DCART").
+	Name() string
+	// Load bulk-inserts the initial key set (not measured). values may be
+	// nil, in which case keys[i] maps to uint64(i).
+	Load(keys [][]byte, values []uint64)
+	// Run executes the operation stream and returns measurements. Run may
+	// be called multiple times; counters accumulate across calls unless
+	// Reset is called.
+	Run(ops []workload.Op) *Result
+	// Reset clears counters and measurement state (not the loaded tree).
+	Reset()
+}

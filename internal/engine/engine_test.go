@@ -1,0 +1,23 @@
+package engine
+
+import "testing"
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Threads != 96 {
+		t.Fatalf("Threads = %d, want the paper's 96 cores", c.Threads)
+	}
+	if c.CacheBytes != 8<<20 || c.LineSize != 64 {
+		t.Fatalf("cache defaults: %+v", c)
+	}
+	if c.CollectReads {
+		t.Fatal("CollectReads should default off")
+	}
+}
+
+func TestConfigDefaultsPreserveExplicit(t *testing.T) {
+	c := Config{Threads: 4, CacheBytes: 1024, LineSize: 32, CollectReads: true}.Defaults()
+	if c.Threads != 4 || c.CacheBytes != 1024 || c.LineSize != 32 || !c.CollectReads {
+		t.Fatalf("explicit values overwritten: %+v", c)
+	}
+}

@@ -1,0 +1,205 @@
+// Package kvserver implements the line-protocol key-value service behind
+// cmd/dcart-kv: a thread-safe adaptive radix tree served over TCP, with
+// ordered prefix scans and checksummed snapshots. It is the "key-value
+// store" deployment scenario the DCART paper's introduction motivates,
+// using the same lock-coupling concurrent ART as the paper's CPU
+// baselines.
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/art"
+	"repro/internal/metrics"
+	"repro/internal/olc"
+)
+
+// maxScanLimit caps SCAN responses.
+const maxScanLimit = 10_000
+
+// Server is the key-value service. Safe for concurrent use; Serve is run
+// once per connection.
+type Server struct {
+	tree *olc.Tree
+	ms   *metrics.Set
+}
+
+// New returns an empty server.
+func New() *Server {
+	ms := metrics.NewSet()
+	return &Server{tree: olc.New(ms), ms: ms}
+}
+
+// Len returns the number of stored keys.
+func (s *Server) Len() int { return s.tree.Len() }
+
+// storedKey appends the 0x00 terminator so client keys are prefix-safe.
+func storedKey(tok string) []byte {
+	k := make([]byte, len(tok)+1)
+	copy(k, tok)
+	return k
+}
+
+// clientKey strips the terminator for display.
+func clientKey(k []byte) string {
+	if n := len(k); n > 0 && k[n-1] == 0 {
+		return string(k[:n-1])
+	}
+	return string(k)
+}
+
+// Serve handles one connection until QUIT, EOF, or a write error.
+func (s *Server) Serve(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !s.handle(w, line) {
+			break
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+	w.Flush()
+}
+
+// handle executes one command line; returns false to close the session.
+func (s *Server) handle(w io.Writer, line string) bool {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "PUT":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: PUT <key> <uint64>")
+			return true
+		}
+		v, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(w, "ERR bad value:", err)
+			return true
+		}
+		if s.tree.Put(storedKey(args[0]), v) {
+			fmt.Fprintln(w, "OK replaced")
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+	case "GET":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: GET <key>")
+			return true
+		}
+		if v, ok := s.tree.Get(storedKey(args[0])); ok {
+			fmt.Fprintln(w, "VALUE", v)
+		} else {
+			fmt.Fprintln(w, "NOT_FOUND")
+		}
+	case "DEL":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: DEL <key>")
+			return true
+		}
+		if s.tree.Delete(storedKey(args[0])) {
+			fmt.Fprintln(w, "OK")
+		} else {
+			fmt.Fprintln(w, "NOT_FOUND")
+		}
+	case "SCAN":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: SCAN <prefix> <limit>")
+			return true
+		}
+		limit, err := strconv.Atoi(args[1])
+		if err != nil || limit < 1 {
+			fmt.Fprintln(w, "ERR bad limit")
+			return true
+		}
+		if limit > maxScanLimit {
+			limit = maxScanLimit
+		}
+		n := 0
+		// The stored prefix has no terminator: scan the raw bytes.
+		s.tree.ScanPrefix([]byte(args[0]), func(k []byte, v uint64) bool {
+			fmt.Fprintln(w, "KEY", clientKey(k), v)
+			n++
+			return n < limit
+		})
+		fmt.Fprintln(w, "END")
+	case "RANGE":
+		if len(args) != 3 {
+			fmt.Fprintln(w, "ERR usage: RANGE <lo> <hi> <limit>")
+			return true
+		}
+		limit, err := strconv.Atoi(args[2])
+		if err != nil || limit < 1 {
+			fmt.Fprintln(w, "ERR bad limit")
+			return true
+		}
+		if limit > maxScanLimit {
+			limit = maxScanLimit
+		}
+		n := 0
+		s.tree.AscendRange(storedKey(args[0]), storedKey(args[1]),
+			func(k []byte, v uint64) bool {
+				fmt.Fprintln(w, "KEY", clientKey(k), v)
+				n++
+				return n < limit
+			})
+		fmt.Fprintln(w, "END")
+	case "LEN":
+		fmt.Fprintln(w, "LEN", s.tree.Len())
+	case "STATS":
+		fmt.Fprintln(w, "STATS", s.ms.String())
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return false
+	default:
+		fmt.Fprintln(w, "ERR unknown command", cmd)
+	}
+	return true
+}
+
+// SaveSnapshot writes the store to path atomically (temp file + rename)
+// in the art snapshot format.
+func (s *Server) SaveSnapshot(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := art.WriteSnapshot(f, s.tree.Len(), s.tree.Walk)
+	cerr := f.Close()
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if cerr != nil {
+		os.Remove(tmp)
+		return cerr
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot replaces the store's contents with the snapshot at path.
+func (s *Server) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return art.ReadSnapshotEntries(f, func(key []byte, value uint64) error {
+		s.tree.Put(key, value)
+		return nil
+	})
+}

@@ -1,0 +1,249 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// session opens an in-memory client connection against srv.
+type session struct {
+	conn net.Conn
+	r    *bufio.Reader
+	done chan struct{}
+}
+
+func newSession(srv *Server) *session {
+	client, server := net.Pipe()
+	s := &session{conn: client, r: bufio.NewReader(client), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		srv.Serve(server)
+	}()
+	return s
+}
+
+func (s *session) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(s.conn, line); err != nil {
+		t.Fatalf("send %q: %v", line, err)
+	}
+	resp, err := s.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("recv after %q: %v", line, err)
+	}
+	return strings.TrimSpace(resp)
+}
+
+// cmdLines reads until the END sentinel.
+func (s *session) cmdLines(t *testing.T, line string) []string {
+	t.Helper()
+	if _, err := fmt.Fprintln(s.conn, line); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		resp, err := s.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		resp = strings.TrimSpace(resp)
+		if resp == "END" {
+			return out
+		}
+		out = append(out, resp)
+	}
+}
+
+func (s *session) close() {
+	s.conn.Close()
+	<-s.done
+}
+
+func TestPutGetDel(t *testing.T) {
+	srv := New()
+	c := newSession(srv)
+	defer c.close()
+
+	if got := c.cmd(t, "PUT alpha 7"); got != "OK" {
+		t.Fatalf("PUT -> %q", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "VALUE 7" {
+		t.Fatalf("GET -> %q", got)
+	}
+	if got := c.cmd(t, "PUT alpha 8"); got != "OK replaced" {
+		t.Fatalf("overwrite -> %q", got)
+	}
+	if got := c.cmd(t, "DEL alpha"); got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "NOT_FOUND" {
+		t.Fatalf("GET after DEL -> %q", got)
+	}
+	if got := c.cmd(t, "DEL alpha"); got != "NOT_FOUND" {
+		t.Fatalf("double DEL -> %q", got)
+	}
+	if got := c.cmd(t, "LEN"); got != "LEN 0" {
+		t.Fatalf("LEN -> %q", got)
+	}
+}
+
+func TestScan(t *testing.T) {
+	srv := New()
+	c := newSession(srv)
+	defer c.close()
+
+	for i, k := range []string{"user:alice", "user:bob", "user:carol", "item:1"} {
+		c.cmd(t, fmt.Sprintf("PUT %s %d", k, i))
+	}
+	lines := c.cmdLines(t, "SCAN user: 10")
+	if len(lines) != 3 {
+		t.Fatalf("SCAN returned %v", lines)
+	}
+	if lines[0] != "KEY user:alice 0" || lines[2] != "KEY user:carol 2" {
+		t.Fatalf("SCAN order wrong: %v", lines)
+	}
+	// Limit respected.
+	if lines := c.cmdLines(t, "SCAN user: 2"); len(lines) != 2 {
+		t.Fatalf("limited SCAN returned %v", lines)
+	}
+	// Prefix keys are safe: "user" itself can coexist with "user:...".
+	c.cmd(t, "PUT user 99")
+	if got := c.cmd(t, "GET user"); got != "VALUE 99" {
+		t.Fatalf("prefix key -> %q", got)
+	}
+	if lines := c.cmdLines(t, "SCAN user 10"); len(lines) != 4 {
+		t.Fatalf("SCAN user -> %v", lines)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	srv := New()
+	c := newSession(srv)
+	defer c.close()
+
+	for _, bad := range []string{
+		"PUT onlykey", "PUT k notanumber", "GET", "DEL",
+		"SCAN p", "SCAN p zero", "FLY me", "SCAN p 0",
+	} {
+		if got := c.cmd(t, bad); !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", bad, got)
+		}
+	}
+	// Errors must not kill the session.
+	if got := c.cmd(t, "LEN"); got != "LEN 0" {
+		t.Fatalf("session died after errors: %q", got)
+	}
+}
+
+func TestQuitAndStats(t *testing.T) {
+	srv := New()
+	c := newSession(srv)
+	c.cmd(t, "PUT k 1")
+	if got := c.cmd(t, "STATS"); !strings.HasPrefix(got, "STATS") {
+		t.Fatalf("STATS -> %q", got)
+	}
+	if got := c.cmd(t, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+	<-c.done // server side closed the session
+	c.conn.Close()
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	srv := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newSession(srv)
+			defer c.close()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d:k%d", w, i)
+				if got := c.cmd(t, fmt.Sprintf("PUT %s %d", key, i)); got != "OK" {
+					t.Errorf("PUT %s -> %q", key, got)
+					return
+				}
+			}
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d:k%d", w, i)
+				want := fmt.Sprintf("VALUE %d", i)
+				if got := c.cmd(t, "GET "+key); got != want {
+					t.Errorf("GET %s -> %q", key, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if srv.Len() != 8*200 {
+		t.Fatalf("Len = %d", srv.Len())
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.snap")
+
+	srv := New()
+	c := newSession(srv)
+	for i := 0; i < 500; i++ {
+		c.cmd(t, fmt.Sprintf("PUT key%04d %d", i, i))
+	}
+	c.close()
+	if err := srv.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	back := New()
+	if err := back.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 500 {
+		t.Fatalf("restored Len = %d", back.Len())
+	}
+	c2 := newSession(back)
+	defer c2.close()
+	if got := c2.cmd(t, "GET key0123"); got != "VALUE 123" {
+		t.Fatalf("restored GET -> %q", got)
+	}
+	// Atomic save leaves no temp file behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp snapshot file left behind")
+	}
+}
+
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	err := New().LoadSnapshot(filepath.Join(t.TempDir(), "absent"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	srv := New()
+	c := newSession(srv)
+	defer c.close()
+	for i := 0; i < 20; i++ {
+		c.cmd(t, fmt.Sprintf("PUT k%02d %d", i, i))
+	}
+	lines := c.cmdLines(t, "RANGE k05 k08 100")
+	if len(lines) != 4 {
+		t.Fatalf("RANGE returned %v", lines)
+	}
+	if lines[0] != "KEY k05 5" || lines[3] != "KEY k08 8" {
+		t.Fatalf("RANGE bounds wrong: %v", lines)
+	}
+	if lines := c.cmdLines(t, "RANGE k05 k18 3"); len(lines) != 3 {
+		t.Fatalf("RANGE limit ignored: %v", lines)
+	}
+	if got := c.cmd(t, "RANGE a"); got != "ERR usage: RANGE <lo> <hi> <limit>" {
+		t.Fatalf("RANGE error -> %q", got)
+	}
+}

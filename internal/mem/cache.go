@@ -1,0 +1,139 @@
+package mem
+
+// CacheStats aggregates cache activity.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Bypasses  int64 // misses the policy declined to cache (value-aware)
+	BytesIn   int64 // bytes fetched from the backing level (line granular)
+}
+
+// HitRatio returns hits / (hits + misses).
+func (s CacheStats) HitRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache models a fully-associative cache of fixed-size lines over the
+// synthetic address space, with a pluggable replacement policy. It tracks
+// residency and statistics only — data contents live in the functional
+// tree; the cache decides whether an access would have been on-chip.
+type Cache struct {
+	name     string
+	lineSize int
+	capacity int // in lines
+	policy   Policy
+	resident map[uint64]struct{} // line-addr set
+	stats    CacheStats
+}
+
+// NewCache builds a cache of capacityBytes with the given line size and
+// policy. Capacities below one line hold a single line.
+func NewCache(name string, capacityBytes, lineSize int, policy Policy) *Cache {
+	lines := capacityBytes / lineSize
+	if lines < 1 {
+		lines = 1
+	}
+	return &Cache{
+		name:     name,
+		lineSize: lineSize,
+		capacity: lines,
+		policy:   policy,
+		resident: make(map[uint64]struct{}, lines),
+	}
+}
+
+// Name returns the buffer's name (e.g. "Tree_buffer").
+func (c *Cache) Name() string { return c.name }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// CapacityLines returns the capacity in lines.
+func (c *Cache) CapacityLines() int { return c.capacity }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Resident reports whether the line containing addr is cached.
+func (c *Cache) Resident(addr uint64) bool {
+	_, ok := c.resident[c.lineAddr(addr)]
+	return ok
+}
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int { return len(c.resident) }
+
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr / uint64(c.lineSize)
+}
+
+// Access touches the byte range [addr, addr+size) with the given
+// replacement value, returning the number of line hits and misses. Missed
+// lines are fetched from the backing level (BytesIn) and inserted subject
+// to the policy's admission decision.
+func (c *Cache) Access(addr uint64, size int, value int64) (hits, misses int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := c.lineAddr(addr)
+	last := c.lineAddr(addr + uint64(size) - 1)
+	for line := first; line <= last; line++ {
+		if _, ok := c.resident[line]; ok {
+			c.stats.Hits++
+			c.policy.OnAccess(line, value)
+			hits++
+			continue
+		}
+		c.stats.Misses++
+		c.stats.BytesIn += int64(c.lineSize)
+		misses++
+		c.insert(line, value)
+	}
+	return hits, misses
+}
+
+func (c *Cache) insert(line uint64, value int64) {
+	if len(c.resident) < c.capacity {
+		c.resident[line] = struct{}{}
+		c.policy.OnInsert(line, value)
+		return
+	}
+	if !c.policy.Admit(value) {
+		c.stats.Bypasses++
+		return
+	}
+	victim := c.policy.Victim()
+	c.policy.OnEvict(victim)
+	delete(c.resident, victim)
+	c.stats.Evictions++
+	c.resident[line] = struct{}{}
+	c.policy.OnInsert(line, value)
+}
+
+// Invalidate drops the lines covering [addr, addr+size), e.g. when the
+// node they cached was freed or replaced.
+func (c *Cache) Invalidate(addr uint64, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := c.lineAddr(addr)
+	last := c.lineAddr(addr + uint64(size) - 1)
+	for line := first; line <= last; line++ {
+		if _, ok := c.resident[line]; ok {
+			c.policy.OnEvict(line)
+			delete(c.resident, line)
+		}
+	}
+}
+
+// Reset empties the cache and zeroes statistics.
+func (c *Cache) Reset() {
+	c.resident = make(map[uint64]struct{}, c.capacity)
+	c.policy.Reset()
+	c.stats = CacheStats{}
+}

@@ -1,0 +1,116 @@
+package mem
+
+// DRAM models an off-chip memory interface (the U280's HBM stacks, or a
+// CPU/GPU DRAM system) with a fixed access latency and an aggregate
+// bandwidth ceiling. The simulators charge per-access latency on the
+// critical path and, at the end of a run, raise total cycles to the
+// bandwidth floor if traffic exceeded what the interface could move.
+type DRAM struct {
+	Name string
+	// LatencyCycles is the round-trip latency of one access, in the
+	// consumer's clock domain.
+	LatencyCycles int
+	// BytesPerCycle is the aggregate bandwidth across all channels, in the
+	// consumer's clock domain.
+	BytesPerCycle float64
+
+	accesses int64
+	bytes    int64
+}
+
+// HBM2 returns the U280 HBM model in the FPGA's 230 MHz clock domain:
+// ~460 GB/s aggregate over 32 channels (= ~2000 B/cycle at 230 MHz) and
+// ~110 ns access latency (~25 cycles).
+func HBM2() *DRAM {
+	return &DRAM{Name: "HBM2", LatencyCycles: 25, BytesPerCycle: 2000}
+}
+
+// DDR4 returns a CPU-socket DDR4 model in a 2.1 GHz core clock domain:
+// ~200 GB/s aggregate (8 channels) and ~90 ns load-to-use (~190 cycles).
+func DDR4() *DRAM {
+	return &DRAM{Name: "DDR4", LatencyCycles: 190, BytesPerCycle: 95}
+}
+
+// GDDRA100 returns the A100 HBM2e model in a 1.4 GHz SM clock domain:
+// ~1.9 TB/s aggregate and ~450 ns global-memory latency (~630 cycles).
+func GDDRA100() *DRAM {
+	return &DRAM{Name: "HBM2e-A100", LatencyCycles: 630, BytesPerCycle: 1350}
+}
+
+// Access records one off-chip access of size bytes and returns its latency
+// in cycles.
+func (d *DRAM) Access(size int) int {
+	d.accesses++
+	d.bytes += int64(size)
+	return d.LatencyCycles
+}
+
+// Accesses returns the access count so far.
+func (d *DRAM) Accesses() int64 { return d.accesses }
+
+// Bytes returns the bytes moved so far.
+func (d *DRAM) Bytes() int64 { return d.bytes }
+
+// BandwidthFloorCycles returns the minimum number of cycles the recorded
+// traffic needs under the bandwidth ceiling, regardless of latency
+// overlap.
+func (d *DRAM) BandwidthFloorCycles() int64 {
+	if d.BytesPerCycle <= 0 {
+		return 0
+	}
+	return int64(float64(d.bytes) / d.BytesPerCycle)
+}
+
+// Reset zeroes the traffic counters.
+func (d *DRAM) Reset() {
+	d.accesses = 0
+	d.bytes = 0
+}
+
+// LineUseTracker measures cache-line utilization (Fig 2(c)): when an index
+// structure fetches small objects (1-byte partial keys, 8-byte pointers)
+// through 64-byte lines, only a fraction of each fetched line is useful.
+// The tracker runs a cache in front, so repeated hits on a hot line do not
+// count as new fetches.
+type LineUseTracker struct {
+	cache       *Cache
+	usefulBytes int64
+	lineSize    int
+}
+
+// NewLineUseTracker builds a tracker with a cache of capacityBytes and the
+// given line size (64 for the paper's CPUs), using LRU replacement.
+func NewLineUseTracker(capacityBytes, lineSize int) *LineUseTracker {
+	return &LineUseTracker{
+		cache:    NewCache("lineuse", capacityBytes, lineSize, NewLRU()),
+		lineSize: lineSize,
+	}
+}
+
+// Access records a fetch of [addr, addr+size) of which size bytes are
+// useful. Only line misses contribute fetched bytes.
+func (t *LineUseTracker) Access(addr uint64, size int) {
+	_, misses := t.cache.Access(addr, size, 0)
+	if misses > 0 {
+		useful := size
+		if max := misses * t.lineSize; useful > max {
+			useful = max
+		}
+		t.usefulBytes += int64(useful)
+	}
+}
+
+// Utilization returns useful bytes / fetched bytes over all misses.
+func (t *LineUseTracker) Utilization() float64 {
+	fetched := t.cache.Stats().BytesIn
+	if fetched == 0 {
+		return 0
+	}
+	return float64(t.usefulBytes) / float64(fetched)
+}
+
+// FetchedBytes returns total bytes fetched from memory.
+func (t *LineUseTracker) FetchedBytes() int64 { return t.cache.Stats().BytesIn }
+
+// Stats exposes the line-granular hit/miss statistics of the front cache.
+func (t *LineUseTracker) Stats() CacheStats { return t.cache.Stats() }

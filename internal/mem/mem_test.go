@@ -1,0 +1,234 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache("t", 4*64, 64, NewLRU()) // 4 lines
+	if h, m := c.Access(0, 8, 0); h != 0 || m != 1 {
+		t.Fatalf("cold access = (%d,%d)", h, m)
+	}
+	if h, m := c.Access(8, 8, 0); h != 1 || m != 0 {
+		t.Fatalf("same-line access = (%d,%d)", h, m)
+	}
+	// Spanning two lines: addr 60..68.
+	if h, m := c.Access(60, 9, 0); h != 1 || m != 1 {
+		t.Fatalf("spanning access = (%d,%d)", h, m)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.BytesIn != 128 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("t", 2*64, 64, NewLRU()) // 2 lines
+	c.Access(0*64, 1, 0)
+	c.Access(1*64, 1, 0)
+	c.Access(0*64, 1, 0) // line 0 now MRU
+	c.Access(2*64, 1, 0) // evicts line 1 (LRU)
+	if !c.Resident(0 * 64) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Resident(1 * 64) {
+		t.Fatal("LRU line survived")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	// hits + misses == total line touches, always.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache("t", 8*64, 64, NewLRU())
+		touches := 0
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(64 * 64))
+			size := 1 + rng.Intn(100)
+			h, m := c.Access(addr, size, 0)
+			touches += h + m
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == int64(touches) &&
+			st.BytesIn == st.Misses*64 && c.Len() <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueAwareProtectsHotLines(t *testing.T) {
+	c := NewCache("t", 2*64, 64, NewValueAware())
+	c.Access(0*64, 1, 100) // high value
+	c.Access(1*64, 1, 90)  // medium value
+	// A low-value line must be bypassed, leaving both hot lines resident.
+	c.Access(2*64, 1, 5)
+	if !c.Resident(0*64) || !c.Resident(1*64) {
+		t.Fatal("high-value lines evicted by low-value line")
+	}
+	if c.Resident(2 * 64) {
+		t.Fatal("low-value line admitted over hotter lines")
+	}
+	if c.Stats().Bypasses != 1 {
+		t.Fatalf("bypasses = %d", c.Stats().Bypasses)
+	}
+	// A higher-value line evicts the cheapest resident (value 90).
+	c.Access(3*64, 1, 95)
+	if c.Resident(1 * 64) {
+		t.Fatal("cheapest line survived higher-value admission")
+	}
+	if !c.Resident(0*64) || !c.Resident(3*64) {
+		t.Fatal("wrong victim selected")
+	}
+}
+
+func TestValueAwareValueRefresh(t *testing.T) {
+	c := NewCache("t", 2*64, 64, NewValueAware())
+	c.Access(0*64, 1, 10)
+	c.Access(1*64, 1, 20)
+	// Refresh line 0 to a high value via a hit.
+	c.Access(0*64, 1, 99)
+	// Now value 30 should displace line 1 (value 20), not line 0.
+	c.Access(2*64, 1, 30)
+	if !c.Resident(0 * 64) {
+		t.Fatal("refreshed line evicted")
+	}
+	if c.Resident(1 * 64) {
+		t.Fatal("stale-valued line survived")
+	}
+}
+
+func TestValueAwareVsLRUThrashing(t *testing.T) {
+	// The scenario §III-E motivates: a small hot set plus a scan stream.
+	// Value-aware must keep the hot set resident; LRU thrashes.
+	run := func(p Policy) float64 {
+		c := NewCache("t", 8*64, 64, p)
+		rng := rand.New(rand.NewSource(1))
+		hot := []uint64{0, 64, 128, 192} // 4 hot lines, values high
+		hits, total := 0, 0
+		for i := 0; i < 4000; i++ {
+			if rng.Intn(2) == 0 {
+				h, _ := c.Access(hot[rng.Intn(len(hot))], 1, 1000)
+				hits += h
+			} else {
+				// Cold scan: unique lines, low value.
+				h, _ := c.Access(uint64(1000+i)*64, 1, 1)
+				hits += h
+			}
+			total++
+		}
+		return float64(hits) / float64(total)
+	}
+	va, lru := run(NewValueAware()), run(NewLRU())
+	if va <= lru {
+		t.Fatalf("value-aware hit ratio %.3f not better than LRU %.3f", va, lru)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache("t", 4*64, 64, NewLRU())
+	c.Access(0, 128, 0) // lines 0,1
+	c.Invalidate(0, 128)
+	if c.Resident(0) || c.Resident(64) {
+		t.Fatal("lines survived invalidation")
+	}
+	if _, m := c.Access(0, 1, 0); m != 1 {
+		t.Fatal("invalidated line hit")
+	}
+	// Invalidating absent lines is a no-op.
+	c.Invalidate(10*64, 64)
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache("t", 4*64, 64, NewValueAware())
+	c.Access(0, 1, 5)
+	c.Reset()
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Fatal("reset incomplete")
+	}
+	if _, m := c.Access(0, 1, 5); m != 1 {
+		t.Fatal("line survived reset")
+	}
+}
+
+func TestCacheTinyCapacity(t *testing.T) {
+	c := NewCache("t", 1, 64, NewLRU()) // rounds up to one line
+	if c.CapacityLines() != 1 {
+		t.Fatalf("capacity = %d", c.CapacityLines())
+	}
+	c.Access(0, 1, 0)
+	c.Access(64, 1, 0)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestDRAMAccounting(t *testing.T) {
+	d := HBM2()
+	lat := d.Access(64)
+	if lat != d.LatencyCycles {
+		t.Fatalf("latency = %d", lat)
+	}
+	d.Access(64)
+	if d.Accesses() != 2 || d.Bytes() != 128 {
+		t.Fatalf("accesses=%d bytes=%d", d.Accesses(), d.Bytes())
+	}
+	floor := d.BandwidthFloorCycles()
+	if floor != int64(float64(128)/d.BytesPerCycle) {
+		t.Fatalf("floor = %d", floor)
+	}
+	d.Reset()
+	if d.Accesses() != 0 || d.Bytes() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestDRAMPresets(t *testing.T) {
+	// Sanity: GPU memory has higher bandwidth than CPU DDR; FPGA HBM has
+	// the lowest latency in its own (slow) clock domain.
+	if GDDRA100().BytesPerCycle <= DDR4().BytesPerCycle {
+		t.Fatal("A100 bandwidth should exceed DDR4")
+	}
+	if HBM2().LatencyCycles >= DDR4().LatencyCycles {
+		t.Fatal("HBM at 230MHz should have fewer latency cycles than DDR at 2.1GHz")
+	}
+}
+
+func TestLineUseTracker(t *testing.T) {
+	tr := NewLineUseTracker(1024*64, 64)
+	// 8 useful bytes out of a 64-byte line.
+	tr.Access(0, 8)
+	if u := tr.Utilization(); u != 8.0/64.0 {
+		t.Fatalf("utilization = %v", u)
+	}
+	// A hit must not add fetched bytes.
+	tr.Access(0, 8)
+	if tr.FetchedBytes() != 64 {
+		t.Fatalf("fetched = %d", tr.FetchedBytes())
+	}
+	// Full-line use.
+	tr.Access(128, 64)
+	if u := tr.Utilization(); u != (8.0+64.0)/128.0 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestLineUseUtilizationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewLineUseTracker(64*64, 64)
+		for i := 0; i < 300; i++ {
+			tr.Access(uint64(rng.Intn(10000)), 1+rng.Intn(200))
+		}
+		u := tr.Utilization()
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package mem
+
+// ObjectCache models a cache of variable-size objects (ART nodes in the
+// DCART Tree_buffer): capacity is tracked in bytes and an access touches
+// one object regardless of its size, matching hardware that transfers
+// whole nodes in a burst. Replacement is delegated to a Policy; with the
+// value-aware policy, an object is admitted only if its value exceeds the
+// victim's (§III-E), otherwise the access bypasses the cache.
+type ObjectCache struct {
+	name     string
+	capacity int // bytes
+	used     int
+	policy   Policy
+	resident map[uint64]int // addr -> size
+	stats    CacheStats
+}
+
+// NewObjectCache builds an object cache of capacityBytes.
+func NewObjectCache(name string, capacityBytes int, policy Policy) *ObjectCache {
+	if capacityBytes < 1 {
+		capacityBytes = 1
+	}
+	return &ObjectCache{
+		name:     name,
+		capacity: capacityBytes,
+		policy:   policy,
+		resident: make(map[uint64]int),
+	}
+}
+
+// Name returns the buffer name.
+func (c *ObjectCache) Name() string { return c.name }
+
+// Stats returns a snapshot of the counters.
+func (c *ObjectCache) Stats() CacheStats { return c.stats }
+
+// UsedBytes returns the bytes currently resident.
+func (c *ObjectCache) UsedBytes() int { return c.used }
+
+// Len returns the number of resident objects.
+func (c *ObjectCache) Len() int { return len(c.resident) }
+
+// Resident reports whether the object at addr is cached.
+func (c *ObjectCache) Resident(addr uint64) bool {
+	_, ok := c.resident[addr]
+	return ok
+}
+
+// Access touches the object at addr with the given size and replacement
+// value, returning whether it hit. On a miss the object is fetched
+// (BytesIn += size) and inserted subject to capacity and the policy's
+// admission rule.
+func (c *ObjectCache) Access(addr uint64, size int, value int64) bool {
+	if size < 1 {
+		size = 1
+	}
+	if _, ok := c.resident[addr]; ok {
+		c.stats.Hits++
+		c.policy.OnAccess(addr, value)
+		return true
+	}
+	c.stats.Misses++
+	c.stats.BytesIn += int64(size)
+	if size > c.capacity {
+		c.stats.Bypasses++
+		return false
+	}
+	for c.used+size > c.capacity {
+		if !c.policy.Admit(value) {
+			c.stats.Bypasses++
+			return false
+		}
+		victim := c.policy.Victim()
+		vsize := c.resident[victim]
+		c.policy.OnEvict(victim)
+		delete(c.resident, victim)
+		c.used -= vsize
+		c.stats.Evictions++
+	}
+	c.resident[addr] = size
+	c.used += size
+	c.policy.OnInsert(addr, value)
+	return false
+}
+
+// Invalidate drops the object at addr if resident (e.g. the node was
+// replaced by a grow).
+func (c *ObjectCache) Invalidate(addr uint64) {
+	if size, ok := c.resident[addr]; ok {
+		c.policy.OnEvict(addr)
+		delete(c.resident, addr)
+		c.used -= size
+	}
+}
+
+// Reset empties the cache and zeroes statistics.
+func (c *ObjectCache) Reset() {
+	c.resident = make(map[uint64]int)
+	c.policy.Reset()
+	c.used = 0
+	c.stats = CacheStats{}
+}

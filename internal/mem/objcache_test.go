@@ -1,0 +1,122 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestObjectCacheBasics(t *testing.T) {
+	c := NewObjectCache("t", 1000, NewLRU())
+	if c.Access(1, 100, 0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(1, 100, 0) {
+		t.Fatal("warm access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.BytesIn != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if c.UsedBytes() != 100 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d", c.UsedBytes(), c.Len())
+	}
+}
+
+func TestObjectCacheEvictsBySize(t *testing.T) {
+	c := NewObjectCache("t", 250, NewLRU())
+	c.Access(1, 100, 0)
+	c.Access(2, 100, 0)
+	// Object 3 (100B) needs one eviction (LRU = object 1).
+	c.Access(3, 100, 0)
+	if c.Resident(1) {
+		t.Fatal("LRU object survived")
+	}
+	if !c.Resident(2) || !c.Resident(3) {
+		t.Fatal("wrong victim")
+	}
+	// A 240B object evicts both residents.
+	c.Access(4, 240, 0)
+	if c.Resident(2) || c.Resident(3) || !c.Resident(4) {
+		t.Fatal("multi-eviction broken")
+	}
+	if c.UsedBytes() != 240 {
+		t.Fatalf("used=%d", c.UsedBytes())
+	}
+}
+
+func TestObjectCacheOversizedBypass(t *testing.T) {
+	c := NewObjectCache("t", 100, NewLRU())
+	if c.Access(1, 500, 0) {
+		t.Fatal("oversized object hit")
+	}
+	if c.Len() != 0 || c.Stats().Bypasses != 1 {
+		t.Fatalf("oversized object cached: %+v", c.Stats())
+	}
+}
+
+func TestObjectCacheValueAwareAdmission(t *testing.T) {
+	c := NewObjectCache("t", 200, NewValueAware())
+	c.Access(1, 100, 50)
+	c.Access(2, 100, 60)
+	// Low value: bypassed, residents untouched.
+	c.Access(3, 100, 10)
+	if c.Resident(3) || !c.Resident(1) || !c.Resident(2) {
+		t.Fatal("low-value admission")
+	}
+	// High value: evicts the cheapest resident (value 50).
+	c.Access(4, 100, 99)
+	if c.Resident(1) || !c.Resident(2) || !c.Resident(4) {
+		t.Fatal("high-value admission picked wrong victim")
+	}
+}
+
+func TestObjectCacheInvalidate(t *testing.T) {
+	c := NewObjectCache("t", 1000, NewLRU())
+	c.Access(7, 100, 0)
+	c.Invalidate(7)
+	if c.Resident(7) || c.UsedBytes() != 0 {
+		t.Fatal("invalidate incomplete")
+	}
+	c.Invalidate(8) // absent: no-op
+	c.Reset()
+	if c.Stats() != (CacheStats{}) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// Property: used bytes equals the sum of resident object sizes and never
+// exceeds capacity; hits+misses equals accesses.
+func TestQuickObjectCacheInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cap := 500 + rng.Intn(2000)
+		c := NewObjectCache("t", cap, NewLRU())
+		sizes := map[uint64]int{}
+		accesses := 0
+		for i := 0; i < 400; i++ {
+			addr := uint64(rng.Intn(50)) + 1
+			size, ok := sizes[addr]
+			if !ok {
+				size = 1 + rng.Intn(300)
+				sizes[addr] = size
+			}
+			c.Access(addr, size, int64(rng.Intn(100)))
+			accesses++
+		}
+		if c.UsedBytes() > cap {
+			return false
+		}
+		sum := 0
+		for addr, size := range sizes {
+			if c.Resident(addr) {
+				sum += size
+			}
+		}
+		st := c.Stats()
+		return sum == c.UsedBytes() && st.Hits+st.Misses == int64(accesses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

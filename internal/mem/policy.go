@@ -1,0 +1,187 @@
+// Package mem provides the memory-hierarchy models used by the simulators:
+// fully-associative caches over synthetic addresses with pluggable
+// replacement (LRU and the DCART paper's value-aware policy, §III-E), a
+// DRAM/HBM channel model with latency and bandwidth accounting, and a
+// cache-line utilization tracker for the Fig 2(c) experiment.
+package mem
+
+import "container/heap"
+
+// Policy decides victims for a full cache. Implementations are not safe
+// for concurrent use; each simulated buffer owns one policy instance.
+type Policy interface {
+	// OnInsert records that addr entered the cache with the given value.
+	OnInsert(addr uint64, value int64)
+	// OnAccess records a hit on addr (value may refresh the line's value).
+	OnAccess(addr uint64, value int64)
+	// Victim returns the line to evict. Called only when at least one
+	// line is resident.
+	Victim() uint64
+	// OnEvict records that addr left the cache.
+	OnEvict(addr uint64)
+	// Admit reports whether a line of the given value should displace the
+	// current victim. LRU always admits; the value-aware policy admits
+	// only lines more valuable than the cheapest resident line.
+	Admit(value int64) bool
+	// Reset drops all state.
+	Reset()
+}
+
+// lruPolicy is a textbook least-recently-used policy over an intrusive
+// doubly-linked list.
+type lruPolicy struct {
+	elems map[uint64]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	addr       uint64
+	prev, next *lruNode
+}
+
+// NewLRU returns an LRU replacement policy.
+func NewLRU() Policy {
+	return &lruPolicy{elems: make(map[uint64]*lruNode)}
+}
+
+func (p *lruPolicy) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (p *lruPolicy) pushFront(n *lruNode) {
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *lruPolicy) OnInsert(addr uint64, _ int64) {
+	n := &lruNode{addr: addr}
+	p.elems[addr] = n
+	p.pushFront(n)
+}
+
+func (p *lruPolicy) OnAccess(addr uint64, _ int64) {
+	n, ok := p.elems[addr]
+	if !ok {
+		return
+	}
+	p.unlink(n)
+	p.pushFront(n)
+}
+
+func (p *lruPolicy) Victim() uint64 { return p.tail.addr }
+
+func (p *lruPolicy) OnEvict(addr uint64) {
+	if n, ok := p.elems[addr]; ok {
+		p.unlink(n)
+		delete(p.elems, addr)
+	}
+}
+
+func (p *lruPolicy) Admit(int64) bool { return true }
+
+func (p *lruPolicy) Reset() {
+	p.elems = make(map[uint64]*lruNode)
+	p.head, p.tail = nil, nil
+}
+
+// valuePolicy implements DCART's value-aware management: every line
+// carries a value (the population of the bucket whose node it caches); the
+// victim is the lowest-valued resident line, and a new line is admitted
+// only if its value exceeds the victim's. This protects high-value
+// (frequently traversed) nodes from thrashing.
+//
+// Victim selection uses a lazy min-heap: value refreshes push a new heap
+// entry, and stale entries are discarded when popped.
+type valuePolicy struct {
+	values map[uint64]int64
+	h      valueHeap
+}
+
+type valueEntry struct {
+	addr  uint64
+	value int64
+}
+
+type valueHeap []valueEntry
+
+func (h valueHeap) Len() int            { return len(h) }
+func (h valueHeap) Less(i, j int) bool  { return h[i].value < h[j].value }
+func (h valueHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *valueHeap) Push(x interface{}) { *h = append(*h, x.(valueEntry)) }
+func (h *valueHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewValueAware returns the DCART value-aware replacement policy.
+func NewValueAware() Policy {
+	return &valuePolicy{values: make(map[uint64]int64)}
+}
+
+func (p *valuePolicy) OnInsert(addr uint64, value int64) {
+	p.values[addr] = value
+	heap.Push(&p.h, valueEntry{addr, value})
+}
+
+func (p *valuePolicy) OnAccess(addr uint64, value int64) {
+	cur, ok := p.values[addr]
+	if !ok {
+		return
+	}
+	// Values only refresh when they change; pushing a higher value leaves
+	// a stale low entry behind, discarded lazily by minResident.
+	if value != cur {
+		p.values[addr] = value
+		heap.Push(&p.h, valueEntry{addr, value})
+	}
+}
+
+// minResident pops stale heap entries until the top reflects a live line,
+// then returns it without removing it.
+func (p *valuePolicy) minResident() valueEntry {
+	for len(p.h) > 0 {
+		top := p.h[0]
+		if cur, ok := p.values[top.addr]; ok && cur == top.value {
+			return top
+		}
+		heap.Pop(&p.h)
+	}
+	// Unreachable when the cache is non-empty and bookkeeping is intact.
+	panic("mem: value policy heap empty with resident lines")
+}
+
+func (p *valuePolicy) Victim() uint64 { return p.minResident().addr }
+
+func (p *valuePolicy) OnEvict(addr uint64) { delete(p.values, addr) }
+
+func (p *valuePolicy) Admit(value int64) bool {
+	if len(p.values) == 0 {
+		return true
+	}
+	return value > p.minResident().value
+}
+
+func (p *valuePolicy) Reset() {
+	p.values = make(map[uint64]int64)
+	p.h = p.h[:0]
+}

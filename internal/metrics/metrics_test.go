@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	s.Inc(CtrKeyMatches)
+	s.Add(CtrKeyMatches, 4)
+	if got := s.Get(CtrKeyMatches); got != 5 {
+		t.Fatalf("Get = %d, want 5", got)
+	}
+	if got := s.Get(CtrLockAcquire); got != 0 {
+		t.Fatalf("untouched counter = %d", got)
+	}
+	s.Reset()
+	if got := s.Get(CtrKeyMatches); got != 0 {
+		t.Fatalf("after Reset = %d", got)
+	}
+}
+
+func TestSetUnknownCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with unknown name did not panic")
+		}
+	}()
+	NewSet().Inc("no_such_counter")
+}
+
+func TestSetExtraCounters(t *testing.T) {
+	s := NewSet("custom_events")
+	s.Add("custom_events", 7)
+	if s.Get("custom_events") != 7 {
+		t.Fatal("extra counter not registered")
+	}
+}
+
+func TestSetConcurrent(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Inc(CtrAtomicOps)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(CtrAtomicOps); got != 8000 {
+		t.Fatalf("concurrent adds = %d, want 8000", got)
+	}
+}
+
+func TestSetRatioAndString(t *testing.T) {
+	s := NewSet()
+	s.Add(CtrShortcutHit, 30)
+	s.Add(CtrShortcutMiss, 10)
+	if r := s.Ratio(CtrShortcutHit, CtrShortcutMiss); r != 3 {
+		t.Fatalf("Ratio = %v", r)
+	}
+	if r := s.Ratio(CtrShortcutHit, CtrLockAcquire); r != 0 {
+		t.Fatalf("Ratio with zero denominator = %v", r)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty with non-zero counters")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown("traversal", "sync", "other")
+	b.Add("traversal", 0.6)
+	b.Add("sync", 0.3)
+	b.Add("other", 0.1)
+	if math.Abs(b.Total()-1.0) > 1e-12 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if math.Abs(b.Share("traversal")-0.6) > 1e-12 {
+		t.Fatalf("Share = %v", b.Share("traversal"))
+	}
+	b.Add("new_phase", 1.0)
+	if len(b.Phases()) != 4 {
+		t.Fatalf("Phases = %v", b.Phases())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 microseconds.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-6)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 400e-6 || p50 > 600e-6 {
+		t.Fatalf("P50 = %v, want ~500us", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 950e-6 || p99 > 1050e-6 {
+		t.Fatalf("P99 = %v, want ~990us", p99)
+	}
+	if h.Min() != 1e-6 || h.Max() != 1000e-6 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 490e-6 || mean > 510e-6 {
+		t.Fatalf("Mean = %v", mean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(1e-6)
+		b.Observe(1e-3)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Quantile(0.25) > 2e-6 || a.Quantile(0.75) < 0.9e-3 {
+		t.Fatalf("merged quantiles wrong: %v %v", a.Quantile(0.25), a.Quantile(0.75))
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by [~Min, ~Max].
+func TestQuickHistogramMonotone(t *testing.T) {
+	f := func(samples []float64) bool {
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Observe(math.Abs(s) / (math.Abs(s) + 1)) // map into [0,1)
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should answer 0")
+	}
+	h.Observe(5e-6)
+	if h.Quantile(-1) == 0 && h.Quantile(2) == 0 {
+		t.Fatal("clamped quantiles should answer the single sample bucket")
+	}
+}
+
+func TestRedundancyTracker(t *testing.T) {
+	r := NewRedundancyTracker(4)
+	// Op 1 touches nodes 1,2,3; op 2 touches 1,2,4.
+	r.NextOp()
+	for _, a := range []uint64{1, 2, 3} {
+		if r.Touch(a) {
+			t.Fatalf("first touch of %d reported redundant", a)
+		}
+	}
+	r.NextOp()
+	red := 0
+	for _, a := range []uint64{1, 2, 4} {
+		if r.Touch(a) {
+			red++
+		}
+	}
+	if red != 2 {
+		t.Fatalf("redundant = %d, want 2 (nodes 1,2)", red)
+	}
+	if r.Ratio() != 2.0/6.0 {
+		t.Fatalf("Ratio = %v", r.Ratio())
+	}
+}
+
+func TestRedundancyWindowExpiry(t *testing.T) {
+	r := NewRedundancyTracker(2)
+	r.NextOp()
+	r.Touch(7)
+	// Advance past the window.
+	for i := 0; i < 3; i++ {
+		r.NextOp()
+	}
+	if r.Touch(7) {
+		t.Fatal("touch outside window reported redundant")
+	}
+}
+
+func TestRedundancySameOpNotRedundant(t *testing.T) {
+	r := NewRedundancyTracker(8)
+	r.NextOp()
+	r.Touch(1)
+	if r.Touch(1) {
+		// Same op touching the same node twice: the second touch has
+		// opIndex == last, which must not count as cross-op redundancy.
+		t.Fatal("same-op re-touch counted as redundant")
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// 10 keys; one key owns 91 of 100 accesses.
+	counts := []int64{91, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if got := TopShare(counts, 0.1); got != 0.91 {
+		t.Fatalf("TopShare(0.1) = %v", got)
+	}
+	if got := TopShare(counts, 1.0); got != 1.0 {
+		t.Fatalf("TopShare(1.0) = %v", got)
+	}
+	if got := TopShare(nil, 0.5); got != 0 {
+		t.Fatalf("TopShare(nil) = %v", got)
+	}
+	if got := TopShare([]int64{0, 0}, 0.5); got != 0 {
+		t.Fatalf("TopShare(zeros) = %v", got)
+	}
+}

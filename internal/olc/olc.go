@@ -1,0 +1,297 @@
+// Package olc implements a thread-safe adaptive radix tree with node-level
+// lock coupling, the concurrency substrate for the paper's CPU baselines
+// (ART [9] with its ROWEX-style node write locks, and the CAS-based
+// variants Heart [17] and SMART [11]).
+//
+// Protocol:
+//
+//   - Readers descend with hand-over-hand read locks (the child's lock is
+//     acquired before the parent's is released), so every node is observed
+//     in a consistent state.
+//   - Writers descend like readers, then upgrade: they release their read
+//     lock, acquire write locks top-down (parent before child) and
+//     re-validate that the structure did not change in the window; on any
+//     validation failure the operation restarts from the root.
+//   - Structural replacements (grow, prefix split) mark the old node
+//     obsolete and swap the parent's child pointer; in-flight readers that
+//     already entered the old node still see a consistent pre-change view.
+//   - Deletes remove leaves but perform no node shrinking or path merging
+//     (deferred compaction, as in several production concurrent tries), so
+//     delete never invalidates a concurrent reader's prefix bookkeeping.
+//
+// With CASValueUpdates enabled (the Heart/SMART discipline), overwriting
+// an existing key's value uses an atomic store on the leaf instead of
+// taking the leaf's write lock, and the tree counts an atomic operation
+// rather than a lock acquisition.
+//
+// Every lock acquisition, contention event (a Try*Lock that failed before
+// blocking), atomic operation, and restart is recorded in the
+// metrics.Set supplied at construction, feeding Figs 2(a), 2(d) and 7.
+package olc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// kind mirrors art.NodeKind for the concurrent node layouts.
+type kind uint8
+
+const (
+	kLeaf kind = iota
+	k4
+	k16
+	k48
+	k256
+)
+
+func (k kind) capacity() int {
+	switch k {
+	case k4:
+		return 4
+	case k16:
+		return 16
+	case k48:
+		return 48
+	case k256:
+		return 256
+	default:
+		return 0
+	}
+}
+
+// node is a single concurrent ART node. One struct serves all layouts;
+// the slices are sized by kind at construction. Leaves use key/value and
+// leave the child machinery nil.
+type node struct {
+	mu       sync.RWMutex
+	obsolete bool // under mu: node was replaced; writers must restart
+
+	kind       kind
+	prefix     []byte // under mu for writes; stable while any lock held
+	prefixLeaf *node  // leaf whose key terminates at this node
+	nChildren  int
+
+	keys     []byte     // k4/k16: sorted key bytes
+	index    *[256]byte // k48: byte -> child slot + 1
+	children []*node    // all internal kinds
+
+	key   []byte        // leaf: immutable full key
+	value atomic.Uint64 // leaf: atomically updatable payload
+}
+
+// Tree is the concurrent ART. Construct with New.
+type Tree struct {
+	root atomic.Pointer[node]
+	// rootMu guards replacement of the root pointer itself (the "parent
+	// lock" of the root).
+	rootMu sync.Mutex
+	size   atomic.Int64
+
+	// casValues selects the Heart/SMART value-update discipline.
+	casValues bool
+	ms        *metrics.Set
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// CASValueUpdates switches existing-key overwrites from leaf write locks
+// to atomic stores (Heart's and SMART's CAS fast path).
+func CASValueUpdates() Option {
+	return func(t *Tree) { t.casValues = true }
+}
+
+// New returns an empty concurrent tree recording events into ms (which
+// may be shared across trees; a nil ms gets a private set).
+func New(ms *metrics.Set, opts ...Option) *Tree {
+	if ms == nil {
+		ms = metrics.NewSet()
+	}
+	t := &Tree{ms: ms}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Metrics returns the tree's counter set.
+func (t *Tree) Metrics() *metrics.Set { return t.ms }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// ---- lock instrumentation -----------------------------------------------
+
+func (t *Tree) rlock(n *node) {
+	if !n.mu.TryRLock() {
+		t.ms.Inc(metrics.CtrLockContention)
+		n.mu.RLock()
+	}
+}
+
+func (t *Tree) wlock(n *node) {
+	if !n.mu.TryLock() {
+		t.ms.Inc(metrics.CtrLockContention)
+		n.mu.Lock()
+	}
+	t.ms.Inc(metrics.CtrLockAcquire)
+}
+
+func (t *Tree) lockRoot() {
+	if !t.rootMu.TryLock() {
+		t.ms.Inc(metrics.CtrLockContention)
+		t.rootMu.Lock()
+	}
+	t.ms.Inc(metrics.CtrLockAcquire)
+}
+
+// ---- node construction ---------------------------------------------------
+
+func newLeaf(key []byte, value uint64) *node {
+	l := &node{kind: kLeaf, key: append([]byte(nil), key...)}
+	l.value.Store(value)
+	return l
+}
+
+func newNode(k kind, prefix []byte) *node {
+	n := &node{kind: k, prefix: prefix}
+	switch k {
+	case k4:
+		n.keys = make([]byte, 0, 4)
+		n.children = make([]*node, 0, 4)
+	case k16:
+		n.keys = make([]byte, 0, 16)
+		n.children = make([]*node, 0, 16)
+	case k48:
+		n.index = new([256]byte)
+		n.children = make([]*node, 0, 48)
+	case k256:
+		n.children = make([]*node, 256)
+	}
+	return n
+}
+
+// findChild returns the child for byte b; caller must hold n's lock.
+func (n *node) findChild(b byte) *node {
+	switch n.kind {
+	case k4, k16:
+		for i, kb := range n.keys {
+			if kb == b {
+				return n.children[i]
+			}
+		}
+	case k48:
+		if idx := n.index[b]; idx != 0 {
+			return n.children[idx-1]
+		}
+	case k256:
+		return n.children[b]
+	}
+	return nil
+}
+
+// addChild inserts (b, c); caller must hold n's write lock and have
+// checked capacity.
+func (n *node) addChild(b byte, c *node) {
+	switch n.kind {
+	case k4, k16:
+		i := len(n.keys)
+		n.keys = append(n.keys, 0)
+		n.children = append(n.children, nil)
+		for i > 0 && n.keys[i-1] > b {
+			n.keys[i] = n.keys[i-1]
+			n.children[i] = n.children[i-1]
+			i--
+		}
+		n.keys[i] = b
+		n.children[i] = c
+	case k48:
+		n.children = append(n.children, c)
+		n.index[b] = byte(len(n.children))
+	case k256:
+		n.children[b] = c
+	}
+	n.nChildren++
+}
+
+// removeChild removes byte b; caller must hold n's write lock.
+func (n *node) removeChild(b byte) {
+	switch n.kind {
+	case k4, k16:
+		for i, kb := range n.keys {
+			if kb == b {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.children = append(n.children[:i], n.children[i+1:]...)
+				n.nChildren--
+				return
+			}
+		}
+	case k48:
+		if idx := n.index[b]; idx != 0 {
+			slot := int(idx) - 1
+			last := len(n.children) - 1
+			if slot != last {
+				n.children[slot] = n.children[last]
+				for kb := 0; kb < 256; kb++ {
+					if int(n.index[kb]) == last+1 {
+						n.index[kb] = byte(slot + 1)
+						break
+					}
+				}
+			}
+			n.children = n.children[:last]
+			n.index[b] = 0
+			n.nChildren--
+		}
+	case k256:
+		if n.children[b] != nil {
+			n.children[b] = nil
+			n.nChildren--
+		}
+	}
+}
+
+// grown returns a copy of n in the next larger layout; caller holds n's
+// write lock.
+func grown(n *node) *node {
+	var g *node
+	switch n.kind {
+	case k4:
+		g = newNode(k16, n.prefix)
+		g.keys = append(g.keys, n.keys...)
+		g.children = append(g.children, n.children...)
+	case k16:
+		g = newNode(k48, n.prefix)
+		for i, kb := range n.keys {
+			g.children = append(g.children, n.children[i])
+			g.index[kb] = byte(len(g.children))
+		}
+	case k48:
+		g = newNode(k256, n.prefix)
+		for b := 0; b < 256; b++ {
+			if idx := n.index[b]; idx != 0 {
+				g.children[b] = n.children[idx-1]
+			}
+		}
+	default:
+		panic("olc: grow on non-growable node")
+	}
+	g.nChildren = n.nChildren
+	g.prefixLeaf = n.prefixLeaf
+	return g
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

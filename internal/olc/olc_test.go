@@ -1,0 +1,404 @@
+package olc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func key64(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+func TestSequentialBasics(t *testing.T) {
+	tr := New(nil)
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("empty tree Get")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("empty tree Delete")
+	}
+	if tr.Put([]byte("hello"), 1) {
+		t.Fatal("fresh Put reported replaced")
+	}
+	if !tr.Put([]byte("hello"), 2) {
+		t.Fatal("overwrite not reported")
+	}
+	if v, ok := tr.Get([]byte("hello")); !ok || v != 2 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if !tr.Delete([]byte("hello")) || tr.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestSequentialMapEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(nil)
+	ref := map[string]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := make([]byte, 1+rng.Intn(6))
+		for j := range k {
+			k[j] = byte(rng.Intn(8))
+		}
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			repl := tr.Put(k, v)
+			if _, had := ref[string(k)]; had != repl {
+				t.Fatalf("op %d: Put replaced=%v, want %v (key %x)", i, repl, had, k)
+			}
+			ref[string(k)] = v
+		case 2:
+			v, ok := tr.Get(k)
+			rv, rok := ref[string(k)]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%x) = (%d,%v), want (%d,%v)", i, k, v, ok, rv, rok)
+			}
+		case 3:
+			del := tr.Delete(k)
+			if _, had := ref[string(k)]; had != del {
+				t.Fatalf("op %d: Delete(%x) = %v, want %v", i, k, del, had)
+			}
+			delete(ref, string(k))
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d != %d", i, tr.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if v, ok := tr.Get([]byte(k)); !ok || v != want {
+			t.Fatalf("final Get(%x) = (%d,%v), want %d", k, v, ok, want)
+		}
+	}
+}
+
+func TestPrefixKeysConcurrentTree(t *testing.T) {
+	tr := New(nil)
+	keys := [][]byte{[]byte("a"), []byte("ab"), []byte("abc"), []byte("abd"), []byte("b")}
+	for i, k := range keys {
+		tr.Put(k, uint64(i))
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = (%d,%v)", k, v, ok)
+		}
+	}
+	if !tr.Delete([]byte("ab")) {
+		t.Fatal("delete embedded key failed")
+	}
+	for _, k := range [][]byte{[]byte("a"), []byte("abc"), []byte("abd")} {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("lost %q", k)
+		}
+	}
+}
+
+func TestGrowAllLayouts(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 256; i++ {
+		tr.Put([]byte{1, byte(i)}, uint64(i))
+	}
+	for i := 0; i < 256; i++ {
+		if v, ok := tr.Get([]byte{1, byte(i)}); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	tr := New(nil)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers continuously verify loaded keys map to plausible values.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := uint64(rng.Intn(keys))
+				v, ok := tr.Get(key64(i))
+				if ok && v != i && v != i+1000000 {
+					t.Errorf("reader saw impossible value %d for key %d", v, i)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	// Writers overwrite and insert.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for j := 0; j < 20000; j++ {
+				i := uint64(rng.Intn(keys))
+				if rng.Intn(2) == 0 {
+					tr.Put(key64(i), i+1000000)
+				} else {
+					tr.Put(key64(uint64(keys)+uint64(rng.Intn(keys))), 7)
+				}
+			}
+		}(int64(w))
+	}
+	// Let writers finish, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Writers terminate on their own; readers need the signal. Wait for
+	// writer completion by re-joining after signaling readers.
+	for i := 0; i < 4; i++ {
+		// Writers have bounded loops; spin-wait via the waitgroup below.
+		break
+	}
+	close(stop)
+	<-done
+	// All original keys still present.
+	for i := 0; i < keys; i++ {
+		if _, ok := tr.Get(key64(uint64(i))); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestConcurrentDistinctInserts(t *testing.T) {
+	// W goroutines insert disjoint key ranges; all must land.
+	tr := New(nil)
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := uint64(w*perWorker + i)
+				tr.Put(key64(v), v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*perWorker {
+		t.Fatalf("Len = %d, want %d", tr.Len(), 8*perWorker)
+	}
+	for i := 0; i < 8*perWorker; i++ {
+		if v, ok := tr.Get(key64(uint64(i))); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentSameHotNode(t *testing.T) {
+	// All workers hammer children of one node: maximal lock contention,
+	// exercising grow races and slot races.
+	tr := New(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 10000; i++ {
+				b := byte(rng.Intn(256))
+				tr.Put([]byte{0x42, b}, uint64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	for b := 0; b < 256; b++ {
+		if _, ok := tr.Get([]byte{0x42, byte(b)}); ok {
+			n++
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len %d != reachable %d", tr.Len(), n)
+	}
+	if n < 250 {
+		t.Fatalf("only %d of 256 slots populated", n)
+	}
+}
+
+func TestConcurrentDeletes(t *testing.T) {
+	tr := New(nil)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker deletes its own residue class: disjoint sets.
+			for i := w; i < n; i += 4 {
+				if !tr.Delete(key64(uint64(i))) {
+					t.Errorf("Delete(%d) failed", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after full delete", tr.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		if _, ok := tr.Get(key64(uint64(i))); ok {
+			t.Fatalf("key %d resurrected", i)
+		}
+	}
+}
+
+func TestConcurrentMixedChurn(t *testing.T) {
+	// Unrestricted put/get/delete churn over a small hot key space with
+	// short prefix-heavy keys: maximal structural racing. Run under
+	// -race in CI; assertions here are reachability + size sanity.
+	tr := New(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 8000; i++ {
+				k := make([]byte, 1+rng.Intn(4))
+				for j := range k {
+					k[j] = byte(rng.Intn(6))
+				}
+				switch rng.Intn(3) {
+				case 0:
+					tr.Put(k, rng.Uint64())
+				case 1:
+					tr.Get(k)
+				case 2:
+					tr.Delete(k)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Size must equal the number of reachable keys.
+	count := 0
+	var enumerate func(prefix []byte, depth int)
+	// Enumerate the tiny key space exhaustively (alphabet 6, len <= 4).
+	var rec func(k []byte)
+	rec = func(k []byte) {
+		if len(k) > 0 {
+			if _, ok := tr.Get(k); ok {
+				count++
+			}
+		}
+		if len(k) == 4 {
+			return
+		}
+		for b := 0; b < 6; b++ {
+			rec(append(k, byte(b)))
+		}
+	}
+	_ = enumerate
+	rec(nil)
+	if tr.Len() != count {
+		t.Fatalf("Len %d != reachable %d", tr.Len(), count)
+	}
+}
+
+func TestCASModeCountsAtomics(t *testing.T) {
+	ms := metrics.NewSet()
+	tr := New(ms, CASValueUpdates())
+	tr.Put([]byte("k"), 1)
+	base := ms.Get(metrics.CtrAtomicOps)
+	tr.Put([]byte("k"), 2) // overwrite: CAS fast path
+	if ms.Get(metrics.CtrAtomicOps) != base+1 {
+		t.Fatal("CAS overwrite did not count an atomic op")
+	}
+	if v, _ := tr.Get([]byte("k")); v != 2 {
+		t.Fatal("CAS overwrite lost")
+	}
+}
+
+func TestLockModeCountsAcquisitions(t *testing.T) {
+	ms := metrics.NewSet()
+	tr := New(ms)
+	tr.Put([]byte("k"), 1)
+	base := ms.Get(metrics.CtrLockAcquire)
+	tr.Put([]byte("k"), 2) // overwrite: leaf write lock
+	if ms.Get(metrics.CtrLockAcquire) <= base {
+		t.Fatal("lock-mode overwrite did not count a lock acquisition")
+	}
+}
+
+func TestMetricsOpsCounts(t *testing.T) {
+	ms := metrics.NewSet()
+	tr := New(ms)
+	for i := 0; i < 10; i++ {
+		tr.Put(key64(uint64(i)), 0)
+	}
+	for i := 0; i < 7; i++ {
+		tr.Get(key64(uint64(i)))
+	}
+	if ms.Get(metrics.CtrOpsWrite) != 10 || ms.Get(metrics.CtrOpsRead) != 7 {
+		t.Fatalf("op counts: %s", ms)
+	}
+	if ms.Get(metrics.CtrKeyMatches) == 0 {
+		t.Fatal("no key matches counted")
+	}
+}
+
+func TestDeleteRootLeaf(t *testing.T) {
+	tr := New(nil)
+	tr.Put([]byte("solo"), 9)
+	if !tr.Delete([]byte("solo")) {
+		t.Fatal("delete root leaf failed")
+	}
+	if _, ok := tr.Get([]byte("solo")); ok {
+		t.Fatal("root leaf survived")
+	}
+	// Reinsert works after the root was cleared.
+	tr.Put([]byte("solo"), 10)
+	if v, _ := tr.Get([]byte("solo")); v != 10 {
+		t.Fatal("reinsert after root delete failed")
+	}
+}
+
+func TestDeletePrefixLeaf(t *testing.T) {
+	tr := New(nil)
+	tr.Put([]byte("ab"), 1)
+	tr.Put([]byte("abc"), 2)
+	tr.Put([]byte("abd"), 3)
+	if !tr.Delete([]byte("ab")) {
+		t.Fatal("delete prefix leaf failed")
+	}
+	if _, ok := tr.Get([]byte("ab")); ok {
+		t.Fatal("prefix leaf survived")
+	}
+	if tr.Delete([]byte("ab")) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func ExampleTree() {
+	tr := New(nil)
+	tr.Put([]byte("alpha"), 1)
+	tr.Put([]byte("beta"), 2)
+	v, ok := tr.Get([]byte("alpha"))
+	fmt.Println(v, ok, tr.Len())
+	// Output: 1 true 2
+}

@@ -1,0 +1,425 @@
+package olc
+
+import (
+	"bytes"
+
+	"repro/internal/metrics"
+)
+
+// Get returns the value stored under key. Readers use hand-over-hand read
+// locks and never restart.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	t.ms.Inc(metrics.CtrOpsRead)
+	n := t.root.Load()
+	if n == nil {
+		return 0, false
+	}
+	t.rlock(n)
+	depth := 0
+	for {
+		t.ms.Inc(metrics.CtrNodeAccesses)
+		t.ms.Inc(metrics.CtrKeyMatches)
+		if n.kind == kLeaf {
+			ok := bytes.Equal(n.key, key)
+			v := n.value.Load()
+			n.mu.RUnlock()
+			if ok {
+				return v, true
+			}
+			return 0, false
+		}
+		p := n.prefix
+		if len(key)-depth < len(p) || !bytes.Equal(key[depth:depth+len(p)], p) {
+			n.mu.RUnlock()
+			return 0, false
+		}
+		depth += len(p)
+		if depth == len(key) {
+			pl := n.prefixLeaf
+			n.mu.RUnlock()
+			if pl != nil {
+				return pl.value.Load(), true
+			}
+			return 0, false
+		}
+		c := n.findChild(key[depth])
+		if c == nil {
+			n.mu.RUnlock()
+			return 0, false
+		}
+		t.rlock(c)
+		n.mu.RUnlock()
+		n = c
+		depth++
+	}
+}
+
+// Put stores value under key, reporting whether an existing value was
+// replaced.
+func (t *Tree) Put(key []byte, value uint64) bool {
+	t.ms.Inc(metrics.CtrOpsWrite)
+	for {
+		done, replaced := t.tryPut(key, value)
+		if done {
+			if !replaced {
+				t.size.Add(1)
+			}
+			return replaced
+		}
+		t.ms.Inc(metrics.CtrRestarts)
+	}
+}
+
+// tryPut makes one optimistic attempt; done=false requests a restart.
+func (t *Tree) tryPut(key []byte, value uint64) (done, replaced bool) {
+	n := t.root.Load()
+	if n == nil {
+		t.lockRoot()
+		if t.root.Load() != nil {
+			t.rootMu.Unlock()
+			return false, false
+		}
+		t.root.Store(newLeaf(key, value))
+		t.rootMu.Unlock()
+		return true, false
+	}
+
+	var parent *node
+	parentDepth := 0
+	t.rlock(n)
+	depth := 0
+	for {
+		t.ms.Inc(metrics.CtrNodeAccesses)
+		t.ms.Inc(metrics.CtrKeyMatches)
+
+		if n.kind == kLeaf {
+			if bytes.Equal(n.key, key) {
+				n.mu.RUnlock()
+				return t.updateLeafValue(n, value)
+			}
+			n.mu.RUnlock()
+			return t.splitLeaf(parent, parentDepth, n, key, depth, value), false
+		}
+
+		p := n.prefix
+		cp := commonPrefixLen(p, key[depth:])
+		if cp < len(p) {
+			n.mu.RUnlock()
+			return t.splitPrefix(parent, parentDepth, n, key, depth, cp, value), false
+		}
+		depth += len(p)
+
+		if depth == len(key) {
+			pl := n.prefixLeaf
+			n.mu.RUnlock()
+			if pl != nil {
+				return t.updateLeafValue(pl, value)
+			}
+			return t.attachPrefixLeaf(n, key, value)
+		}
+
+		b := key[depth]
+		c := n.findChild(b)
+		if c == nil {
+			wasFull := n.nChildren >= n.kind.capacity()
+			n.mu.RUnlock()
+			if wasFull {
+				return t.growAndInsert(parent, parentDepth, n, b, key, value), false
+			}
+			return t.insertChild(n, b, key, value), false
+		}
+		t.rlock(c)
+		n.mu.RUnlock()
+		parent = n
+		parentDepth = depth
+		n = c
+		depth++
+	}
+}
+
+// updateLeafValue overwrites an existing leaf's value using the configured
+// discipline. Returns done=false when the leaf was deleted concurrently.
+func (t *Tree) updateLeafValue(l *node, value uint64) (done, replaced bool) {
+	if t.casValues {
+		// Heart/SMART fast path: an atomic RMW on the value word; no node
+		// lock. A concurrently deleted leaf linearizes the store before
+		// the delete.
+		t.ms.Inc(metrics.CtrAtomicOps)
+		l.value.Store(value)
+		return true, true
+	}
+	t.wlock(l)
+	if l.obsolete {
+		l.mu.Unlock()
+		return false, false
+	}
+	l.value.Store(value)
+	l.mu.Unlock()
+	return true, true
+}
+
+// attachPrefixLeaf sets n.prefixLeaf for a key terminating at n.
+func (t *Tree) attachPrefixLeaf(n *node, key []byte, value uint64) (done, replaced bool) {
+	t.wlock(n)
+	if n.obsolete {
+		n.mu.Unlock()
+		return false, false
+	}
+	if pl := n.prefixLeaf; pl != nil {
+		// Another writer attached it first: degrade to a value update.
+		n.mu.Unlock()
+		return t.updateLeafValue(pl, value)
+	}
+	n.prefixLeaf = newLeaf(key, value)
+	n.mu.Unlock()
+	return true, false
+}
+
+// insertChild adds a new leaf under n at byte b (capacity was available at
+// observation time; re-validated under the lock).
+func (t *Tree) insertChild(n *node, b byte, key []byte, value uint64) bool {
+	t.wlock(n)
+	if n.obsolete || n.findChild(b) != nil || n.nChildren >= n.kind.capacity() {
+		n.mu.Unlock()
+		return false
+	}
+	n.addChild(b, newLeaf(key, value))
+	n.mu.Unlock()
+	return true
+}
+
+// lockEdge acquires the write locks needed to replace n under parent
+// (rootMu when parent is nil), re-validating the edge. On failure nothing
+// is held.
+func (t *Tree) lockEdge(parent *node, parentDepth int, n *node, key []byte) bool {
+	if parent == nil {
+		t.lockRoot()
+		if t.root.Load() != n {
+			t.rootMu.Unlock()
+			return false
+		}
+		t.wlock(n)
+		if n.obsolete {
+			n.mu.Unlock()
+			t.rootMu.Unlock()
+			return false
+		}
+		return true
+	}
+	t.wlock(parent)
+	if parent.obsolete || parent.findChild(key[parentDepth]) != n {
+		parent.mu.Unlock()
+		return false
+	}
+	t.wlock(n)
+	if n.obsolete {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+func (t *Tree) unlockEdge(parent, n *node) {
+	n.mu.Unlock()
+	if parent == nil {
+		t.rootMu.Unlock()
+	} else {
+		parent.mu.Unlock()
+	}
+}
+
+// setChild points parent's slot (or the root) at repl; caller holds the
+// edge locks.
+func (t *Tree) setChild(parent *node, parentDepth int, key []byte, repl *node) {
+	if parent == nil {
+		t.root.Store(repl)
+		return
+	}
+	b := key[parentDepth]
+	switch parent.kind {
+	case k4, k16:
+		for i, kb := range parent.keys {
+			if kb == b {
+				parent.children[i] = repl
+				return
+			}
+		}
+	case k48:
+		parent.children[parent.index[b]-1] = repl
+	case k256:
+		parent.children[b] = repl
+	}
+}
+
+// splitLeaf replaces leaf l (which mismatches key past depth) with an N4
+// holding both l and a new leaf for key.
+func (t *Tree) splitLeaf(parent *node, parentDepth int, l *node, key []byte, depth int, value uint64) bool {
+	if !t.lockEdge(parent, parentDepth, l, key) {
+		return false
+	}
+	cp := commonPrefixLen(l.key[depth:], key[depth:])
+	n4 := newNode(k4, append([]byte(nil), key[depth:depth+cp]...))
+	place := func(leaf *node, d int) {
+		if d == len(leaf.key) {
+			n4.prefixLeaf = leaf
+		} else {
+			n4.addChild(leaf.key[d], leaf)
+		}
+	}
+	place(l, depth+cp)
+	place(newLeaf(key, value), depth+cp)
+	t.setChild(parent, parentDepth, key, n4)
+	t.unlockEdge(parent, l)
+	return true
+}
+
+// splitPrefix replaces n, whose compressed path diverges from key at cp,
+// with an N4 over a shortened-prefix copy of n and a new leaf. n itself is
+// replaced (not mutated) so that in-flight operations holding a reference
+// validate against the obsolete flag alone.
+func (t *Tree) splitPrefix(parent *node, parentDepth int, n *node, key []byte, depth, cp int, value uint64) bool {
+	if !t.lockEdge(parent, parentDepth, n, key) {
+		return false
+	}
+	p := n.prefix
+	if commonPrefixLen(p, key[depth:]) != cp {
+		// The prefix changed while unlocked (another split already
+		// happened here); restart.
+		t.unlockEdge(parent, n)
+		return false
+	}
+	// Shortened-prefix copy of n.
+	n2 := newNode(n.kind, append([]byte(nil), p[cp+1:]...))
+	n2.prefixLeaf = n.prefixLeaf
+	n2.nChildren = n.nChildren
+	n2.keys = append(n2.keys[:0], n.keys...)
+	if n.index != nil {
+		idx := *n.index
+		n2.index = &idx
+	}
+	if n.kind == k256 {
+		copy(n2.children, n.children)
+	} else {
+		n2.children = append(n2.children[:0], n.children...)
+	}
+
+	n4 := newNode(k4, append([]byte(nil), p[:cp]...))
+	n4.addChild(p[cp], n2)
+	if depth+cp == len(key) {
+		n4.prefixLeaf = newLeaf(key, value)
+	} else {
+		n4.addChild(key[depth+cp], newLeaf(key, value))
+	}
+	t.setChild(parent, parentDepth, key, n4)
+	n.obsolete = true
+	t.unlockEdge(parent, n)
+	return true
+}
+
+// growAndInsert replaces full node n with its next-larger layout holding
+// an extra leaf for key at byte b.
+func (t *Tree) growAndInsert(parent *node, parentDepth int, n *node, b byte, key []byte, value uint64) bool {
+	if !t.lockEdge(parent, parentDepth, n, key) {
+		return false
+	}
+	if n.findChild(b) != nil || n.nChildren < n.kind.capacity() {
+		// The slot got taken, or space appeared via a racing grow path;
+		// restart and re-descend.
+		t.unlockEdge(parent, n)
+		return false
+	}
+	g := grown(n)
+	g.addChild(b, newLeaf(key, value))
+	t.setChild(parent, parentDepth, key, g)
+	n.obsolete = true
+	t.unlockEdge(parent, n)
+	return true
+}
+
+// Delete removes key, reporting whether it was present. Deletion removes
+// the leaf but performs no structural compaction (see package comment).
+func (t *Tree) Delete(key []byte) bool {
+	t.ms.Inc(metrics.CtrOpsWrite)
+	for {
+		done, deleted := t.tryDelete(key)
+		if done {
+			if deleted {
+				t.size.Add(-1)
+			}
+			return deleted
+		}
+		t.ms.Inc(metrics.CtrRestarts)
+	}
+}
+
+// tryDelete descends with hand-over-hand write locks.
+func (t *Tree) tryDelete(key []byte) (done, deleted bool) {
+	t.lockRoot()
+	n := t.root.Load()
+	if n == nil {
+		t.rootMu.Unlock()
+		return true, false
+	}
+	t.wlock(n)
+	t.ms.Inc(metrics.CtrNodeAccesses)
+	t.ms.Inc(metrics.CtrKeyMatches)
+	if n.kind == kLeaf {
+		defer t.rootMu.Unlock()
+		ok := bytes.Equal(n.key, key)
+		if ok {
+			n.obsolete = true
+			t.root.Store(nil)
+		}
+		n.mu.Unlock()
+		return true, ok
+	}
+	t.rootMu.Unlock()
+
+	depth := 0
+	for {
+		p := n.prefix
+		if len(key)-depth < len(p) || !bytes.Equal(key[depth:depth+len(p)], p) {
+			n.mu.Unlock()
+			return true, false
+		}
+		depth += len(p)
+
+		if depth == len(key) {
+			pl := n.prefixLeaf
+			if pl == nil {
+				n.mu.Unlock()
+				return true, false
+			}
+			t.wlock(pl)
+			pl.obsolete = true
+			pl.mu.Unlock()
+			n.prefixLeaf = nil
+			n.mu.Unlock()
+			return true, true
+		}
+
+		b := key[depth]
+		c := n.findChild(b)
+		if c == nil {
+			n.mu.Unlock()
+			return true, false
+		}
+		t.wlock(c)
+		t.ms.Inc(metrics.CtrNodeAccesses)
+		t.ms.Inc(metrics.CtrKeyMatches)
+		if c.kind == kLeaf {
+			ok := bytes.Equal(c.key, key)
+			if ok {
+				c.obsolete = true
+				n.removeChild(b)
+			}
+			c.mu.Unlock()
+			n.mu.Unlock()
+			return true, ok
+		}
+		n.mu.Unlock()
+		n = c
+		depth++
+	}
+}

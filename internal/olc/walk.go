@@ -1,0 +1,163 @@
+package olc
+
+// Walk visits key/value pairs in ascending key order using lock crabbing:
+// the walker holds read locks on the root-to-current path, so each visited
+// node is observed in a consistent state. Writers into the locked path
+// wait; writers elsewhere proceed. The scan is not a snapshot — keys
+// inserted or removed elsewhere during the walk may or may not be seen,
+// which is the usual contract for concurrent ordered maps.
+//
+// fn returning false stops the walk; Walk reports whether it completed.
+func (t *Tree) Walk(fn func(key []byte, value uint64) bool) bool {
+	n := t.root.Load()
+	if n == nil {
+		return true
+	}
+	t.rlock(n)
+	return t.walkLocked(n, fn)
+}
+
+// ScanPrefix visits, in ascending order, every key starting with prefix,
+// under the same locking discipline as Walk. It descends directly to the
+// prefix's subtree, so cost is O(depth + matches).
+func (t *Tree) ScanPrefix(prefix []byte, fn func(key []byte, value uint64) bool) bool {
+	n := t.root.Load()
+	if n == nil {
+		return true
+	}
+	t.rlock(n)
+	depth := 0
+	for {
+		if n.kind == kLeaf {
+			defer n.mu.RUnlock()
+			if len(n.key) >= len(prefix) && equalPrefix(n.key, prefix) {
+				return fn(n.key, n.value.Load())
+			}
+			return true
+		}
+		p := n.prefix
+		rem := prefix[depth:]
+		if len(rem) <= len(p) {
+			// Prefix ends inside this node's compressed path.
+			if equalPrefix(p, rem) {
+				return t.walkLocked(n, fn)
+			}
+			n.mu.RUnlock()
+			return true
+		}
+		if !equalPrefix(rem, p) {
+			n.mu.RUnlock()
+			return true
+		}
+		depth += len(p)
+		if depth == len(prefix) {
+			return t.walkLocked(n, fn)
+		}
+		c := n.findChild(prefix[depth])
+		if c == nil {
+			n.mu.RUnlock()
+			return true
+		}
+		t.rlock(c)
+		n.mu.RUnlock()
+		n = c
+		depth++
+	}
+}
+
+// AscendRange visits keys k with lo <= k <= hi in ascending order under
+// the Walk locking discipline (nil bounds are open). The scan terminates
+// as soon as it passes hi; keys below lo are skipped.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, value uint64) bool) bool {
+	return t.Walk(func(k []byte, v uint64) bool {
+		if lo != nil && compareKeys(k, lo) < 0 {
+			return true
+		}
+		if hi != nil && compareKeys(k, hi) > 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+func compareKeys(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// equalPrefix reports whether a and b agree on their first
+// min(len(a), len(b)) bytes.
+func equalPrefix(a, b []byte) bool {
+	n := len(b)
+	if len(a) < n {
+		n = len(a)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// walkLocked visits n's subtree; the caller holds n's read lock, which
+// walkLocked releases before returning.
+func (t *Tree) walkLocked(n *node, fn func(key []byte, value uint64) bool) bool {
+	defer n.mu.RUnlock()
+	if n.kind == kLeaf {
+		return fn(n.key, n.value.Load())
+	}
+	if pl := n.prefixLeaf; pl != nil {
+		// The embedded leaf sorts before every key below this node.
+		if !fn(pl.key, pl.value.Load()) {
+			return false
+		}
+	}
+	visit := func(c *node) bool {
+		t.rlock(c)
+		return t.walkLocked(c, fn)
+	}
+	switch n.kind {
+	case k4, k16:
+		for _, c := range n.children {
+			if !visit(c) {
+				return false
+			}
+		}
+	case k48:
+		for b := 0; b < 256; b++ {
+			if idx := n.index[b]; idx != 0 {
+				if !visit(n.children[idx-1]) {
+					return false
+				}
+			}
+		}
+	case k256:
+		for _, c := range n.children {
+			if c != nil {
+				if !visit(c) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

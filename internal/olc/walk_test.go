@@ -1,0 +1,232 @@
+package olc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestWalkSortedComplete(t *testing.T) {
+	tr := New(nil)
+	rng := rand.New(rand.NewSource(5))
+	ref := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := key64(rng.Uint64() % 100000)
+		v := rng.Uint64()
+		tr.Put(k, v)
+		ref[string(k)] = v
+	}
+	var keys []string
+	ok := tr.Walk(func(k []byte, v uint64) bool {
+		if ref[string(k)] != v {
+			t.Fatalf("value mismatch at %x", k)
+		}
+		keys = append(keys, string(k))
+		return true
+	})
+	if !ok {
+		t.Fatal("walk stopped early")
+	}
+	if len(keys) != len(ref) {
+		t.Fatalf("visited %d, want %d", len(keys), len(ref))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("walk out of order")
+	}
+}
+
+func TestWalkPrefixLeafOrder(t *testing.T) {
+	tr := New(nil)
+	for _, k := range []string{"abc", "ab", "abd", "a"} {
+		tr.Put([]byte(k), 1)
+	}
+	var got []string
+	tr.Walk(func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"a", "ab", "abc", "abd"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 100; i++ {
+		tr.Put(key64(uint64(i)), uint64(i))
+	}
+	n := 0
+	if tr.Walk(func(k []byte, v uint64) bool { n++; return n < 7 }) {
+		t.Fatal("walk reported complete despite early stop")
+	}
+	if n != 7 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestWalkEmpty(t *testing.T) {
+	if !New(nil).Walk(func(k []byte, v uint64) bool { return true }) {
+		t.Fatal("empty walk should complete")
+	}
+}
+
+func TestWalkDuringConcurrentWrites(t *testing.T) {
+	tr := New(nil)
+	const loaded = 5000
+	for i := 0; i < loaded; i++ {
+		tr.Put(key64(uint64(i*2)), uint64(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers churn odd keys while walkers scan.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key64(uint64(rng.Intn(loaded))*2 + 1)
+				if rng.Intn(2) == 0 {
+					tr.Put(k, 7)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(int64(w))
+	}
+	for iter := 0; iter < 20; iter++ {
+		var prev []byte
+		seen := 0
+		tr.Walk(func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Errorf("out of order during churn")
+				return false
+			}
+			prev = append(prev[:0], k...)
+			seen++
+			return true
+		})
+		// All originally loaded (even) keys are stable and must be seen.
+		if seen < loaded {
+			t.Fatalf("walk saw %d < %d stable keys", seen, loaded)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAscendRangeConcurrentTree(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 100; i++ {
+		tr.Put(key64(uint64(i*2)), uint64(i*2))
+	}
+	var got []uint64
+	tr.AscendRange(key64(10), key64(20), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Open bounds.
+	n := 0
+	tr.AscendRange(nil, nil, func(k []byte, v uint64) bool { n++; return true })
+	if n != 100 {
+		t.Fatalf("open range visited %d", n)
+	}
+}
+
+func TestScanPrefixConcurrentTree(t *testing.T) {
+	tr := New(nil)
+	words := []string{"ant", "antelope", "anthem", "bee", "beetle", "an"}
+	for i, w := range words {
+		tr.Put(append([]byte(w), 0), uint64(i))
+	}
+	var got []string
+	tr.ScanPrefix([]byte("ant"), func(k []byte, v uint64) bool {
+		got = append(got, string(k[:len(k)-1]))
+		return true
+	})
+	want := []string{"ant", "antelope", "anthem"}
+	if len(got) != len(want) {
+		t.Fatalf("ScanPrefix(ant) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanPrefix(ant) = %v, want %v", got, want)
+		}
+	}
+	// Prefix ending inside a compressed path.
+	got = nil
+	tr.ScanPrefix([]byte("bee"), func(k []byte, v uint64) bool {
+		got = append(got, string(k[:len(k)-1]))
+		return true
+	})
+	if len(got) != 2 || got[0] != "bee" || got[1] != "beetle" {
+		t.Fatalf("ScanPrefix(bee) = %v", got)
+	}
+	// No match.
+	n := 0
+	tr.ScanPrefix([]byte("zz"), func(k []byte, v uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("ScanPrefix(zz) visited %d", n)
+	}
+	// Empty prefix = full walk.
+	n = 0
+	tr.ScanPrefix(nil, func(k []byte, v uint64) bool { n++; return true })
+	if n != len(words) {
+		t.Fatalf("ScanPrefix(nil) visited %d", n)
+	}
+}
+
+func TestScanPrefixDuringWrites(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 1000; i++ {
+		tr.Put(append([]byte(fmt.Sprintf("stable%04d", i)), 0), uint64(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Put(append([]byte(fmt.Sprintf("churn%06d", i)), 0), 1)
+			i++
+		}
+	}()
+	for iter := 0; iter < 50; iter++ {
+		n := 0
+		tr.ScanPrefix([]byte("stable"), func(k []byte, v uint64) bool { n++; return true })
+		if n != 1000 {
+			t.Fatalf("scan during churn saw %d stable keys", n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,176 @@
+package platform
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/ctt"
+	"repro/internal/cuart"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+var (
+	runAllOnce   sync.Once
+	runAllResult map[string]Report
+)
+
+// runAll executes every engine once per test binary; the reports are pure
+// functions of the (deterministic) runs, so sharing them across tests is
+// safe.
+func runAll(t *testing.T) map[string]Report {
+	t.Helper()
+	runAllOnce.Do(func() { runAllResult = runAllEngines() })
+	return runAllResult
+}
+
+func runAllEngines() map[string]Report {
+	w := workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 20000, NumOps: 120000,
+		ReadRatio: 0.5, InsertFraction: 0.1, ZipfS: 1.25, Seed: 61,
+	})
+	cfg := engine.Config{Threads: 96, CacheBytes: 64 << 10}
+	engines := []engine.Engine{
+		baseline.NewART(cfg), baseline.NewHeart(cfg), baseline.NewSMART(cfg),
+		cuart.New(cuart.Config{Config: engine.Config{CacheBytes: 256 << 10}}),
+		ctt.New(ctt.Config{Config: cfg}),
+		accel.New(accel.Config{TreeBufBytes: 1 << 20}),
+	}
+	out := map[string]Report{}
+	for _, e := range engines {
+		e.Load(w.Keys, nil)
+		res := e.Run(w.Ops)
+		out[res.Name] = ModelFor(res)
+	}
+	return out
+}
+
+func TestFig9Ordering(t *testing.T) {
+	r := runAll(t)
+	// The paper's Fig 9 structure: DCART fastest; DCART-C the best
+	// non-accelerator; CuART beats the CPU baselines; SMART is the best
+	// lock/CAS CPU design; ART is slowest.
+	order := []string{"ART", "Heart", "SMART", "CuART", "DCART-C", "DCART"}
+	for i := 1; i < len(order); i++ {
+		slow, fast := r[order[i-1]], r[order[i]]
+		if fast.Seconds >= slow.Seconds {
+			t.Fatalf("%s (%.4gs) should be faster than %s (%.4gs)",
+				order[i], fast.Seconds, order[i-1], slow.Seconds)
+		}
+	}
+	// Who-wins factors: DCART's lead over the best CPU baseline must be
+	// an order of magnitude.
+	if ratio := r["SMART"].Seconds / r["DCART"].Seconds; ratio < 8 {
+		t.Fatalf("DCART speedup over SMART = %.1fx, want >= 8x", ratio)
+	}
+}
+
+func TestFig11EnergyOrdering(t *testing.T) {
+	r := runAll(t)
+	if r["DCART"].Joules >= r["DCART-C"].Joules {
+		t.Fatal("DCART must use less energy than DCART-C")
+	}
+	if r["DCART-C"].Joules >= r["SMART"].Joules {
+		t.Fatal("DCART-C must use less energy than SMART (its energy gap drives Fig 11)")
+	}
+	if ratio := r["SMART"].Joules / r["DCART"].Joules; ratio < 20 {
+		t.Fatalf("DCART energy saving over SMART = %.1fx, want >= 20x", ratio)
+	}
+	for name, rep := range r {
+		if rep.Joules <= 0 || math.Abs(rep.Joules-rep.Watts*rep.Seconds) > 1e-9*rep.Joules {
+			t.Fatalf("%s energy inconsistent: %+v", name, rep)
+		}
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	r := runAll(t)
+	for name, rep := range r {
+		if math.Abs(rep.Breakdown.Total()-rep.Seconds) > 1e-12+1e-9*rep.Seconds {
+			t.Fatalf("%s breakdown total %.6g != seconds %.6g",
+				name, rep.Breakdown.Total(), rep.Seconds)
+		}
+	}
+}
+
+func TestFig2aTraversalSyncDominate(t *testing.T) {
+	// Fig 2(a): for the CPU baselines, traversal + synchronization
+	// consume the overwhelming share of execution time (>95.8% in the
+	// paper).
+	r := runAll(t)
+	for _, name := range []string{"ART", "Heart", "SMART"} {
+		b := r[name].Breakdown
+		share := b.Share(PhaseTraversal) + b.Share(PhaseSync)
+		if share < 0.95 {
+			t.Fatalf("%s traversal+sync share = %.3f, want > 0.95", name, share)
+		}
+	}
+}
+
+func TestARTSyncShareHighest(t *testing.T) {
+	// The lock-based design pays the most synchronization time.
+	r := runAll(t)
+	if r["ART"].Breakdown.Share(PhaseSync) <= r["SMART"].Breakdown.Share(PhaseSync) {
+		t.Fatalf("ART sync share (%.3f) should exceed SMART's (%.3f)",
+			r["ART"].Breakdown.Share(PhaseSync), r["SMART"].Breakdown.Share(PhaseSync))
+	}
+}
+
+func TestDCARTCombiningVisible(t *testing.T) {
+	// DCART-C's software bookkeeping must be a visible share of its time
+	// (the §II-C motivation for building hardware).
+	r := runAll(t)
+	if r["DCART-C"].Breakdown.Share(PhaseCombine) < 0.1 {
+		t.Fatalf("DCART-C combining share = %.3f, want >= 0.1",
+			r["DCART-C"].Breakdown.Share(PhaseCombine))
+	}
+}
+
+func TestThroughputHelper(t *testing.T) {
+	r := Report{Seconds: 2}
+	if r.Throughput(100) != 50 {
+		t.Fatal("throughput math")
+	}
+	if (Report{}).Throughput(100) != 0 {
+		t.Fatal("zero-seconds throughput should be 0")
+	}
+}
+
+func TestModelsHandleEmptyResult(t *testing.T) {
+	res := &engine.Result{Name: "ART", Metrics: metrics.NewSet()}
+	r := Xeon8468().Model(res)
+	if r.Seconds != 0 || r.Joules != 0 {
+		t.Fatalf("empty result modeled nonzero: %+v", r)
+	}
+	g := A100().Model(&engine.Result{Name: "CuART", Metrics: metrics.NewSet()})
+	if g.Seconds != 0 {
+		t.Fatalf("empty GPU result: %+v", g)
+	}
+	f := U280().Model(&engine.Result{Name: "DCART", Metrics: metrics.NewSet()})
+	if f.Seconds != 0 {
+		t.Fatalf("empty FPGA result: %+v", f)
+	}
+}
+
+func TestModelForDispatch(t *testing.T) {
+	mk := func(name string) *engine.Result {
+		return &engine.Result{Name: name, Metrics: metrics.NewSet(
+			cuart.CtrWarpSteps, cuart.CtrKernelLaunches, cuart.CtrMaskedLaneSteps)}
+	}
+	if r := ModelFor(mk("CuART")); r.Name != "NVIDIA A100" {
+		t.Fatalf("CuART dispatched to %s", r.Name)
+	}
+	if r := ModelFor(mk("DCART")); r.Name != "Alveo U280" {
+		t.Fatalf("DCART dispatched to %s", r.Name)
+	}
+	if r := ModelFor(mk("SMART")); r.Name != "SMART @ 2x Xeon Platinum 8468" {
+		t.Fatalf("SMART dispatched to %s", r.Name)
+	}
+	if r := ModelFor(mk("DCART-C")); r.Name != "DCART-C @ 2x Xeon Platinum 8468" {
+		t.Fatalf("DCART-C dispatched to %s", r.Name)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+)
+
+// BatchServer describes a system that serves operations in batches, the
+// execution style of every engine in this repository (rounds of threads on
+// the CPU, kernel launches on the GPU, PCU batches on DCART).
+type BatchServer struct {
+	// MaxBatch is the largest batch the server accepts at once.
+	MaxBatch int
+	// ServiceSeconds returns the time to serve a batch of n operations.
+	ServiceSeconds func(n int) float64
+}
+
+// LoadPoint is one point of a throughput/latency curve.
+type LoadPoint struct {
+	OfferedOpsPerSec   float64
+	AchievedOpsPerSec  float64
+	MeanLatencySeconds float64
+	P99LatencySeconds  float64
+}
+
+// RunOpenLoop drives the server with Poisson arrivals at rate
+// opsPerSecond for numOps operations and measures per-op latency
+// (queueing + service; an operation completes when its batch completes).
+// Deterministic for a given seed.
+func RunOpenLoop(server BatchServer, opsPerSecond float64, numOps int, seed int64) LoadPoint {
+	if server.MaxBatch <= 0 {
+		server.MaxBatch = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var s Sim
+	hist := metrics.NewHistogram()
+
+	queue := make([]float64, 0, server.MaxBatch) // arrival times
+	busy := false
+	completed := 0
+	var lastCompletion float64
+
+	var startService func()
+	startService = func() {
+		if busy || len(queue) == 0 {
+			return
+		}
+		n := len(queue)
+		if n > server.MaxBatch {
+			n = server.MaxBatch
+		}
+		batch := make([]float64, n)
+		copy(batch, queue[:n])
+		queue = append(queue[:0], queue[n:]...)
+		busy = true
+		s.After(server.ServiceSeconds(n), func() {
+			done := s.Now()
+			for _, arr := range batch {
+				hist.Observe(done - arr)
+			}
+			completed += n
+			lastCompletion = done
+			busy = false
+			startService()
+		})
+	}
+
+	// Arrival process.
+	t := 0.0
+	for i := 0; i < numOps; i++ {
+		t += rng.ExpFloat64() / opsPerSecond
+		arr := t
+		s.At(arr, func() {
+			queue = append(queue, arr)
+			startService()
+		})
+	}
+	s.Run(0)
+
+	lp := LoadPoint{OfferedOpsPerSec: opsPerSecond}
+	if lastCompletion > 0 {
+		lp.AchievedOpsPerSec = float64(completed) / lastCompletion
+	}
+	lp.MeanLatencySeconds = hist.Mean()
+	lp.P99LatencySeconds = hist.Quantile(0.99)
+	return lp
+}
+
+// Curve sweeps offered load from lowFrac to highFrac of the server's
+// nominal capacity in the given number of points, returning one LoadPoint
+// per offered rate. Capacity is estimated from a full batch's service
+// time.
+func Curve(server BatchServer, lowFrac, highFrac float64, points, opsPerPoint int, seed int64) []LoadPoint {
+	if points < 2 {
+		points = 2
+	}
+	full := server.ServiceSeconds(server.MaxBatch)
+	capacity := float64(server.MaxBatch) / full
+	out := make([]LoadPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := lowFrac + (highFrac-lowFrac)*float64(i)/float64(points-1)
+		rate := capacity * frac
+		if rate <= 0 {
+			continue
+		}
+		out = append(out, RunOpenLoop(server, rate, opsPerPoint, seed+int64(i)))
+	}
+	return out
+}
+
+// SaturationThroughput returns the server's maximum sustainable rate.
+func SaturationThroughput(server BatchServer) float64 {
+	full := server.ServiceSeconds(server.MaxBatch)
+	if full <= 0 {
+		return math.Inf(1)
+	}
+	return float64(server.MaxBatch) / full
+}

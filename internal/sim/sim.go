@@ -1,0 +1,73 @@
+// Package sim provides a small discrete-event simulation core and, on top
+// of it, the open-loop batch-service queueing model that produces the
+// paper's throughput / P99-latency curves (Fig 10).
+package sim
+
+import "container/heap"
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	events eventHeap
+	now    float64
+	seq    int64 // tie-break so same-time events run in schedule order
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (>= Now; earlier times run "now").
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// Run processes events until the queue empties or time exceeds until
+// (until <= 0 means no limit). It returns the final simulation time.
+func (s *Sim) Run(until float64) float64 {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if until > 0 && e.time > until {
+			// Put it back for a later Run call and stop.
+			heap.Push(&s.events, e)
+			s.now = until
+			return s.now
+		}
+		s.now = e.time
+		e.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }

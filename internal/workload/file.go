@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Workload file format: a binary container for a generated workload so
+// traces can be recorded once and replayed across engines, machines, or
+// future versions (the deterministic generators make this mostly a
+// convenience — the format exists for externally captured traces).
+//
+//	magic   [8]byte "DCARTWL1"
+//	nameLen uvarint, name
+//	numKeys uvarint
+//	keys    numKeys x { keyLen uvarint, key }
+//	numOps  uvarint
+//	ops     numOps x { kind byte, keyLen uvarint, key, value uint64 }
+//	crc32   uint32 (IEEE, over everything before it)
+var fileMagic = [8]byte{'D', 'C', 'A', 'R', 'T', 'W', 'L', '1'}
+
+const maxSaneKeyLen = 1 << 20
+
+// WriteTo serializes the workload, returning bytes written.
+func (w *Workload) WriteTo(out io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(out, crc))
+	cw := &countWriter{w: bw}
+
+	write := func(p []byte) error {
+		_, err := cw.Write(p)
+		return err
+	}
+	var varint [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(varint[:], v)
+		return write(varint[:n])
+	}
+	var u64 [8]byte
+
+	if err := write(fileMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(uint64(len(w.Name))); err != nil {
+		return cw.n, err
+	}
+	if err := write([]byte(w.Name)); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(uint64(len(w.Keys))); err != nil {
+		return cw.n, err
+	}
+	for _, k := range w.Keys {
+		if err := writeUvarint(uint64(len(k))); err != nil {
+			return cw.n, err
+		}
+		if err := write(k); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeUvarint(uint64(len(w.Ops))); err != nil {
+		return cw.n, err
+	}
+	for _, op := range w.Ops {
+		if err := write([]byte{byte(op.Kind)}); err != nil {
+			return cw.n, err
+		}
+		if err := writeUvarint(uint64(len(op.Key))); err != nil {
+			return cw.n, err
+		}
+		if err := write(op.Key); err != nil {
+			return cw.n, err
+		}
+		binary.BigEndian.PutUint64(u64[:], op.Value)
+		if err := write(u64[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	var foot [4]byte
+	binary.BigEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := out.Write(foot[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadFrom deserializes a workload written by WriteTo, validating the
+// checksum.
+func ReadFrom(r io.Reader) (*Workload, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	payload := &hashReader{r: br, h: crc}
+
+	var magic [8]byte
+	if _, err := io.ReadFull(payload, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: header: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("workload: bad magic %q", magic[:])
+	}
+	readUvarint := func() (uint64, error) { return readUvarintFrom(payload) }
+
+	nameLen, err := readUvarint()
+	if err != nil || nameLen > 256 {
+		return nil, fmt.Errorf("workload: name length: %v", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(payload, name); err != nil {
+		return nil, fmt.Errorf("workload: name: %w", err)
+	}
+
+	numKeys, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("workload: key count: %w", err)
+	}
+	w := &Workload{Name: string(name)}
+	for i := uint64(0); i < numKeys; i++ {
+		k, err := readKey(payload)
+		if err != nil {
+			return nil, fmt.Errorf("workload: key %d: %w", i, err)
+		}
+		w.Keys = append(w.Keys, k)
+	}
+
+	numOps, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("workload: op count: %w", err)
+	}
+	var u64 [8]byte
+	for i := uint64(0); i < numOps; i++ {
+		var kind [1]byte
+		if _, err := io.ReadFull(payload, kind[:]); err != nil {
+			return nil, fmt.Errorf("workload: op %d kind: %w", i, err)
+		}
+		if kind[0] > byte(Scan) {
+			return nil, fmt.Errorf("workload: op %d has unknown kind %d", i, kind[0])
+		}
+		k, err := readKey(payload)
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d key: %w", i, err)
+		}
+		if _, err := io.ReadFull(payload, u64[:]); err != nil {
+			return nil, fmt.Errorf("workload: op %d value: %w", i, err)
+		}
+		w.Ops = append(w.Ops, Op{
+			Kind: Kind(kind[0]), Key: k, Value: binary.BigEndian.Uint64(u64[:]),
+		})
+	}
+
+	want := crc.Sum32()
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return nil, fmt.Errorf("workload: footer: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(foot[:]); got != want {
+		return nil, fmt.Errorf("workload: checksum mismatch")
+	}
+	return w, nil
+}
+
+type hashReader struct {
+	r io.Reader
+	h interface{ Write(p []byte) (int, error) }
+}
+
+func (h *hashReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if n > 0 {
+		h.h.Write(p[:n])
+	}
+	return n, err
+}
+
+func readUvarintFrom(r io.Reader) (uint64, error) {
+	var single [1]byte
+	var x uint64
+	var shift uint
+	for {
+		if _, err := io.ReadFull(r, single[:]); err != nil {
+			return 0, err
+		}
+		b := single[0]
+		if b < 0x80 {
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+		if shift > 63 {
+			return 0, fmt.Errorf("uvarint overflow")
+		}
+	}
+}
+
+func readKey(r io.Reader) ([]byte, error) {
+	klen, err := readUvarintFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if klen > maxSaneKeyLen {
+		return nil, fmt.Errorf("key length %d implausible", klen)
+	}
+	k := make([]byte, klen)
+	if _, err := io.ReadFull(r, k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	w := MustGenerate(Spec{Name: EA, NumKeys: 1000, NumOps: 5000, Seed: 9})
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name || len(back.Keys) != len(w.Keys) || len(back.Ops) != len(w.Ops) {
+		t.Fatalf("shape mismatch: %s %d %d", back.Name, len(back.Keys), len(back.Ops))
+	}
+	for i := range w.Keys {
+		if !bytes.Equal(back.Keys[i], w.Keys[i]) {
+			t.Fatalf("key %d differs", i)
+		}
+	}
+	for i := range w.Ops {
+		if back.Ops[i].Kind != w.Ops[i].Kind ||
+			!bytes.Equal(back.Ops[i].Key, w.Ops[i].Key) ||
+			back.Ops[i].Value != w.Ops[i].Value {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestFileCorruptionDetected(t *testing.T) {
+	w := MustGenerate(Spec{Name: RS, NumKeys: 100, NumOps: 300, Seed: 9})
+	var buf bytes.Buffer
+	w.WriteTo(&buf)
+	data := buf.Bytes()
+	for _, pos := range []int{0, 12, len(data) / 2, len(data) - 3} {
+		corrupted := append([]byte(nil), data...)
+		corrupted[pos] ^= 0x55
+		if _, err := ReadFrom(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("corruption at %d undetected", pos)
+		}
+	}
+	if _, err := ReadFrom(bytes.NewReader(data[:10])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestQuickFileRoundTrip(t *testing.T) {
+	f := func(seed int64, nk, no uint8) bool {
+		w := MustGenerate(Spec{
+			Name: DICT, NumKeys: int(nk)%200 + 10, NumOps: int(no)%500 + 10, Seed: seed,
+		})
+		var buf bytes.Buffer
+		if _, err := w.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Keys) != len(w.Keys) || len(back.Ops) != len(w.Ops) {
+			return false
+		}
+		for i := range w.Ops {
+			if !bytes.Equal(back.Ops[i].Key, w.Ops[i].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

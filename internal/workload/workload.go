@@ -1,0 +1,504 @@
+// Package workload generates the key sets and operation streams used by the
+// DCART paper's evaluation (§IV-A): three real-world-shaped workloads
+// (IPGEO, DICT, EA) and three synthetic integer workloads (DE, RS, RD),
+// plus the YCSB-style read/write mixes A-E of Fig 12(b).
+//
+// The paper's datasets are proprietary or impractically large, so the
+// generators here are deterministic synthetic equivalents that reproduce
+// the two statistical properties the paper's mechanisms exploit: a skewed
+// distribution of operations over 8-bit key prefixes (spatial similarity,
+// Fig 3) and Zipfian key popularity over time (temporal similarity).
+//
+// All keys are binary-comparable byte strings. String-shaped keys carry a
+// trailing 0x00 terminator so that no key is a proper prefix of another,
+// which the ART substrate requires.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Kind identifies an operation type.
+type Kind uint8
+
+// Operation kinds. The paper evaluates read/write mixes; Delete and Scan
+// are supported by the index implementations and exercised by tests.
+const (
+	Read Kind = iota
+	Write
+	Delete
+	Scan
+)
+
+// String returns the conventional lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Delete:
+		return "delete"
+	case Scan:
+		return "scan"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one key-value operation in a stream.
+type Op struct {
+	Kind  Kind
+	Key   []byte
+	Value uint64 // payload for Write; scan length for Scan
+}
+
+// Workload is a generated benchmark input: an initial key set to bulk-load
+// and an operation stream to run against it.
+type Workload struct {
+	Name string
+	Keys [][]byte // unique keys, load phase
+	Ops  []Op     // run phase
+}
+
+// Names of the six paper workloads.
+const (
+	IPGEO = "IPGEO" // IP address records (GeoLite2-shaped)
+	DICT  = "DICT"  // English dictionary words
+	EA    = "EA"    // e-mail addresses
+	DE    = "DE"    // dense 8-byte integer keys
+	RS    = "RS"    // random sparse 8-byte integer keys
+	RD    = "RD"    // random dense 8-byte integer keys
+)
+
+// All lists the six paper workloads in the order figures present them.
+var All = []string{IPGEO, DICT, EA, DE, RS, RD}
+
+// RealWorld lists the three real-world-shaped workloads (Figs 3, 10).
+var RealWorld = []string{IPGEO, DICT, EA}
+
+// Mix is a read/write ratio, as in Fig 12(b).
+type Mix struct {
+	Name      string
+	ReadRatio float64
+}
+
+// The five operation mixes of Fig 12(b). Mix C (50/50) is the paper's
+// default for all other experiments.
+var (
+	MixA = Mix{"A", 1.00}
+	MixB = Mix{"B", 0.75}
+	MixC = Mix{"C", 0.50}
+	MixD = Mix{"D", 0.25}
+	MixE = Mix{"E", 0.00}
+)
+
+// Mixes lists A through E in order.
+var Mixes = []Mix{MixA, MixB, MixC, MixD, MixE}
+
+// Spec parameterizes workload generation.
+type Spec struct {
+	Name      string  // one of the workload name constants
+	NumKeys   int     // unique keys in the load phase
+	NumOps    int     // operations in the run phase
+	ReadRatio float64 // fraction of Ops that are reads (rest are writes)
+	// InsertFraction is the fraction of writes that insert previously
+	// unseen keys rather than updating loaded ones. Default 0.2.
+	InsertFraction float64
+	// ZipfS and ZipfV parameterize the Zipf laws used for operation
+	// sampling: rank probability proportional to (v+k)^-s, applied first
+	// across prefixes (with v=3) and then across keys within the chosen
+	// prefix (with v=ZipfV). The defaults (s=1.1, v=16) put the hottest
+	// prefix near 13%% of operations and the hottest key around 0.3%% —
+	// the Fig 3 regime.
+	ZipfS float64
+	ZipfV float64
+	Seed  int64
+}
+
+func (s *Spec) setDefaults() {
+	if s.NumKeys <= 0 {
+		s.NumKeys = 100_000
+	}
+	if s.NumOps <= 0 {
+		s.NumOps = 2 * s.NumKeys
+	}
+	if s.ReadRatio < 0 || s.ReadRatio > 1 {
+		s.ReadRatio = 0.5
+	}
+	if s.InsertFraction <= 0 || s.InsertFraction >= 1 {
+		s.InsertFraction = 0.2
+	}
+	if s.ZipfS <= 1 {
+		s.ZipfS = 1.1
+	}
+	if s.ZipfV < 1 {
+		s.ZipfV = 16
+	}
+}
+
+// Generate builds the workload described by spec. Generation is fully
+// deterministic for a given spec (including Seed).
+func Generate(spec Spec) (*Workload, error) {
+	spec.setDefaults()
+	rng := rand.New(rand.NewSource(mixSeed(spec.Seed, spec.Name)))
+
+	var keys [][]byte
+	switch spec.Name {
+	case IPGEO:
+		keys = genIPGeo(rng, spec.NumKeys)
+	case DICT:
+		keys = genDict(rng, spec.NumKeys)
+	case EA:
+		keys = genEmail(rng, spec.NumKeys)
+	case DE:
+		keys = genDense(spec.NumKeys)
+	case RS:
+		keys = genRandomSparse(rng, spec.NumKeys)
+	case RD:
+		keys = genRandomDense(rng, spec.NumKeys)
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q", spec.Name)
+	}
+
+	ops := buildOps(rng, spec, keys)
+	return &Workload{Name: spec.Name, Keys: keys, Ops: ops}, nil
+}
+
+// MustGenerate is Generate but panics on error; for tests and benchmarks
+// where the spec is a compile-time constant.
+func MustGenerate(spec Spec) *Workload {
+	w, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func mixSeed(seed int64, name string) int64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b
+	for _, c := range name {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// buildOps draws spec.NumOps operations with two-stage Zipf sampling:
+// first a prefix (8-bit key-space region) from a Zipf law over prefixes
+// ranked by how many keys they hold, then a key within that prefix from a
+// second Zipf law. This reproduces Fig 3's correlated spatial-temporal
+// skew — operations cluster on the prefixes where the key set clusters —
+// while keeping the hottest prefix near ~13% of operations and the
+// hottest key a fraction of a percent.
+func buildOps(rng *rand.Rand, spec Spec, keys [][]byte) []Op {
+	groups := prefixGroups(rng, keys)
+	prefZipf := rand.NewZipf(rng, spec.ZipfS, 3, uint64(len(groups)-1))
+	keyZipfs := make([]*rand.Zipf, len(groups))
+	for i, g := range groups {
+		keyZipfs[i] = rand.NewZipf(rng, spec.ZipfS, spec.ZipfV, uint64(len(g)-1))
+	}
+	pick := func() []byte {
+		gi := int(prefZipf.Uint64())
+		g := groups[gi]
+		return keys[g[keyZipfs[gi].Uint64()]]
+	}
+
+	ops := make([]Op, 0, spec.NumOps)
+	inserted := 0
+	for i := 0; i < spec.NumOps; i++ {
+		if rng.Float64() < spec.ReadRatio {
+			ops = append(ops, Op{Kind: Read, Key: pick()})
+			continue
+		}
+		if rng.Float64() < spec.InsertFraction {
+			// Insert a fresh key derived from a hot existing key so the
+			// insert lands in an already-hot subtree, as new records in
+			// the real datasets do (a new IP in a popular /8, a new user
+			// at a popular mail domain).
+			k := deriveKey(pick(), inserted)
+			inserted++
+			ops = append(ops, Op{Kind: Write, Key: k, Value: rng.Uint64()})
+			continue
+		}
+		ops = append(ops, Op{Kind: Write, Key: pick(), Value: rng.Uint64()})
+	}
+	return ops
+}
+
+// prefixGroups partitions key indices by first byte, orders the groups by
+// descending population (ties by byte value), and shuffles within each
+// group so that within-prefix popularity is independent of generation
+// order.
+func prefixGroups(rng *rand.Rand, keys [][]byte) [][]int {
+	byPrefix := make(map[byte][]int)
+	for i, k := range keys {
+		b := byte(0)
+		if len(k) > 0 {
+			b = k[0]
+		}
+		byPrefix[b] = append(byPrefix[b], i)
+	}
+	prefixes := make([]int, 0, len(byPrefix))
+	for b := range byPrefix {
+		prefixes = append(prefixes, int(b))
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		ci, cj := len(byPrefix[byte(prefixes[i])]), len(byPrefix[byte(prefixes[j])])
+		if ci != cj {
+			return ci > cj
+		}
+		return prefixes[i] < prefixes[j]
+	})
+	groups := make([][]int, 0, len(prefixes))
+	for _, p := range prefixes {
+		g := byPrefix[byte(p)]
+		rng.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// deriveKey returns a key sharing base's prefix, so the write lands in the
+// same (hot) subtree as base — the way new records in the real datasets do
+// (a new IP in a popular /8, a new user at a popular mail domain).
+//
+// Terminated string keys grow a "+NNNN" suffix before the terminator.
+// Fixed-width integer keys keep their width: the low-order bytes are
+// replaced with a hash of (base, seq). A rare collision with an existing
+// key simply turns the insert into an update, which is harmless.
+func deriveKey(base []byte, seq int) []byte {
+	if len(base) > 0 && base[len(base)-1] == 0 {
+		k := make([]byte, len(base)+5)
+		pos := len(base) - 1
+		copy(k, base[:pos])
+		k[pos] = 0x2b // '+'
+		binary.BigEndian.PutUint32(k[pos+1:pos+5], uint32(seq)+1)
+		return k
+	}
+	k := make([]byte, len(base))
+	copy(k, base)
+	h := uint64(seq)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	keep := 1 // preserve at least the first byte (the hot prefix)
+	if len(k) >= 8 {
+		keep = 4
+	}
+	for i := keep; i < len(k); i++ {
+		k[i] = byte(h >> (8 * uint(i%8)))
+		h = h*0x100000001b3 + 0x9e37
+	}
+	return k
+}
+
+// EncodeUint64 returns the 8-byte big-endian (binary-comparable) encoding.
+func EncodeUint64(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+// DecodeUint64 is the inverse of EncodeUint64.
+func DecodeUint64(k []byte) uint64 {
+	return binary.BigEndian.Uint64(k)
+}
+
+// PrefixHistogram counts operations by the first key byte (Fig 3).
+func PrefixHistogram(ops []Op) [256]int64 {
+	var h [256]int64
+	for _, op := range ops {
+		if len(op.Key) > 0 {
+			h[op.Key[0]]++
+		}
+	}
+	return h
+}
+
+// KeyAccessCounts returns per-key operation counts for the stream, keyed by
+// string(key). Used for skew statistics (Fig 3 caption).
+func KeyAccessCounts(ops []Op) map[string]int64 {
+	m := make(map[string]int64)
+	for _, op := range ops {
+		m[string(op.Key)]++
+	}
+	return m
+}
+
+// ---- key-set generators ------------------------------------------------
+
+// genIPGeo synthesizes IPv4-record keys shaped like the GeoLite2-Country
+// database: 4-byte addresses whose /8 prefix follows a heavily skewed
+// distribution (a handful of /8s own most addresses; the paper's Fig 3
+// shows the 0x67 prefix dominating). Keys are the 4 address bytes — fixed
+// width, so no terminator is needed.
+func genIPGeo(rng *rand.Rand, n int) [][]byte {
+	// Zipf ranks over the 256 /8 prefixes, permuted so hot prefixes land
+	// at realistic positions; rank 0 is pinned to 0x67 to match Fig 3.
+	prefixOf := prefixRanking(rng, 0x67)
+	zipf := rand.NewZipf(rng, 1.3, 4, 255)
+	return dedupeKeys(n, func() []byte {
+		p := prefixOf[zipf.Uint64()]
+		k := make([]byte, 4)
+		k[0] = p
+		k[1] = byte(rng.Intn(256))
+		k[2] = byte(rng.Intn(256))
+		k[3] = byte(rng.Intn(256))
+		return k
+	})
+}
+
+// prefixRanking returns a permutation of 0..255 with `hot` first.
+func prefixRanking(rng *rand.Rand, hot byte) []byte {
+	perm := rng.Perm(256)
+	out := make([]byte, 256)
+	for i, p := range perm {
+		out[i] = byte(p)
+	}
+	for i, p := range out {
+		if p == hot {
+			out[0], out[i] = out[i], out[0]
+			break
+		}
+	}
+	return out
+}
+
+// English first-letter and following-letter frequencies (coarse), used to
+// synthesize dictionary-like words with realistic prefix clustering.
+var firstLetterFreq = [26]int{
+	// a  b  c  d  e  f  g  h  i  j k  l  m  n  o  p q  r  s  t  u v  w x y z
+	11, 5, 9, 6, 4, 4, 3, 3, 4, 1, 1, 3, 6, 2, 3, 8, 1, 6, 12, 9, 3, 2, 3, 1, 1, 1,
+}
+
+var letterFreq = [26]int{
+	8, 2, 3, 4, 12, 2, 2, 6, 7, 1, 1, 4, 2, 7, 8, 2, 1, 6, 6, 9, 3, 1, 2, 1, 2, 1,
+}
+
+func pickWeighted(rng *rand.Rand, w [26]int) byte {
+	total := 0
+	for _, x := range w {
+		total += x
+	}
+	r := rng.Intn(total)
+	for i, x := range w {
+		r -= x
+		if r < 0 {
+			return byte('a' + i)
+		}
+	}
+	return 'z'
+}
+
+// genDict synthesizes lowercase pseudo-English words (3-14 letters) with
+// English letter frequencies, 0x00-terminated.
+func genDict(rng *rand.Rand, n int) [][]byte {
+	return dedupeKeys(n, func() []byte {
+		l := 3 + rng.Intn(12)
+		w := make([]byte, l+1)
+		w[0] = pickWeighted(rng, firstLetterFreq)
+		for i := 1; i < l; i++ {
+			w[i] = pickWeighted(rng, letterFreq)
+		}
+		w[l] = 0
+		return w
+	})
+}
+
+// mailDomains follow a Zipf-like popularity in real e-mail corpora.
+var mailDomains = []string{
+	"gmail.com", "yahoo.com", "hotmail.com", "outlook.com", "aol.com",
+	"icloud.com", "mail.ru", "qq.com", "163.com", "protonmail.com",
+	"gmx.de", "web.de", "orange.fr", "comcast.net", "verizon.net",
+	"live.com", "msn.com", "me.com", "yandex.ru", "zoho.com",
+}
+
+// genEmail synthesizes e-mail address keys "local@domain\x00" where the
+// local part is a pseudo-word plus digits and domains follow a Zipf
+// popularity. Because keys start with the local part, prefix skew follows
+// English first-letter frequencies, matching the EA panel of Fig 3.
+func genEmail(rng *rand.Rand, n int) [][]byte {
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(len(mailDomains)-1))
+	return dedupeKeys(n, func() []byte {
+		l := 4 + rng.Intn(8)
+		name := make([]byte, 0, l+14)
+		name = append(name, pickWeighted(rng, firstLetterFreq))
+		for i := 1; i < l; i++ {
+			name = append(name, pickWeighted(rng, letterFreq))
+		}
+		if rng.Intn(2) == 0 {
+			name = append(name, byte('0'+rng.Intn(10)), byte('0'+rng.Intn(10)))
+		}
+		name = append(name, '@')
+		name = append(name, mailDomains[zipf.Uint64()]...)
+		name = append(name, 0)
+		return name
+	})
+}
+
+// genDense yields the dense integers 0..n-1 (paper workload DE).
+func genDense(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = EncodeUint64(uint64(i))
+	}
+	return keys
+}
+
+// genRandomSparse yields n distinct uniform 64-bit integers (RS).
+func genRandomSparse(rng *rand.Rand, n int) [][]byte {
+	return dedupeKeys(n, func() []byte { return EncodeUint64(rng.Uint64()) })
+}
+
+// genRandomDense yields a random permutation of 0..4n, i.e. keys drawn
+// densely but in random order with gaps (RD).
+func genRandomDense(rng *rand.Rand, n int) [][]byte {
+	return dedupeKeys(n, func() []byte {
+		return EncodeUint64(uint64(rng.Intn(4 * n)))
+	})
+}
+
+// dedupeKeys draws from gen until n distinct keys are collected.
+func dedupeKeys(n int, gen func() []byte) [][]byte {
+	seen := make(map[string]struct{}, n)
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		k := gen()
+		s := string(k)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortKeys sorts a key slice lexicographically in place (load order does
+// not matter for correctness; sorted bulk loads are a common fast path).
+func SortKeys(keys [][]byte) {
+	sort.Slice(keys, func(i, j int) bool { return compare(keys[i], keys[j]) < 0 })
+}
+
+func compare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, name := range All {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := Generate(Spec{Name: name, NumKeys: 2000, NumOps: 5000, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Keys) != 2000 {
+				t.Fatalf("keys = %d", len(w.Keys))
+			}
+			if len(w.Ops) != 5000 {
+				t.Fatalf("ops = %d", len(w.Ops))
+			}
+			seen := map[string]bool{}
+			for _, k := range w.Keys {
+				if len(k) == 0 {
+					t.Fatal("empty key")
+				}
+				if seen[string(k)] {
+					t.Fatalf("duplicate key %x", k)
+				}
+				seen[string(k)] = true
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownWorkload(t *testing.T) {
+	if _, err := Generate(Spec{Name: "NOPE"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range All {
+		a := MustGenerate(Spec{Name: name, NumKeys: 500, NumOps: 1000, Seed: 42})
+		b := MustGenerate(Spec{Name: name, NumKeys: 500, NumOps: 1000, Seed: 42})
+		for i := range a.Keys {
+			if !bytes.Equal(a.Keys[i], b.Keys[i]) {
+				t.Fatalf("%s: key %d differs across runs", name, i)
+			}
+		}
+		for i := range a.Ops {
+			if a.Ops[i].Kind != b.Ops[i].Kind || !bytes.Equal(a.Ops[i].Key, b.Ops[i].Key) {
+				t.Fatalf("%s: op %d differs across runs", name, i)
+			}
+		}
+		c := MustGenerate(Spec{Name: name, NumKeys: 500, NumOps: 1000, Seed: 43})
+		same := true
+		for i := range a.Ops {
+			if !bytes.Equal(a.Ops[i].Key, c.Ops[i].Key) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+func TestReadRatio(t *testing.T) {
+	for _, mix := range Mixes {
+		w := MustGenerate(Spec{Name: RS, NumKeys: 1000, NumOps: 20000,
+			ReadRatio: mix.ReadRatio, Seed: 5})
+		reads := 0
+		for _, op := range w.Ops {
+			if op.Kind == Read {
+				reads++
+			}
+		}
+		got := float64(reads) / float64(len(w.Ops))
+		if got < mix.ReadRatio-0.02 || got > mix.ReadRatio+0.02 {
+			t.Fatalf("mix %s: read ratio %.3f, want %.2f", mix.Name, got, mix.ReadRatio)
+		}
+	}
+}
+
+func TestKeyPrefixInvariant(t *testing.T) {
+	// No key may be a proper prefix of another within a workload, which is
+	// guaranteed by 0x00 terminators (strings) or fixed width (integers).
+	for _, name := range All {
+		w := MustGenerate(Spec{Name: name, NumKeys: 300, NumOps: 3000, Seed: 9})
+		all := make([][]byte, 0, len(w.Keys))
+		all = append(all, w.Keys...)
+		for _, op := range w.Ops {
+			all = append(all, op.Key)
+		}
+		SortKeys(all)
+		for i := 1; i < len(all); i++ {
+			a, b := all[i-1], all[i]
+			if len(a) < len(b) && bytes.Equal(a, b[:len(a)]) {
+				t.Fatalf("%s: key %x is a proper prefix of %x", name, a, b)
+			}
+		}
+	}
+}
+
+func TestIPGeoPrefixSkew(t *testing.T) {
+	w := MustGenerate(Spec{Name: IPGEO, NumKeys: 5000, NumOps: 50000, Seed: 2})
+	h := PrefixHistogram(w.Ops)
+	// 0x67 must be the hottest prefix, as in the paper's Fig 3, and it
+	// must be an order of magnitude above the average active prefix.
+	maxP, maxC := 0, int64(0)
+	var total int64
+	active := 0
+	for p, c := range h {
+		total += c
+		if c > 0 {
+			active++
+		}
+		if c > maxC {
+			maxP, maxC = p, c
+		}
+	}
+	if maxP != 0x67 {
+		t.Fatalf("hottest prefix = %#x, want 0x67", maxP)
+	}
+	avg := float64(total) / float64(active)
+	if float64(maxC) < 10*avg {
+		t.Fatalf("insufficient skew: hottest prefix %.0f ops vs avg %.0f", float64(maxC), avg)
+	}
+}
+
+func TestOperationSkew(t *testing.T) {
+	// The Fig 3 caption: a small fraction of keys receives most accesses.
+	// At key level the default skew concentrates >1/3 of operations on 5%
+	// of the keys; node-level concentration (what the paper's "96.65% of
+	// traversals on 5% of nodes" measures) is higher still because upper
+	// tree levels are shared — the fig3 experiment reports it.
+	w := MustGenerate(Spec{Name: IPGEO, NumKeys: 5000, NumOps: 100000, Seed: 3})
+	perKey := KeyAccessCounts(w.Ops)
+	counts := make([]int64, 0, len(perKey))
+	for _, c := range perKey {
+		counts = append(counts, c)
+	}
+	share := metrics.TopShare(counts, 0.05)
+	if share < 0.3 {
+		t.Fatalf("top-5%% key share = %.2f, want > 0.3", share)
+	}
+	// The benchmark regime (ZipfS 1.25) must be hotter.
+	wh := MustGenerate(Spec{Name: IPGEO, NumKeys: 5000, NumOps: 100000, ZipfS: 1.25, Seed: 3})
+	perKeyH := KeyAccessCounts(wh.Ops)
+	countsH := make([]int64, 0, len(perKeyH))
+	for _, c := range perKeyH {
+		countsH = append(countsH, c)
+	}
+	if hot := metrics.TopShare(countsH, 0.05); hot <= share {
+		t.Fatalf("ZipfS=1.25 share %.2f not above default %.2f", hot, share)
+	}
+}
+
+func TestDictKeysShape(t *testing.T) {
+	w := MustGenerate(Spec{Name: DICT, NumKeys: 1000, NumOps: 100, Seed: 4})
+	for _, k := range w.Keys {
+		if k[len(k)-1] != 0 {
+			t.Fatalf("dict key missing terminator: %q", k)
+		}
+		for _, c := range k[:len(k)-1] {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("dict key has non-letter byte: %q", k)
+			}
+		}
+	}
+}
+
+func TestEmailKeysShape(t *testing.T) {
+	w := MustGenerate(Spec{Name: EA, NumKeys: 1000, NumOps: 100, Seed: 4})
+	for _, k := range w.Keys {
+		if k[len(k)-1] != 0 {
+			t.Fatalf("email key missing terminator: %q", k)
+		}
+		if !bytes.Contains(k, []byte("@")) {
+			t.Fatalf("email key lacks @: %q", k)
+		}
+	}
+}
+
+func TestDenseKeys(t *testing.T) {
+	w := MustGenerate(Spec{Name: DE, NumKeys: 100, NumOps: 10, Seed: 1})
+	for i, k := range w.Keys {
+		if DecodeUint64(k) != uint64(i) {
+			t.Fatalf("dense key %d = %d", i, DecodeUint64(k))
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return DecodeUint64(EncodeUint64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeOrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka, kb := EncodeUint64(a), EncodeUint64(b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveKeySameWidthAndPrefix(t *testing.T) {
+	base := EncodeUint64(0x1122334455667788)
+	k := deriveKey(base, 17)
+	if len(k) != len(base) {
+		t.Fatalf("derived integer key changed width: %d", len(k))
+	}
+	if !bytes.Equal(k[:4], base[:4]) {
+		t.Fatalf("derived key lost hot prefix: %x vs %x", k[:4], base[:4])
+	}
+	term := append([]byte("word"), 0)
+	kt := deriveKey(term, 3)
+	if kt[len(kt)-1] == 0 && !bytes.HasPrefix(kt, []byte("word")) {
+		t.Fatalf("derived string key lost prefix: %q", kt)
+	}
+	if bytes.Equal(kt, term) {
+		t.Fatal("derived key identical to base")
+	}
+}
+
+func TestInsertsTargetHotSubtrees(t *testing.T) {
+	w := MustGenerate(Spec{Name: IPGEO, NumKeys: 2000, NumOps: 20000,
+		ReadRatio: 0, InsertFraction: 0.5, Seed: 6})
+	loaded := map[string]bool{}
+	for _, k := range w.Keys {
+		loaded[string(k)] = true
+	}
+	fresh := 0
+	for _, op := range w.Ops {
+		if op.Kind == Write && !loaded[string(op.Key)] {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("no insert operations generated")
+	}
+}
+
+func TestMixConstants(t *testing.T) {
+	if MixA.ReadRatio != 1 || MixE.ReadRatio != 0 || MixC.ReadRatio != 0.5 {
+		t.Fatal("mix constants diverge from Fig 12(b)")
+	}
+	if len(Mixes) != 5 {
+		t.Fatal("want 5 mixes A-E")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" ||
+		Delete.String() != "delete" || Scan.String() != "scan" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "a", -1},
+		{"abc", "abd", -1}, {"abd", "abc", 1}, {"abc", "abc", 0},
+		{"ab", "abc", -1},
+	}
+	for _, c := range cases {
+		if got := compare([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Fatalf("compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
