@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the gate CI (and reviewers)
+# run: vet + build + full test suite + the race detector over every
+# package that spawns goroutines (the lock-coupling tree, the parallel
+# CTT engine, the KV server, and the root-level integration tests).
+
+GO ?= go
+
+RACE_PKGS = ./internal/olc ./internal/pctt ./internal/kvserver .
+
+.PHONY: check vet build test race bench bench-native clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Go-native microbenchmarks (testing.B): parallel CTT vs direct tree.
+bench:
+	$(GO) test -bench 'Mixed' -benchmem -run '^$$' .
+
+# The native experiment: real wall-clock P-CTT vs direct-olc comparison,
+# machine-readable results in BENCH_native.json.
+bench-native:
+	$(GO) run ./cmd/dcart-bench -exp native -json
+
+clean:
+	rm -f repro.test BENCH_native.json

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cuart"
 	"repro/internal/engine"
 	"repro/internal/olc"
+	"repro/internal/pctt"
 	"repro/internal/workload"
 )
 
@@ -217,4 +218,68 @@ func ExampleNewTree() {
 	v, ok := tr.Get([]byte("k"))
 	fmt.Println(v, ok)
 	// Output: 7 true
+}
+
+// ---- native parallel CTT benchmarks ---------------------------------------
+
+// mixedWorkload is the native comparison stream: mixed 50% read / 50%
+// write IPGEO, the regime of the paper's Fig 9.
+func mixedWorkload(b *testing.B) *workload.Workload {
+	b.Helper()
+	return workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 20_000, NumOps: 100_000,
+		ReadRatio: 0.5, InsertFraction: 0.1, ZipfS: 1.25, Seed: 1,
+	})
+}
+
+// BenchmarkDirectOLCMixed is the single-goroutine baseline: one tree
+// operation per stream element, no batching.
+func BenchmarkDirectOLCMixed(b *testing.B) {
+	w := mixedWorkload(b)
+	tr := olc.New(nil)
+	for i, k := range w.Keys {
+		tr.Put(k, uint64(i))
+	}
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := b.N - done
+		if n > len(w.Ops) {
+			n = len(w.Ops)
+		}
+		for _, op := range w.Ops[:n] {
+			switch op.Kind {
+			case workload.Read:
+				tr.Get(op.Key)
+			case workload.Write:
+				tr.Put(op.Key, op.Value)
+			case workload.Delete:
+				tr.Delete(op.Key)
+			}
+		}
+		done += n
+	}
+}
+
+// BenchmarkPCTTMixed runs the same stream through the parallel CTT engine
+// at 1, 2, and 4 workers.
+func BenchmarkPCTTMixed(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := mixedWorkload(b)
+			e := pctt.New(pctt.Config{Workers: workers})
+			defer e.Close()
+			e.Load(w.Keys, nil)
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := b.N - done
+				if n > len(w.Ops) {
+					n = len(w.Ops)
+				}
+				e.Run(w.Ops[:n])
+				done += n
+			}
+		})
+	}
 }

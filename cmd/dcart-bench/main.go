@@ -26,6 +26,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	zipf := flag.Float64("zipf", 0, "Zipf skew s (default 1.25)")
 	threads := flag.Int("threads", 0, "modeled CPU threads (default 96)")
+	jsonOut := flag.Bool("json", false,
+		"also write a machine-readable report (BENCH_native.json for -exp native)")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +43,9 @@ func main() {
 	o := bench.Options{
 		NumKeys: *keys, NumOps: *ops, Seed: *seed, ZipfS: *zipf,
 		Threads: *threads, Out: os.Stdout,
+	}
+	if *jsonOut {
+		o.JSONPath = "BENCH_native.json"
 	}
 	var err error
 	if *exp == "all" {

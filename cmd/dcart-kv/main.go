@@ -19,10 +19,13 @@
 //
 // Usage:
 //
-//	dcart-kv [-addr :7070] [-snapshot file]
+//	dcart-kv [-addr :7070] [-snapshot file] [-batch-workers n]
 //
 // With -snapshot, the store loads the file at startup (if present) and
-// writes it back on SIGINT/SIGTERM.
+// writes it back on SIGINT/SIGTERM. With -batch-workers > 0, point
+// operations flow through the parallel Combine-Traverse-Trigger engine
+// (internal/pctt), which coalesces concurrent requests per key prefix
+// before touching the tree.
 package main
 
 import (
@@ -40,9 +43,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file to load/save")
+	batchWorkers := flag.Int("batch-workers", 0,
+		"route point ops through the parallel CTT engine with n workers (0 = direct)")
 	flag.Parse()
 
-	srv := kvserver.New()
+	var srv *kvserver.Server
+	if *batchWorkers > 0 {
+		srv = kvserver.NewBatched(*batchWorkers)
+	} else {
+		srv = kvserver.New()
+	}
 	if *snapshot != "" {
 		if err := srv.LoadSnapshot(*snapshot); err != nil && !os.IsNotExist(err) {
 			log.Fatalf("dcart-kv: load snapshot: %v", err)
@@ -59,6 +69,7 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
+		srv.Close() // drain the batching pipeline before snapshotting
 		if *snapshot != "" {
 			if err := srv.SaveSnapshot(*snapshot); err != nil {
 				log.Printf("dcart-kv: save snapshot: %v", err)

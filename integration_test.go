@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/accel"
@@ -8,10 +9,13 @@ import (
 	"repro/internal/ctt"
 	"repro/internal/cuart"
 	"repro/internal/engine"
+	"repro/internal/pctt"
 	"repro/internal/workload"
 )
 
-// allEngines builds one instance of each evaluated system.
+// allEngines builds one instance of each evaluated system, plus the
+// natively-parallel P-CTT engine (which executes for real rather than
+// modeling; it must satisfy the same state-convergence contract).
 func allEngines(cfg engine.Config) map[string]engine.Engine {
 	return map[string]engine.Engine{
 		"ART":     baseline.NewART(cfg),
@@ -20,6 +24,16 @@ func allEngines(cfg engine.Config) map[string]engine.Engine {
 		"CuART":   cuart.New(cuart.Config{Config: cfg}),
 		"DCART-C": ctt.New(ctt.Config{Config: cfg}),
 		"DCART":   accel.New(accel.Config{CollectReads: cfg.CollectReads}),
+		"P-CTT":   pctt.New(pctt.Config{Workers: 4, CollectReads: cfg.CollectReads}),
+	}
+}
+
+// closeEngines stops any engine that owns background goroutines.
+func closeEngines(engines map[string]engine.Engine) {
+	for _, e := range engines {
+		if c, ok := e.(interface{ Close() error }); ok {
+			c.Close()
+		}
 	}
 }
 
@@ -51,7 +65,9 @@ func TestCrossEngineStateConvergence(t *testing.T) {
 				}
 			}
 
-			for name, e := range allEngines(engine.Config{Threads: 32}) {
+			engines := allEngines(engine.Config{Threads: 32})
+			defer closeEngines(engines)
+			for name, e := range engines {
 				e.Load(w.Keys, nil)
 				e.Run(w.Ops)
 				tree := treeOf(t, name, e)
@@ -84,6 +100,8 @@ func treeOf(t *testing.T, name string, e engine.Engine) interface {
 		return v.Tree()
 	case *accel.Engine:
 		return v.Tree()
+	case *pctt.Engine:
+		return v.Tree()
 	default:
 		t.Fatalf("unknown engine type for %s", name)
 		return nil
@@ -101,7 +119,9 @@ func TestCrossEngineCounterSanity(t *testing.T) {
 	})
 	matches := map[string]int64{}
 	contention := map[string]int64{}
-	for name, e := range allEngines(engine.Config{Threads: 96}) {
+	engines := allEngines(engine.Config{Threads: 96})
+	defer closeEngines(engines)
+	for name, e := range engines {
 		e.Load(w.Keys, nil)
 		res := e.Run(w.Ops)
 		matches[name] = res.Metrics.Get("key_matches")
@@ -121,6 +141,66 @@ func TestCrossEngineCounterSanity(t *testing.T) {
 	}
 }
 
+// TestParallelEngineStress is the repository's -race stress for the
+// parallel CTT engine: a generated mixed read/write workload is
+// partitioned by key across concurrent producer goroutines issuing
+// blocking Batcher calls, and the final tree state must equal a sequential
+// map replay (the partition preserves per-key operation order, so per-key
+// last-write-wins fixes the final state even under real concurrency).
+func TestParallelEngineStress(t *testing.T) {
+	w := workload.MustGenerate(workload.Spec{
+		Name: workload.IPGEO, NumKeys: 2000, NumOps: 30000,
+		ReadRatio: 0.5, InsertFraction: 0.3, Seed: 94,
+	})
+	ref := map[string]uint64{}
+	for i, k := range w.Keys {
+		ref[string(k)] = uint64(i)
+	}
+	for _, op := range w.Ops {
+		if op.Kind == workload.Write {
+			ref[string(op.Key)] = op.Value
+		}
+	}
+
+	e := pctt.New(pctt.Config{Workers: 4, BatchSize: 128})
+	defer e.Close()
+	e.Load(w.Keys, nil)
+
+	const producers = 8
+	parts := make([][]workload.Op, producers)
+	for _, op := range w.Ops {
+		p := 0
+		for _, b := range op.Key {
+			p = (p*131 + int(b)) % producers
+		}
+		parts[p] = append(parts[p], op)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(ops []workload.Op) {
+			defer wg.Done()
+			for _, op := range ops {
+				if op.Kind == workload.Read {
+					e.Get(op.Key)
+				} else {
+					e.Put(op.Key, op.Value)
+				}
+			}
+		}(parts[p])
+	}
+	wg.Wait()
+
+	if e.Tree().Len() != len(ref) {
+		t.Fatalf("tree has %d keys, reference %d", e.Tree().Len(), len(ref))
+	}
+	for ks, want := range ref {
+		if got, ok := e.Tree().Get([]byte(ks)); !ok || got != want {
+			t.Fatalf("key %x = (%d,%v), want %d", ks, got, ok, want)
+		}
+	}
+}
+
 // TestDeterministicAcrossRuns: the whole pipeline (generation, execution,
 // counting) is bit-for-bit reproducible.
 func TestDeterministicAcrossRuns(t *testing.T) {
@@ -129,7 +209,9 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 			Name: workload.EA, NumKeys: 1500, NumOps: 8000, Seed: 93,
 		})
 		out := map[string]map[string]int64{}
-		for name, e := range allEngines(engine.Config{Threads: 16}) {
+		engines := allEngines(engine.Config{Threads: 16})
+		defer closeEngines(engines)
+		for name, e := range engines {
 			e.Load(w.Keys, nil)
 			e.Run(w.Ops)
 			switch v := e.(type) {

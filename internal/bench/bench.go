@@ -31,6 +31,9 @@ type Options struct {
 	ZipfS   float64 // temporal skew (default 1.25, the benchmark regime)
 	Threads int     // modeled CPU concurrency (default 96)
 	Out     io.Writer
+	// JSONPath, when non-empty, makes experiments that support it (native)
+	// also write a machine-readable report to this file.
+	JSONPath string
 }
 
 func (o Options) defaults() Options {
@@ -127,6 +130,7 @@ var registry = []Runner{
 	{"sweep-prefix", "Extension: DCART sensitivity to combining-prefix width", SweepPrefix},
 	{"sweep-treebuf", "Extension: Tree_buffer size x replacement policy", SweepTreeBuf},
 	{"extra-btree", "Extension: ART vs B+tree write amplification (paper SV claim)", BTreeCompare},
+	{"native", "Native (measured, not modeled): parallel CTT vs direct tree on this machine", Native},
 }
 
 // List returns the experiment IDs in order.

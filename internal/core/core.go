@@ -11,7 +11,9 @@
 //     thread-safe variant.
 //   - Engine level: NewDCART, NewDCARTC, NewART, NewHeart, NewSMART, and
 //     NewCuART return the evaluated systems behind the common Engine
-//     interface (Load + Run over an operation stream).
+//     interface (Load + Run over an operation stream). NewParallelCTT
+//     returns the natively-parallel CTT engine, which executes with real
+//     goroutines (measured wall-clock) rather than under the cost models.
 //   - Experiment level: the internal/bench package regenerates every
 //     table and figure of the paper; cmd/dcart-bench is its CLI.
 package core
@@ -25,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/olc"
+	"repro/internal/pctt"
 	"repro/internal/platform"
 	"repro/internal/workload"
 )
@@ -68,6 +71,9 @@ type (
 	CTTConfig = ctt.Config
 	// CuARTConfig parameterizes the GPU baseline model.
 	CuARTConfig = cuart.Config
+	// PCTTConfig parameterizes the parallel (natively-executing) CTT
+	// engine.
+	PCTTConfig = pctt.Config
 	// Report is a modeled time/energy outcome.
 	Report = platform.Report
 )
@@ -97,6 +103,13 @@ func NewSMART(cfg EngineConfig) Engine { return baseline.NewSMART(cfg) }
 
 // NewCuART returns the GPU (SIMT batch) baseline [6].
 func NewCuART(cfg CuARTConfig) Engine { return cuart.New(cfg) }
+
+// NewParallelCTT returns the parallel CTT engine: the paper's
+// Combine-Traverse-Trigger pipeline running on real worker goroutines
+// over the thread-safe tree. The concrete type is returned (not the
+// Engine interface) so callers can reach the blocking Batcher API
+// (Get/Put/Delete), the underlying Tree, and Close.
+func NewParallelCTT(cfg PCTTConfig) *pctt.Engine { return pctt.New(cfg) }
 
 // GenerateWorkload builds one of the six paper workloads (IPGEO, DICT,
 // EA, DE, RS, RD).

@@ -76,3 +76,34 @@ func TestOpKindsExported(t *testing.T) {
 		t.Fatal("op kind constants collide")
 	}
 }
+
+// TestParallelCTTFacade exercises the natively-parallel engine through the
+// facade: stream execution, the blocking Batcher API, and Close.
+func TestParallelCTTFacade(t *testing.T) {
+	e := NewParallelCTT(PCTTConfig{Workers: 2})
+	defer e.Close()
+	w, err := GenerateWorkload(WorkloadSpec{
+		Name: workload.IPGEO, NumKeys: 1000, NumOps: 5000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Load(w.Keys, nil)
+	res := e.Run(w.Ops)
+	if res.Ops != len(w.Ops) {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.WallNanos <= 0 {
+		t.Fatal("parallel engine must report measured wall time")
+	}
+	k := []byte("facade\x00")
+	if e.Put(k, 42) {
+		t.Fatal("fresh put reported replaced")
+	}
+	if v, ok := e.Get(k); !ok || v != 42 {
+		t.Fatalf("batcher get = (%d,%v)", v, ok)
+	}
+	if !e.Delete(k) {
+		t.Fatal("delete missed")
+	}
+}

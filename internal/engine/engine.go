@@ -74,6 +74,10 @@ type Result struct {
 	// Cycles is the modeled cycle count, for engines that have their own
 	// cycle-accurate model (the DCART accelerator); 0 otherwise.
 	Cycles int64
+	// WallNanos is the real (measured, not modeled) wall-clock duration of
+	// Run, for engines that execute natively in parallel (P-CTT); 0 for
+	// the serially-executed modeled engines.
+	WallNanos int64
 	// Reads holds per-read outcomes when Config.CollectReads is set.
 	Reads []ReadResult
 }

@@ -4,36 +4,92 @@
 // store" deployment scenario the DCART paper's introduction motivates,
 // using the same lock-coupling concurrent ART as the paper's CPU
 // baselines.
+//
+// Two execution modes:
+//
+//   - New: point operations go straight to the tree, one descent per
+//     command (the baseline discipline).
+//   - NewBatched: point operations route through the parallel CTT engine
+//     (internal/pctt), whose combining front end coalesces concurrent
+//     requests that share a key prefix — the paper's CTT pipeline applied
+//     to live TCP traffic. Scans, LEN, and snapshots read the shared tree
+//     directly; a connection's own writes are visible because every
+//     Batcher call blocks until applied.
 package kvserver
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/art"
 	"repro/internal/metrics"
 	"repro/internal/olc"
+	"repro/internal/pctt"
 )
 
 // maxScanLimit caps SCAN responses.
 const maxScanLimit = 10_000
 
+// Per-connection buffer pools: the scanner's line buffer, the buffered
+// response writer, and the response-line scratch are all recycled across
+// connections, so a busy accept loop stops churning the allocator.
+var (
+	scanBufPool = sync.Pool{
+		New: func() any { return make([]byte, 64<<10) },
+	}
+	writerPool = sync.Pool{
+		New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) },
+	}
+	lineBufPool = sync.Pool{
+		New: func() any { b := make([]byte, 0, 256); return &b },
+	}
+)
+
+// store is the point-operation interface both execution modes satisfy.
+type store interface {
+	Get(key []byte) (uint64, bool)
+	Put(key []byte, value uint64) bool
+	Delete(key []byte) bool
+}
+
 // Server is the key-value service. Safe for concurrent use; Serve is run
 // once per connection.
 type Server struct {
-	tree *olc.Tree
-	ms   *metrics.Set
+	tree  *olc.Tree
+	ms    *metrics.Set
+	ops   store        // point-op path: the tree, or the batching engine
+	batch *pctt.Engine // non-nil in batched mode
 }
 
-// New returns an empty server.
+// New returns an empty server executing point operations directly.
 func New() *Server {
 	ms := metrics.NewSet()
-	return &Server{tree: olc.New(ms), ms: ms}
+	tree := olc.New(ms)
+	return &Server{tree: tree, ms: ms, ops: tree}
 }
+
+// NewBatched returns an empty server whose point operations flow through
+// the parallel CTT engine with the given worker count (<=0 for the
+// default). Call Close to stop the engine's workers.
+func NewBatched(workers int) *Server {
+	e := pctt.New(pctt.Config{Workers: workers})
+	return &Server{tree: e.Tree(), ms: e.Metrics(), ops: e, batch: e}
+}
+
+// Close stops the batching engine's workers, if any.
+func (s *Server) Close() error {
+	if s.batch != nil {
+		return s.batch.Close()
+	}
+	return nil
+}
+
+// Batched reports whether point operations flow through the CTT pipeline.
+func (s *Server) Batched() bool { return s.batch != nil }
 
 // Len returns the number of stored keys.
 func (s *Server) Len() int { return s.tree.Len() }
@@ -46,25 +102,80 @@ func storedKey(tok string) []byte {
 }
 
 // clientKey strips the terminator for display.
-func clientKey(k []byte) string {
+func clientKey(k []byte) []byte {
 	if n := len(k); n > 0 && k[n-1] == 0 {
-		return string(k[:n-1])
+		return k[:n-1]
 	}
-	return string(k)
+	return k
 }
+
+// connState is the per-connection state: the pooled response writer plus a
+// pooled scratch buffer for formatting response lines without allocating.
+type connState struct {
+	s       *Server
+	w       *bufio.Writer
+	scratch []byte
+}
+
+// line formats and streams one response line (parts joined by spaces).
+func (c *connState) line(parts ...string) {
+	b := c.scratch[:0]
+	for i, p := range parts {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, p...)
+	}
+	b = append(b, '\n')
+	c.scratch = b
+	c.w.Write(b)
+}
+
+// kvLine streams one "KEY <key> <value>" line. Scan callbacks call this
+// while holding tree read locks, so it must not block on anything but the
+// buffered writer itself; results stream out incrementally instead of
+// being accumulated.
+func (c *connState) kvLine(k []byte, v uint64) {
+	b := append(c.scratch[:0], "KEY "...)
+	b = append(b, clientKey(k)...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	b = append(b, '\n')
+	c.scratch = b
+	c.w.Write(b)
+}
+
+func uintStr(v uint64) string { return strconv.FormatUint(v, 10) }
 
 // Serve handles one connection until QUIT, EOF, or a write error.
 func (s *Server) Serve(conn io.ReadWriteCloser) {
 	defer conn.Close()
+
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 64<<10)
-	w := bufio.NewWriter(conn)
+	buf := scanBufPool.Get().([]byte)
+	defer scanBufPool.Put(buf) //nolint:staticcheck // slice is pooled whole
+	sc.Buffer(buf, len(buf))
+
+	w := writerPool.Get().(*bufio.Writer)
+	w.Reset(conn)
+	defer func() {
+		w.Reset(io.Discard) // drop the conn reference before pooling
+		writerPool.Put(w)
+	}()
+
+	scratch := lineBufPool.Get().(*[]byte)
+	c := &connState{s: s, w: w, scratch: (*scratch)[:0]}
+	defer func() {
+		*scratch = c.scratch[:0]
+		lineBufPool.Put(scratch)
+	}()
+
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		if !s.handle(w, line) {
+		if !c.handle(line) {
 			break
 		}
 		if w.Flush() != nil {
@@ -75,75 +186,77 @@ func (s *Server) Serve(conn io.ReadWriteCloser) {
 }
 
 // handle executes one command line; returns false to close the session.
-func (s *Server) handle(w io.Writer, line string) bool {
+func (c *connState) handle(line string) bool {
+	s := c.s
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
 	switch cmd {
 	case "PUT":
 		if len(args) != 2 {
-			fmt.Fprintln(w, "ERR usage: PUT <key> <uint64>")
+			c.line("ERR usage: PUT <key> <uint64>")
 			return true
 		}
 		v, err := strconv.ParseUint(args[1], 10, 64)
 		if err != nil {
-			fmt.Fprintln(w, "ERR bad value:", err)
+			c.line("ERR bad value:", err.Error())
 			return true
 		}
-		if s.tree.Put(storedKey(args[0]), v) {
-			fmt.Fprintln(w, "OK replaced")
+		if s.ops.Put(storedKey(args[0]), v) {
+			c.line("OK replaced")
 		} else {
-			fmt.Fprintln(w, "OK")
+			c.line("OK")
 		}
 	case "GET":
 		if len(args) != 1 {
-			fmt.Fprintln(w, "ERR usage: GET <key>")
+			c.line("ERR usage: GET <key>")
 			return true
 		}
-		if v, ok := s.tree.Get(storedKey(args[0])); ok {
-			fmt.Fprintln(w, "VALUE", v)
+		if v, ok := s.ops.Get(storedKey(args[0])); ok {
+			c.line("VALUE", uintStr(v))
 		} else {
-			fmt.Fprintln(w, "NOT_FOUND")
+			c.line("NOT_FOUND")
 		}
 	case "DEL":
 		if len(args) != 1 {
-			fmt.Fprintln(w, "ERR usage: DEL <key>")
+			c.line("ERR usage: DEL <key>")
 			return true
 		}
-		if s.tree.Delete(storedKey(args[0])) {
-			fmt.Fprintln(w, "OK")
+		if s.ops.Delete(storedKey(args[0])) {
+			c.line("OK")
 		} else {
-			fmt.Fprintln(w, "NOT_FOUND")
+			c.line("NOT_FOUND")
 		}
 	case "SCAN":
 		if len(args) != 2 {
-			fmt.Fprintln(w, "ERR usage: SCAN <prefix> <limit>")
+			c.line("ERR usage: SCAN <prefix> <limit>")
 			return true
 		}
 		limit, err := strconv.Atoi(args[1])
 		if err != nil || limit < 1 {
-			fmt.Fprintln(w, "ERR bad limit")
+			c.line("ERR bad limit")
 			return true
 		}
 		if limit > maxScanLimit {
 			limit = maxScanLimit
 		}
 		n := 0
-		// The stored prefix has no terminator: scan the raw bytes.
+		// The stored prefix has no terminator: scan the raw bytes. Each
+		// match streams out through the buffered writer immediately.
 		s.tree.ScanPrefix([]byte(args[0]), func(k []byte, v uint64) bool {
-			fmt.Fprintln(w, "KEY", clientKey(k), v)
+			c.kvLine(k, v)
 			n++
 			return n < limit
 		})
-		fmt.Fprintln(w, "END")
+		c.line("END")
 	case "RANGE":
 		if len(args) != 3 {
-			fmt.Fprintln(w, "ERR usage: RANGE <lo> <hi> <limit>")
+			c.line("ERR usage: RANGE <lo> <hi> <limit>")
 			return true
 		}
 		limit, err := strconv.Atoi(args[2])
 		if err != nil || limit < 1 {
-			fmt.Fprintln(w, "ERR bad limit")
+			c.line("ERR bad limit")
 			return true
 		}
 		if limit > maxScanLimit {
@@ -152,20 +265,20 @@ func (s *Server) handle(w io.Writer, line string) bool {
 		n := 0
 		s.tree.AscendRange(storedKey(args[0]), storedKey(args[1]),
 			func(k []byte, v uint64) bool {
-				fmt.Fprintln(w, "KEY", clientKey(k), v)
+				c.kvLine(k, v)
 				n++
 				return n < limit
 			})
-		fmt.Fprintln(w, "END")
+		c.line("END")
 	case "LEN":
-		fmt.Fprintln(w, "LEN", s.tree.Len())
+		c.line("LEN", strconv.Itoa(s.tree.Len()))
 	case "STATS":
-		fmt.Fprintln(w, "STATS", s.ms.String())
+		c.line("STATS", s.ms.String())
 	case "QUIT":
-		fmt.Fprintln(w, "BYE")
+		c.line("BYE")
 		return false
 	default:
-		fmt.Fprintln(w, "ERR unknown command", cmd)
+		c.line("ERR unknown command", cmd)
 	}
 	return true
 }
@@ -192,6 +305,7 @@ func (s *Server) SaveSnapshot(path string) error {
 }
 
 // LoadSnapshot replaces the store's contents with the snapshot at path.
+// Call before serving traffic (it writes the tree directly).
 func (s *Server) LoadSnapshot(path string) error {
 	f, err := os.Open(path)
 	if err != nil {

@@ -247,3 +247,111 @@ func TestRange(t *testing.T) {
 		t.Fatalf("RANGE error -> %q", got)
 	}
 }
+
+// TestBatchedProtocol runs the point-op protocol through the CTT-batched
+// server: same wire behavior as the direct server, including
+// read-your-writes within a session.
+func TestBatchedProtocol(t *testing.T) {
+	srv := NewBatched(2)
+	defer srv.Close()
+	if !srv.Batched() {
+		t.Fatal("NewBatched server not batched")
+	}
+	c := newSession(srv)
+	defer c.close()
+
+	if got := c.cmd(t, "PUT alpha 7"); got != "OK" {
+		t.Fatalf("PUT -> %q", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "VALUE 7" {
+		t.Fatalf("GET -> %q", got)
+	}
+	if got := c.cmd(t, "PUT alpha 8"); got != "OK replaced" {
+		t.Fatalf("overwrite -> %q", got)
+	}
+	if got := c.cmd(t, "DEL alpha"); got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := c.cmd(t, "GET alpha"); got != "NOT_FOUND" {
+		t.Fatalf("GET after DEL -> %q", got)
+	}
+	// Scans read the shared tree and see the session's writes (blocking
+	// Batcher calls are applied before the reply is sent).
+	for i, k := range []string{"user:alice", "user:bob", "user:carol"} {
+		c.cmd(t, fmt.Sprintf("PUT %s %d", k, i))
+	}
+	lines := c.cmdLines(t, "SCAN user: 10")
+	if len(lines) != 3 || lines[0] != "KEY user:alice 0" {
+		t.Fatalf("batched SCAN -> %v", lines)
+	}
+	if got := c.cmd(t, "LEN"); got != "LEN 3" {
+		t.Fatalf("LEN -> %q", got)
+	}
+}
+
+// TestBatchedConcurrentSessions hammers the batched server from parallel
+// connections; the combining front end must preserve per-session
+// read-your-writes. Run under -race.
+func TestBatchedConcurrentSessions(t *testing.T) {
+	srv := NewBatched(4)
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newSession(srv)
+			defer c.close()
+			for i := 0; i < 150; i++ {
+				key := fmt.Sprintf("w%d:k%d", w, i%20)
+				if got := c.cmd(t, fmt.Sprintf("PUT %s %d", key, i)); !strings.HasPrefix(got, "OK") {
+					t.Errorf("PUT %s -> %q", key, got)
+					return
+				}
+				want := fmt.Sprintf("VALUE %d", i)
+				if got := c.cmd(t, "GET "+key); got != want {
+					t.Errorf("GET %s -> %q, want %q", key, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if srv.Len() != 8*20 {
+		t.Fatalf("Len = %d", srv.Len())
+	}
+	// After Close the server still answers (direct fallback).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := newSession(srv)
+	defer c.close()
+	if got := c.cmd(t, "GET w0:k0"); !strings.HasPrefix(got, "VALUE") {
+		t.Fatalf("post-close GET -> %q", got)
+	}
+}
+
+// TestBatchedSnapshot: snapshots taken from a batched server restore into
+// a direct server and vice versa.
+func TestBatchedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.snap")
+
+	srv := NewBatched(2)
+	defer srv.Close()
+	c := newSession(srv)
+	for i := 0; i < 300; i++ {
+		c.cmd(t, fmt.Sprintf("PUT key%04d %d", i, i))
+	}
+	c.close()
+	if err := srv.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := back.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 300 {
+		t.Fatalf("restored Len = %d", back.Len())
+	}
+}

@@ -50,6 +50,9 @@ const (
 	// CtrShortcutMaintain counts Shortcut_Table maintenance actions
 	// (entry creation, refresh, and invalidation).
 	CtrShortcutMaintain = "shortcut_maintain"
+	// CtrBatches counts trigger batches executed by the parallel CTT
+	// workers (one per worker wakeup that processed a combine batch).
+	CtrBatches = "trigger_batches"
 	// CtrOffchipBytes counts bytes moved over the off-chip interface.
 	CtrOffchipBytes = "offchip_bytes"
 	// CtrOnchipHits counts accesses served by on-chip buffers.
@@ -69,7 +72,7 @@ var standardNames = []string{
 	CtrLockAcquire, CtrLockContention, CtrAtomicOps, CtrRestarts,
 	CtrOpsRead, CtrOpsWrite, CtrCoalesced,
 	CtrShortcutHit, CtrShortcutMiss,
-	CtrCombineSteps, CtrShortcutMaintain,
+	CtrCombineSteps, CtrShortcutMaintain, CtrBatches,
 	CtrOffchipBytes, CtrOnchipHits,
 }
 

@@ -15,7 +15,12 @@ func (t *Tree) Get(key []byte) (uint64, bool) {
 		return 0, false
 	}
 	t.rlock(n)
-	depth := 0
+	return t.getDescend(n, 0, key)
+}
+
+// getDescend runs the read descent from n, whose read lock the caller
+// holds (released on every path).
+func (t *Tree) getDescend(n *node, depth int, key []byte) (uint64, bool) {
 	for {
 		t.ms.Inc(metrics.CtrNodeAccesses)
 		t.ms.Inc(metrics.CtrKeyMatches)
@@ -83,11 +88,38 @@ func (t *Tree) tryPut(key []byte, value uint64) (done, replaced bool) {
 		t.rootMu.Unlock()
 		return true, false
 	}
-
-	var parent *node
-	parentDepth := 0
 	t.rlock(n)
-	depth := 0
+	out, replaced := t.putDescend(n, nil, 0, 0, key, value, true)
+	return out == putDone, replaced
+}
+
+// putOutcome classifies one optimistic put descent.
+type putOutcome int
+
+const (
+	putDone putOutcome = iota
+	// putRestart: a validation failed; retry from the root.
+	putRestart
+	// putFallback: the descent entered mid-tree (fromRoot=false) and hit a
+	// structural change at its entry node, which needs the parent the
+	// caller does not have. Retry with a full root descent.
+	putFallback
+)
+
+// putDescend runs the optimistic put descent from n, whose read lock the
+// caller holds (released on every path). parent is nil at the entry node;
+// fromRoot says whether that entry node is the root (whose "parent" is the
+// rootMu edge) or a mid-tree shortcut target (which has a real parent the
+// caller does not hold, so structural changes there report putFallback).
+func (t *Tree) putDescend(n, parent *node, depth, parentDepth int,
+	key []byte, value uint64, fromRoot bool) (putOutcome, bool) {
+
+	boolOut := func(done bool) (putOutcome, bool) {
+		if done {
+			return putDone, false
+		}
+		return putRestart, false
+	}
 	for {
 		t.ms.Inc(metrics.CtrNodeAccesses)
 		t.ms.Inc(metrics.CtrKeyMatches)
@@ -95,17 +127,27 @@ func (t *Tree) tryPut(key []byte, value uint64) (done, replaced bool) {
 		if n.kind == kLeaf {
 			if bytes.Equal(n.key, key) {
 				n.mu.RUnlock()
-				return t.updateLeafValue(n, value)
+				done, replaced := t.updateLeafValue(n, value)
+				if done {
+					return putDone, replaced
+				}
+				return putRestart, false
 			}
 			n.mu.RUnlock()
-			return t.splitLeaf(parent, parentDepth, n, key, depth, value), false
+			if parent == nil && !fromRoot {
+				return putFallback, false
+			}
+			return boolOut(t.splitLeaf(parent, parentDepth, n, key, depth, value))
 		}
 
 		p := n.prefix
 		cp := commonPrefixLen(p, key[depth:])
 		if cp < len(p) {
 			n.mu.RUnlock()
-			return t.splitPrefix(parent, parentDepth, n, key, depth, cp, value), false
+			if parent == nil && !fromRoot {
+				return putFallback, false
+			}
+			return boolOut(t.splitPrefix(parent, parentDepth, n, key, depth, cp, value))
 		}
 		depth += len(p)
 
@@ -113,9 +155,17 @@ func (t *Tree) tryPut(key []byte, value uint64) (done, replaced bool) {
 			pl := n.prefixLeaf
 			n.mu.RUnlock()
 			if pl != nil {
-				return t.updateLeafValue(pl, value)
+				done, replaced := t.updateLeafValue(pl, value)
+				if done {
+					return putDone, replaced
+				}
+				return putRestart, false
 			}
-			return t.attachPrefixLeaf(n, key, value)
+			done, replaced := t.attachPrefixLeaf(n, key, value)
+			if done {
+				return putDone, replaced
+			}
+			return putRestart, false
 		}
 
 		b := key[depth]
@@ -124,9 +174,12 @@ func (t *Tree) tryPut(key []byte, value uint64) (done, replaced bool) {
 			wasFull := n.nChildren >= n.kind.capacity()
 			n.mu.RUnlock()
 			if wasFull {
-				return t.growAndInsert(parent, parentDepth, n, b, key, value), false
+				if parent == nil && !fromRoot {
+					return putFallback, false
+				}
+				return boolOut(t.growAndInsert(parent, parentDepth, n, b, key, value))
 			}
-			return t.insertChild(n, b, key, value), false
+			return boolOut(t.insertChild(n, b, key, value))
 		}
 		t.rlock(c)
 		n.mu.RUnlock()

@@ -1,0 +1,320 @@
+package olc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func shortcutKeys(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		k := fmt.Sprintf("user:%04x:%03d\x00", rng.Intn(1<<16), rng.Intn(1000))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, []byte(k))
+		}
+	}
+	return keys
+}
+
+// TestLocateGetAt: a Ref obtained from Locate must answer GetAt exactly
+// like a root Get, for present and absent keys.
+func TestLocateGetAt(t *testing.T) {
+	tr := New(nil)
+	keys := shortcutKeys(3000, 7)
+	for i, k := range keys {
+		tr.Put(k, uint64(i))
+	}
+	for i, k := range keys {
+		ref, ok := tr.Locate(k)
+		if !ok {
+			t.Fatalf("Locate(%q) failed", k)
+		}
+		v, found, ok := tr.GetAt(ref, k)
+		if !ok || !found || v != uint64(i) {
+			t.Fatalf("GetAt(%q) = (%d,%v,%v), want (%d,true,true)", k, v, found, ok, i)
+		}
+	}
+	// Absent keys: the shortcut for a miss still answers correctly.
+	absent := []byte("user:zzzz:999\x00")
+	ref, ok := tr.Locate(absent)
+	if !ok {
+		t.Fatal("Locate(absent) failed")
+	}
+	if _, found, ok := tr.GetAt(ref, absent); !ok || found {
+		t.Fatalf("GetAt(absent) = (found=%v, ok=%v), want (false, true)", found, ok)
+	}
+}
+
+// TestPutAtInsertAndUpdate: puts through a Ref must behave like root puts,
+// including value updates and fresh inserts below the reference.
+func TestPutAtInsertAndUpdate(t *testing.T) {
+	tr := New(nil)
+	ref := map[string]uint64{}
+	keys := shortcutKeys(2000, 8)
+	for i, k := range keys {
+		if i%2 == 0 {
+			tr.Put(k, uint64(i))
+			ref[string(k)] = uint64(i)
+		}
+	}
+	for i, k := range keys {
+		r, ok := tr.Locate(k)
+		if !ok {
+			t.Fatalf("Locate failed for %q", k)
+		}
+		want := uint64(i) + 1_000_000
+		replaced, ok := tr.PutAt(r, k, want)
+		if !ok {
+			// Structural change at the reference node: fall back like a
+			// real caller would.
+			replaced = tr.Put(k, want)
+		}
+		_, existed := ref[string(k)]
+		if replaced != existed {
+			t.Fatalf("PutAt(%q) replaced=%v, want %v", k, replaced, existed)
+		}
+		ref[string(k)] = want
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(ref))
+	}
+	for ks, want := range ref {
+		if v, ok := tr.Get([]byte(ks)); !ok || v != want {
+			t.Fatalf("Get(%q) = (%d,%v), want %d", ks, v, ok, want)
+		}
+	}
+}
+
+// TestStaleRefAfterGrow: growing a node obsoletes it; a Ref to the old
+// node must report ok=false instead of wrong answers.
+func TestStaleRefAfterGrow(t *testing.T) {
+	tr := New(nil)
+	// Root N4 over keys aa,ab,ac: locate refs point at the root node.
+	for _, k := range []string{"aa\x00", "ab\x00", "ac\x00"} {
+		tr.Put([]byte(k), 1)
+	}
+	key := []byte("aa\x00")
+	ref, ok := tr.Locate(key)
+	if !ok {
+		t.Fatal("Locate failed")
+	}
+	// Force the root N4 to grow to N16 (5+ children), replacing it.
+	for c := byte('d'); c <= 'h'; c++ {
+		tr.Put([]byte{'a', c, 0}, 2)
+	}
+	if _, _, ok := tr.GetAt(ref, key); ok {
+		t.Fatal("GetAt on a grown-away node reported ok=true")
+	}
+	if _, ok := tr.PutAt(ref, key, 9); ok {
+		t.Fatal("PutAt on a grown-away node reported ok=true")
+	}
+	// A refreshed ref works again.
+	ref2, ok := tr.Locate(key)
+	if !ok {
+		t.Fatal("re-Locate failed")
+	}
+	if v, found, ok := tr.GetAt(ref2, key); !ok || !found || v != 1 {
+		t.Fatalf("refreshed GetAt = (%d,%v,%v)", v, found, ok)
+	}
+}
+
+// TestShortcutConcurrent hammers GetAt/PutAt refs while other goroutines
+// force structural churn; run under -race. Stale refs must fail cleanly
+// (ok=false), never corrupt the tree.
+func TestShortcutConcurrent(t *testing.T) {
+	tr := New(nil)
+	const perG, G = 400, 4
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			refs := map[string]Ref{}
+			var k [9]byte
+			for i := 0; i < perG*8; i++ {
+				binary.BigEndian.PutUint64(k[:8], uint64(rng.Intn(perG*G)))
+				key := k[:]
+				ks := string(key)
+				r, haveRef := refs[ks]
+				switch rng.Intn(3) {
+				case 0:
+					if haveRef {
+						if _, _, ok := tr.GetAt(r, key); ok {
+							break
+						}
+						delete(refs, ks)
+					}
+					tr.Get(key)
+				case 1:
+					v := uint64(i)
+					if haveRef {
+						if _, ok := tr.PutAt(r, key, v); ok {
+							break
+						}
+						delete(refs, ks)
+					}
+					tr.Put(key, v)
+				default:
+					if nr, ok := tr.Locate(key); ok {
+						refs[ks] = nr
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The tree must still be fully consistent: every present key readable.
+	n := 0
+	tr.Walk(func(key []byte, v uint64) bool {
+		if got, ok := tr.Get(key); !ok || got != v {
+			t.Errorf("walked key %x unreadable: (%d,%v) want %d", key, got, ok, v)
+		}
+		n++
+		return true
+	})
+	if n != tr.Len() {
+		t.Fatalf("walk saw %d keys, Len=%d", n, tr.Len())
+	}
+}
+
+// TestLeafRefLifecycle: a LeafRef answers reads and writes for the key's
+// whole lifetime, survives structural churn around it, and dies exactly at
+// delete.
+func TestLeafRefLifecycle(t *testing.T) {
+	tr := New(nil)
+	key := []byte("aa\x00")
+	tr.Put(key, 1)
+	ref, ok := tr.LocateLeaf(key)
+	if !ok {
+		t.Fatal("LocateLeaf failed")
+	}
+	if v, ok := tr.GetLeaf(ref); !ok || v != 1 {
+		t.Fatalf("GetLeaf = (%d,%v)", v, ok)
+	}
+	// Structural churn: grow the surrounding node repeatedly (N4->N16->N48)
+	// and force leaf splits along shared paths. The leaf must survive.
+	for c := byte('b'); c <= 'z'; c++ {
+		tr.Put([]byte{'a', c, 0}, 2)
+	}
+	tr.Put([]byte("aa:deeper\x00"), 3) // splits aa's leaf position
+	if v, ok := tr.GetLeaf(ref); !ok || v != 1 {
+		t.Fatalf("GetLeaf after churn = (%d,%v)", v, ok)
+	}
+	if !tr.PutLeaf(ref, 9) {
+		t.Fatal("PutLeaf failed on live leaf")
+	}
+	if v, _ := tr.Get(key); v != 9 {
+		t.Fatalf("PutLeaf not visible via Get: %d", v)
+	}
+	if !tr.Delete(key) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tr.GetLeaf(ref); ok {
+		t.Fatal("GetLeaf on deleted leaf reported ok")
+	}
+	if tr.PutLeaf(ref, 10) {
+		t.Fatal("PutLeaf on deleted leaf reported ok")
+	}
+	// Re-inserting the key makes a NEW leaf; the old ref stays dead, a
+	// fresh one works.
+	tr.Put(key, 11)
+	if _, ok := tr.GetLeaf(ref); ok {
+		t.Fatal("stale ref revived after reinsert")
+	}
+	ref2, ok := tr.LocateLeaf(key)
+	if !ok {
+		t.Fatal("re-LocateLeaf failed")
+	}
+	if v, ok := tr.GetLeaf(ref2); !ok || v != 11 {
+		t.Fatalf("fresh ref = (%d,%v)", v, ok)
+	}
+}
+
+// TestLeafRefPrefixLeaf: keys terminating inside a compressed path live in
+// prefix leaves; their refs behave identically.
+func TestLeafRefPrefixLeaf(t *testing.T) {
+	tr := New(nil)
+	tr.Put([]byte("user"), 1) // becomes a prefix leaf once user:* arrive
+	tr.Put([]byte("user:a\x00"), 2)
+	tr.Put([]byte("user:b\x00"), 3)
+	ref, ok := tr.LocateLeaf([]byte("user"))
+	if !ok {
+		t.Fatal("LocateLeaf on prefix-leaf key failed")
+	}
+	if v, ok := tr.GetLeaf(ref); !ok || v != 1 {
+		t.Fatalf("GetLeaf = (%d,%v)", v, ok)
+	}
+	if !tr.Delete([]byte("user")) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tr.GetLeaf(ref); ok {
+		t.Fatal("deleted prefix leaf still readable via ref")
+	}
+}
+
+// TestLeafRefConcurrent: cached leaf refs under concurrent structural
+// churn; run under -race. Stale refs must fail cleanly.
+func TestLeafRefConcurrent(t *testing.T) {
+	tr := New(nil)
+	const perG, G = 300, 4
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 50))
+			refs := map[string]LeafRef{}
+			var k [9]byte
+			for i := 0; i < perG*8; i++ {
+				binary.BigEndian.PutUint64(k[:8], uint64(rng.Intn(perG*G)))
+				key := k[:]
+				ks := string(key)
+				r, haveRef := refs[ks]
+				switch rng.Intn(4) {
+				case 0:
+					if haveRef {
+						if _, ok := tr.GetLeaf(r); ok {
+							break
+						}
+						delete(refs, ks)
+					}
+					tr.Get(key)
+				case 1:
+					if haveRef {
+						if tr.PutLeaf(r, uint64(i)) {
+							break
+						}
+						delete(refs, ks)
+					}
+					tr.Put(key, uint64(i))
+				case 2:
+					tr.Delete(key)
+					delete(refs, ks)
+				default:
+					if nr, ok := tr.LocateLeaf(key); ok {
+						refs[ks] = nr
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	tr.Walk(func(key []byte, v uint64) bool {
+		if got, ok := tr.Get(key); !ok || got != v {
+			t.Errorf("walked key %x unreadable: (%d,%v) want %d", key, got, ok, v)
+		}
+		n++
+		return true
+	})
+	if n != tr.Len() {
+		t.Fatalf("walk saw %d keys, Len=%d", n, tr.Len())
+	}
+}

@@ -1,0 +1,71 @@
+package pctt
+
+import "repro/internal/workload"
+
+// Batcher is the blocking front-end the kvserver hot path uses: each call
+// routes one operation through the combining pipeline and waits for its
+// result. Concurrent callers on keys sharing a prefix shard are combined
+// into one trigger batch by the owning worker, which is where the
+// coalescing and lock-amortization wins come from under concurrent load.
+//
+// Per caller, operations complete in issue order (each call blocks), so a
+// connection observes read-your-writes for every key.
+type Batcher interface {
+	Get(key []byte) (uint64, bool)
+	Put(key []byte, value uint64) bool
+	Delete(key []byte) bool
+}
+
+// Get routes a read through the pipeline and blocks for its value. The key
+// must not be mutated by the caller until the call returns.
+func (e *Engine) Get(key []byte) (uint64, bool) {
+	r := e.do(task{kind: workload.Read, key: key})
+	return r.value, r.found
+}
+
+// Put routes a write through the pipeline; it reports whether an existing
+// value was replaced.
+func (e *Engine) Put(key []byte, value uint64) bool {
+	return e.do(task{kind: workload.Write, key: key, value: value}).found
+}
+
+// Delete routes a removal through the pipeline; it reports whether the key
+// was present.
+func (e *Engine) Delete(key []byte) bool {
+	return e.do(task{kind: workload.Delete, key: key}).found
+}
+
+// do submits one blocking operation. After Close it executes directly
+// against the tree (the pipeline's ordering guarantees no longer apply,
+// but the tree itself stays safe for concurrent use).
+func (e *Engine) do(t task) taskResult {
+	e.start()
+	reply := replyPool.Get().(chan taskResult)
+	t.reply = reply
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		replyPool.Put(reply)
+		return e.direct(t)
+	}
+	e.queues[e.workerOf(t.key)] <- batchMsg{one: t}
+	e.mu.RUnlock()
+
+	r := <-reply
+	replyPool.Put(reply)
+	return r
+}
+
+// direct is the post-Close fallback.
+func (e *Engine) direct(t task) taskResult {
+	switch t.kind {
+	case workload.Read:
+		v, ok := e.tree.Get(t.key)
+		return taskResult{value: v, found: ok}
+	case workload.Write:
+		return taskResult{found: e.tree.Put(t.key, t.value)}
+	default:
+		return taskResult{found: e.tree.Delete(t.key)}
+	}
+}

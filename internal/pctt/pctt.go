@@ -1,0 +1,429 @@
+// Package pctt implements P-CTT: a truly parallel Combine-Traverse-Trigger
+// engine running on the olc concurrent ART.
+//
+// Where internal/ctt models the paper's CTT pipeline serially and counts
+// events, pctt executes it with real goroutines for real wall-clock
+// throughput:
+//
+//   - Combine — a combining front end shards incoming operations by the
+//     leading PrefixBits bits of the key (after the loaded key set's
+//     common prefix, as in internal/ctt) and appends them to per-worker
+//     bounded queues. Each worker owns the disjoint shard set
+//     {s : s mod Workers == workerID}, so all operations on one key always
+//     reach the same worker, in submission order.
+//   - Traverse — a worker drains its queue batch-at-a-time, coalesces the
+//     batch's operations into per-key groups, and locates each group's
+//     target node once: via its private, lock-free Shortcut_Table
+//     (key -> olc.Ref) when possible, via one root descent otherwise.
+//   - Trigger — a group's operations execute together against the located
+//     node: reads after the first are served from the group's running
+//     value, consecutive writes combine into one olc.Put (one version-lock
+//     acquisition for the whole group).
+//
+// Because shards are disjoint by prefix, only one worker ever mutates a
+// given key, which is what makes write-combining and the per-worker
+// shortcut tables safe without any cross-worker synchronization; residual
+// lock contention (nodes shared across prefixes, near the root) is real
+// and shows up in the olc tree's contention counter.
+//
+// The engine is exposed three ways: as an engine.Engine (Run over an
+// operation stream, used by the harness and the integration cross-checks),
+// as a blocking Batcher API (Get/Put/Delete, used by the kvserver hot path
+// to coalesce concurrent TCP requests), and through native testing.B
+// benchmarks in the repository root.
+//
+// Ordering contract: per key, per producer, FIFO — a producer that issues
+// W(k,v) then R(k) observes v (read-your-writes). Cross-key ordering is
+// not preserved, exactly like the hardware CTT model.
+package pctt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/olc"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the parallel engine.
+type Config struct {
+	// Workers is the number of worker goroutines (SOU analogues). Default
+	// runtime.GOMAXPROCS(0); the paper's hardware has 16 SOUs.
+	Workers int
+	// PrefixBits is the number of leading key bits (after the key set's
+	// common prefix) used as the combining shard label (default 8,
+	// matching the PCU).
+	PrefixBits int
+	// BatchSize is the cap on operations a worker coalesces per trigger
+	// batch (default 4096). Larger batches raise the coalescing rate; the
+	// cap only binds under backlog (workers never wait to fill a batch),
+	// so it does not add latency on an idle pipeline.
+	BatchSize int
+	// ChunkSize is the number of operations per queue message when Run
+	// pre-shards a stream (default 256); it amortizes channel overhead.
+	ChunkSize int
+	// QueueDepth is the per-worker queue capacity in messages (default
+	// 128). A full queue applies backpressure to producers.
+	QueueDepth int
+	// ShortcutCap bounds each worker's Shortcut_Table population (default
+	// 1<<16 entries); exceeding it clears the table (epoch eviction).
+	ShortcutCap int
+	// CollectReads makes Run record every read's result, as in
+	// engine.Config.
+	CollectReads bool
+	// RecordLatency samples per-operation pipeline latency (submission to
+	// completion) into a histogram; see LatencyHistogram.
+	RecordLatency bool
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PrefixBits <= 0 || c.PrefixBits > 16 {
+		c.PrefixBits = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.ShortcutCap <= 0 {
+		c.ShortcutCap = 1 << 16
+	}
+	return c
+}
+
+// taskResult is the outcome delivered to a blocking Batcher call.
+type taskResult struct {
+	value uint64
+	found bool // read: key present; put: value replaced; delete: key removed
+}
+
+// task is one operation in flight through the pipeline.
+type task struct {
+	kind  workload.Kind
+	key   []byte
+	value uint64
+	// res, when non-nil, is the Run-mode destination slot for a read.
+	res *engine.ReadResult
+	idx int // stream index for res
+	// reply, when non-nil, receives the Batcher-mode outcome (buffered 1).
+	reply chan taskResult
+	// start is a unix-nano submission stamp when latency recording is on.
+	start int64
+}
+
+// batchMsg is one queue message: either a chunk of tasks or a single task.
+type batchMsg struct {
+	tasks []task // nil => use one
+	one   task
+	// pooled marks tasks as borrowed from chunkPool (returned by the worker).
+	pooled bool
+	// done is decremented once the message's tasks have fully executed.
+	done *sync.WaitGroup
+}
+
+// chunkPool recycles Run-mode task chunks between producers and workers.
+var chunkPool = sync.Pool{
+	New: func() any { return make([]task, 0, 512) },
+}
+
+// replyPool recycles Batcher reply channels.
+var replyPool = sync.Pool{
+	New: func() any { return make(chan taskResult, 1) },
+}
+
+// Engine is the parallel CTT engine. Construct with New; call Close to
+// stop the workers when done.
+type Engine struct {
+	name string
+	cfg  Config
+
+	tree *olc.Tree
+	ms   *metrics.Set
+
+	// prefixSkip is the number of leading bytes shared by every loaded
+	// key; the combining prefix starts after them. Set by Load.
+	prefixSkip int
+
+	started atomic.Bool
+	mu      sync.RWMutex // started/closed vs. submitters
+	closed  bool
+	queues  []chan batchMsg
+	workers []*worker
+	wg      sync.WaitGroup
+
+	runMu sync.Mutex // serializes Run calls
+}
+
+// New returns a parallel CTT engine. Workers start lazily on first use.
+func New(cfg Config) *Engine {
+	cfg = cfg.Defaults()
+	ms := metrics.NewSet()
+	return &Engine{
+		name: "P-CTT",
+		cfg:  cfg,
+		tree: olc.New(ms),
+		ms:   ms,
+	}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return e.name }
+
+// Tree exposes the underlying concurrent index (used by kvserver for
+// scans/snapshots and by the integration cross-checks). Direct writes to
+// the tree while the pipeline is active break the single-writer-per-key
+// invariant; restrict direct access to reads or quiescent phases.
+func (e *Engine) Tree() *olc.Tree { return e.tree }
+
+// Metrics returns the live counter set (shared with the tree).
+func (e *Engine) Metrics() *metrics.Set { return e.ms }
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// start launches the worker pool once.
+func (e *Engine) start() {
+	if e.started.Load() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started.Load() || e.closed {
+		return
+	}
+	e.queues = make([]chan batchMsg, e.cfg.Workers)
+	e.workers = make([]*worker, e.cfg.Workers)
+	for i := range e.queues {
+		e.queues[i] = make(chan batchMsg, e.cfg.QueueDepth)
+		e.workers[i] = newWorker(e, i)
+	}
+	e.wg.Add(e.cfg.Workers)
+	for i, w := range e.workers {
+		go w.run(e.queues[i])
+	}
+	e.started.Store(true)
+}
+
+// Close stops the worker pool after draining in-flight operations.
+// Subsequent Batcher calls execute directly against the tree; subsequent
+// Run calls fall back to sequential execution.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	if e.started.Load() {
+		for _, q := range e.queues {
+			close(q)
+		}
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// shardOf maps a key to its combining shard: the PrefixBits-bit key prefix
+// taken after the loaded key set's common leading bytes (same labeling as
+// internal/ctt's bucketOf).
+func (e *Engine) shardOf(key []byte) int {
+	i := e.prefixSkip
+	var b0, b1 byte
+	if i < len(key) {
+		b0 = key[i]
+	}
+	if i+1 < len(key) {
+		b1 = key[i+1]
+	}
+	v := uint32(b0)<<8 | uint32(b1)
+	return int(v >> uint(16-e.cfg.PrefixBits))
+}
+
+// workerOf maps a key to the worker owning its shard.
+func (e *Engine) workerOf(key []byte) int {
+	return e.shardOf(key) % e.cfg.Workers
+}
+
+// Load implements engine.Engine: bulk-insert the initial key set (not
+// measured, not pipelined) and derive the combining-prefix position.
+func (e *Engine) Load(keys [][]byte, values []uint64) {
+	e.prefixSkip = commonPrefixLenAll(keys)
+	for i, k := range keys {
+		v := uint64(i)
+		if values != nil {
+			v = values[i]
+		}
+		e.tree.Put(k, v)
+	}
+	e.ms.Reset() // loading is not part of the measurement
+}
+
+// Reset implements engine.Engine: clear counters; the tree and the
+// per-worker shortcut tables persist (index state, not measurement).
+func (e *Engine) Reset() {
+	e.ms.Reset()
+}
+
+// Run implements engine.Engine: execute the stream through the parallel
+// pipeline and block until every operation has applied. Guarantees per-key
+// stream order; cross-key order is unspecified (last-write-wins per key
+// matches a sequential replay).
+func (e *Engine) Run(ops []workload.Op) *engine.Result {
+	e.start()
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	res := &engine.Result{Name: e.name, Ops: len(ops), Metrics: e.ms}
+	var slots []engine.ReadResult
+	if e.cfg.CollectReads {
+		slots = make([]engine.ReadResult, len(ops))
+		for i := range slots {
+			slots[i].Index = -1
+		}
+	}
+
+	t0 := time.Now()
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.runSequential(ops, slots)
+	} else {
+		e.dispatch(ops, slots)
+		e.mu.RUnlock()
+	}
+	res.WallNanos = time.Since(t0).Nanoseconds()
+
+	if slots != nil {
+		for i := range slots {
+			if slots[i].Index >= 0 {
+				res.Reads = append(res.Reads, slots[i])
+			}
+		}
+	}
+	return res
+}
+
+// dispatch pre-shards the stream into per-worker chunks (preserving
+// per-key order), sends them, and waits for completion. Caller holds
+// e.mu.RLock.
+func (e *Engine) dispatch(ops []workload.Op, slots []engine.ReadResult) {
+	var wg sync.WaitGroup
+	open := make([][]task, e.cfg.Workers)
+	flush := func(wk int) {
+		if len(open[wk]) == 0 {
+			return
+		}
+		wg.Add(1)
+		e.queues[wk] <- batchMsg{tasks: open[wk], pooled: true, done: &wg}
+		open[wk] = nil
+	}
+	sampleEvery := 16 // latency sampling stride
+	for i := range ops {
+		op := &ops[i]
+		wk := e.workerOf(op.Key)
+		c := open[wk]
+		if c == nil {
+			c = chunkPool.Get().([]task)[:0]
+		}
+		t := task{kind: op.Kind, key: op.Key, value: op.Value, idx: i}
+		if slots != nil && op.Kind == workload.Read {
+			t.res = &slots[i]
+		}
+		if e.cfg.RecordLatency && i%sampleEvery == 0 {
+			t.start = time.Now().UnixNano()
+		}
+		c = append(c, t)
+		open[wk] = c
+		if len(c) >= e.cfg.ChunkSize {
+			flush(wk)
+		}
+	}
+	for wk := range open {
+		flush(wk)
+	}
+	e.ms.Add(metrics.CtrCombineSteps, int64(len(ops)))
+	wg.Wait()
+}
+
+// runSequential is the post-Close fallback: direct tree execution.
+func (e *Engine) runSequential(ops []workload.Op, slots []engine.ReadResult) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case workload.Read:
+			v, ok := e.tree.Get(op.Key)
+			if slots != nil {
+				slots[i] = engine.ReadResult{Index: i, Value: v, OK: ok}
+			}
+		case workload.Write:
+			e.tree.Put(op.Key, op.Value)
+		case workload.Delete:
+			e.tree.Delete(op.Key)
+		}
+	}
+}
+
+// LatencyHistogram merges the per-worker latency histograms (populated
+// when Config.RecordLatency is set). Call only while the pipeline is
+// quiescent (no in-flight operations).
+func (e *Engine) LatencyHistogram() *metrics.Histogram {
+	h := metrics.NewHistogram()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, w := range e.workers {
+		h.Merge(w.hist)
+	}
+	return h
+}
+
+// ShortcutCount sums the live per-worker Shortcut_Table populations. Call
+// only while the pipeline is quiescent.
+func (e *Engine) ShortcutCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, w := range e.workers {
+		n += len(w.shortcuts)
+	}
+	return n
+}
+
+// commonPrefixLenAll returns the length of the byte prefix shared by every
+// key (capped so at least one varying byte remains), as in internal/ctt.
+func commonPrefixLenAll(keys [][]byte) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	cp := len(keys[0])
+	for _, k := range keys[1:] {
+		n := cp
+		if len(k) < n {
+			n = len(k)
+		}
+		i := 0
+		for i < n && k[i] == keys[0][i] {
+			i++
+		}
+		cp = i
+		if cp == 0 {
+			return 0
+		}
+	}
+	if cp > 0 && cp >= len(keys[0]) {
+		cp = len(keys[0]) - 1
+	}
+	return cp
+}

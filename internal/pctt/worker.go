@@ -1,0 +1,340 @@
+package pctt
+
+import (
+	"bytes"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/olc"
+	"repro/internal/workload"
+)
+
+// worker is one SOU analogue: a goroutine owning a disjoint shard set with
+// a private Shortcut_Table. All fields are goroutine-local.
+type worker struct {
+	e  *Engine
+	id int
+
+	// shortcuts is the private Shortcut_Table: key hash -> (key, leaf
+	// reference). Leaf refs are the strongest shortcut the tree offers —
+	// one lock and one atomic load instead of a full radix descent — and
+	// stay valid from the key's insert to its delete. Keying by the hash
+	// already computed for grouping keeps string hashing off the hot path;
+	// each hit verifies the stored key (collisions overwrite, last wins).
+	// The table clears wholesale past ShortcutCap (epoch eviction).
+	shortcuts map[uint64]shortcutEntry
+
+	hist *metrics.Histogram
+
+	// batch scratch, reused across batches.
+	tasks   []task
+	groups  []group
+	gidx    map[uint64]int32 // key hash -> group index (probed on collision)
+	pending []int            // task indices of writes awaiting the group's flush
+
+	// c accumulates counter deltas batch-locally; process flushes it to the
+	// shared metrics.Set once per batch (an Inc per operation would put a
+	// map lookup plus an atomic RMW on the hot path).
+	c batchCounters
+}
+
+// batchCounters mirrors the counters execGroup touches.
+type batchCounters struct {
+	shortcutHit, shortcutMiss, maintain int64
+	coalesced, opsRead, opsWrite        int64
+}
+
+// shortcutEntry is one Shortcut_Table binding. The stored key must not be
+// mutated by the submitter after the operation completes (Run-mode keys
+// come from the workload; Batcher callers hand over ownership).
+type shortcutEntry struct {
+	key  []byte
+	leaf olc.LeafRef
+}
+
+// group is a set of same-key operations coalesced within one batch,
+// holding indices into worker.tasks in arrival order. hash is the key's
+// unprobed hashKey value, reused for the Shortcut_Table.
+type group struct {
+	ops  []int
+	hash uint64
+}
+
+func newWorker(e *Engine, id int) *worker {
+	return &worker{
+		e:         e,
+		id:        id,
+		shortcuts: make(map[uint64]shortcutEntry),
+		hist:      metrics.NewHistogram(),
+		gidx:      make(map[uint64]int32),
+	}
+}
+
+// hashKey is FNV-1a; grouping probes on the (astronomically rare) collision
+// so the hash only has to be good, not perfect.
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// run drains the queue until it closes. Each wakeup collects messages up
+// to BatchSize operations (blocking only for the first), then processes
+// them as one combine batch.
+func (w *worker) run(q chan batchMsg) {
+	defer w.e.wg.Done()
+	var msgs []batchMsg
+	for {
+		m, ok := <-q
+		if !ok {
+			return
+		}
+		msgs = append(msgs[:0], m)
+		n := msgLen(m)
+		for n < w.e.cfg.BatchSize {
+			select {
+			case m2, ok2 := <-q:
+				if !ok2 {
+					w.process(msgs)
+					return
+				}
+				msgs = append(msgs, m2)
+				n += msgLen(m2)
+				continue
+			default:
+			}
+			break
+		}
+		w.process(msgs)
+	}
+}
+
+func msgLen(m batchMsg) int {
+	if m.tasks == nil {
+		return 1
+	}
+	return len(m.tasks)
+}
+
+// process executes one combine batch: concatenate the messages' tasks,
+// group by key (first-appearance order across the batch, arrival order
+// within a group), execute each group, then acknowledge the messages.
+func (w *worker) process(msgs []batchMsg) {
+	w.tasks = w.tasks[:0]
+	for i := range msgs {
+		if msgs[i].tasks == nil {
+			w.tasks = append(w.tasks, msgs[i].one)
+		} else {
+			w.tasks = append(w.tasks, msgs[i].tasks...)
+		}
+	}
+
+	w.groups = w.groups[:0]
+	clear(w.gidx)
+	for i := range w.tasks {
+		key := w.tasks[i].key
+		h0 := hashKey(key)
+		h := h0
+		for {
+			gi, ok := w.gidx[h]
+			if ok {
+				g := &w.groups[gi]
+				if bytes.Equal(w.tasks[g.ops[0]].key, key) {
+					g.ops = append(g.ops, i)
+					break
+				}
+				h++ // hash collision with a different key: linear probe
+				continue
+			}
+			w.gidx[h] = int32(len(w.groups))
+			// Grow in place so per-group index slices are reused across
+			// batches.
+			if len(w.groups) < cap(w.groups) {
+				w.groups = w.groups[:len(w.groups)+1]
+			} else {
+				w.groups = append(w.groups, group{})
+			}
+			g := &w.groups[len(w.groups)-1]
+			g.ops = append(g.ops[:0], i)
+			g.hash = h0
+			break
+		}
+	}
+	for gi := range w.groups {
+		w.execGroup(&w.groups[gi])
+	}
+	w.flushCounters()
+
+	for i := range msgs {
+		m := &msgs[i]
+		if m.pooled {
+			chunkPool.Put(m.tasks[:0])
+			m.tasks = nil
+		}
+		if m.done != nil {
+			m.done.Done()
+		}
+	}
+}
+
+// execGroup locates the group's target once (shortcut or root descent) and
+// triggers all of its operations together: reads beyond the first are
+// served from the group's running value, consecutive writes combine into a
+// single tree put (one version-lock acquisition per write burst).
+//
+// Safety: this worker is the only writer for the group's key (disjoint
+// shards), so no other actor can change the key's binding between the
+// group's operations.
+func (w *worker) execGroup(g *group) {
+	tree := w.e.tree
+	key := w.tasks[g.ops[0]].key
+
+	ent, hasRef := w.shortcuts[g.hash]
+	hasRef = hasRef && bytes.Equal(ent.key, key) // hash collision => miss
+	leaf := ent.leaf
+	refUsable := hasRef
+	if hasRef {
+		w.c.shortcutHit++
+	} else {
+		w.c.shortcutMiss++
+	}
+
+	// Running per-key state: once haveCur is set, cur/curFound track the
+	// key's logical value through the group without touching the tree.
+	var cur uint64
+	curFound := false
+	haveCur := false
+	dirty := false // cur holds an unflushed write
+	w.pending = w.pending[:0]
+
+	// flush applies the combined pending writes as one tree put and
+	// answers their replies (first write reports the pre-group presence,
+	// coalesced followers report replaced=true).
+	flush := func() {
+		if !dirty {
+			return
+		}
+		// A usable leaf ref means the key is live, so the combined write is
+		// an in-place overwrite (replaced=true by construction).
+		replaced := true
+		if refUsable && !tree.PutLeaf(leaf, cur) {
+			refUsable = false
+		}
+		if !refUsable {
+			replaced = tree.Put(key, cur)
+		}
+		if n := len(w.pending) - 1; n > 0 {
+			// Coalesced writes beyond the first: counted as ops that
+			// needed no tree access.
+			w.c.coalesced += int64(n)
+			w.c.opsWrite += int64(n)
+		}
+		for i, ti := range w.pending {
+			t := &w.tasks[ti]
+			rep := replaced
+			if i > 0 {
+				rep = true
+			}
+			w.complete(t, taskResult{found: rep})
+		}
+		w.pending = w.pending[:0]
+		dirty = false
+	}
+
+	for _, ti := range g.ops {
+		t := &w.tasks[ti]
+		switch t.kind {
+		case workload.Read:
+			if !haveCur {
+				if refUsable {
+					if v, ok := tree.GetLeaf(leaf); ok {
+						cur, curFound = v, true
+					} else {
+						refUsable = false
+					}
+				}
+				if !refUsable {
+					cur, curFound = tree.Get(t.key)
+				}
+				haveCur = true
+			} else {
+				// Served from the already-located value: a coalesced read.
+				w.c.coalesced++
+				w.c.opsRead++
+			}
+			w.complete(t, taskResult{value: cur, found: curFound})
+		case workload.Write:
+			cur, curFound, haveCur = t.value, true, true
+			dirty = true
+			w.pending = append(w.pending, ti)
+		case workload.Delete:
+			// Deletes restructure; flush combined writes first, then go
+			// direct (mirrors internal/ctt's discipline).
+			flush()
+			deleted := tree.Delete(t.key)
+			cur, curFound, haveCur = 0, false, true
+			w.complete(t, taskResult{found: deleted})
+		}
+	}
+	flush()
+
+	// Maintain the Shortcut_Table: refresh a missing or dead entry from
+	// the key's live leaf (overwriting also evicts a colliding or stale
+	// binding at this hash). A key that ended the group absent gets its
+	// entry dropped instead.
+	if !refUsable {
+		if lr, ok := tree.LocateLeaf(key); ok {
+			if len(w.shortcuts) >= w.e.cfg.ShortcutCap {
+				clear(w.shortcuts) // epoch eviction
+			}
+			w.shortcuts[g.hash] = shortcutEntry{key: key, leaf: lr}
+			w.c.maintain++
+		} else if hasRef {
+			delete(w.shortcuts, g.hash)
+		}
+	}
+}
+
+// flushCounters publishes the batch's accumulated counter deltas.
+func (w *worker) flushCounters() {
+	ms := w.e.ms
+	c := &w.c
+	if c.shortcutHit != 0 {
+		ms.Add(metrics.CtrShortcutHit, c.shortcutHit)
+	}
+	if c.shortcutMiss != 0 {
+		ms.Add(metrics.CtrShortcutMiss, c.shortcutMiss)
+	}
+	if c.maintain != 0 {
+		ms.Add(metrics.CtrShortcutMaintain, c.maintain)
+	}
+	if c.coalesced != 0 {
+		ms.Add(metrics.CtrCoalesced, c.coalesced)
+	}
+	if c.opsRead != 0 {
+		ms.Add(metrics.CtrOpsRead, c.opsRead)
+	}
+	if c.opsWrite != 0 {
+		ms.Add(metrics.CtrOpsWrite, c.opsWrite)
+	}
+	*c = batchCounters{}
+	ms.Inc(metrics.CtrBatches)
+}
+
+// complete delivers a task's outcome: Run-mode read slot, Batcher reply,
+// and the optional latency sample.
+func (w *worker) complete(t *task, r taskResult) {
+	if t.res != nil {
+		*t.res = engine.ReadResult{Index: t.idx, Value: r.value, OK: r.found}
+	}
+	if t.reply != nil {
+		t.reply <- r
+	}
+	if t.start != 0 {
+		w.hist.Observe(float64(time.Now().UnixNano()-t.start) * 1e-9)
+	}
+}
