@@ -7,7 +7,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/olc ./internal/pctt ./internal/kvserver .
 
-.PHONY: check vet build test race bench bench-native clean
+.PHONY: check vet build test race bench bench-native smoke-native clean
 
 check: vet build test race
 
@@ -31,6 +31,13 @@ bench:
 # machine-readable results in BENCH_native.json.
 bench-native:
 	$(GO) run ./cmd/dcart-bench -exp native -json
+
+# Scaled-down native run for CI: exercises the whole measured pipeline
+# (dispatch, combine windows, stealing, latency split) end to end in a few
+# seconds without pretending the numbers are stable on shared runners. No
+# -json: CI must never overwrite the recorded BENCH_native.json.
+smoke-native:
+	$(GO) run ./cmd/dcart-bench -exp native -keys 20000 -ops 100000
 
 clean:
 	rm -f repro.test BENCH_native.json

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 
 	"repro/internal/bench"
 )
@@ -28,7 +29,16 @@ func main() {
 	threads := flag.Int("threads", 0, "modeled CPU threads (default 96)")
 	jsonOut := flag.Bool("json", false,
 		"also write a machine-readable report (BENCH_native.json for -exp native)")
+	gogc := flag.Int("gogc", 400,
+		"GC percent for measurement runs (0 keeps the runtime default); the "+
+			"engines' steady-state live heap is small, so the default GC goal "+
+			"triggers a collection every few milliseconds and its pauses "+
+			"dominate tail latency at GOMAXPROCS=1")
 	flag.Parse()
+
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
+	}
 
 	if *list {
 		for _, r := range bench.List() {

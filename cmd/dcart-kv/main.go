@@ -20,12 +20,17 @@
 // Usage:
 //
 //	dcart-kv [-addr :7070] [-snapshot file] [-batch-workers n]
+//	         [-batch-max-delay 100us] [-batch-min-batch 64]
+//	         [-batch-queue-depth 4096] [-batch-max-inflight 16384]
+//	         [-batch-no-steal]
 //
 // With -snapshot, the store loads the file at startup (if present) and
 // writes it back on SIGINT/SIGTERM. With -batch-workers > 0, point
 // operations flow through the parallel Combine-Traverse-Trigger engine
 // (internal/pctt), which coalesces concurrent requests per key prefix
-// before touching the tree.
+// before touching the tree; the remaining -batch-* flags tune its
+// latency/throughput trade-off (combine-window deadline, backlog bounds,
+// work stealing — see internal/pctt.Config).
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"syscall"
 
 	"repro/internal/kvserver"
+	"repro/internal/pctt"
 )
 
 func main() {
@@ -45,11 +51,28 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot file to load/save")
 	batchWorkers := flag.Int("batch-workers", 0,
 		"route point ops through the parallel CTT engine with n workers (0 = direct)")
+	batchMaxDelay := flag.Duration("batch-max-delay", 0,
+		"combine-window deadline: a request waits at most this long for peers to coalesce with (0 = engine default 100µs, negative disables deferral)")
+	batchMinBatch := flag.Int("batch-min-batch", 0,
+		"combine-window fill target: buckets at or above this execute immediately (0 = engine default 64)")
+	batchQueueDepth := flag.Int("batch-queue-depth", 0,
+		"per-bucket backlog bound in operations (0 = engine default 4096)")
+	batchMaxInflight := flag.Int("batch-max-inflight", 0,
+		"total submitted-but-incomplete operation bound — the queue-wait knob (0 = engine default 4x batch size)")
+	batchNoSteal := flag.Bool("batch-no-steal", false,
+		"disable whole-bucket work stealing and handoff (pin buckets to their home worker)")
 	flag.Parse()
 
 	var srv *kvserver.Server
 	if *batchWorkers > 0 {
-		srv = kvserver.NewBatched(*batchWorkers)
+		srv = kvserver.NewBatchedConfig(pctt.Config{
+			Workers:     *batchWorkers,
+			MaxDelay:    *batchMaxDelay,
+			MinBatch:    *batchMinBatch,
+			QueueDepth:  *batchQueueDepth,
+			MaxInflight: *batchMaxInflight,
+			NoSteal:     *batchNoSteal,
+		})
 	} else {
 		srv = kvserver.New()
 	}

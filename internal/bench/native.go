@@ -26,7 +26,10 @@ import (
 // tree absorbs the stream's inserts and the CTT engine's shortcut tables
 // warm — both sides then measure steady state, matching testing.B
 // methodology), then runs best-of-3 timed passes. Latency is sampled
-// every 16th operation on both sides. With Options.JSONPath set, a
+// every 16th operation on both sides; P-CTT latency is additionally
+// broken down into queue wait (true submit until the operation's trigger
+// batch began) and execute time (batch begin until completion), the
+// deadline-driven pipeline's two phases. With Options.JSONPath set, a
 // machine-readable report is also written.
 func Native(o Options) error {
 	o = o.defaults()
@@ -38,12 +41,13 @@ func Native(o Options) error {
 	}
 
 	tw := table(o)
-	fmt.Fprintln(tw, "system\tworkers\twall\tops/sec\tP50\tP99\tcoalesced\tshortcut hits")
+	fmt.Fprintln(tw, "system\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tcoalesced\tsteals")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3g\t%s\t%s\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%d\t%d\n",
 			r.System, r.Workers, engTime(float64(r.WallNanos)/1e9), r.OpsPerSec,
 			engTime(r.P50Nanos/1e9), engTime(r.P99Nanos/1e9),
-			r.CoalescedOps, r.ShortcutHits)
+			engTime(r.QueueWaitP99Nanos/1e9), engTime(r.ExecP99Nanos/1e9),
+			r.CoalescedOps, r.BucketSteals)
 	}
 	tw.Flush()
 
@@ -75,15 +79,13 @@ func Native(o Options) error {
 	return nil
 }
 
-// nativeWorkerCounts picks the P-CTT worker counts to measure: 1 and 2
-// always (the acceptance comparison), plus GOMAXPROCS when it adds a
-// distinct larger point.
+// nativeWorkerCounts picks the P-CTT worker counts to measure: 1, 2, and 4
+// always (the acceptance comparisons track these), plus GOMAXPROCS when it
+// adds a distinct larger point.
 func nativeWorkerCounts() []int {
-	counts := []int{1, 2}
-	if p := runtime.GOMAXPROCS(0); p > 2 {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
 		counts = append(counts, p)
-	} else {
-		counts = append(counts, 4)
 	}
 	return counts
 }
@@ -101,14 +103,26 @@ type nativeReport struct {
 }
 
 type nativeRow struct {
-	System       string  `json:"system"`
-	Workers      int     `json:"workers"`
-	WallNanos    int64   `json:"wall_nanos"`
-	OpsPerSec    float64 `json:"ops_per_sec"`
-	P50Nanos     float64 `json:"p50_nanos"`
-	P99Nanos     float64 `json:"p99_nanos"`
-	CoalescedOps int64   `json:"coalesced_ops"`
-	ShortcutHits int64   `json:"shortcut_hits"`
+	System    string  `json:"system"`
+	Workers   int     `json:"workers"`
+	WallNanos int64   `json:"wall_nanos"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Nanos  float64 `json:"p50_nanos"`
+	P99Nanos  float64 `json:"p99_nanos"`
+	// Queue-wait / execute breakdown of the same sampled latencies
+	// (P-CTT rows only): queue wait is true submit until the operation's
+	// trigger batch began executing, execute is batch begin until the
+	// operation completed. Comparable to internal/sim's open-loop
+	// queue-delay split.
+	QueueWaitP50Nanos float64 `json:"queue_wait_p50_nanos,omitempty"`
+	QueueWaitP99Nanos float64 `json:"queue_wait_p99_nanos,omitempty"`
+	ExecP50Nanos      float64 `json:"exec_p50_nanos,omitempty"`
+	ExecP99Nanos      float64 `json:"exec_p99_nanos,omitempty"`
+	CoalescedOps      int64   `json:"coalesced_ops"`
+	ShortcutHits      int64   `json:"shortcut_hits"`
+	BucketSteals      int64   `json:"bucket_steals,omitempty"`
+	BucketHandoffs    int64   `json:"bucket_handoffs,omitempty"`
+	WindowDeferrals   int64   `json:"window_deferrals,omitempty"`
 }
 
 const nativeTrials = 3
@@ -169,24 +183,32 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
 	e.Run(w.Ops) // warmup: absorb inserts, populate the shortcut tables
 	var best nativeRow
 	for trial := 0; trial < nativeTrials; trial++ {
-		e.Reset()
+		e.Reset() // counters and histograms: each trial measured alone
 		res := e.Run(w.Ops)
+		ms := e.Metrics()
 		row := nativeRow{
-			System:       "P-CTT",
-			Workers:      workers,
-			WallNanos:    res.WallNanos,
-			OpsPerSec:    float64(len(w.Ops)) / (float64(res.WallNanos) / 1e9),
-			CoalescedOps: e.Metrics().Get(metrics.CtrCoalesced),
-			ShortcutHits: e.Metrics().Get(metrics.CtrShortcutHit),
+			System:          "P-CTT",
+			Workers:         workers,
+			WallNanos:       res.WallNanos,
+			OpsPerSec:       float64(len(w.Ops)) / (float64(res.WallNanos) / 1e9),
+			CoalescedOps:    ms.Get(metrics.CtrCoalesced),
+			ShortcutHits:    ms.Get(metrics.CtrShortcutHit),
+			BucketSteals:    ms.Get(metrics.CtrBucketSteals),
+			BucketHandoffs:  ms.Get(metrics.CtrBucketHandoffs),
+			WindowDeferrals: ms.Get(metrics.CtrWindowDeferrals),
 		}
+		total := e.LatencyHistogram()
+		queue := e.QueueWaitHistogram()
+		exec := e.ExecHistogram()
+		row.P50Nanos = total.Quantile(0.50) * 1e9
+		row.P99Nanos = total.Quantile(0.99) * 1e9
+		row.QueueWaitP50Nanos = queue.Quantile(0.50) * 1e9
+		row.QueueWaitP99Nanos = queue.Quantile(0.99) * 1e9
+		row.ExecP50Nanos = exec.Quantile(0.50) * 1e9
+		row.ExecP99Nanos = exec.Quantile(0.99) * 1e9
 		if trial == 0 || row.WallNanos < best.WallNanos {
 			best = row
 		}
 	}
-	// The latency histogram accumulates across passes; its quantiles
-	// describe the same steady-state regime as the best pass.
-	hist := e.LatencyHistogram()
-	best.P50Nanos = hist.Quantile(0.50) * 1e9
-	best.P99Nanos = hist.Quantile(0.99) * 1e9
 	return best
 }

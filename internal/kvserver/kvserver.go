@@ -76,7 +76,15 @@ func New() *Server {
 // the parallel CTT engine with the given worker count (<=0 for the
 // default). Call Close to stop the engine's workers.
 func NewBatched(workers int) *Server {
-	e := pctt.New(pctt.Config{Workers: workers})
+	return NewBatchedConfig(pctt.Config{Workers: workers})
+}
+
+// NewBatchedConfig is NewBatched with the full engine configuration
+// exposed — combine-window deadline (MaxDelay/MinBatch), queue shaping
+// (QueueDepth/MaxInflight), and work stealing (NoSteal) — for servers that
+// tune the latency/throughput trade-off per deployment.
+func NewBatchedConfig(cfg pctt.Config) *Server {
+	e := pctt.New(cfg)
 	return &Server{tree: e.Tree(), ms: e.Metrics(), ops: e, batch: e}
 }
 

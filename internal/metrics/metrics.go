@@ -53,6 +53,15 @@ const (
 	// CtrBatches counts trigger batches executed by the parallel CTT
 	// workers (one per worker wakeup that processed a combine batch).
 	CtrBatches = "trigger_batches"
+	// CtrBucketSteals counts combine buckets popped from a peer worker's
+	// ring by an idle worker (whole-bucket work stealing, P-CTT only).
+	CtrBucketSteals = "bucket_steals"
+	// CtrBucketHandoffs counts combine buckets re-homed to a parked peer
+	// when they re-queued while still hot (P-CTT push handoff).
+	CtrBucketHandoffs = "bucket_handoffs"
+	// CtrWindowDeferrals counts combine windows set aside until their
+	// MaxDelay deadline because they held fewer than MinBatch operations.
+	CtrWindowDeferrals = "window_deferrals"
 	// CtrOffchipBytes counts bytes moved over the off-chip interface.
 	CtrOffchipBytes = "offchip_bytes"
 	// CtrOnchipHits counts accesses served by on-chip buffers.
@@ -73,6 +82,7 @@ var standardNames = []string{
 	CtrOpsRead, CtrOpsWrite, CtrCoalesced,
 	CtrShortcutHit, CtrShortcutMiss,
 	CtrCombineSteps, CtrShortcutMaintain, CtrBatches,
+	CtrBucketSteals, CtrBucketHandoffs, CtrWindowDeferrals,
 	CtrOffchipBytes, CtrOnchipHits,
 }
 
@@ -108,6 +118,18 @@ func (s *Set) Add(name string, delta int64) {
 
 // Inc is Add(name, 1).
 func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Counter resolves name to its underlying atomic cell, letting hot paths
+// skip the per-call map lookup: resolve once, then atomic.AddInt64
+// directly. The cell stays registered — Get, Snapshot, and Reset see the
+// same counter. Unknown names panic, as in Add.
+func (s *Set) Counter(name string) *int64 {
+	c, ok := s.ctrs[name]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unknown counter %q", name))
+	}
+	return c
+}
 
 // Get returns the current value of counter name (0 for unknown names).
 func (s *Set) Get(name string) int64 {

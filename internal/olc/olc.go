@@ -66,8 +66,11 @@ func (k kind) capacity() int {
 // the slices are sized by kind at construction. Leaves use key/value and
 // leave the child machinery nil.
 type node struct {
-	mu       sync.RWMutex
-	obsolete bool // under mu: node was replaced; writers must restart
+	mu sync.RWMutex
+	// obsolete: node was replaced (internal) or deleted (leaf). Written
+	// only under mu; atomic so lock-free leaf readers (GetLeaf/PutLeaf)
+	// can check liveness without touching the node lock.
+	obsolete atomic.Bool
 
 	kind       kind
 	prefix     []byte // under mu for writes; stable while any lock held
@@ -93,6 +96,14 @@ type Tree struct {
 	// casValues selects the Heart/SMART value-update discipline.
 	casValues bool
 	ms        *metrics.Set
+
+	// Hot-path counter cells, resolved once at construction so the
+	// per-node instrumentation on descents costs one atomic add instead
+	// of a string-map lookup plus an atomic add.
+	cNodeAccesses, cKeyMatches *int64
+	cOpsRead, cOpsWrite        *int64
+	cLockAcquire, cContention  *int64
+	cAtomicOps, cRestarts      *int64
 }
 
 // Option configures a Tree.
@@ -114,6 +125,14 @@ func New(ms *metrics.Set, opts ...Option) *Tree {
 	for _, o := range opts {
 		o(t)
 	}
+	t.cNodeAccesses = ms.Counter(metrics.CtrNodeAccesses)
+	t.cKeyMatches = ms.Counter(metrics.CtrKeyMatches)
+	t.cOpsRead = ms.Counter(metrics.CtrOpsRead)
+	t.cOpsWrite = ms.Counter(metrics.CtrOpsWrite)
+	t.cLockAcquire = ms.Counter(metrics.CtrLockAcquire)
+	t.cContention = ms.Counter(metrics.CtrLockContention)
+	t.cAtomicOps = ms.Counter(metrics.CtrAtomicOps)
+	t.cRestarts = ms.Counter(metrics.CtrRestarts)
 	return t
 }
 
@@ -127,25 +146,25 @@ func (t *Tree) Len() int { return int(t.size.Load()) }
 
 func (t *Tree) rlock(n *node) {
 	if !n.mu.TryRLock() {
-		t.ms.Inc(metrics.CtrLockContention)
+		atomic.AddInt64(t.cContention, 1)
 		n.mu.RLock()
 	}
 }
 
 func (t *Tree) wlock(n *node) {
 	if !n.mu.TryLock() {
-		t.ms.Inc(metrics.CtrLockContention)
+		atomic.AddInt64(t.cContention, 1)
 		n.mu.Lock()
 	}
-	t.ms.Inc(metrics.CtrLockAcquire)
+	atomic.AddInt64(t.cLockAcquire, 1)
 }
 
 func (t *Tree) lockRoot() {
 	if !t.rootMu.TryLock() {
-		t.ms.Inc(metrics.CtrLockContention)
+		atomic.AddInt64(t.cContention, 1)
 		t.rootMu.Lock()
 	}
-	t.ms.Inc(metrics.CtrLockAcquire)
+	atomic.AddInt64(t.cLockAcquire, 1)
 }
 
 // ---- node construction ---------------------------------------------------

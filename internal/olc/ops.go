@@ -2,14 +2,13 @@ package olc
 
 import (
 	"bytes"
-
-	"repro/internal/metrics"
+	"sync/atomic"
 )
 
 // Get returns the value stored under key. Readers use hand-over-hand read
 // locks and never restart.
 func (t *Tree) Get(key []byte) (uint64, bool) {
-	t.ms.Inc(metrics.CtrOpsRead)
+	atomic.AddInt64(t.cOpsRead, 1)
 	n := t.root.Load()
 	if n == nil {
 		return 0, false
@@ -22,8 +21,8 @@ func (t *Tree) Get(key []byte) (uint64, bool) {
 // holds (released on every path).
 func (t *Tree) getDescend(n *node, depth int, key []byte) (uint64, bool) {
 	for {
-		t.ms.Inc(metrics.CtrNodeAccesses)
-		t.ms.Inc(metrics.CtrKeyMatches)
+		atomic.AddInt64(t.cNodeAccesses, 1)
+		atomic.AddInt64(t.cKeyMatches, 1)
 		if n.kind == kLeaf {
 			ok := bytes.Equal(n.key, key)
 			v := n.value.Load()
@@ -62,7 +61,7 @@ func (t *Tree) getDescend(n *node, depth int, key []byte) (uint64, bool) {
 // Put stores value under key, reporting whether an existing value was
 // replaced.
 func (t *Tree) Put(key []byte, value uint64) bool {
-	t.ms.Inc(metrics.CtrOpsWrite)
+	atomic.AddInt64(t.cOpsWrite, 1)
 	for {
 		done, replaced := t.tryPut(key, value)
 		if done {
@@ -71,7 +70,7 @@ func (t *Tree) Put(key []byte, value uint64) bool {
 			}
 			return replaced
 		}
-		t.ms.Inc(metrics.CtrRestarts)
+		atomic.AddInt64(t.cRestarts, 1)
 	}
 }
 
@@ -121,8 +120,8 @@ func (t *Tree) putDescend(n, parent *node, depth, parentDepth int,
 		return putRestart, false
 	}
 	for {
-		t.ms.Inc(metrics.CtrNodeAccesses)
-		t.ms.Inc(metrics.CtrKeyMatches)
+		atomic.AddInt64(t.cNodeAccesses, 1)
+		atomic.AddInt64(t.cKeyMatches, 1)
 
 		if n.kind == kLeaf {
 			if bytes.Equal(n.key, key) {
@@ -197,12 +196,12 @@ func (t *Tree) updateLeafValue(l *node, value uint64) (done, replaced bool) {
 		// Heart/SMART fast path: an atomic RMW on the value word; no node
 		// lock. A concurrently deleted leaf linearizes the store before
 		// the delete.
-		t.ms.Inc(metrics.CtrAtomicOps)
+		atomic.AddInt64(t.cAtomicOps, 1)
 		l.value.Store(value)
 		return true, true
 	}
 	t.wlock(l)
-	if l.obsolete {
+	if l.obsolete.Load() {
 		l.mu.Unlock()
 		return false, false
 	}
@@ -214,7 +213,7 @@ func (t *Tree) updateLeafValue(l *node, value uint64) (done, replaced bool) {
 // attachPrefixLeaf sets n.prefixLeaf for a key terminating at n.
 func (t *Tree) attachPrefixLeaf(n *node, key []byte, value uint64) (done, replaced bool) {
 	t.wlock(n)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		n.mu.Unlock()
 		return false, false
 	}
@@ -232,7 +231,7 @@ func (t *Tree) attachPrefixLeaf(n *node, key []byte, value uint64) (done, replac
 // observation time; re-validated under the lock).
 func (t *Tree) insertChild(n *node, b byte, key []byte, value uint64) bool {
 	t.wlock(n)
-	if n.obsolete || n.findChild(b) != nil || n.nChildren >= n.kind.capacity() {
+	if n.obsolete.Load() || n.findChild(b) != nil || n.nChildren >= n.kind.capacity() {
 		n.mu.Unlock()
 		return false
 	}
@@ -252,7 +251,7 @@ func (t *Tree) lockEdge(parent *node, parentDepth int, n *node, key []byte) bool
 			return false
 		}
 		t.wlock(n)
-		if n.obsolete {
+		if n.obsolete.Load() {
 			n.mu.Unlock()
 			t.rootMu.Unlock()
 			return false
@@ -260,12 +259,12 @@ func (t *Tree) lockEdge(parent *node, parentDepth int, n *node, key []byte) bool
 		return true
 	}
 	t.wlock(parent)
-	if parent.obsolete || parent.findChild(key[parentDepth]) != n {
+	if parent.obsolete.Load() || parent.findChild(key[parentDepth]) != n {
 		parent.mu.Unlock()
 		return false
 	}
 	t.wlock(n)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		n.mu.Unlock()
 		parent.mu.Unlock()
 		return false
@@ -365,7 +364,7 @@ func (t *Tree) splitPrefix(parent *node, parentDepth int, n *node, key []byte, d
 		n4.addChild(key[depth+cp], newLeaf(key, value))
 	}
 	t.setChild(parent, parentDepth, key, n4)
-	n.obsolete = true
+	n.obsolete.Store(true)
 	t.unlockEdge(parent, n)
 	return true
 }
@@ -385,7 +384,7 @@ func (t *Tree) growAndInsert(parent *node, parentDepth int, n *node, b byte, key
 	g := grown(n)
 	g.addChild(b, newLeaf(key, value))
 	t.setChild(parent, parentDepth, key, g)
-	n.obsolete = true
+	n.obsolete.Store(true)
 	t.unlockEdge(parent, n)
 	return true
 }
@@ -393,7 +392,7 @@ func (t *Tree) growAndInsert(parent *node, parentDepth int, n *node, b byte, key
 // Delete removes key, reporting whether it was present. Deletion removes
 // the leaf but performs no structural compaction (see package comment).
 func (t *Tree) Delete(key []byte) bool {
-	t.ms.Inc(metrics.CtrOpsWrite)
+	atomic.AddInt64(t.cOpsWrite, 1)
 	for {
 		done, deleted := t.tryDelete(key)
 		if done {
@@ -402,7 +401,7 @@ func (t *Tree) Delete(key []byte) bool {
 			}
 			return deleted
 		}
-		t.ms.Inc(metrics.CtrRestarts)
+		atomic.AddInt64(t.cRestarts, 1)
 	}
 }
 
@@ -415,13 +414,13 @@ func (t *Tree) tryDelete(key []byte) (done, deleted bool) {
 		return true, false
 	}
 	t.wlock(n)
-	t.ms.Inc(metrics.CtrNodeAccesses)
-	t.ms.Inc(metrics.CtrKeyMatches)
+	atomic.AddInt64(t.cNodeAccesses, 1)
+	atomic.AddInt64(t.cKeyMatches, 1)
 	if n.kind == kLeaf {
 		defer t.rootMu.Unlock()
 		ok := bytes.Equal(n.key, key)
 		if ok {
-			n.obsolete = true
+			n.obsolete.Store(true)
 			t.root.Store(nil)
 		}
 		n.mu.Unlock()
@@ -445,7 +444,7 @@ func (t *Tree) tryDelete(key []byte) (done, deleted bool) {
 				return true, false
 			}
 			t.wlock(pl)
-			pl.obsolete = true
+			pl.obsolete.Store(true)
 			pl.mu.Unlock()
 			n.prefixLeaf = nil
 			n.mu.Unlock()
@@ -459,12 +458,12 @@ func (t *Tree) tryDelete(key []byte) (done, deleted bool) {
 			return true, false
 		}
 		t.wlock(c)
-		t.ms.Inc(metrics.CtrNodeAccesses)
-		t.ms.Inc(metrics.CtrKeyMatches)
+		atomic.AddInt64(t.cNodeAccesses, 1)
+		atomic.AddInt64(t.cKeyMatches, 1)
 		if c.kind == kLeaf {
 			ok := bytes.Equal(c.key, key)
 			if ok {
-				c.obsolete = true
+				c.obsolete.Store(true)
 				n.removeChild(b)
 			}
 			c.mu.Unlock()

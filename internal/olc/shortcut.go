@@ -2,8 +2,7 @@ package olc
 
 import (
 	"bytes"
-
-	"repro/internal/metrics"
+	"sync/atomic"
 )
 
 // Ref is an opaque Shortcut_Table reference into the tree: an internal
@@ -75,11 +74,11 @@ func (t *Tree) GetAt(ref Ref, key []byte) (value uint64, found, ok bool) {
 		return 0, false, false
 	}
 	t.rlock(n)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		n.mu.RUnlock()
 		return 0, false, false
 	}
-	t.ms.Inc(metrics.CtrOpsRead)
+	atomic.AddInt64(t.cOpsRead, 1)
 	value, found = t.getDescend(n, ref.depth, key)
 	return value, found, true
 }
@@ -95,7 +94,7 @@ func (t *Tree) PutAt(ref Ref, key []byte, value uint64) (replaced, ok bool) {
 		return false, false
 	}
 	t.rlock(n)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		n.mu.RUnlock()
 		return false, false
 	}
@@ -103,7 +102,7 @@ func (t *Tree) PutAt(ref Ref, key []byte, value uint64) (replaced, ok bool) {
 	if out != putDone {
 		return false, false
 	}
-	t.ms.Inc(metrics.CtrOpsWrite)
+	atomic.AddInt64(t.cOpsWrite, 1)
 	if !replaced {
 		t.size.Add(1)
 	}
@@ -168,44 +167,39 @@ func (t *Tree) LocateLeaf(key []byte) (LeafRef, bool) {
 	}
 }
 
-// GetLeaf reads the referenced leaf's current value: one lock, one node
-// access, zero key-match steps. ok=false means the leaf was deleted and
-// the reference is permanently dead (the caller re-locates or falls back
-// to Get). Callers must only use a LeafRef with the key it was located
-// for — the tree cannot re-verify cheaply, that being the point.
+// GetLeaf reads the referenced leaf's current value: two atomic loads,
+// zero locks, zero key-match steps. ok=false means the leaf was deleted
+// and the reference is permanently dead (the caller re-locates or falls
+// back to Get). A read racing the key's delete may return the pre-delete
+// value; it linearizes before the delete, exactly like a reader that
+// entered the leaf just ahead of it. Callers must only use a LeafRef with
+// the key it was located for — the tree cannot re-verify cheaply, that
+// being the point.
 func (t *Tree) GetLeaf(r LeafRef) (value uint64, ok bool) {
 	l := r.l
-	if l == nil {
-		return 0, false
-	}
-	t.rlock(l)
-	if l.obsolete {
-		l.mu.RUnlock()
+	if l == nil || l.obsolete.Load() {
 		return 0, false
 	}
 	value = l.value.Load()
-	l.mu.RUnlock()
-	t.ms.Inc(metrics.CtrOpsRead)
-	t.ms.Inc(metrics.CtrNodeAccesses)
+	atomic.AddInt64(t.cOpsRead, 1)
+	atomic.AddInt64(t.cNodeAccesses, 1)
 	return value, true
 }
 
 // PutLeaf overwrites the referenced leaf's value (always an update, never
 // an insert — a live leaf means the key is present). ok=false means the
-// leaf was deleted; the caller falls back to Put.
+// leaf was deleted; the caller falls back to Put. The store is a plain
+// atomic on the value word with no node lock — the same discipline as
+// CASValueUpdates' fast path: a store racing the key's delete linearizes
+// before it (the value lands on the now-unreachable leaf and is never
+// observed).
 func (t *Tree) PutLeaf(r LeafRef, value uint64) (ok bool) {
 	l := r.l
-	if l == nil {
-		return false
-	}
-	t.wlock(l)
-	if l.obsolete {
-		l.mu.Unlock()
+	if l == nil || l.obsolete.Load() {
 		return false
 	}
 	l.value.Store(value)
-	l.mu.Unlock()
-	t.ms.Inc(metrics.CtrOpsWrite)
-	t.ms.Inc(metrics.CtrNodeAccesses)
+	atomic.AddInt64(t.cOpsWrite, 1)
+	atomic.AddInt64(t.cNodeAccesses, 1)
 	return true
 }

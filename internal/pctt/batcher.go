@@ -1,15 +1,22 @@
 package pctt
 
-import "repro/internal/workload"
+import (
+	"time"
+
+	"repro/internal/workload"
+)
 
 // Batcher is the blocking front-end the kvserver hot path uses: each call
 // routes one operation through the combining pipeline and waits for its
-// result. Concurrent callers on keys sharing a prefix shard are combined
-// into one trigger batch by the owning worker, which is where the
-// coalescing and lock-amortization wins come from under concurrent load.
+// result. Concurrent callers on keys sharing a prefix bucket are combined
+// into one trigger batch by the executing worker — the deadline-driven
+// combine window (Config.MaxDelay) gives concurrent requests a bounded
+// interval to coalesce — which is where the lock-amortization wins come
+// from under concurrent load.
 //
 // Per caller, operations complete in issue order (each call blocks), so a
-// connection observes read-your-writes for every key.
+// connection observes read-your-writes for every key; the bucket state
+// machine extends per-key FIFO across work stealing too.
 type Batcher interface {
 	Get(key []byte) (uint64, bool)
 	Put(key []byte, value uint64) bool
@@ -35,13 +42,19 @@ func (e *Engine) Delete(key []byte) bool {
 	return e.do(task{kind: workload.Delete, key: key}).found
 }
 
-// do submits one blocking operation. After Close it executes directly
+// do submits one blocking operation. The key hash is computed here, on the
+// caller's goroutine, and carried in the task so the worker's grouping and
+// Shortcut_Table lookups never re-hash. After Close it executes directly
 // against the tree (the pipeline's ordering guarantees no longer apply,
 // but the tree itself stays safe for concurrent use).
 func (e *Engine) do(t task) taskResult {
 	e.start()
 	reply := replyPool.Get().(chan taskResult)
 	t.reply = reply
+	t.hash = hashKey(t.key)
+	if e.cfg.RecordLatency {
+		t.enq = time.Now().UnixNano()
+	}
 
 	e.mu.RLock()
 	if e.closed {
@@ -49,7 +62,7 @@ func (e *Engine) do(t task) taskResult {
 		replyPool.Put(reply)
 		return e.direct(t)
 	}
-	e.queues[e.workerOf(t.key)] <- batchMsg{one: t}
+	e.submitOne(e.shardOf(t.key), t)
 	e.mu.RUnlock()
 
 	r := <-reply

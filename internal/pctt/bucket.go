@@ -1,0 +1,114 @@
+package pctt
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Bucket states. Transitions (always under bucket.mu):
+//
+//	idle   --first pending op-->            queued  (ID pushed to owner's ring)
+//	queued --popped by a worker-->          running (backlog chunks gathered)
+//	running--backlog refilled during exec-->queued  (ID re-pushed, possibly handed off)
+//	running--backlog empty after exec-->    idle
+//
+// A queued bucket has exactly one ring entry, so at most one worker ever
+// runs a bucket at a time; combined with the FIFO backlog this gives
+// per-key FIFO (read-your-writes) no matter which worker ends up executing
+// the bucket — the property that makes whole-bucket work stealing safe.
+const (
+	bIdle int32 = iota
+	bQueued
+	bRunning
+)
+
+// bucket is one combine bucket: all keys sharing a PrefixBits-bit prefix.
+// It is the unit of batching, of deadline accounting (windowStart opens
+// when the first op arrives), and of work stealing (a bucket moves between
+// workers whole).
+//
+// The backlog is a FIFO list of task chunks whose ownership producers hand
+// over at submit — the tasks themselves are copied exactly once on their
+// way through the pipeline (chunk into the executing worker's batch), and
+// the resident pointer-bearing memory the collector must scan stays
+// bounded by the in-flight window rather than by high-water backlogs.
+type bucket struct {
+	mu     sync.Mutex
+	cond   sync.Cond // producers waiting for backlog space
+	chunks [][]task  // FIFO backlog; chunk ownership passes to the bucket
+	nops   int       // total tasks across chunks
+	state  int32
+	// windowStart is the unix-nano time the current combine window opened
+	// (idle->queued transition or post-execution re-queue); the deadline
+	// MaxDelay is measured from here.
+	windowStart int64
+	waiters     int
+	// owner is the worker whose ring receives this bucket's queue events.
+	// It starts at bucketID mod Workers and is re-recorded on every steal
+	// or handoff; Shortcut_Table entries migrate lazily (the new owner
+	// simply misses and re-populates its private table).
+	owner int32
+}
+
+// submitOne routes a single task (Batcher path) through a pooled
+// single-task chunk.
+func (e *Engine) submitOne(shard int, t task) {
+	e.submitChunk(shard, append(e.getChunk(), t))
+}
+
+// submitChunk appends a pre-sharded run of tasks to the bucket's backlog,
+// taking ownership of the chunk (the executing worker recycles it).
+// Backpressure is two-level: the global MaxInflight gate bounds total
+// queue wait, and the per-bucket QueueDepth cap keeps any one hot bucket
+// from absorbing the whole allowance.
+func (e *Engine) submitChunk(shard int, chunk []task) {
+	b := &e.buckets[shard]
+	e.inflightGate()
+	e.inflight.Add(int64(len(chunk)))
+	b.mu.Lock()
+	for b.nops >= e.cfg.QueueDepth {
+		b.waiters++
+		b.cond.Wait()
+		b.waiters--
+	}
+	b.chunks = append(b.chunks, chunk)
+	b.nops += len(chunk)
+	notify := int32(-1)
+	if b.state == bIdle {
+		b.state = bQueued
+		b.windowStart = time.Now().UnixNano()
+		notify = b.owner
+	}
+	b.mu.Unlock()
+	if notify >= 0 {
+		e.enqueueBucket(int(notify), int32(shard))
+	}
+}
+
+// inflightGate applies the global MaxInflight bound: a producer yields the
+// processor until the pipeline has drained below the bound. Yield-spinning
+// (rather than a condition variable) is deliberate — the bound only binds
+// while workers are saturated, which is exactly when yielding hands them
+// the processor; there is no state in which both sides sleep.
+func (e *Engine) inflightGate() {
+	for e.inflight.Load() >= int64(e.cfg.MaxInflight) {
+		runtime.Gosched()
+	}
+}
+
+// enqueueBucket publishes a queued bucket to worker wk's ring and makes
+// sure someone will process it: the owner is woken if parked, and when the
+// ring holds a serious backlog (more queued buckets than could possibly
+// fill the owner's next gathered batch) an idle peer is nudged to come
+// steal. The high threshold matters: waking thieves for small backlogs
+// fragments trigger batches and churns bucket ownership — and with it the
+// per-worker Shortcut_Tables — for no added bandwidth.
+func (e *Engine) enqueueBucket(wk int, id int32) {
+	r := e.rings[wk]
+	r.mustPush(id)
+	e.wakeWorker(wk)
+	if !e.cfg.NoSteal && int(r.length()) > stealWakeThreshold {
+		e.wakeIdlePeer(wk)
+	}
+}

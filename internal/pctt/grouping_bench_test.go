@@ -1,0 +1,103 @@
+package pctt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkGroupingHash* isolate the trigger-batch grouping pass to
+// measure what carrying the key hash in the task buys. The pipeline
+// computes hashKey once at submit (producer side, off the worker's
+// critical path) and carries it end-to-end in task.hash;
+// ...Carried groups a batch reusing that field, ...Recomputed hashes every
+// key again the way a carry-free design would have to. The loop body
+// mirrors worker.execBatch's grouping pass over a realistic batch shape
+// (BatchSize tasks, Zipf-ish key repetition so groups actually form).
+
+// makeGroupingBatch builds one batch of n tasks over k distinct keys with
+// the hot-key repetition the combine stage sees (task i uses key i%k, so
+// every key groups, some more than others via the quadratic skew).
+func makeGroupingBatch(n, k int) []task {
+	keys := make([][]byte, k)
+	for i := range keys {
+		key := make([]byte, 16)
+		binary.BigEndian.PutUint64(key, uint64(i)*0x9e3779b97f4a7c15)
+		binary.BigEndian.PutUint64(key[8:], uint64(i))
+		keys[i] = key
+	}
+	batch := make([]task, n)
+	for i := range batch {
+		// Quadratic skew: low key indices repeat far more often.
+		ki := (i * i) % k
+		batch[i] = task{key: keys[ki], hash: hashKey(keys[ki])}
+	}
+	return batch
+}
+
+// groupBatch is worker.execBatch's grouping pass, parameterized by where
+// the hash comes from.
+func groupBatch(batch []task, gtab []gslot, groups []group, recompute bool) []group {
+	groups = groups[:0]
+	clear(gtab)
+	mask := uint64(len(gtab) - 1)
+	for i := range batch {
+		t := &batch[i]
+		h := t.hash
+		if recompute {
+			h = hashKey(t.key)
+		}
+		pos := h & mask
+		for {
+			s := &gtab[pos]
+			if s.gi == 0 {
+				s.hash = h
+				s.gi = int32(len(groups)) + 1
+				if len(groups) < cap(groups) {
+					groups = groups[:len(groups)+1]
+				} else {
+					groups = append(groups, group{})
+				}
+				g := &groups[len(groups)-1]
+				g.ops = append(g.ops[:0], t)
+				g.hash = h
+				break
+			}
+			if s.hash == h {
+				g := &groups[s.gi-1]
+				if bytes.Equal(g.ops[0].key, t.key) {
+					g.ops = append(g.ops, t)
+					break
+				}
+			}
+			pos = (pos + 1) & mask
+		}
+	}
+	return groups
+}
+
+func benchGrouping(b *testing.B, recompute bool) {
+	const nTasks, nKeys = 4096, 1024
+	batch := makeGroupingBatch(nTasks, nKeys)
+	distinct := make(map[string]struct{}, nKeys)
+	for i := range batch {
+		distinct[string(batch[i].key)] = struct{}{}
+	}
+	n := 1
+	for n < 2*nTasks {
+		n <<= 1
+	}
+	gtab := make([]gslot, n)
+	var groups []group
+	b.SetBytes(nTasks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups = groupBatch(batch, gtab, groups, recompute)
+	}
+	if len(groups) != len(distinct) {
+		b.Fatalf("grouped into %d groups, want %d", len(groups), len(distinct))
+	}
+}
+
+func BenchmarkGroupingHashCarried(b *testing.B)    { benchGrouping(b, false) }
+func BenchmarkGroupingHashRecomputed(b *testing.B) { benchGrouping(b, true) }

@@ -5,26 +5,29 @@
 // events, pctt executes it with real goroutines for real wall-clock
 // throughput:
 //
-//   - Combine — a combining front end shards incoming operations by the
-//     leading PrefixBits bits of the key (after the loaded key set's
-//     common prefix, as in internal/ctt) and appends them to per-worker
-//     bounded queues. Each worker owns the disjoint shard set
-//     {s : s mod Workers == workerID}, so all operations on one key always
-//     reach the same worker, in submission order.
-//   - Traverse — a worker drains its queue batch-at-a-time, coalesces the
-//     batch's operations into per-key groups, and locates each group's
-//     target node once: via its private, lock-free Shortcut_Table
+//   - Combine — incoming operations are sharded by the leading PrefixBits
+//     bits of the key (after the loaded key set's common prefix, as in
+//     internal/ctt) into combine buckets. A bucket accumulates a FIFO
+//     backlog and is scheduled onto a worker through a bounded lock-free
+//     MPMC ring of bucket IDs. Batch formation is deadline-driven: a
+//     bucket's combine window closes when it holds MinBatch operations or
+//     when MaxDelay has elapsed since the window opened, whichever comes
+//     first — so light load executes near-immediately while moderate load
+//     still coalesces.
+//   - Traverse — a worker swaps out a bucket's whole backlog as one
+//     trigger batch, coalesces it into per-key groups, and locates each
+//     group's target node once: via its private, lock-free Shortcut_Table
 //     (key -> olc.Ref) when possible, via one root descent otherwise.
 //   - Trigger — a group's operations execute together against the located
 //     node: reads after the first are served from the group's running
 //     value, consecutive writes combine into one olc.Put (one version-lock
 //     acquisition for the whole group).
 //
-// Because shards are disjoint by prefix, only one worker ever mutates a
-// given key, which is what makes write-combining and the per-worker
-// shortcut tables safe without any cross-worker synchronization; residual
-// lock contention (nodes shared across prefixes, near the root) is real
-// and shows up in the olc tree's contention counter.
+// Skewed (Zipf-hot) buckets are re-balanced by whole-bucket work stealing
+// and handoff (see steal.go); because a bucket only ever executes on one
+// worker at a time, per-key FIFO and the single-writer-per-key invariant
+// hold across steals, which is what keeps write-combining and the
+// per-worker shortcut tables safe without cross-worker synchronization.
 //
 // The engine is exposed three ways: as an engine.Engine (Run over an
 // operation stream, used by the harness and the integration cross-checks),
@@ -35,6 +38,14 @@
 // Ordering contract: per key, per producer, FIFO — a producer that issues
 // W(k,v) then R(k) observes v (read-your-writes). Cross-key ordering is
 // not preserved, exactly like the hardware CTT model.
+//
+// Latency accounting: every sampled operation is stamped at true submit
+// time (task creation, before any producer-side buffering), and the
+// pipeline records queue wait (submit -> its trigger batch begins) and
+// execute time (batch begin -> operation completion) in separate
+// histograms, surfaced by the native experiment (internal/bench/native.go)
+// and comparable to the simulated open-loop breakdown in
+// internal/sim/queue.go.
 package pctt
 
 import (
@@ -55,28 +66,52 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); the paper's hardware has 16 SOUs.
 	Workers int
 	// PrefixBits is the number of leading key bits (after the key set's
-	// common prefix) used as the combining shard label (default 8,
-	// matching the PCU).
+	// common prefix) used as the combining bucket label (default 8,
+	// matching the PCU; 2^PrefixBits buckets).
 	PrefixBits int
-	// BatchSize is the cap on operations a worker coalesces per trigger
-	// batch (default 4096). Larger batches raise the coalescing rate; the
-	// cap only binds under backlog (workers never wait to fill a batch),
-	// so it does not add latency on an idle pipeline.
+	// BatchSize caps the operations a worker executes per trigger batch
+	// (default 4096). A bucket backlog larger than this is split in FIFO
+	// order across consecutive batches.
 	BatchSize int
-	// ChunkSize is the number of operations per queue message when Run
-	// pre-shards a stream (default 256); it amortizes channel overhead.
+	// ChunkSize is the producer-side mini-chunk Run uses when pre-sharding
+	// a stream (default 256); it amortizes per-bucket locking. Chunks are
+	// force-flushed every dispatchStripe operations so a cold bucket's
+	// tasks never linger in producer buffers.
 	ChunkSize int
-	// QueueDepth is the per-worker queue capacity in messages (default
-	// 128). A full queue applies backpressure to producers.
+	// QueueDepth bounds each bucket's pending backlog in operations
+	// (default 4096). A full bucket applies backpressure to producers so no
+	// single hot bucket can absorb the whole MaxInflight allowance.
 	QueueDepth int
+	// MaxInflight bounds the TOTAL submitted-but-incomplete operations
+	// across all buckets (default 4*BatchSize). This is the knob that
+	// bounds queue wait — tail latency is roughly MaxInflight divided by
+	// pipeline throughput — while QueueDepth only shapes how the allowance
+	// spreads across buckets. Producers spin-yield when the bound is hit.
+	MaxInflight int
 	// ShortcutCap bounds each worker's Shortcut_Table population (default
 	// 1<<16 entries); exceeding it clears the table (epoch eviction).
 	ShortcutCap int
+	// MaxDelay is the combine-window deadline (default 100µs; negative
+	// disables deferral). A popped bucket holding fewer than MinBatch
+	// operations may be set aside — while the worker runs other ready
+	// buckets — until MaxDelay has elapsed since its window opened. The
+	// per-worker deadline timer is armed only while such deferred windows
+	// exist; an otherwise-idle worker executes immediately, so light load
+	// degenerates to near-direct latency.
+	MaxDelay time.Duration
+	// MinBatch is the combine-window fill target (default 64; 1 disables
+	// deferral): buckets at or above it execute as soon as they are
+	// popped.
+	MinBatch int
+	// NoSteal disables whole-bucket work stealing and handoff, pinning
+	// every bucket to its home worker (bucket mod Workers).
+	NoSteal bool
 	// CollectReads makes Run record every read's result, as in
 	// engine.Config.
 	CollectReads bool
-	// RecordLatency samples per-operation pipeline latency (submission to
-	// completion) into a histogram; see LatencyHistogram.
+	// RecordLatency samples per-operation pipeline latency (true submit to
+	// completion) plus the queue-wait/execute split into histograms; see
+	// LatencyHistogram, QueueWaitHistogram, ExecHistogram.
 	RecordLatency bool
 }
 
@@ -95,13 +130,29 @@ func (c Config) Defaults() Config {
 		c.ChunkSize = 256
 	}
 	if c.QueueDepth <= 0 {
-		c.QueueDepth = 128
+		c.QueueDepth = 4096
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * c.BatchSize
 	}
 	if c.ShortcutCap <= 0 {
 		c.ShortcutCap = 1 << 16
 	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 100 * time.Microsecond
+	} else if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = 64
+	}
 	return c
 }
+
+// dispatchStripe is how often (in stream operations) Run force-flushes all
+// open producer mini-chunks, bounding producer-side buffering of cold
+// buckets to well under a millisecond at any realistic throughput.
+const dispatchStripe = 2048
 
 // taskResult is the outcome delivered to a blocking Batcher call.
 type taskResult struct {
@@ -114,28 +165,21 @@ type task struct {
 	kind  workload.Kind
 	key   []byte
 	value uint64
+	// hash is the key's hashKey value, computed once at submit and carried
+	// end-to-end: grouping and Shortcut_Table lookups reuse it instead of
+	// re-hashing on the worker's critical path.
+	hash uint64
 	// res, when non-nil, is the Run-mode destination slot for a read.
 	res *engine.ReadResult
 	idx int // stream index for res
 	// reply, when non-nil, receives the Batcher-mode outcome (buffered 1).
 	reply chan taskResult
-	// start is a unix-nano submission stamp when latency recording is on.
-	start int64
-}
-
-// batchMsg is one queue message: either a chunk of tasks or a single task.
-type batchMsg struct {
-	tasks []task // nil => use one
-	one   task
-	// pooled marks tasks as borrowed from chunkPool (returned by the worker).
-	pooled bool
-	// done is decremented once the message's tasks have fully executed.
+	// done, when non-nil, is decremented once the task has executed
+	// (Run-mode completion accounting).
 	done *sync.WaitGroup
-}
-
-// chunkPool recycles Run-mode task chunks between producers and workers.
-var chunkPool = sync.Pool{
-	New: func() any { return make([]task, 0, 512) },
+	// enq is a unix-nano true-submit stamp when latency recording is on
+	// (taken at task creation, before any producer-side buffering).
+	enq int64
 }
 
 // replyPool recycles Batcher reply channels.
@@ -156,11 +200,31 @@ type Engine struct {
 	// key; the combining prefix starts after them. Set by Load.
 	prefixSkip int
 
+	nBuckets int
+	buckets  []bucket
+	rings    []*ring
+	workers  []*worker
+
+	// chunkPool recycles task chunks between workers (which drain them)
+	// and submitters (which fill them). The population is bursty — every
+	// dispatch stripe can hand fresh chunks to hundreds of cold buckets —
+	// so an unbounded sync.Pool, not a fixed-capacity freelist: a capped
+	// list that can't absorb the whole in-flight chunk population turns
+	// most gets into fresh multi-KB zeroed allocations, enough pressure
+	// to keep the collector running continuously.
+	chunkPool sync.Pool
+
+	// idleMask advertises parked workers (bit per worker) for the handoff
+	// and wake-a-thief paths.
+	idleMask atomic.Uint64
+	// inflight counts submitted-but-not-completed operations; the drain
+	// phase of Close spins until it reaches zero.
+	inflight atomic.Int64
+
 	started atomic.Bool
 	mu      sync.RWMutex // started/closed vs. submitters
 	closed  bool
-	queues  []chan batchMsg
-	workers []*worker
+	closing atomic.Bool
 	wg      sync.WaitGroup
 
 	runMu sync.Mutex // serializes Run calls
@@ -170,12 +234,26 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.Defaults()
 	ms := metrics.NewSet()
-	return &Engine{
+	e := &Engine{
 		name: "P-CTT",
 		cfg:  cfg,
 		tree: olc.New(ms),
 		ms:   ms,
 	}
+	e.chunkPool.New = func() any { return make([]task, 0, e.cfg.ChunkSize) }
+	return e
+}
+
+// getChunk returns an empty task chunk, recycled when possible.
+func (e *Engine) getChunk() []task {
+	return e.chunkPool.Get().([]task)[:0]
+}
+
+// putChunk returns a drained chunk to the pool. The caller must have
+// cleared its tasks first (clearTasks) so the pool holds no key or reply
+// references.
+func (e *Engine) putChunk(c []task) {
+	e.chunkPool.Put(c[:0]) //nolint:staticcheck // slice header boxing is fine here
 }
 
 // Name implements engine.Engine.
@@ -203,15 +281,22 @@ func (e *Engine) start() {
 	if e.started.Load() || e.closed {
 		return
 	}
-	e.queues = make([]chan batchMsg, e.cfg.Workers)
+	e.nBuckets = 1 << uint(e.cfg.PrefixBits)
+	e.buckets = make([]bucket, e.nBuckets)
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		b.cond.L = &b.mu
+		b.owner = int32(i % e.cfg.Workers)
+	}
+	e.rings = make([]*ring, e.cfg.Workers)
 	e.workers = make([]*worker, e.cfg.Workers)
-	for i := range e.queues {
-		e.queues[i] = make(chan batchMsg, e.cfg.QueueDepth)
+	for i := range e.rings {
+		e.rings[i] = newRing(e.nBuckets)
 		e.workers[i] = newWorker(e, i)
 	}
 	e.wg.Add(e.cfg.Workers)
-	for i, w := range e.workers {
-		go w.run(e.queues[i])
+	for _, w := range e.workers {
+		go w.loop()
 	}
 	e.started.Store(true)
 }
@@ -226,17 +311,19 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
-	if e.started.Load() {
-		for _, q := range e.queues {
-			close(q)
+	started := e.started.Load()
+	e.mu.Unlock()
+	if started {
+		e.closing.Store(true)
+		for _, w := range e.workers {
+			w.forceWake()
 		}
 	}
-	e.mu.Unlock()
 	e.wg.Wait()
 	return nil
 }
 
-// shardOf maps a key to its combining shard: the PrefixBits-bit key prefix
+// shardOf maps a key to its combine bucket: the PrefixBits-bit key prefix
 // taken after the loaded key set's common leading bytes (same labeling as
 // internal/ctt's bucketOf).
 func (e *Engine) shardOf(key []byte) int {
@@ -250,11 +337,6 @@ func (e *Engine) shardOf(key []byte) int {
 	}
 	v := uint32(b0)<<8 | uint32(b1)
 	return int(v >> uint(16-e.cfg.PrefixBits))
-}
-
-// workerOf maps a key to the worker owning its shard.
-func (e *Engine) workerOf(key []byte) int {
-	return e.shardOf(key) % e.cfg.Workers
 }
 
 // Load implements engine.Engine: bulk-insert the initial key set (not
@@ -271,10 +353,16 @@ func (e *Engine) Load(keys [][]byte, values []uint64) {
 	e.ms.Reset() // loading is not part of the measurement
 }
 
-// Reset implements engine.Engine: clear counters; the tree and the
-// per-worker shortcut tables persist (index state, not measurement).
+// Reset implements engine.Engine: clear counters and latency histograms;
+// the tree and the per-worker shortcut tables persist (index state, not
+// measurement). Call only while the pipeline is quiescent.
 func (e *Engine) Reset() {
 	e.ms.Reset()
+	e.mu.RLock()
+	for _, w := range e.workers {
+		w.resetHistograms()
+	}
+	e.mu.RUnlock()
 }
 
 // Run implements engine.Engine: execute the stream through the parallel
@@ -316,43 +404,56 @@ func (e *Engine) Run(ops []workload.Op) *engine.Result {
 	return res
 }
 
-// dispatch pre-shards the stream into per-worker chunks (preserving
-// per-key order), sends them, and waits for completion. Caller holds
-// e.mu.RLock.
+// dispatch pre-shards the stream into per-bucket mini-chunks (preserving
+// per-key order), submits them, and waits for completion. Chunks flush
+// when full and on every dispatchStripe operations, so producer-side
+// buffering is bounded for cold buckets too. Caller holds e.mu.RLock.
 func (e *Engine) dispatch(ops []workload.Op, slots []engine.ReadResult) {
 	var wg sync.WaitGroup
-	open := make([][]task, e.cfg.Workers)
-	flush := func(wk int) {
-		if len(open[wk]) == 0 {
+	open := make([][]task, e.nBuckets)
+	dirty := make([]int, 0, 64) // buckets with a non-empty open chunk
+	flush := func(s int) {
+		c := open[s]
+		if len(c) == 0 {
 			return
 		}
-		wg.Add(1)
-		e.queues[wk] <- batchMsg{tasks: open[wk], pooled: true, done: &wg}
-		open[wk] = nil
+		wg.Add(len(c))
+		e.submitChunk(s, c) // chunk ownership passes to the bucket
+		open[s] = nil
 	}
 	sampleEvery := 16 // latency sampling stride
 	for i := range ops {
 		op := &ops[i]
-		wk := e.workerOf(op.Key)
-		c := open[wk]
+		s := e.shardOf(op.Key)
+		c := open[s]
 		if c == nil {
-			c = chunkPool.Get().([]task)[:0]
+			c = e.getChunk()
+			dirty = append(dirty, s)
 		}
-		t := task{kind: op.Kind, key: op.Key, value: op.Value, idx: i}
+		t := task{
+			kind: op.Kind, key: op.Key, value: op.Value,
+			hash: hashKey(op.Key), idx: i, done: &wg,
+		}
 		if slots != nil && op.Kind == workload.Read {
 			t.res = &slots[i]
 		}
 		if e.cfg.RecordLatency && i%sampleEvery == 0 {
-			t.start = time.Now().UnixNano()
+			t.enq = time.Now().UnixNano()
 		}
 		c = append(c, t)
-		open[wk] = c
+		open[s] = c
 		if len(c) >= e.cfg.ChunkSize {
-			flush(wk)
+			flush(s)
+		}
+		if (i+1)%dispatchStripe == 0 {
+			for _, ds := range dirty {
+				flush(ds)
+			}
+			dirty = dirty[:0]
 		}
 	}
-	for wk := range open {
-		flush(wk)
+	for _, ds := range dirty {
+		flush(ds)
 	}
 	e.ms.Add(metrics.CtrCombineSteps, int64(len(ops)))
 	wg.Wait()
@@ -376,17 +477,46 @@ func (e *Engine) runSequential(ops []workload.Op, slots []engine.ReadResult) {
 	}
 }
 
-// LatencyHistogram merges the per-worker latency histograms (populated
-// when Config.RecordLatency is set). Call only while the pipeline is
-// quiescent (no in-flight operations).
+// LatencyHistogram merges the per-worker end-to-end latency histograms
+// (populated when Config.RecordLatency is set; true submit to completion).
+// Call only while the pipeline is quiescent (no in-flight operations).
 func (e *Engine) LatencyHistogram() *metrics.Histogram {
+	return e.mergeHistograms(func(w *worker) *metrics.Histogram { return w.histTotal })
+}
+
+// QueueWaitHistogram merges the per-worker queue-wait histograms: the time
+// from true submit until the operation's trigger batch began executing.
+func (e *Engine) QueueWaitHistogram() *metrics.Histogram {
+	return e.mergeHistograms(func(w *worker) *metrics.Histogram { return w.histQueue })
+}
+
+// ExecHistogram merges the per-worker execute-time histograms: the time
+// from an operation's trigger batch beginning until its completion.
+func (e *Engine) ExecHistogram() *metrics.Histogram {
+	return e.mergeHistograms(func(w *worker) *metrics.Histogram { return w.histExec })
+}
+
+func (e *Engine) mergeHistograms(pick func(*worker) *metrics.Histogram) *metrics.Histogram {
 	h := metrics.NewHistogram()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, w := range e.workers {
-		h.Merge(w.hist)
+		h.Merge(pick(w))
 	}
 	return h
+}
+
+// WorkerOps returns the number of operations each worker has executed
+// (stolen and handed-off buckets count for the worker that ran them);
+// the skewed-load balance tests assert on this.
+func (e *Engine) WorkerOps() []int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int64, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.ops.Load()
+	}
+	return out
 }
 
 // ShortcutCount sums the live per-worker Shortcut_Table populations. Call
@@ -396,7 +526,7 @@ func (e *Engine) ShortcutCount() int {
 	defer e.mu.RUnlock()
 	n := 0
 	for _, w := range e.workers {
-		n += len(w.shortcuts)
+		n += w.shortcuts.live
 	}
 	return n
 }

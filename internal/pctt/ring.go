@@ -1,0 +1,117 @@
+package pctt
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ring is a bounded lock-free MPMC queue of bucket IDs (Vyukov's bounded
+// queue). It replaces the per-worker chan batchMsg of the first P-CTT
+// revision: producers publish *bucket IDs*, not operations, so one slot is
+// enough per combine bucket and the ring can be sized so that it never
+// fills (capacity >= the number of buckets; a bucket has at most one
+// outstanding ring entry, enforced by the bucket state machine).
+//
+// Multi-consumer matters: pop is also the steal path — an idle worker pops
+// from a backlogged peer's ring, taking the whole combine bucket with it.
+//
+// head and tail live on their own cache lines so producers (tail) and the
+// consumer (head) do not false-share; the hot-path cost is one CAS plus
+// one sequence store per push or pop.
+type ring struct {
+	_     [64]byte // pad against the ring's neighbors in Engine.rings
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+	mask  uint64
+	slots []ringSlot
+}
+
+// ringSlot pairs a sequence number with the payload. seq == pos means the
+// slot is free for the producer claiming position pos; seq == pos+1 means
+// the payload is visible to the consumer claiming position pos.
+type ringSlot struct {
+	seq atomic.Uint64
+	id  int32
+}
+
+// newRing returns a ring with capacity >= n (rounded up to a power of two).
+func newRing(n int) *ring {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	r := &ring{mask: uint64(c - 1), slots: make([]ringSlot, c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues id; it reports false only when the ring is full, which the
+// engine's sizing invariant rules out (see type comment).
+func (r *ring) push(id int32) bool {
+	pos := r.tail.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.id = id
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.tail.Load()
+		case d < 0:
+			return false // full
+		default:
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// mustPush is push with the sizing invariant asserted: a full ring means a
+// bucket was double-enqueued, so fail loudly instead of losing work.
+func (r *ring) mustPush(id int32) {
+	for i := 0; i < 1024; i++ {
+		if r.push(id) {
+			return
+		}
+		runtime.Gosched() // transient fullness during a CAS storm
+	}
+	panic("pctt: ring overflow — bucket enqueued twice")
+}
+
+// pop dequeues the oldest id. Safe for concurrent consumers (stealing).
+func (r *ring) pop() (int32, bool) {
+	pos := r.head.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos+1); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				id := s.id
+				s.seq.Store(pos + r.mask + 1)
+				return id, true
+			}
+			pos = r.head.Load()
+		case d < 0:
+			return 0, false // empty
+		default:
+			pos = r.head.Load()
+		}
+	}
+}
+
+// length is an estimate of the queued entry count (exact when quiescent);
+// the steal path uses it to find the most-backlogged peer.
+func (r *ring) length() int {
+	t, h := r.tail.Load(), r.head.Load()
+	if t <= h {
+		return 0
+	}
+	return int(t - h)
+}

@@ -1,0 +1,120 @@
+package pctt
+
+import "repro/internal/metrics"
+
+// stealWakeThreshold is the queued-bucket count in one ring past which
+// producers nudge a parked peer to come steal (see enqueueBucket).
+const stealWakeThreshold = 16
+
+// Work stealing for skewed buckets. Static prefix sharding sends every
+// Zipf-hot bucket to its home worker; under skew that worker saturates
+// while its peers idle. Two complementary mechanisms re-balance:
+//
+//   - Pull (steal): a worker whose own ring is empty pops one bucket ID
+//     from the most-backlogged peer's ring (ring.pop is multi-consumer
+//     safe) and executes that bucket itself.
+//   - Push (handoff): a worker re-queueing a bucket that refilled during
+//     execution — the signature of a sustained-hot bucket — hands it to a
+//     parked peer instead of keeping it, so a single mega-hot bucket
+//     rotates across idle workers instead of pinning one of them.
+//
+// Both record the move in bucket.owner, so future queue events route to
+// the new worker and the stolen keys' Shortcut_Table entries migrate
+// lazily: the new owner misses, re-locates the leaf once, and caches it in
+// its own private table (stale entries in the old owner's table are
+// harmless — leaf refs self-validate).
+//
+// Neither mechanism ever splits a bucket: per-key FIFO order is enforced
+// by the bucket state machine regardless of which worker runs the bucket.
+
+// setIdle publishes worker id's parked state in the engine's idle mask
+// (workers beyond 64 are simply not advertised; stealing still works, only
+// the wake hints lose precision).
+func (e *Engine) setIdle(id int, idle bool) {
+	if id >= 64 {
+		return
+	}
+	if idle {
+		e.idleMask.Or(1 << uint(id))
+	} else {
+		e.idleMask.And(^uint64(1 << uint(id)))
+	}
+}
+
+// pickIdle returns a parked worker other than exclude, or -1.
+func (e *Engine) pickIdle(exclude int) int {
+	mask := e.idleMask.Load()
+	if exclude < 64 {
+		mask &^= 1 << uint(exclude)
+	}
+	if mask == 0 {
+		return -1
+	}
+	for i := 0; i < len(e.workers) && i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// wakeWorker unparks worker wk if it is (or is about to be) asleep.
+func (e *Engine) wakeWorker(wk int) {
+	w := e.workers[wk]
+	if w.sleeping.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wakeIdlePeer nudges one parked worker other than origin to run its steal
+// path (called when origin's ring is backing up).
+func (e *Engine) wakeIdlePeer(origin int) {
+	if p := e.pickIdle(origin); p >= 0 {
+		e.wakeWorker(p)
+	}
+}
+
+// stealVictim returns the most-backlogged peer ring (nil if every peer is
+// empty). The thief gathers whole buckets from it into its own trigger
+// batch; each pop records the ownership handoff.
+func (e *Engine) stealVictim(thief int) *ring {
+	best, bestLen := -1, 0
+	for i := range e.rings {
+		if i == thief {
+			continue
+		}
+		if l := e.rings[i].length(); l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return e.rings[best]
+}
+
+// requeue re-schedules a bucket whose backlog refilled while it executed.
+// If this worker still has queued work of its own and a peer is parked,
+// ownership moves there (push handoff); an otherwise-free worker keeps the
+// bucket, and with it the bucket's warm Shortcut_Table entries.
+func (w *worker) requeue(id int32) {
+	e := w.e
+	b := &e.buckets[id]
+	b.mu.Lock()
+	target := b.owner
+	if !e.cfg.NoSteal && e.rings[w.id].length() > 0 {
+		if p := e.pickIdle(w.id); p >= 0 && int32(p) != target {
+			target = int32(p)
+			b.owner = target
+			b.mu.Unlock()
+			e.ms.Inc(metrics.CtrBucketHandoffs)
+			e.enqueueBucket(int(target), id)
+			return
+		}
+	}
+	b.mu.Unlock()
+	e.enqueueBucket(int(target), id)
+}

@@ -2,6 +2,8 @@ package pctt
 
 import (
 	"bytes"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -10,33 +12,71 @@ import (
 	"repro/internal/workload"
 )
 
-// worker is one SOU analogue: a goroutine owning a disjoint shard set with
-// a private Shortcut_Table. All fields are goroutine-local.
+// worker is one SOU analogue: a goroutine executing combine buckets with a
+// private Shortcut_Table. All fields are goroutine-local except wake,
+// sleeping, and ops (the cross-worker coordination points).
 type worker struct {
 	e  *Engine
 	id int
 
 	// shortcuts is the private Shortcut_Table: key hash -> (key, leaf
-	// reference). Leaf refs are the strongest shortcut the tree offers —
-	// one lock and one atomic load instead of a full radix descent — and
-	// stay valid from the key's insert to its delete. Keying by the hash
-	// already computed for grouping keeps string hashing off the hot path;
-	// each hit verifies the stored key (collisions overwrite, last wins).
-	// The table clears wholesale past ShortcutCap (epoch eviction).
-	shortcuts map[uint64]shortcutEntry
+	// reference), an open-addressed flat table (see sctable.go). Leaf refs
+	// are the strongest shortcut the tree offers — two atomic loads
+	// instead of a full radix descent — and stay valid from the key's
+	// insert to its delete. Keying by the hash carried in the task keeps
+	// string hashing off the hot path; each hit verifies the stored key
+	// (collisions overwrite, last wins). The table clears wholesale past
+	// ShortcutCap (epoch eviction). When a bucket is stolen, the thief's
+	// table simply misses and re-populates — the lazy Shortcut_Table
+	// migration noted in steal.go.
+	shortcuts *scTable
 
-	hist *metrics.Histogram
+	// Latency histograms (RecordLatency): end-to-end, queue wait (submit
+	// until the op's trigger batch began), and execute (batch begin until
+	// the op completed). queue + execute == total per sample.
+	histTotal *metrics.Histogram
+	histQueue *metrics.Histogram
+	histExec  *metrics.Histogram
 
-	// batch scratch, reused across batches.
-	tasks   []task
+	// ops counts operations this worker executed (including stolen and
+	// handed-off buckets); the skewed-load balance tests read it.
+	ops atomic.Int64
+
+	// wake unparks the worker; sleeping gates the producers' wake sends.
+	wake     chan struct{}
+	sleeping atomic.Bool
+	timer    *time.Timer
+
+	// deferred holds combine windows set aside until their MaxDelay
+	// deadline (buckets popped with fewer than MinBatch ops). The park
+	// timer is armed only while this list is non-empty.
+	deferred []deferredWindow
+
+	// batch scratch, reused across batches. The trigger batch is the
+	// gathered chunks themselves — tasks execute in place and are never
+	// copied out of the chunk a producer filled (the pipeline's only task
+	// copy is the producer's construction into that chunk).
+	bchunks [][]task // the trigger batch: chunks gathered from ready buckets
+	bn      int      // total operations across bchunks
+	runIDs  []int32  // buckets whose backlogs the current batch gathered
 	groups  []group
-	gidx    map[uint64]int32 // key hash -> group index (probed on collision)
-	pending []int            // task indices of writes awaiting the group's flush
+	gtab    []gslot // open-addressed key-hash -> group index table
+	pending []*task // write tasks awaiting the group's combined flush
 
-	// c accumulates counter deltas batch-locally; process flushes it to the
-	// shared metrics.Set once per batch (an Inc per operation would put a
-	// map lookup plus an atomic RMW on the hot path).
+	// execStart is the unix-nano begin of the current trigger batch
+	// (latency attribution point between queue wait and execute).
+	execStart int64
+
+	// c accumulates counter deltas batch-locally; execBatch flushes it to
+	// the shared metrics.Set once per batch (an Inc per operation would put
+	// a map lookup plus an atomic RMW on the hot path).
 	c batchCounters
+}
+
+// deferredWindow is a combine window waiting out its deadline.
+type deferredWindow struct {
+	id       int32
+	deadline int64 // unix nanos
 }
 
 // batchCounters mirrors the counters execGroup touches.
@@ -45,34 +85,57 @@ type batchCounters struct {
 	coalesced, opsRead, opsWrite        int64
 }
 
-// shortcutEntry is one Shortcut_Table binding. The stored key must not be
-// mutated by the submitter after the operation completes (Run-mode keys
-// come from the workload; Batcher callers hand over ownership).
-type shortcutEntry struct {
-	key  []byte
-	leaf olc.LeafRef
-}
-
-// group is a set of same-key operations coalesced within one batch,
-// holding indices into worker.tasks in arrival order. hash is the key's
-// unprobed hashKey value, reused for the Shortcut_Table.
+// group is a set of same-key operations coalesced within one batch, in
+// arrival order, referenced in place in their gathered chunks. hash is the
+// key's unprobed hash carried in the task, reused for the Shortcut_Table.
 type group struct {
-	ops  []int
+	ops  []*task
 	hash uint64
 }
 
+// gslot is one open-addressed grouping-table slot; gi is the group index
+// plus one (0 means empty). A flat probe table beats a Go map here: the
+// table is cleared with one memclr per batch and probed with two compares
+// per op on the execution critical path.
+type gslot struct {
+	hash uint64
+	gi   int32
+}
+
 func newWorker(e *Engine, id int) *worker {
-	return &worker{
+	w := &worker{
 		e:         e,
 		id:        id,
-		shortcuts: make(map[uint64]shortcutEntry),
-		hist:      metrics.NewHistogram(),
-		gidx:      make(map[uint64]int32),
+		shortcuts: newSCTable(),
+		wake:      make(chan struct{}, 1),
 	}
+	// Size the grouping table to a power of two holding the largest
+	// possible batch (BatchSize plus one chunk of gather overshoot) at
+	// <=50% load.
+	n := 1
+	for n < 2*(e.cfg.BatchSize+e.cfg.ChunkSize) {
+		n <<= 1
+	}
+	w.gtab = make([]gslot, n)
+	w.timer = time.NewTimer(time.Hour)
+	w.timer.Stop()
+	w.resetHistograms()
+	return w
+}
+
+// resetHistograms replaces the latency histograms. Safe only while the
+// pipeline is quiescent and the caller synchronizes with new submissions
+// (Engine.Reset's contract).
+func (w *worker) resetHistograms() {
+	w.histTotal = metrics.NewHistogram()
+	w.histQueue = metrics.NewHistogram()
+	w.histExec = metrics.NewHistogram()
 }
 
 // hashKey is FNV-1a; grouping probes on the (astronomically rare) collision
-// so the hash only has to be good, not perfect.
+// so the hash only has to be good, not perfect. It is computed once at
+// submit time and carried in the task (see BenchmarkGroupingHash* for the
+// measured saving on the worker's critical path).
 func hashKey(key []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for _, b := range key {
@@ -82,103 +145,340 @@ func hashKey(key []byte) uint64 {
 	return h
 }
 
-// run drains the queue until it closes. Each wakeup collects messages up
-// to BatchSize operations (blocking only for the first), then processes
-// them as one combine batch.
-func (w *worker) run(q chan batchMsg) {
+// loop is the worker body. Each iteration assembles one trigger batch by
+// GATHERING every ready bucket it can reach — expired combine windows
+// first, then the own ring (deferring small young windows) — until the
+// batch holds BatchSize operations or the ring runs dry. Executing many
+// buckets' backlogs as a single trigger batch is what amortizes the
+// per-batch costs (grouping table, counter flush, timestamps, scheduler
+// wakeups) back to per-4096-ops rather than per-bucket. Only when nothing
+// local is ready does the worker steal from the most-backlogged peer, and
+// only when that fails does it park.
+func (w *worker) loop() {
 	defer w.e.wg.Done()
-	var msgs []batchMsg
 	for {
-		m, ok := <-q
-		if !ok {
+		if w.e.closing.Load() {
+			w.drain()
 			return
 		}
-		msgs = append(msgs[:0], m)
-		n := msgLen(m)
-		for n < w.e.cfg.BatchSize {
-			select {
-			case m2, ok2 := <-q:
-				if !ok2 {
-					w.process(msgs)
-					return
+		w.bchunks = w.bchunks[:0]
+		w.bn = 0
+		w.runIDs = w.runIDs[:0]
+		now := time.Now().UnixNano()
+		for w.bn < w.e.cfg.BatchSize {
+			id, ok := w.popExpired(now)
+			if !ok {
+				if id, ok = w.e.rings[w.id].pop(); ok && w.maybeDefer(id) {
+					continue
 				}
-				msgs = append(msgs, m2)
-				n += msgLen(m2)
-				continue
-			default:
 			}
-			break
+			if !ok {
+				break
+			}
+			w.collect(id, false)
 		}
-		w.process(msgs)
+		if w.bn == 0 && !w.e.cfg.NoSteal {
+			// Steal path, dampened: a backlogged peer ring does not yet
+			// mean the peer is overloaded — on a timeshared processor it
+			// may simply not have been scheduled since the producer filled
+			// its ring. Yield once; only a backlog that survives the yield
+			// (the owner really is behind) is worth stealing. Then gather
+			// whole buckets — at most half the queued buckets, classic
+			// work-stealing etiquette that leaves the victim productive
+			// and keeps bucket ownership from ping-ponging.
+			if victim := w.e.stealVictim(w.id); victim != nil {
+				runtime.Gosched()
+				if w.e.rings[w.id].length() == 0 {
+					quota := (int(victim.length()) + 1) / 2
+					for w.bn < w.e.cfg.BatchSize && quota > 0 {
+						id, ok := victim.pop()
+						if !ok {
+							break
+						}
+						quota--
+						w.collect(id, true)
+					}
+				}
+			}
+		}
+		if w.bn > 0 {
+			w.finishBatch()
+			continue
+		}
+		w.park()
 	}
 }
 
-func msgLen(m batchMsg) int {
-	if m.tasks == nil {
-		return 1
+// maybeDefer sets aside a popped bucket whose combine window is still
+// young and under-filled, giving producers until the MaxDelay deadline to
+// coalesce more operations while this worker runs other ready work. An
+// otherwise-idle worker never defers — light load executes immediately.
+func (w *worker) maybeDefer(id int32) bool {
+	cfg := &w.e.cfg
+	if cfg.MaxDelay <= 0 || cfg.MinBatch <= 1 {
+		return false
 	}
-	return len(m.tasks)
+	b := &w.e.buckets[id]
+	b.mu.Lock()
+	n := b.nops
+	ws := b.windowStart
+	b.mu.Unlock()
+	if n >= cfg.MinBatch {
+		return false
+	}
+	deadline := ws + int64(cfg.MaxDelay)
+	if time.Now().UnixNano() >= deadline {
+		return false
+	}
+	if w.bn == 0 && len(w.deferred) == 0 && w.e.rings[w.id].length() == 0 {
+		return false // no other work to interleave: run now
+	}
+	w.deferred = append(w.deferred, deferredWindow{id: id, deadline: deadline})
+	w.e.ms.Inc(metrics.CtrWindowDeferrals)
+	return true
 }
 
-// process executes one combine batch: concatenate the messages' tasks,
-// group by key (first-appearance order across the batch, arrival order
-// within a group), execute each group, then acknowledge the messages.
-func (w *worker) process(msgs []batchMsg) {
-	w.tasks = w.tasks[:0]
-	for i := range msgs {
-		if msgs[i].tasks == nil {
-			w.tasks = append(w.tasks, msgs[i].one)
-		} else {
-			w.tasks = append(w.tasks, msgs[i].tasks...)
+// popExpired removes and returns a deferred window whose deadline passed.
+func (w *worker) popExpired(now int64) (int32, bool) {
+	for i := range w.deferred {
+		if w.deferred[i].deadline <= now {
+			id := w.deferred[i].id
+			last := len(w.deferred) - 1
+			w.deferred[i] = w.deferred[last]
+			w.deferred = w.deferred[:last]
+			return id, true
 		}
+	}
+	return 0, false
+}
+
+// earliestDeadline returns the soonest deferred-window deadline, 0 if none.
+func (w *worker) earliestDeadline() int64 {
+	var dl int64
+	for i := range w.deferred {
+		if dl == 0 || w.deferred[i].deadline < dl {
+			dl = w.deferred[i].deadline
+		}
+	}
+	return dl
+}
+
+// park blocks until new work is signaled or the earliest deferred deadline
+// expires. The deadline timer is armed only while deferred windows exist.
+func (w *worker) park() {
+	w.sleeping.Store(true)
+	w.e.setIdle(w.id, true)
+	defer func() {
+		w.e.setIdle(w.id, false)
+		w.sleeping.Store(false)
+	}()
+	if w.e.rings[w.id].length() > 0 || w.e.closing.Load() {
+		return // work (or shutdown) raced in before we were advertised
+	}
+	if dl := w.earliestDeadline(); dl > 0 {
+		d := time.Duration(dl - time.Now().UnixNano())
+		if d <= 0 {
+			return
+		}
+		w.timer.Reset(d)
+		select {
+		case <-w.wake:
+			w.timer.Stop()
+		case <-w.timer.C:
+		}
+		return
+	}
+	<-w.wake
+}
+
+// forceWake unparks the worker unconditionally (shutdown path).
+func (w *worker) forceWake() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain runs the shutdown protocol: execute everything reachable (own
+// deferred windows, own ring, any peer's ring) until no operation is in
+// flight anywhere, then exit.
+func (w *worker) drain() {
+	e := w.e
+	for {
+		if len(w.deferred) > 0 {
+			last := len(w.deferred) - 1
+			id := w.deferred[last].id
+			w.deferred = w.deferred[:last]
+			w.runBucket(id, false)
+			continue
+		}
+		if id, ok := e.rings[w.id].pop(); ok {
+			w.runBucket(id, false)
+			continue
+		}
+		stole := false
+		for i := range e.rings {
+			if i == w.id {
+				continue
+			}
+			if id, ok := e.rings[i].pop(); ok {
+				w.runBucket(id, true)
+				stole = true
+				break
+			}
+		}
+		if stole {
+			continue
+		}
+		if e.inflight.Load() == 0 {
+			return
+		}
+		runtime.Gosched() // a peer is mid-execution; its requeue will surface
+	}
+}
+
+// collect moves one popped bucket's backlog into the batch under assembly
+// and marks the bucket running. The take is a FIFO prefix of whole chunks,
+// stopped once the batch reaches BatchSize (so it may overshoot by at most
+// one chunk); any remainder stays pending and finishBatch re-queues it.
+// Only chunk pointers move — the tasks stay in place in their chunks and
+// execute there; the chunks are recycled after the batch completes. stolen
+// records the ownership handoff for a bucket taken from a peer's ring.
+func (w *worker) collect(id int32, stolen bool) {
+	e := w.e
+	b := &e.buckets[id]
+	b.mu.Lock()
+	if stolen && b.owner != int32(w.id) {
+		b.owner = int32(w.id)
+	}
+	if b.nops == 0 {
+		b.state = bIdle // defensive: never strand the state machine
+		b.mu.Unlock()
+		return
+	}
+	space := e.cfg.BatchSize - w.bn
+	k, taken := 0, 0
+	for k < len(b.chunks) && taken < space {
+		taken += len(b.chunks[k])
+		k++
+	}
+	w.bchunks = append(w.bchunks, b.chunks[:k]...)
+	rest := copy(b.chunks, b.chunks[k:])
+	for i := rest; i < len(b.chunks); i++ {
+		b.chunks[i] = nil
+	}
+	b.chunks = b.chunks[:rest]
+	b.nops -= taken
+	b.state = bRunning
+	if b.waiters > 0 {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+	if stolen {
+		e.ms.Inc(metrics.CtrBucketSteals)
+	}
+	w.bn += taken
+	w.runIDs = append(w.runIDs, id)
+}
+
+// finishBatch executes the assembled trigger batch, then walks the
+// gathered buckets: one whose backlog refilled during execution re-queues
+// (possibly handing off to a parked peer), the rest return to idle.
+func (w *worker) finishBatch() {
+	e := w.e
+	w.execBatch()
+	e.inflight.Add(-int64(w.bn))
+	for _, c := range w.bchunks {
+		clearTasks(c) // drop key/reply/done refs before the chunk recycles
+		e.putChunk(c)
+	}
+	now := time.Now().UnixNano()
+	for _, id := range w.runIDs {
+		b := &e.buckets[id]
+		b.mu.Lock()
+		if b.nops == 0 {
+			b.state = bIdle
+			b.mu.Unlock()
+			continue
+		}
+		b.state = bQueued
+		b.windowStart = now
+		b.mu.Unlock()
+		w.requeue(id)
+	}
+}
+
+// runBucket executes a single bucket as its own trigger batch (shutdown
+// drain path; the main loop gathers several buckets per batch instead).
+func (w *worker) runBucket(id int32, stolen bool) {
+	w.bchunks = w.bchunks[:0]
+	w.bn = 0
+	w.runIDs = w.runIDs[:0]
+	w.collect(id, stolen)
+	if w.bn > 0 || len(w.runIDs) > 0 {
+		w.finishBatch()
+	}
+}
+
+// clearTasks zeroes vacated task slots so their key/reply/done references
+// do not linger in a bucket's backing array.
+func clearTasks(ts []task) {
+	for i := range ts {
+		ts[i] = task{}
+	}
+}
+
+// execBatch executes one trigger batch: group by key (first-appearance
+// order across the batch, arrival order within a group, reusing the hash
+// carried in each task), then execute each group. Tasks are referenced in
+// place in their gathered chunks — grouping produces *task lists, not
+// copies.
+func (w *worker) execBatch() {
+	if w.e.cfg.RecordLatency {
+		w.execStart = time.Now().UnixNano()
 	}
 
 	w.groups = w.groups[:0]
-	clear(w.gidx)
-	for i := range w.tasks {
-		key := w.tasks[i].key
-		h0 := hashKey(key)
-		h := h0
-		for {
-			gi, ok := w.gidx[h]
-			if ok {
-				g := &w.groups[gi]
-				if bytes.Equal(w.tasks[g.ops[0]].key, key) {
-					g.ops = append(g.ops, i)
+	clear(w.gtab) // one memclr; gslot has no pointers
+	mask := uint64(len(w.gtab) - 1)
+	for _, c := range w.bchunks {
+		for i := range c {
+			t := &c[i]
+			pos := t.hash & mask
+			for {
+				s := &w.gtab[pos]
+				if s.gi == 0 {
+					s.hash = t.hash
+					s.gi = int32(len(w.groups)) + 1
+					// Grow in place so per-group slices are reused across
+					// batches.
+					if len(w.groups) < cap(w.groups) {
+						w.groups = w.groups[:len(w.groups)+1]
+					} else {
+						w.groups = append(w.groups, group{})
+					}
+					g := &w.groups[len(w.groups)-1]
+					g.ops = append(g.ops[:0], t)
+					g.hash = t.hash
 					break
 				}
-				h++ // hash collision with a different key: linear probe
-				continue
+				if s.hash == t.hash {
+					g := &w.groups[s.gi-1]
+					if bytes.Equal(g.ops[0].key, t.key) {
+						g.ops = append(g.ops, t)
+						break
+					}
+					// Same hash, different key: fall through and keep probing.
+				}
+				pos = (pos + 1) & mask
 			}
-			w.gidx[h] = int32(len(w.groups))
-			// Grow in place so per-group index slices are reused across
-			// batches.
-			if len(w.groups) < cap(w.groups) {
-				w.groups = w.groups[:len(w.groups)+1]
-			} else {
-				w.groups = append(w.groups, group{})
-			}
-			g := &w.groups[len(w.groups)-1]
-			g.ops = append(g.ops[:0], i)
-			g.hash = h0
-			break
 		}
 	}
 	for gi := range w.groups {
 		w.execGroup(&w.groups[gi])
 	}
+	w.ops.Add(int64(w.bn))
 	w.flushCounters()
-
-	for i := range msgs {
-		m := &msgs[i]
-		if m.pooled {
-			chunkPool.Put(m.tasks[:0])
-			m.tasks = nil
-		}
-		if m.done != nil {
-			m.done.Done()
-		}
-	}
 }
 
 // execGroup locates the group's target once (shortcut or root descent) and
@@ -186,16 +486,19 @@ func (w *worker) process(msgs []batchMsg) {
 // served from the group's running value, consecutive writes combine into a
 // single tree put (one version-lock acquisition per write burst).
 //
-// Safety: this worker is the only writer for the group's key (disjoint
-// shards), so no other actor can change the key's binding between the
-// group's operations.
+// Safety: the bucket state machine guarantees this worker is the only one
+// executing the group's key right now (a bucket runs on one worker at a
+// time, and a key maps to one bucket), so no other actor can change the
+// key's binding between the group's operations.
 func (w *worker) execGroup(g *group) {
 	tree := w.e.tree
-	key := w.tasks[g.ops[0]].key
+	key := g.ops[0].key
 
-	ent, hasRef := w.shortcuts[g.hash]
-	hasRef = hasRef && bytes.Equal(ent.key, key) // hash collision => miss
-	leaf := ent.leaf
+	var leaf olc.LeafRef
+	hasRef := false
+	if s := w.shortcuts.get(g.hash); s != nil && bytes.Equal(s.key, key) {
+		leaf, hasRef = s.leaf, true // hash collision => miss
+	}
 	refUsable := hasRef
 	if hasRef {
 		w.c.shortcutHit++
@@ -233,8 +536,7 @@ func (w *worker) execGroup(g *group) {
 			w.c.coalesced += int64(n)
 			w.c.opsWrite += int64(n)
 		}
-		for i, ti := range w.pending {
-			t := &w.tasks[ti]
+		for i, t := range w.pending {
 			rep := replaced
 			if i > 0 {
 				rep = true
@@ -245,8 +547,7 @@ func (w *worker) execGroup(g *group) {
 		dirty = false
 	}
 
-	for _, ti := range g.ops {
-		t := &w.tasks[ti]
+	for _, t := range g.ops {
 		switch t.kind {
 		case workload.Read:
 			if !haveCur {
@@ -270,7 +571,7 @@ func (w *worker) execGroup(g *group) {
 		case workload.Write:
 			cur, curFound, haveCur = t.value, true, true
 			dirty = true
-			w.pending = append(w.pending, ti)
+			w.pending = append(w.pending, t)
 		case workload.Delete:
 			// Deletes restructure; flush combined writes first, then go
 			// direct (mirrors internal/ctt's discipline).
@@ -288,13 +589,11 @@ func (w *worker) execGroup(g *group) {
 	// entry dropped instead.
 	if !refUsable {
 		if lr, ok := tree.LocateLeaf(key); ok {
-			if len(w.shortcuts) >= w.e.cfg.ShortcutCap {
-				clear(w.shortcuts) // epoch eviction
-			}
-			w.shortcuts[g.hash] = shortcutEntry{key: key, leaf: lr}
+			w.shortcuts.put(g.hash, key, lr)
+			w.shortcuts.maintain(w.e.cfg.ShortcutCap)
 			w.c.maintain++
 		} else if hasRef {
-			delete(w.shortcuts, g.hash)
+			w.shortcuts.del(g.hash)
 		}
 	}
 }
@@ -326,7 +625,8 @@ func (w *worker) flushCounters() {
 }
 
 // complete delivers a task's outcome: Run-mode read slot, Batcher reply,
-// and the optional latency sample.
+// completion accounting, and the optional latency samples (end-to-end plus
+// the queue-wait/execute split around the batch's execStart).
 func (w *worker) complete(t *task, r taskResult) {
 	if t.res != nil {
 		*t.res = engine.ReadResult{Index: t.idx, Value: r.value, OK: r.found}
@@ -334,7 +634,17 @@ func (w *worker) complete(t *task, r taskResult) {
 	if t.reply != nil {
 		t.reply <- r
 	}
-	if t.start != 0 {
-		w.hist.Observe(float64(time.Now().UnixNano()-t.start) * 1e-9)
+	if t.enq != 0 {
+		now := time.Now().UnixNano()
+		wait := w.execStart - t.enq
+		if wait < 0 {
+			wait = 0 // wall-clock stamps; guard against clock steps
+		}
+		w.histTotal.Observe(float64(now-t.enq) * 1e-9)
+		w.histQueue.Observe(float64(wait) * 1e-9)
+		w.histExec.Observe(float64(now-w.execStart) * 1e-9)
+	}
+	if t.done != nil {
+		t.done.Done()
 	}
 }

@@ -17,12 +17,22 @@ type BatchServer struct {
 	ServiceSeconds func(n int) float64
 }
 
-// LoadPoint is one point of a throughput/latency curve.
+// LoadPoint is one point of a throughput/latency curve. Total latency is
+// broken down the same way internal/pctt's measured pipeline reports it:
+// queue wait (arrival until the operation's batch begins service) plus
+// service (batch begin until batch completion) — so a simulated curve and
+// a BENCH_native.json row are directly comparable, column for column.
 type LoadPoint struct {
 	OfferedOpsPerSec   float64
 	AchievedOpsPerSec  float64
 	MeanLatencySeconds float64
 	P99LatencySeconds  float64
+	// Queue-wait / service split of the same per-op latencies
+	// (wait + service == total for every operation).
+	QueueWaitP99Seconds  float64
+	ServiceP99Seconds    float64
+	MeanQueueWaitSeconds float64
+	MeanServiceSeconds   float64
 }
 
 // RunOpenLoop drives the server with Poisson arrivals at rate
@@ -36,6 +46,8 @@ func RunOpenLoop(server BatchServer, opsPerSecond float64, numOps int, seed int6
 	rng := rand.New(rand.NewSource(seed))
 	var s Sim
 	hist := metrics.NewHistogram()
+	waitHist := metrics.NewHistogram()
+	svcHist := metrics.NewHistogram()
 
 	queue := make([]float64, 0, server.MaxBatch) // arrival times
 	busy := false
@@ -55,10 +67,13 @@ func RunOpenLoop(server BatchServer, opsPerSecond float64, numOps int, seed int6
 		copy(batch, queue[:n])
 		queue = append(queue[:0], queue[n:]...)
 		busy = true
+		began := s.Now() // batch service begins: queue wait ends here
 		s.After(server.ServiceSeconds(n), func() {
 			done := s.Now()
 			for _, arr := range batch {
 				hist.Observe(done - arr)
+				waitHist.Observe(began - arr)
+				svcHist.Observe(done - began)
 			}
 			completed += n
 			lastCompletion = done
@@ -85,6 +100,10 @@ func RunOpenLoop(server BatchServer, opsPerSecond float64, numOps int, seed int6
 	}
 	lp.MeanLatencySeconds = hist.Mean()
 	lp.P99LatencySeconds = hist.Quantile(0.99)
+	lp.MeanQueueWaitSeconds = waitHist.Mean()
+	lp.MeanServiceSeconds = svcHist.Mean()
+	lp.QueueWaitP99Seconds = waitHist.Quantile(0.99)
+	lp.ServiceP99Seconds = svcHist.Quantile(0.99)
 	return lp
 }
 

@@ -163,3 +163,35 @@ func TestQuickCompletion(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the queue-wait/service split decomposes total latency — the
+// means add exactly (every op's total is wait + service), wait is bounded
+// by total, and under saturation queue wait dominates while service stays
+// bounded by one full batch. This is the same decomposition the measured
+// pipeline reports (pctt's QueueWaitHistogram/ExecHistogram), keeping the
+// simulated and native breakdowns comparable.
+func TestOpenLoopWaitServiceSplit(t *testing.T) {
+	srv := BatchServer{MaxBatch: 16, ServiceSeconds: func(n int) float64 { return 1e-6 * float64(n) }}
+	capacity := SaturationThroughput(srv)
+	for _, frac := range []float64{0.3, 0.9, 1.5} {
+		lp := RunOpenLoop(srv, capacity*frac, 5000, 42)
+		sum := lp.MeanQueueWaitSeconds + lp.MeanServiceSeconds
+		if diff := math.Abs(sum - lp.MeanLatencySeconds); diff > 1e-12+1e-9*lp.MeanLatencySeconds {
+			t.Fatalf("frac %.1f: mean wait %g + mean service %g != mean total %g",
+				frac, lp.MeanQueueWaitSeconds, lp.MeanServiceSeconds, lp.MeanLatencySeconds)
+		}
+		if lp.QueueWaitP99Seconds > lp.P99LatencySeconds {
+			t.Fatalf("frac %.1f: wait p99 %g exceeds total p99 %g",
+				frac, lp.QueueWaitP99Seconds, lp.P99LatencySeconds)
+		}
+		// 5% slack: histogram quantiles interpolate within buckets.
+		if maxSvc := srv.ServiceSeconds(srv.MaxBatch); lp.ServiceP99Seconds > maxSvc*1.05 {
+			t.Fatalf("frac %.1f: service p99 %g exceeds a full batch %g", frac, lp.ServiceP99Seconds, maxSvc)
+		}
+	}
+	over := RunOpenLoop(srv, capacity*1.5, 5000, 42)
+	if over.QueueWaitP99Seconds < over.ServiceP99Seconds {
+		t.Fatalf("oversaturated: queue wait p99 %g should dominate service p99 %g",
+			over.QueueWaitP99Seconds, over.ServiceP99Seconds)
+	}
+}
