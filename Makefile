@@ -1,18 +1,29 @@
 # Developer entry points. `make check` is the gate CI (and reviewers)
-# run: vet + build + full test suite + the race detector over every
-# package that spawns goroutines (the lock-coupling tree, the parallel
-# CTT engine, the KV server, and the root-level integration tests).
+# run: vet + staticcheck (when installed) + build + full test suite + the
+# race detector over every package that spawns goroutines or is scraped
+# concurrently (the lock-coupling tree, the parallel CTT engine, the KV
+# server, the metrics/observability layer, and the root-level integration
+# tests).
 
 GO ?= go
 
-RACE_PKGS = ./internal/olc ./internal/pctt ./internal/kvserver .
+RACE_PKGS = ./internal/olc ./internal/pctt ./internal/kvserver ./internal/metrics ./internal/obs .
 
-.PHONY: check vet build test race bench bench-native smoke-native clean
+.PHONY: check vet staticcheck build test race bench bench-native smoke-native smoke-diag clean
 
-check: vet build test race
+check: vet staticcheck build test race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (skipped with a note when the binary is
+# missing); CI installs it and runs the full analysis.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -38,6 +49,12 @@ bench-native:
 # -json: CI must never overwrite the recorded BENCH_native.json.
 smoke-native:
 	$(GO) run ./cmd/dcart-bench -exp native -keys 20000 -ops 100000
+
+# Diagnostics smoke: run the native benchmark with the observability
+# endpoint enabled and scrape /metrics mid-run, checking the P-CTT series
+# are live (gauges, latency histograms, trace spans).
+smoke-diag:
+	./scripts/smoke_diag.sh
 
 clean:
 	rm -f repro.test BENCH_native.json

@@ -11,12 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +39,10 @@ func main() {
 			"engines' steady-state live heap is small, so the default GC goal "+
 			"triggers a collection every few milliseconds and its pauses "+
 			"dominate tail latency at GOMAXPROCS=1")
+	diagAddr := flag.String("diag-addr", "",
+		"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address while experiments run (empty = off)")
+	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery,
+		"with -diag-addr: trace one operation in N through the parallel engine (rounded up to a power of two)")
 	flag.Parse()
 
 	if *gogc > 0 {
@@ -56,6 +65,30 @@ func main() {
 	}
 	if *jsonOut {
 		o.JSONPath = "BENCH_native.json"
+	}
+	if *diagAddr != "" {
+		o.Diag = obs.NewRegistry()
+		o.Tracer = obs.NewTracer(0, *traceSample)
+		// Process-level series, registered up front so /metrics serves
+		// meaningful content even before the first engine attaches (the
+		// native experiment's direct-olc row runs engine-less).
+		o.Diag.RegisterGauge("process", "dcart_bench_up", "",
+			"1 while dcart-bench is serving diagnostics",
+			func() float64 { return 1 })
+		o.Diag.RegisterGauge("process", "dcart_bench_goroutines", "",
+			"live goroutines in the benchmark process",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		diag, err := obs.Serve(*diagAddr, o.Diag, o.Tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcart-bench: diagnostics listen:", err)
+			os.Exit(1)
+		}
+		log.Printf("dcart-bench: diagnostics on http://%s/metrics", diag.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			diag.Shutdown(ctx) //nolint:errcheck // best-effort on the way out
+			cancel()
+		}()
 	}
 	var err error
 	if *exp == "all" {

@@ -11,7 +11,7 @@
 //	DEL <key>              -> OK | NOT_FOUND
 //	SCAN <prefix> <limit>  -> KEY <key> <value> lines, then END
 //	LEN                    -> LEN <n>
-//	STATS                  -> one line of metrics counters
+//	STATS                  -> one line: the observability snapshot
 //	QUIT                   -> closes the connection
 //
 // Keys are printable tokens (no spaces); the server appends the 0x00
@@ -23,26 +23,42 @@
 //	         [-batch-max-delay 100us] [-batch-min-batch 64]
 //	         [-batch-queue-depth 4096] [-batch-max-inflight 16384]
 //	         [-batch-no-steal]
+//	         [-diag-addr 127.0.0.1:7071] [-trace-sample 1024]
+//	         [-drain-timeout 10s]
 //
 // With -snapshot, the store loads the file at startup (if present) and
-// writes it back on SIGINT/SIGTERM. With -batch-workers > 0, point
-// operations flow through the parallel Combine-Traverse-Trigger engine
+// writes it back on shutdown. With -batch-workers > 0, point operations
+// flow through the parallel Combine-Traverse-Trigger engine
 // (internal/pctt), which coalesces concurrent requests per key prefix
 // before touching the tree; the remaining -batch-* flags tune its
 // latency/throughput trade-off (combine-window deadline, backlog bounds,
 // work stealing — see internal/pctt.Config).
+//
+// With -diag-addr, a diagnostics HTTP server exposes /metrics (Prometheus
+// text format), /statsz (the STATS snapshot as JSON), /debug/traces (the
+// sampled op-lifecycle span ring in batched mode), /debug/pprof/*, and
+// /healthz; latency recording and 1/-trace-sample lifecycle tracing are
+// enabled on the batched engine automatically.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener closes (no new
+// connections), in-flight connections drain for up to -drain-timeout
+// (then force-close), the batching pipeline drains, the snapshot is
+// written, and a final observability snapshot is logged.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/kvserver"
+	"repro/internal/obs"
 	"repro/internal/pctt"
 )
 
@@ -61,18 +77,31 @@ func main() {
 		"total submitted-but-incomplete operation bound — the queue-wait knob (0 = engine default 4x batch size)")
 	batchNoSteal := flag.Bool("batch-no-steal", false,
 		"disable whole-bucket work stealing and handoff (pin buckets to their home worker)")
+	diagAddr := flag.String("diag-addr", "",
+		"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address (empty = off)")
+	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery,
+		"trace one operation in N through the pipeline (batched mode with -diag-addr; rounded up to a power of two)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long shutdown waits for in-flight connections before force-closing them")
 	flag.Parse()
 
+	var tracer *obs.Tracer
 	var srv *kvserver.Server
 	if *batchWorkers > 0 {
-		srv = kvserver.NewBatchedConfig(pctt.Config{
+		cfg := pctt.Config{
 			Workers:     *batchWorkers,
 			MaxDelay:    *batchMaxDelay,
 			MinBatch:    *batchMinBatch,
 			QueueDepth:  *batchQueueDepth,
 			MaxInflight: *batchMaxInflight,
 			NoSteal:     *batchNoSteal,
-		})
+		}
+		if *diagAddr != "" {
+			cfg.RecordLatency = true
+			tracer = obs.NewTracer(0, *traceSample)
+			cfg.Tracer = tracer
+		}
+		srv = kvserver.NewBatchedConfig(cfg)
 	} else {
 		srv = kvserver.New()
 	}
@@ -82,34 +111,88 @@ func main() {
 		}
 	}
 
+	var diag *obs.Server
+	if *diagAddr != "" {
+		var err error
+		diag, err = obs.Serve(*diagAddr, srv.Registry(), tracer)
+		if err != nil {
+			log.Fatalf("dcart-kv: diagnostics listen: %v", err)
+		}
+		log.Printf("dcart-kv: diagnostics on http://%s/metrics", diag.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("dcart-kv: listen: %v", err)
 	}
 	log.Printf("dcart-kv: serving on %s (%d keys loaded)", ln.Addr(), srv.Len())
 
+	// Graceful shutdown: the signal handler only closes the listener; the
+	// main goroutine then runs the drain sequence, so there is exactly one
+	// exit path.
+	var (
+		conns    sync.Map // net.Conn -> struct{}, the in-flight connections
+		connWG   sync.WaitGroup
+		draining = make(chan struct{})
+	)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
-		<-sig
-		srv.Close() // drain the batching pipeline before snapshotting
-		if *snapshot != "" {
-			if err := srv.SaveSnapshot(*snapshot); err != nil {
-				log.Printf("dcart-kv: save snapshot: %v", err)
-			} else {
-				log.Printf("dcart-kv: snapshot saved to %s", *snapshot)
-			}
-		}
-		ln.Close()
-		os.Exit(0)
+		s := <-sig
+		log.Printf("dcart-kv: %s: shutting down (draining connections)", s)
+		close(draining)
+		ln.Close() // unblocks Accept
 	}()
 
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dcart-kv:", err)
-			return
+			select {
+			case <-draining:
+			default:
+				log.Printf("dcart-kv: accept: %v", err)
+			}
+			break
 		}
-		go srv.Serve(conn)
+		connWG.Add(1)
+		conns.Store(conn, struct{}{})
+		go func(c net.Conn) {
+			defer connWG.Done()
+			defer conns.Delete(c)
+			srv.Serve(c)
+		}(conn)
 	}
+
+	// Drain in-flight connections, force-closing stragglers at the
+	// deadline (Serve exits on the read error a Close triggers).
+	done := make(chan struct{})
+	go func() { connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(*drainTimeout):
+		log.Printf("dcart-kv: drain timeout after %s, closing remaining connections", *drainTimeout)
+		conns.Range(func(k, _ any) bool {
+			k.(net.Conn).Close()
+			return true
+		})
+		<-done
+	}
+
+	// Drain the batching pipeline before snapshotting or reporting.
+	if err := srv.Close(); err != nil {
+		log.Printf("dcart-kv: engine close: %v", err)
+	}
+	if *snapshot != "" {
+		if err := srv.SaveSnapshot(*snapshot); err != nil {
+			log.Printf("dcart-kv: save snapshot: %v", err)
+		} else {
+			log.Printf("dcart-kv: snapshot saved to %s", *snapshot)
+		}
+	}
+	if diag != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		diag.Shutdown(ctx) //nolint:errcheck // best-effort on the way out
+		cancel()
+	}
+	log.Printf("dcart-kv: final stats: %s", srv.StatsSnapshot())
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ctt"
 	"repro/internal/cuart"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -34,6 +35,14 @@ type Options struct {
 	// JSONPath, when non-empty, makes experiments that support it (native)
 	// also write a machine-readable report to this file.
 	JSONPath string
+	// Diag, when non-nil, is the live observability registry experiments
+	// that drive real engines (native) attach them to while they run, so a
+	// scraper watching the diagnostics endpoint sees ring depths, bucket
+	// states, and latency histograms evolve mid-benchmark.
+	Diag *obs.Registry
+	// Tracer, when non-nil, samples op lifecycles through the parallel
+	// engine into the diagnostics span ring (native experiment).
+	Tracer *obs.Tracer
 }
 
 func (o Options) defaults() Options {

@@ -176,9 +176,16 @@ func runNativeDirect(o Options, w *workload.Workload) nativeRow {
 }
 
 // runNativePCTT executes the same stream through the parallel CTT engine.
+// With Options.Diag set, the engine's live gauges and histograms are
+// attached to the diagnostics registry for the duration of the row (each
+// row's engine replaces the previous one's registrations), and
+// Options.Tracer samples lifecycle spans through the pipeline.
 func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
-	e := pctt.New(pctt.Config{Workers: workers, RecordLatency: true})
+	e := pctt.New(pctt.Config{Workers: workers, RecordLatency: true, Tracer: o.Tracer})
 	defer e.Close()
+	if o.Diag != nil {
+		e.RegisterObs(o.Diag)
+	}
 	e.Load(w.Keys, nil)
 	e.Run(w.Ops) // warmup: absorb inserts, populate the shortcut tables
 	var best nativeRow

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/art"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/olc"
 	"repro/internal/pctt"
 )
@@ -63,13 +64,16 @@ type Server struct {
 	ms    *metrics.Set
 	ops   store        // point-op path: the tree, or the batching engine
 	batch *pctt.Engine // non-nil in batched mode
+	reg   *obs.Registry
 }
 
 // New returns an empty server executing point operations directly.
 func New() *Server {
 	ms := metrics.NewSet()
 	tree := olc.New(ms)
-	return &Server{tree: tree, ms: ms, ops: tree}
+	s := &Server{tree: tree, ms: ms, ops: tree}
+	s.initObs()
+	return s
 }
 
 // NewBatched returns an empty server whose point operations flow through
@@ -85,8 +89,35 @@ func NewBatched(workers int) *Server {
 // tune the latency/throughput trade-off per deployment.
 func NewBatchedConfig(cfg pctt.Config) *Server {
 	e := pctt.New(cfg)
-	return &Server{tree: e.Tree(), ms: e.Metrics(), ops: e, batch: e}
+	s := &Server{tree: e.Tree(), ms: e.Metrics(), ops: e, batch: e}
+	s.initObs()
+	return s
 }
+
+// initObs builds the server's observability registry: the engine's live
+// gauges/counters/histograms in batched mode, the tree's counter set in
+// direct mode, plus the key-count gauge. The same registry backs the STATS
+// wire command and (when dcart-kv passes it to obs.Serve) the diagnostics
+// HTTP endpoint.
+func (s *Server) initObs() {
+	s.reg = obs.NewRegistry()
+	if s.batch != nil {
+		s.batch.RegisterObs(s.reg)
+	} else {
+		s.reg.RegisterCounters("kv", "dcart",
+			"tree event counter (see internal/metrics for the vocabulary)", s.ms)
+	}
+	s.reg.RegisterGauge("kv", "dcart_keys", "", "keys stored in the tree",
+		func() float64 { return float64(s.tree.Len()) })
+}
+
+// Registry exposes the server's observability registry (for the
+// diagnostics HTTP server).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// StatsSnapshot returns the same point-in-time snapshot the STATS wire
+// command renders.
+func (s *Server) StatsSnapshot() *obs.Snapshot { return s.reg.Snapshot() }
 
 // Close stops the batching engine's workers, if any.
 func (s *Server) Close() error {
@@ -281,7 +312,10 @@ func (c *connState) handle(line string) bool {
 	case "LEN":
 		c.line("LEN", strconv.Itoa(s.tree.Len()))
 	case "STATS":
-		c.line("STATS", s.ms.String())
+		// The full observability snapshot — counters, live gauges, and
+		// latency quantiles when enabled — as sorted key=value pairs: the
+		// wire-protocol twin of the diagnostics server's /statsz.
+		c.line("STATS", s.reg.Snapshot().String())
 	case "QUIT":
 		c.line("BYE")
 		return false

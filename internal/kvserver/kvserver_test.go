@@ -145,8 +145,17 @@ func TestQuitAndStats(t *testing.T) {
 	srv := New()
 	c := newSession(srv)
 	c.cmd(t, "PUT k 1")
-	if got := c.cmd(t, "STATS"); !strings.HasPrefix(got, "STATS") {
+	got := c.cmd(t, "STATS")
+	if !strings.HasPrefix(got, "STATS") {
 		t.Fatalf("STATS -> %q", got)
+	}
+	// The STATS line is the observability registry's snapshot: after one
+	// PUT it must carry the key-count gauge and the write counter.
+	if !strings.Contains(got, "dcart_keys=1") {
+		t.Fatalf("STATS missing dcart_keys gauge: %q", got)
+	}
+	if !strings.Contains(got, "ops_write=1") {
+		t.Fatalf("STATS missing write counter: %q", got)
 	}
 	if got := c.cmd(t, "QUIT"); got != "BYE" {
 		t.Fatalf("QUIT -> %q", got)

@@ -257,7 +257,15 @@ func (b *Breakdown) String() string {
 // Histogram records latency samples and answers percentile queries. It uses
 // logarithmic bucketing (~1% relative precision) so millions of samples cost
 // a fixed footprint. The zero value is not usable; use NewHistogram.
-// Histogram is not safe for concurrent use; shard per worker and Merge.
+//
+// Concurrency contract: a Histogram is SINGLE-WRITER and has no internal
+// synchronization. Exactly one goroutine may call Observe (and Merge, which
+// also mutates the receiver); readers (Quantile, Mean, Cumulative, ...)
+// must synchronize with that writer externally. The intended pattern —
+// used by internal/pctt — is one private histogram per worker goroutine,
+// folded together with Merge into a fresh histogram under a lock, or while
+// the workers are quiescent. Merging a histogram that another goroutine is
+// concurrently Observing into is a data race.
 type Histogram struct {
 	counts []uint64
 	total  uint64
@@ -326,6 +334,37 @@ func (h *Histogram) Mean() float64 {
 // Min and Max return the extreme observed samples (0 when empty).
 func (h *Histogram) Min() float64 { return h.min }
 func (h *Histogram) Max() float64 { return h.max }
+
+// Sum returns the sum of all observed samples in seconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Cumulative re-buckets the histogram onto the caller's upper bounds
+// (seconds, ascending): out[i] counts samples <= bounds[i], resolved at the
+// internal ~1% bucket resolution. Exporters use this to serve a compact
+// Prometheus histogram without exposing all internal buckets.
+func (h *Histogram) Cumulative(bounds []float64) []uint64 {
+	out := make([]uint64, len(bounds))
+	if len(bounds) == 0 {
+		return out
+	}
+	var seen uint64
+	bi := 0
+	for i, c := range h.counts {
+		upper := boundary(i)
+		for bi < len(bounds) && upper > bounds[bi] {
+			out[bi] = seen
+			bi++
+		}
+		if bi == len(bounds) {
+			break
+		}
+		seen += c
+	}
+	for ; bi < len(bounds); bi++ {
+		out[bi] = seen
+	}
+	return out
+}
 
 // Quantile returns the latency at quantile q in [0,1], e.g. 0.99 for P99.
 // The answer is exact to the bucket resolution (~1%).

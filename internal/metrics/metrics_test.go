@@ -164,6 +164,170 @@ func TestHistogramEmptyAndClamp(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the contract at the boundaries:
+// empty histograms answer 0 everywhere, a single observation answers that
+// observation (to bucket resolution) for every q, and out-of-range q
+// clamps to [0,1] instead of misbehaving.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+
+	single := NewHistogram()
+	single.Observe(42e-6)
+	for _, q := range []float64{-0.5, 0, 0.5, 1, 1.5} {
+		v := single.Quantile(q)
+		// Bucket resolution is ~1%; allow 2%.
+		if v < 42e-6*0.98 || v > 42e-6*1.02 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want ~42us", q, v)
+		}
+	}
+
+	// q=0 must answer the low end, q=1 the high end, for a spread.
+	h := NewHistogram()
+	h.Observe(1e-6)
+	h.Observe(1e-3)
+	if v := h.Quantile(0); v > 2e-6 {
+		t.Fatalf("Quantile(0) = %v, want ~1us", v)
+	}
+	if v := h.Quantile(1); v < 0.9e-3 {
+		t.Fatalf("Quantile(1) = %v, want ~1ms", v)
+	}
+
+	// Sub-histBase and above-range samples clamp into the edge buckets
+	// rather than panicking or vanishing.
+	ex := NewHistogram()
+	ex.Observe(0)
+	ex.Observe(1e-12)
+	ex.Observe(1000) // above the 100s top bucket
+	if ex.Count() != 3 {
+		t.Fatalf("extreme samples lost: count = %d", ex.Count())
+	}
+	if v := ex.Quantile(0); v > 2e-9 {
+		t.Fatalf("Quantile(0) after tiny samples = %v", v)
+	}
+}
+
+// TestHistogramCumulative checks the exporter-facing re-bucketing: counts
+// are cumulative, monotone, and land at the right bounds.
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(5e-6) // 5us
+	}
+	for i := 0; i < 7; i++ {
+		h.Observe(2e-3) // 2ms
+	}
+	bounds := []float64{1e-6, 1e-5, 1e-3, 1e-2, 1}
+	got := h.Cumulative(bounds)
+	want := []uint64{0, 10, 10, 17, 17}
+	for i := range bounds {
+		if got[i] != want[i] {
+			t.Fatalf("Cumulative = %v, want %v (bound %v)", got, want, bounds[i])
+		}
+	}
+	if s := h.Sum(); s < 0.014 || s > 0.0141 {
+		t.Fatalf("Sum = %v", s)
+	}
+	if out := h.Cumulative(nil); len(out) != 0 {
+		t.Fatalf("Cumulative(nil) = %v", out)
+	}
+}
+
+// TestHistogramPerWorkerMergeRace exercises the documented concurrency
+// contract under -race: each worker goroutine owns a private histogram
+// (single writer), a collector snapshots mid-flight by merging every
+// shard under its per-shard mutex — the internal/pctt pattern — and the
+// final merged counts are exact.
+func TestHistogramPerWorkerMergeRace(t *testing.T) {
+	const workers, samples = 4, 5000
+	shards := make([]*Histogram, workers)
+	locks := make([]sync.Mutex, workers)
+	for i := range shards {
+		shards[i] = NewHistogram()
+	}
+	mergeAll := func() *Histogram {
+		out := NewHistogram()
+		for i := range shards {
+			locks[i].Lock()
+			out.Merge(shards[i])
+			locks[i].Unlock()
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < samples; j++ {
+				locks[i].Lock()
+				shards[i].Observe(float64(j%100+1) * 1e-6)
+				locks[i].Unlock()
+			}
+		}(i)
+	}
+	// Live scraper: merge while the workers observe.
+	scrapes := 0
+	for {
+		h := mergeAll()
+		if h.Count() > workers*samples {
+			t.Fatalf("mid-flight merge over-counted: %d", h.Count())
+		}
+		scrapes++
+		if h.Count() == workers*samples {
+			break
+		}
+	}
+	wg.Wait()
+	final := mergeAll()
+	if final.Count() != workers*samples {
+		t.Fatalf("final merged count = %d, want %d (after %d scrapes)",
+			final.Count(), workers*samples, scrapes)
+	}
+}
+
+// TestSetSnapshotConsistentUnderConcurrentAdd: snapshots taken while
+// writers hammer the set must be monotone per counter and exact once the
+// writers join.
+func TestSetSnapshotConsistentUnderConcurrentAdd(t *testing.T) {
+	s := NewSet()
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				s.Inc(CtrOpsRead)
+				s.Add(CtrOpsWrite, 2)
+			}
+		}()
+	}
+	prev := map[string]int64{}
+	for {
+		snap := s.Snapshot()
+		for _, n := range []string{CtrOpsRead, CtrOpsWrite} {
+			if snap[n] < prev[n] {
+				t.Fatalf("counter %s went backwards: %d -> %d", n, prev[n], snap[n])
+			}
+			prev[n] = snap[n]
+		}
+		if snap[CtrOpsRead] == writers*perWriter {
+			break
+		}
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap[CtrOpsRead] != writers*perWriter || snap[CtrOpsWrite] != 2*writers*perWriter {
+		t.Fatalf("final snapshot = read %d write %d", snap[CtrOpsRead], snap[CtrOpsWrite])
+	}
+}
+
 func TestRedundancyTracker(t *testing.T) {
 	r := NewRedundancyTracker(4)
 	// Op 1 touches nodes 1,2,3; op 2 touches 1,2,4.

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promBounds are the upper bounds (seconds) of the exported Prometheus
+// histogram buckets: 1-2.5-5 per decade from 1µs to 10s. The internal
+// metrics.Histogram keeps ~1% log buckets; export re-buckets onto this
+// compact ladder so a scrape stays small while still resolving the
+// queue-wait/execute split the paper's latency figures need.
+// Literal values, not computed (1e-6*2.5 = 2.4999999999999998e-06 would
+// leak into the le labels).
+var promBounds = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// WritePrometheus renders every registered source in the Prometheus text
+// exposition format (version 0.0.4): counters as <prefix>_<name>_total,
+// gauges grouped by metric name, histograms with cumulative le buckets.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	for _, c := range r.counters {
+		snap := c.set.Snapshot()
+		for _, n := range c.set.Names() { // registration order: stable scrapes
+			name := c.prefix + "_" + n + "_total"
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				name, c.help, name, name, snap[n])
+		}
+	}
+
+	headered := make(map[string]bool, len(r.gauges))
+	for _, g := range r.gauges {
+		if !headered[g.name] {
+			headered[g.name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		}
+		if g.labels != "" {
+			fmt.Fprintf(w, "%s{%s} %s\n", g.name, g.labels, formatFloat(g.fn()))
+		} else {
+			fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+		}
+	}
+
+	for _, hr := range r.hists {
+		h := hr.fn()
+		if h == nil {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", hr.name, hr.help, hr.name)
+		for i, cum := range h.Cumulative(promBounds) {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hr.name, formatFloat(promBounds[i]), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hr.name, h.Count())
+		fmt.Fprintf(w, "%s_sum %s\n", hr.name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", hr.name, h.Count())
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,194 @@
+// Package obs is the live observability layer: a runtime registry of
+// gauges, counters, and latency histograms (exported in Prometheus text
+// exposition format and as JSON snapshots), a sampled op-lifecycle tracer,
+// and a diagnostics HTTP server.
+//
+// Where internal/metrics provides the raw instrumentation primitives the
+// engines write into on their hot paths, obs is the read side: it wraps
+// those primitives behind callback registrations so scraping never touches
+// an engine's hot path, and it can attach/detach whole engines at runtime
+// (the bench harness swaps engines between experiment rows while a scraper
+// watches).
+//
+// Everything here is pull-based: a registered GaugeFunc or HistogramFunc
+// runs only when something asks for /metrics, STATS, or a Snapshot.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// GaugeFunc returns a gauge's instantaneous value. It must be safe to call
+// from any goroutine at any time (typically an atomic load or a brief
+// lock), and must not block on the pipeline it observes.
+type GaugeFunc func() float64
+
+// HistogramFunc returns a point-in-time histogram the registry may read
+// freely — a freshly merged copy, never a live single-writer histogram
+// (see the metrics.Histogram concurrency contract).
+type HistogramFunc func() *metrics.Histogram
+
+type gaugeReg struct {
+	group  string
+	name   string // Prometheus metric name, no labels
+	labels string // pre-rendered label pairs, e.g. `worker="3"`, or ""
+	help   string
+	fn     GaugeFunc
+}
+
+type counterReg struct {
+	group  string
+	prefix string // each counter exports as <prefix>_<name>_total
+	help   string
+	set    *metrics.Set
+}
+
+type histReg struct {
+	group string
+	name  string
+	help  string
+	fn    HistogramFunc
+}
+
+// Registry is a dynamic collection of observability sources. Registrations
+// carry a group tag so a whole engine's worth of series can be attached
+// and detached as one unit. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	gauges   []gaugeReg
+	counters []counterReg
+	hists    []histReg
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// RegisterGauge adds a gauge. labels is a pre-rendered Prometheus label
+// body (`worker="0"`) or empty; several registrations may share a name
+// with distinct labels and are emitted under one HELP/TYPE header.
+func (r *Registry) RegisterGauge(group, name, labels, help string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gaugeReg{group, name, labels, help, fn})
+}
+
+// RegisterCounters exports every counter of a metrics.Set as a Prometheus
+// counter named <prefix>_<counter>_total.
+func (r *Registry) RegisterCounters(group, prefix, help string, set *metrics.Set) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, counterReg{group, prefix, help, set})
+}
+
+// RegisterHistogram adds a latency histogram source (values in seconds).
+func (r *Registry) RegisterHistogram(group, name, help string, fn HistogramFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, histReg{group, name, help, fn})
+}
+
+// UnregisterGroup removes every registration carrying the group tag.
+func (r *Registry) UnregisterGroup(group string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = deleteGroup(r.gauges, group, func(g gaugeReg) string { return g.group })
+	r.counters = deleteGroup(r.counters, group, func(c counterReg) string { return c.group })
+	r.hists = deleteGroup(r.hists, group, func(h histReg) string { return h.group })
+}
+
+func deleteGroup[T any](in []T, group string, key func(T) string) []T {
+	out := in[:0]
+	for _, v := range in {
+		if key(v) != group {
+			out = append(out, v)
+		}
+	}
+	// Clear the tail so dropped registrations (and their closures) are
+	// collectable.
+	for i := len(out); i < len(in); i++ {
+		var zero T
+		in[i] = zero
+	}
+	return out
+}
+
+// HistStats is the fixed percentile summary of one histogram, in seconds.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// Snapshot is a point-in-time copy of everything registered, suitable for
+// JSON encoding (the /statsz endpoint) and one-line rendering (the
+// dcart-kv STATS command).
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters"`
+	Gauges     map[string]float64   `json:"gauges"`
+	Histograms map[string]HistStats `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every registered source once.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistStats),
+	}
+	for _, c := range r.counters {
+		for n, v := range c.set.Snapshot() {
+			s.Counters[n] = v
+		}
+	}
+	for _, g := range r.gauges {
+		name := g.name
+		if g.labels != "" {
+			name = g.name + "{" + g.labels + "}"
+		}
+		s.Gauges[name] = g.fn()
+	}
+	for _, hr := range r.hists {
+		h := hr.fn()
+		if h == nil {
+			continue
+		}
+		s.Histograms[hr.name] = HistStats{
+			Count: h.Count(), Mean: h.Mean(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), Max: h.Max(),
+		}
+	}
+	return s
+}
+
+// String renders the snapshot as one line of sorted "key=value" pairs,
+// omitting zero counters and zero gauges — the dcart-kv STATS wire format.
+func (s *Snapshot) String() string {
+	parts := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n, v := range s.Counters {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", n, v))
+		}
+	}
+	for n, v := range s.Gauges {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", n, v))
+		}
+	}
+	for n, h := range s.Histograms {
+		if h.Count != 0 {
+			parts = append(parts, fmt.Sprintf("%s_p50=%.3gms %s_p99=%.3gms",
+				n, h.P50*1e3, n, h.P99*1e3))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

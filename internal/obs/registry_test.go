@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestRegistrySnapshotAndGroups(t *testing.T) {
+	r := NewRegistry()
+	set := metrics.NewSet()
+	set.Add(metrics.CtrOpsRead, 7)
+	r.RegisterCounters("eng", "dcart", "engine counters", set)
+	r.RegisterGauge("eng", "dcart_inflight", "", "inflight ops", func() float64 { return 3 })
+	r.RegisterGauge("eng", "dcart_ring_depth", `worker="0"`, "ring depth", func() float64 { return 2 })
+	r.RegisterGauge("proc", "up", "", "process up", func() float64 { return 1 })
+
+	h := metrics.NewHistogram()
+	h.Observe(1e-3)
+	r.RegisterHistogram("eng", "dcart_latency_seconds", "op latency", func() *metrics.Histogram { return h })
+	// A nil-returning histogram source must be skipped, not crash.
+	r.RegisterHistogram("eng", "dcart_missing_seconds", "never ready", func() *metrics.Histogram { return nil })
+
+	s := r.Snapshot()
+	if s.Counters[metrics.CtrOpsRead] != 7 {
+		t.Fatalf("counter in snapshot = %d", s.Counters[metrics.CtrOpsRead])
+	}
+	if s.Gauges["dcart_inflight"] != 3 || s.Gauges[`dcart_ring_depth{worker="0"}`] != 2 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	hs, ok := s.Histograms["dcart_latency_seconds"]
+	if !ok || hs.Count != 1 || hs.P50 < 0.9e-3 || hs.P50 > 1.1e-3 {
+		t.Fatalf("histogram stats = %+v (ok=%v)", hs, ok)
+	}
+	if _, ok := s.Histograms["dcart_missing_seconds"]; ok {
+		t.Fatal("nil histogram source appeared in snapshot")
+	}
+
+	line := s.String()
+	if !strings.Contains(line, "ops_read=7") || !strings.Contains(line, "dcart_inflight=3") {
+		t.Fatalf("snapshot line = %q", line)
+	}
+	if !strings.Contains(line, "dcart_latency_seconds_p50=") {
+		t.Fatalf("snapshot line missing histogram summary: %q", line)
+	}
+
+	// Detaching the engine group leaves only the process-level gauge.
+	r.UnregisterGroup("eng")
+	s = r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("engine series survived UnregisterGroup: %+v", s)
+	}
+	if len(s.Gauges) != 1 || s.Gauges["up"] != 1 {
+		t.Fatalf("gauges after detach = %v", s.Gauges)
+	}
+}
+
+func TestRegistryConcurrentScrapeAndSwap(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	// Swapper: attach/detach an engine group in a loop, as the bench
+	// harness does between experiment rows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			v := float64(i)
+			r.RegisterGauge("eng", "dcart_x", "", "x", func() float64 { return v })
+			r.UnregisterGroup("eng")
+		}
+	}()
+	// Scrapers: snapshot and render concurrently with the swapping.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = r.Snapshot().String()
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	set := metrics.NewSet()
+	set.Add(metrics.CtrOpsRead, 5)
+	r.RegisterCounters("g", "dcart", "engine counters", set)
+	r.RegisterGauge("g", "dcart_ring_depth", `worker="0"`, "ring depth", func() float64 { return 1 })
+	r.RegisterGauge("g", "dcart_ring_depth", `worker="1"`, "ring depth", func() float64 { return 4 })
+
+	h := metrics.NewHistogram()
+	h.Observe(4e-6) // falls in the le="5e-06" bucket
+	h.Observe(2e-3) // falls in the le="0.0025" bucket
+	r.RegisterHistogram("g", "dcart_lat_seconds", "latency", func() *metrics.Histogram { return h })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE dcart_ops_read_total counter",
+		"dcart_ops_read_total 5",
+		"# TYPE dcart_ring_depth gauge",
+		`dcart_ring_depth{worker="0"} 1`,
+		`dcart_ring_depth{worker="1"} 4`,
+		"# TYPE dcart_lat_seconds histogram",
+		`dcart_lat_seconds_bucket{le="+Inf"} 2`,
+		"dcart_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per gauge name even with multiple label sets.
+	if n := strings.Count(out, "# TYPE dcart_ring_depth gauge"); n != 1 {
+		t.Fatalf("gauge TYPE header emitted %d times", n)
+	}
+	// Histogram buckets must be cumulative: the 5us bucket holds 1, every
+	// bucket at/above 2.5ms holds 2.
+	if !strings.Contains(out, `dcart_lat_seconds_bucket{le="5e-06"} 1`) {
+		t.Fatalf("missing 5us cumulative bucket in:\n%s", out)
+	}
+	if !strings.Contains(out, `dcart_lat_seconds_bucket{le="0.0025"} 2`) {
+		t.Fatalf("missing 2.5ms cumulative bucket in:\n%s", out)
+	}
+	// _sum ≈ 4us + 2ms (float addition may not print the exact literal).
+	if !strings.Contains(out, "dcart_lat_seconds_sum 0.0020") {
+		t.Fatalf("unexpected _sum in:\n%s", out)
+	}
+}

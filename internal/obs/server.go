@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the diagnostics HTTP endpoint both binaries expose behind
+// -diag-addr:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/statsz        the same snapshot as JSON (and as the STATS wire command)
+//	/debug/traces  the sampled op-lifecycle span ring, newest first
+//	/debug/pprof/* the standard Go profiler endpoints
+//	/healthz       liveness probe ("ok")
+//
+// It is opt-in and read-only: nothing here mutates engine state, and every
+// handler reads through registered callbacks so a scrape never blocks the
+// pipeline's hot paths.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// Serve starts a diagnostics server on addr (e.g. "127.0.0.1:7071";
+// ":0" picks a free port — read it back from Addr). tracer may be nil, in
+// which case /debug/traces reports tracing disabled.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, tracer: tracer, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Shutdown/Close surface the error path
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.reg.Snapshot()) //nolint:errcheck // best-effort diagnostics write
+}
+
+// tracesReport is the /debug/traces response body.
+type tracesReport struct {
+	Enabled     bool   `json:"enabled"`
+	SampleEvery int    `json:"sample_every,omitempty"`
+	Recorded    uint64 `json:"recorded,omitempty"`
+	Spans       []Span `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	rep := tracesReport{Spans: []Span{}}
+	if s.tracer != nil {
+		rep.Enabled = true
+		rep.SampleEvery = s.tracer.SampleEvery()
+		rep.Recorded = s.tracer.Recorded()
+		rep.Spans = s.tracer.Spans()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep) //nolint:errcheck // best-effort diagnostics write
+}

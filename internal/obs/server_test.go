@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	set := metrics.NewSet()
+	set.Add(metrics.CtrOpsWrite, 9)
+	reg.RegisterCounters("t", "dcart", "counters", set)
+	reg.RegisterGauge("t", "dcart_keys", "", "live keys", func() float64 { return 11 })
+
+	tr := NewTracer(8, 1)
+	tr.Record(Span{TraceID: 0xabc, Op: "put", Worker: 1, QueueWaitNanos: 250, ExecNanos: 90})
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	base := "http://" + srv.Addr()
+
+	code, body, ctype := get(t, base+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	_ = ctype
+
+	code, body, ctype = get(t, base+"/metrics")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics: %d %q", code, ctype)
+	}
+	if !strings.Contains(body, "dcart_ops_write_total 9") || !strings.Contains(body, "dcart_keys 11") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	code, body, ctype = get(t, base+"/statsz")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/statsz: %d %q", code, ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/statsz not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters[metrics.CtrOpsWrite] != 9 || snap.Gauges["dcart_keys"] != 11 {
+		t.Fatalf("/statsz snapshot = %+v", snap)
+	}
+
+	code, body, _ = get(t, base+"/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces: %d", code)
+	}
+	var rep tracesReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v\n%s", err, body)
+	}
+	if !rep.Enabled || rep.Recorded != 1 || len(rep.Spans) != 1 || rep.Spans[0].Op != "put" {
+		t.Fatalf("/debug/traces = %+v", rep)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServerNilTracer(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	code, body, _ := get(t, "http://"+srv.Addr()+"/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces: %d", code)
+	}
+	var rep tracesReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if rep.Enabled || rep.Spans == nil || len(rep.Spans) != 0 {
+		t.Fatalf("nil-tracer report = %+v", rep)
+	}
+}

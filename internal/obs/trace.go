@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one sampled operation's lifecycle through the P-CTT pipeline:
+// submit (task creation, before any producer-side buffering), combine +
+// queue wait (submit until the operation's trigger batch began executing),
+// and trigger-execute (batch begin until completion). The trace ID is the
+// operation's end-to-end key hash — the same value the pipeline carries
+// for grouping and Shortcut_Table lookups — so spans for one key correlate
+// across workers, steals, and handoffs.
+type Span struct {
+	TraceID uint64 `json:"trace_id"` // key hash, carried end-to-end
+	Op      string `json:"op"`       // "get" | "put" | "delete"
+	Worker  int    `json:"worker"`   // worker that executed the op
+	Bucket  int    `json:"bucket"`   // combine bucket (key-prefix shard)
+	// Migrated reports the op executed on a worker other than the bucket's
+	// static home (bucket mod workers) — i.e. it rode a steal or handoff.
+	Migrated       bool  `json:"migrated"`
+	SubmitUnixNano int64 `json:"submit_unix_nano"`
+	BatchUnixNano  int64 `json:"batch_start_unix_nano"`
+	DoneUnixNano   int64 `json:"done_unix_nano"`
+	QueueWaitNanos int64 `json:"queue_wait_nanos"` // batch start - submit
+	ExecNanos      int64 `json:"exec_nanos"`       // done - batch start
+}
+
+// Tracer is a sampled, low-overhead span recorder: a 1/N sampling decision
+// (one atomic increment on the submit path) feeding a fixed-size ring of
+// recent spans. Record and Spans take a mutex, but only sampled operations
+// ever reach them, so at the default 1/1024 the hot-path cost is the
+// sampling counter alone.
+type Tracer struct {
+	mask     uint64 // sampleEvery-1; sampleEvery forced to a power of two
+	n        atomic.Uint64
+	recorded atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Span
+	next int  // next write position
+	full bool // ring has wrapped
+}
+
+// DefaultSampleEvery is the default sampling stride (1 op in 1024).
+const DefaultSampleEvery = 1024
+
+// DefaultTraceCap is the default span-ring capacity.
+const DefaultTraceCap = 512
+
+// NewTracer returns a tracer keeping the last capacity spans, sampling one
+// operation in sampleEvery (rounded up to a power of two; <=1 samples
+// every operation). Zero or negative arguments select the defaults.
+func NewTracer(capacity, sampleEvery int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	p := 1
+	for p < sampleEvery {
+		p <<= 1
+	}
+	return &Tracer{mask: uint64(p - 1), ring: make([]Span, capacity)}
+}
+
+// SampleEvery returns the effective sampling stride.
+func (t *Tracer) SampleEvery() int { return int(t.mask) + 1 }
+
+// Sample makes the per-operation sampling decision; callers trace an
+// operation only when it returns true. One atomic add, no branches taken
+// on the common path.
+func (t *Tracer) Sample() bool {
+	return t.n.Add(1)&t.mask == 0
+}
+
+// Record stores one completed span, overwriting the oldest once the ring
+// is full.
+func (t *Tracer) Record(s Span) {
+	t.recorded.Add(1)
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recorded returns the total spans recorded since construction (including
+// ones the ring has since overwritten).
+func (t *Tracer) Recorded() uint64 { return t.recorded.Load() }
+
+// Spans returns the ring's contents, newest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerSamplingStride(t *testing.T) {
+	tr := NewTracer(8, 100) // rounds up to 128
+	if got := tr.SampleEvery(); got != 128 {
+		t.Fatalf("SampleEvery = %d, want 128", got)
+	}
+	hits := 0
+	for i := 0; i < 128*10; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sampled %d of %d, want exactly 10", hits, 128*10)
+	}
+
+	every := NewTracer(4, 1)
+	for i := 0; i < 5; i++ {
+		if !every.Sample() {
+			t.Fatal("sampleEvery=1 must sample every op")
+		}
+	}
+
+	def := NewTracer(0, 0)
+	if def.SampleEvery() != DefaultSampleEvery || len(def.ring) != DefaultTraceCap {
+		t.Fatalf("defaults: every=%d cap=%d", def.SampleEvery(), len(def.ring))
+	}
+}
+
+func TestTracerRingWrapNewestFirst(t *testing.T) {
+	tr := NewTracer(4, 1)
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("fresh tracer has %d spans", len(got))
+	}
+	for i := uint64(1); i <= 6; i++ {
+		tr.Record(Span{TraceID: i})
+	}
+	if tr.Recorded() != 6 {
+		t.Fatalf("Recorded = %d", tr.Recorded())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(spans))
+	}
+	// Newest first: 6, 5, 4, 3 (1 and 2 overwritten).
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if spans[i].TraceID != want {
+			t.Fatalf("spans[%d].TraceID = %d, want %d (all: %v)", i, spans[i].TraceID, want, spans)
+		}
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if tr.Sample() {
+					tr.Record(Span{TraceID: uint64(g)<<32 | uint64(i)})
+				}
+				if i%100 == 0 {
+					_ = tr.Spans()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Recorded() != 4000 {
+		t.Fatalf("Recorded = %d, want 4000", tr.Recorded())
+	}
+	if got := len(tr.Spans()); got != 64 {
+		t.Fatalf("ring holds %d, want 64", got)
+	}
+}

@@ -52,8 +52,17 @@ func (e *Engine) do(t task) taskResult {
 	reply := replyPool.Get().(chan taskResult)
 	t.reply = reply
 	t.hash = hashKey(t.key)
-	if e.cfg.RecordLatency {
+	// Latency is sampled 1-in-16 (as on the Run path) so a live server's
+	// histogram upkeep stays off most requests; tracing makes its own
+	// (typically much sparser) sampling decision.
+	if e.cfg.RecordLatency && e.latN.Add(1)&15 == 0 {
 		t.enq = time.Now().UnixNano()
+	}
+	if tr := e.cfg.Tracer; tr != nil && tr.Sample() {
+		t.traced = true
+		if t.enq == 0 {
+			t.enq = time.Now().UnixNano()
+		}
 	}
 
 	e.mu.RLock()

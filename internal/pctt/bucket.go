@@ -3,6 +3,7 @@ package pctt
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,7 +39,10 @@ type bucket struct {
 	cond   sync.Cond // producers waiting for backlog space
 	chunks [][]task  // FIFO backlog; chunk ownership passes to the bucket
 	nops   int       // total tasks across chunks
-	state  int32
+	// state is written only under mu (the transitions above) but stored
+	// atomically so the observability layer can read live idle/queued/
+	// running gauge counts without taking 2^PrefixBits bucket locks.
+	state atomic.Int32
 	// windowStart is the unix-nano time the current combine window opened
 	// (idle->queued transition or post-execution re-queue); the deadline
 	// MaxDelay is measured from here.
@@ -75,8 +79,8 @@ func (e *Engine) submitChunk(shard int, chunk []task) {
 	b.chunks = append(b.chunks, chunk)
 	b.nops += len(chunk)
 	notify := int32(-1)
-	if b.state == bIdle {
-		b.state = bQueued
+	if b.state.Load() == bIdle {
+		b.state.Store(bQueued)
 		b.windowStart = time.Now().UnixNano()
 		notify = b.owner
 	}

@@ -1,0 +1,108 @@
+package pctt
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Live observability accessors. Unlike the measurement-oriented methods in
+// pctt.go (WorkerOps, histogram merges), these are designed to be scraped
+// while the pipeline is under load: every read is an atomic load or a
+// short read-locked walk, never a bucket lock or a worker handshake.
+
+// ObsGroup is the registry group tag RegisterObs registers under; a second
+// RegisterObs call (e.g. the bench harness swapping engines between rows)
+// replaces the previous engine's registrations wholesale.
+const ObsGroup = "pctt"
+
+// RingDepth returns the number of queued combine buckets in worker i's
+// ring (0 before the pipeline starts or for an out-of-range worker).
+func (e *Engine) RingDepth(i int) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if i < 0 || i >= len(e.rings) {
+		return 0
+	}
+	return e.rings[i].length()
+}
+
+// BucketStateCounts returns how many combine buckets are currently idle,
+// queued, and running. The counts are a live sample, not a consistent cut:
+// each bucket's state is read atomically but buckets move while the walk
+// runs — exactly the fidelity a gauge scrape needs.
+func (e *Engine) BucketStateCounts() (idle, queued, running int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.buckets == nil {
+		return 1 << uint(e.cfg.PrefixBits), 0, 0
+	}
+	for i := range e.buckets {
+		switch e.buckets[i].state.Load() {
+		case bQueued:
+			queued++
+		case bRunning:
+			running++
+		default:
+			idle++
+		}
+	}
+	return idle, queued, running
+}
+
+// InflightOps returns the submitted-but-incomplete operation count.
+func (e *Engine) InflightOps() int64 { return e.inflight.Load() }
+
+// RegisterObs registers the engine's live gauges, counters, and (when
+// RecordLatency is on) latency histograms with the observability registry
+// under ObsGroup, replacing any previously registered engine. The exported
+// series are the live form of the counters the paper's figures are built
+// from: lock contention (Fig 7), key matches (Fig 8), shortcut hits and
+// redundancy (Fig 2), plus the P-CTT scheduling state (ring depths, bucket
+// states, steal/handoff counters) PR 3 introduced.
+func (e *Engine) RegisterObs(r *obs.Registry) {
+	r.UnregisterGroup(ObsGroup)
+	r.RegisterCounters(ObsGroup, "dcart",
+		"engine event counter (see internal/metrics for the vocabulary)", e.ms)
+	r.RegisterGauge(ObsGroup, "dcart_pctt_workers", "",
+		"configured P-CTT worker goroutines (SOU analogues)",
+		func() float64 { return float64(e.cfg.Workers) })
+	r.RegisterGauge(ObsGroup, "dcart_pctt_inflight_ops", "",
+		"submitted-but-incomplete operations (bounded by MaxInflight)",
+		func() float64 { return float64(e.InflightOps()) })
+	r.RegisterGauge(ObsGroup, "dcart_pctt_shortcut_entries", "",
+		"live Shortcut_Table entries summed across workers",
+		func() float64 { return float64(e.ShortcutCount()) })
+	for i := 0; i < e.cfg.Workers; i++ {
+		i := i
+		r.RegisterGauge(ObsGroup, "dcart_pctt_ring_depth",
+			`worker="`+strconv.Itoa(i)+`"`,
+			"queued combine buckets in the worker's lock-free ring",
+			func() float64 { return float64(e.RingDepth(i)) })
+	}
+	for _, st := range []struct {
+		label string
+		pick  func(idle, queued, running int) int
+	}{
+		{"idle", func(i, _, _ int) int { return i }},
+		{"queued", func(_, q, _ int) int { return q }},
+		{"running", func(_, _, r int) int { return r }},
+	} {
+		st := st
+		r.RegisterGauge(ObsGroup, "dcart_pctt_bucket_state",
+			`state="`+st.label+`"`,
+			"combine buckets by scheduling state",
+			func() float64 { return float64(st.pick(e.BucketStateCounts())) })
+	}
+	if e.cfg.RecordLatency {
+		r.RegisterHistogram(ObsGroup, "dcart_pctt_latency_seconds",
+			"sampled end-to-end operation latency (true submit to completion)",
+			e.LatencyHistogram)
+		r.RegisterHistogram(ObsGroup, "dcart_pctt_queue_wait_seconds",
+			"sampled combine + queue wait (submit until trigger batch start)",
+			e.QueueWaitHistogram)
+		r.RegisterHistogram(ObsGroup, "dcart_pctt_exec_seconds",
+			"sampled trigger-execute time (batch start until completion)",
+			e.ExecHistogram)
+	}
+}

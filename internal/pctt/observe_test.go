@@ -1,0 +1,150 @@
+package pctt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// TestRegisterObsLiveScrape drives the engine while a concurrent scraper
+// snapshots and renders the registry — the gauges must read through
+// atomics/short RLocks without deadlocking or racing with the pipeline,
+// and the post-run scrape must carry real engine state.
+func TestRegisterObsLiveScrape(t *testing.T) {
+	w := testWorkload(t, 2000, 40000, 43)
+	e := New(Config{Workers: 2, ChunkSize: 64, RecordLatency: true})
+	defer e.Close()
+	r := obs.NewRegistry()
+	e.RegisterObs(r)
+	e.Load(w.Keys, nil)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Snapshot()
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}
+	}()
+	e.Run(w.Ops)
+	close(stop)
+	wg.Wait()
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"dcart_pctt_workers 2",
+		`dcart_pctt_ring_depth{worker="0"}`,
+		`dcart_pctt_ring_depth{worker="1"}`,
+		`dcart_pctt_bucket_state{state="idle"}`,
+		"dcart_pctt_latency_seconds_count",
+		"dcart_pctt_queue_wait_seconds_count",
+		"dcart_pctt_exec_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q", want)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Counters[metrics.CtrOpsRead] == 0 || snap.Counters[metrics.CtrOpsWrite] == 0 {
+		t.Fatalf("op counters empty after run: %v", snap.Counters)
+	}
+	if h := snap.Histograms["dcart_pctt_latency_seconds"]; h.Count == 0 {
+		t.Fatal("latency histogram empty with RecordLatency on")
+	}
+	// Quiescent engine: every bucket idle, nothing in flight.
+	idle, queued, running := e.BucketStateCounts()
+	if queued != 0 || running != 0 || idle == 0 {
+		t.Fatalf("bucket states after run = idle %d queued %d running %d", idle, queued, running)
+	}
+	if e.InflightOps() != 0 {
+		t.Fatalf("inflight after run = %d", e.InflightOps())
+	}
+	if e.RingDepth(0) != 0 || e.RingDepth(-1) != 0 || e.RingDepth(99) != 0 {
+		t.Fatal("ring depths after run / out of range must be 0")
+	}
+}
+
+// TestRegisterObsReplacesPrevious: a second engine's RegisterObs must
+// replace the first's series (the bench harness swaps engines between rows
+// on one registry).
+func TestRegisterObsReplacesPrevious(t *testing.T) {
+	r := obs.NewRegistry()
+	e1 := New(Config{Workers: 4})
+	e1.RegisterObs(r)
+	e1.Close()
+	e2 := New(Config{Workers: 1})
+	defer e2.Close()
+	e2.RegisterObs(r)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "dcart_pctt_workers 1") {
+		t.Fatalf("second engine's workers gauge missing:\n%s", out)
+	}
+	if strings.Contains(out, "dcart_pctt_workers 4") ||
+		strings.Contains(out, `dcart_pctt_ring_depth{worker="3"}`) {
+		t.Fatalf("first engine's series survived the swap:\n%s", out)
+	}
+}
+
+// TestTracerSpansThroughPipeline: with an every-op tracer, spans must flow
+// through Run and the batcher with plausible lifecycle fields.
+func TestTracerSpansThroughPipeline(t *testing.T) {
+	w := testWorkload(t, 1000, 20000, 44)
+	tr := obs.NewTracer(256, 1)
+	e := New(Config{Workers: 2, ChunkSize: 64, Tracer: tr})
+	defer e.Close()
+	e.Load(w.Keys, nil)
+	e.Run(w.Ops)
+
+	if tr.Recorded() == 0 {
+		t.Fatal("no spans recorded with sampleEvery=1")
+	}
+	spans := tr.Spans()
+	if len(spans) != 256 {
+		t.Fatalf("ring holds %d spans, want full 256", len(spans))
+	}
+	ops := map[string]bool{}
+	for _, s := range spans {
+		ops[s.Op] = true
+		if s.Op != "get" && s.Op != "put" && s.Op != "delete" {
+			t.Fatalf("span op %q", s.Op)
+		}
+		if s.Worker < 0 || s.Worker >= 2 {
+			t.Fatalf("span worker %d", s.Worker)
+		}
+		if s.SubmitUnixNano == 0 || s.DoneUnixNano < s.BatchUnixNano {
+			t.Fatalf("span timestamps implausible: %+v", s)
+		}
+		if s.QueueWaitNanos < 0 || s.ExecNanos < 0 {
+			t.Fatalf("span durations negative: %+v", s)
+		}
+	}
+	if !ops["get"] || !ops["put"] {
+		t.Fatalf("span ops seen = %v, want both reads and writes", ops)
+	}
+
+	// The blocking batcher front-end must stamp spans too.
+	before := tr.Recorded()
+	for i := 0; i < 100; i++ {
+		e.Put([]byte{byte(i), 1, 2, 3}, uint64(i))
+		e.Get([]byte{byte(i), 1, 2, 3})
+	}
+	if tr.Recorded() == before {
+		t.Fatal("batcher path recorded no spans")
+	}
+}

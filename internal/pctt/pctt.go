@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/olc"
 	"repro/internal/workload"
 )
@@ -111,8 +112,14 @@ type Config struct {
 	CollectReads bool
 	// RecordLatency samples per-operation pipeline latency (true submit to
 	// completion) plus the queue-wait/execute split into histograms; see
-	// LatencyHistogram, QueueWaitHistogram, ExecHistogram.
+	// LatencyHistogram, QueueWaitHistogram, ExecHistogram. Sampling is
+	// 1-in-16 on both the Run and the Batcher paths.
 	RecordLatency bool
+	// Tracer, when non-nil, samples operation lifecycles (combine/queue
+	// wait -> steal or handoff -> trigger-execute) into the obs span ring.
+	// The tracer makes its own 1/N sampling decision; an unsampled
+	// operation pays one atomic increment at submit and nothing else.
+	Tracer *obs.Tracer
 }
 
 // Defaults fills unset fields.
@@ -177,9 +184,13 @@ type task struct {
 	// done, when non-nil, is decremented once the task has executed
 	// (Run-mode completion accounting).
 	done *sync.WaitGroup
-	// enq is a unix-nano true-submit stamp when latency recording is on
-	// (taken at task creation, before any producer-side buffering).
+	// enq is a unix-nano true-submit stamp when latency recording or
+	// tracing sampled this task (taken at task creation, before any
+	// producer-side buffering).
 	enq int64
+	// traced marks the task as chosen by the obs tracer's sampler; its
+	// lifecycle span is recorded at completion.
+	traced bool
 }
 
 // replyPool recycles Batcher reply channels.
@@ -220,6 +231,8 @@ type Engine struct {
 	// inflight counts submitted-but-not-completed operations; the drain
 	// phase of Close spins until it reaches zero.
 	inflight atomic.Int64
+	// latN strides the Batcher path's 1-in-16 latency sampling.
+	latN atomic.Uint64
 
 	started atomic.Bool
 	mu      sync.RWMutex // started/closed vs. submitters
@@ -440,6 +453,12 @@ func (e *Engine) dispatch(ops []workload.Op, slots []engine.ReadResult) {
 		if e.cfg.RecordLatency && i%sampleEvery == 0 {
 			t.enq = time.Now().UnixNano()
 		}
+		if tr := e.cfg.Tracer; tr != nil && tr.Sample() {
+			t.traced = true
+			if t.enq == 0 {
+				t.enq = time.Now().UnixNano()
+			}
+		}
 		c = append(c, t)
 		open[s] = c
 		if len(c) >= e.cfg.ChunkSize {
@@ -478,8 +497,9 @@ func (e *Engine) runSequential(ops []workload.Op, slots []engine.ReadResult) {
 }
 
 // LatencyHistogram merges the per-worker end-to-end latency histograms
-// (populated when Config.RecordLatency is set; true submit to completion).
-// Call only while the pipeline is quiescent (no in-flight operations).
+// (populated when Config.RecordLatency is set; true submit to completion)
+// into a fresh copy. Safe to call while the pipeline is live: each
+// worker's histogram is folded in under its histogram mutex.
 func (e *Engine) LatencyHistogram() *metrics.Histogram {
 	return e.mergeHistograms(func(w *worker) *metrics.Histogram { return w.histTotal })
 }
@@ -501,7 +521,9 @@ func (e *Engine) mergeHistograms(pick func(*worker) *metrics.Histogram) *metrics
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, w := range e.workers {
+		w.histMu.Lock()
 		h.Merge(pick(w))
+		w.histMu.Unlock()
 	}
 	return h
 }
@@ -519,16 +541,16 @@ func (e *Engine) WorkerOps() []int64 {
 	return out
 }
 
-// ShortcutCount sums the live per-worker Shortcut_Table populations. Call
-// only while the pipeline is quiescent.
+// ShortcutCount sums the live per-worker Shortcut_Table populations. Safe
+// to call while the pipeline is live (reads each table's atomic mirror).
 func (e *Engine) ShortcutCount() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	n := 0
+	n := int64(0)
 	for _, w := range e.workers {
-		n += w.shortcuts.live
+		n += w.shortcuts.liveA.Load()
 	}
-	return n
+	return int(n)
 }
 
 // commonPrefixLenAll returns the length of the byte prefix shared by every

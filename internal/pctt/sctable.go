@@ -1,6 +1,10 @@
 package pctt
 
-import "repro/internal/olc"
+import (
+	"sync/atomic"
+
+	"repro/internal/olc"
+)
 
 // scTable is the worker-private Shortcut_Table: an open-addressed
 // linear-probe map from key hash to (key, leaf reference). It replaces a
@@ -20,7 +24,13 @@ type scTable struct {
 	mask  uint64
 	live  int // live entries (excludes tombstones)
 	used  int // live + tombstones (bounds probe-chain growth)
+	// liveA mirrors live for cross-goroutine gauge reads (the obs layer's
+	// shortcut-occupancy gauge); only the owning worker writes it.
+	liveA atomic.Int64
 }
+
+// syncLive publishes live to the atomic mirror after a mutation.
+func (t *scTable) syncLive() { t.liveA.Store(int64(t.live)) }
 
 type scSlot struct {
 	hash  uint64
@@ -76,6 +86,7 @@ func (t *scTable) put(hash uint64, key []byte, leaf olc.LeafRef) bool {
 			}
 			s.hash, s.state, s.key, s.leaf = hash, scLive, key, leaf
 			t.live++
+			t.syncLive()
 			return true
 		case s.state == scLive && s.hash == hash:
 			s.key, s.leaf = key, leaf
@@ -99,6 +110,7 @@ func (t *scTable) del(hash uint64) {
 			s.state = scDead
 			s.key, s.leaf = nil, olc.LeafRef{}
 			t.live--
+			t.syncLive()
 			return
 		}
 		pos = (pos + 1) & t.mask
@@ -138,6 +150,7 @@ func (t *scTable) maintain(cap int) {
 func (t *scTable) clear() {
 	clear(t.slots)
 	t.live, t.used = 0, 0
+	t.syncLive()
 }
 
 func pow2AtLeast(n int) int {

@@ -2,12 +2,22 @@ package pctt
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
+
+// canAssertBalance reports whether the balance (and steal-engagement)
+// assertions are meaningful on this machine: a thief only steals when it
+// is actually scheduled while the victim's ring is backlogged, and with
+// GOMAXPROCS=1 the Go scheduler timeshares every worker on one core, so
+// whether any steal happens is a coin flip (observed: whole runs where
+// worker 0 executes everything). The FIFO/read-your-writes checks do not
+// depend on parallelism and always run.
+func canAssertBalance() bool { return runtime.GOMAXPROCS(0) >= 2 }
 
 // Skewed-load stress tests for the work-stealing scheduler, meant to run
 // under -race. The key construction is adversarial by design: every
@@ -134,16 +144,20 @@ func TestStealSkewedFIFOAndBalance(t *testing.T) {
 	if sum < total {
 		t.Fatalf("workers executed %d ops, %d submitted (%v)", sum, total, ops)
 	}
-	mean := sum / int64(len(ops))
-	if max > 2*mean {
-		t.Fatalf("skewed load did not balance: max worker ops %d > 2x mean %d (%v)",
-			max, mean, ops)
-	}
-	// The balance must come from the steal mechanisms actually engaging —
-	// otherwise the assertion above is vacuous.
-	moves := e.Metrics().Get(metrics.CtrBucketSteals) + e.Metrics().Get(metrics.CtrBucketHandoffs)
-	if moves == 0 {
-		t.Fatalf("no steals or handoffs recorded under skew (worker ops %v)", ops)
+	if canAssertBalance() {
+		mean := sum / int64(len(ops))
+		if max > 2*mean {
+			t.Fatalf("skewed load did not balance: max worker ops %d > 2x mean %d (%v)",
+				max, mean, ops)
+		}
+		// The balance must come from the steal mechanisms actually engaging
+		// — otherwise the assertion above is vacuous.
+		moves := e.Metrics().Get(metrics.CtrBucketSteals) + e.Metrics().Get(metrics.CtrBucketHandoffs)
+		if moves == 0 {
+			t.Fatalf("no steals or handoffs recorded under skew (worker ops %v)", ops)
+		}
+	} else {
+		t.Logf("GOMAXPROCS=%d: balance assertion skipped", runtime.GOMAXPROCS(0))
 	}
 	t.Logf("worker ops %v, steals %d, handoffs %d", ops,
 		e.Metrics().Get(metrics.CtrBucketSteals), e.Metrics().Get(metrics.CtrBucketHandoffs))
@@ -207,9 +221,11 @@ func TestStealSkewedRunPath(t *testing.T) {
 			max = n
 		}
 	}
-	mean := sum / int64(len(wops))
-	if max > 2*mean {
-		t.Fatalf("run path did not balance: max %d > 2x mean %d (%v)", max, mean, wops)
+	if canAssertBalance() {
+		mean := sum / int64(len(wops))
+		if max > 2*mean {
+			t.Fatalf("run path did not balance: max %d > 2x mean %d (%v)", max, mean, wops)
+		}
 	}
 }
 

@@ -3,11 +3,13 @@ package pctt
 import (
 	"bytes"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/olc"
 	"repro/internal/workload"
 )
@@ -33,7 +35,11 @@ type worker struct {
 
 	// Latency histograms (RecordLatency): end-to-end, queue wait (submit
 	// until the op's trigger batch began), and execute (batch begin until
-	// the op completed). queue + execute == total per sample.
+	// the op completed). queue + execute == total per sample. histMu
+	// covers them: only sampled operations observe (every 16th at most),
+	// and holding it during Engine.mergeHistograms is what lets the obs
+	// layer scrape latency quantiles from a live pipeline.
+	histMu    sync.Mutex
 	histTotal *metrics.Histogram
 	histQueue *metrics.Histogram
 	histExec  *metrics.Histogram
@@ -127,9 +133,11 @@ func newWorker(e *Engine, id int) *worker {
 // pipeline is quiescent and the caller synchronizes with new submissions
 // (Engine.Reset's contract).
 func (w *worker) resetHistograms() {
+	w.histMu.Lock()
 	w.histTotal = metrics.NewHistogram()
 	w.histQueue = metrics.NewHistogram()
 	w.histExec = metrics.NewHistogram()
+	w.histMu.Unlock()
 }
 
 // hashKey is FNV-1a; grouping probes on the (astronomically rare) collision
@@ -352,7 +360,7 @@ func (w *worker) collect(id int32, stolen bool) {
 		b.owner = int32(w.id)
 	}
 	if b.nops == 0 {
-		b.state = bIdle // defensive: never strand the state machine
+		b.state.Store(bIdle) // defensive: never strand the state machine
 		b.mu.Unlock()
 		return
 	}
@@ -369,7 +377,7 @@ func (w *worker) collect(id int32, stolen bool) {
 	}
 	b.chunks = b.chunks[:rest]
 	b.nops -= taken
-	b.state = bRunning
+	b.state.Store(bRunning)
 	if b.waiters > 0 {
 		b.cond.Broadcast()
 	}
@@ -397,11 +405,11 @@ func (w *worker) finishBatch() {
 		b := &e.buckets[id]
 		b.mu.Lock()
 		if b.nops == 0 {
-			b.state = bIdle
+			b.state.Store(bIdle)
 			b.mu.Unlock()
 			continue
 		}
-		b.state = bQueued
+		b.state.Store(bQueued)
 		b.windowStart = now
 		b.mu.Unlock()
 		w.requeue(id)
@@ -434,7 +442,7 @@ func clearTasks(ts []task) {
 // place in their gathered chunks — grouping produces *task lists, not
 // copies.
 func (w *worker) execBatch() {
-	if w.e.cfg.RecordLatency {
+	if w.e.cfg.RecordLatency || w.e.cfg.Tracer != nil {
 		w.execStart = time.Now().UnixNano()
 	}
 
@@ -625,8 +633,9 @@ func (w *worker) flushCounters() {
 }
 
 // complete delivers a task's outcome: Run-mode read slot, Batcher reply,
-// completion accounting, and the optional latency samples (end-to-end plus
-// the queue-wait/execute split around the batch's execStart).
+// completion accounting, the optional latency samples (end-to-end plus the
+// queue-wait/execute split around the batch's execStart), and the sampled
+// lifecycle span when the task was chosen for tracing.
 func (w *worker) complete(t *task, r taskResult) {
 	if t.res != nil {
 		*t.res = engine.ReadResult{Index: t.idx, Value: r.value, OK: r.found}
@@ -640,11 +649,42 @@ func (w *worker) complete(t *task, r taskResult) {
 		if wait < 0 {
 			wait = 0 // wall-clock stamps; guard against clock steps
 		}
+		w.histMu.Lock()
 		w.histTotal.Observe(float64(now-t.enq) * 1e-9)
 		w.histQueue.Observe(float64(wait) * 1e-9)
 		w.histExec.Observe(float64(now-w.execStart) * 1e-9)
+		w.histMu.Unlock()
+		if t.traced {
+			if tr := w.e.cfg.Tracer; tr != nil {
+				bkt := w.e.shardOf(t.key)
+				tr.Record(obs.Span{
+					TraceID:        t.hash,
+					Op:             opName(t.kind),
+					Worker:         w.id,
+					Bucket:         bkt,
+					Migrated:       bkt%w.e.cfg.Workers != w.id,
+					SubmitUnixNano: t.enq,
+					BatchUnixNano:  w.execStart,
+					DoneUnixNano:   now,
+					QueueWaitNanos: wait,
+					ExecNanos:      now - w.execStart,
+				})
+			}
+		}
 	}
 	if t.done != nil {
 		t.done.Done()
+	}
+}
+
+// opName renders a task kind for trace spans.
+func opName(k workload.Kind) string {
+	switch k {
+	case workload.Read:
+		return "get"
+	case workload.Write:
+		return "put"
+	default:
+		return "delete"
 	}
 }

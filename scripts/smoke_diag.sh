@@ -1,0 +1,59 @@
+#!/bin/sh
+# Diagnostics-endpoint smoke test: run the native benchmark with
+# -diag-addr, scrape /metrics while the P-CTT rows are executing, and
+# verify the engine's live series, the health probe, and the trace ring
+# are all served. Checks liveness of the observability wiring, not
+# performance numbers.
+set -eu
+
+PORT="${SMOKE_DIAG_PORT:-7141}"
+ADDR="127.0.0.1:$PORT"
+OUT="$(mktemp)"
+BENCH_PID=
+trap 'if [ -n "$BENCH_PID" ]; then kill "$BENCH_PID" 2>/dev/null || true; fi; rm -f "$OUT"' EXIT
+
+go run ./cmd/dcart-bench -exp native -keys 50000 -ops 1500000 \
+	-diag-addr "$ADDR" -trace-sample 64 >"$OUT" 2>&1 &
+BENCH_PID=$!
+
+# Poll until the P-CTT engine's series appear: the direct-olc row runs
+# engine-less first, so the first scrapes see only process-level gauges.
+found=0
+i=0
+while [ "$i" -lt 120 ]; do
+	if ! kill -0 "$BENCH_PID" 2>/dev/null; then
+		echo "smoke-diag: benchmark exited before a P-CTT scrape succeeded" >&2
+		cat "$OUT" >&2
+		exit 1
+	fi
+	if curl -sf "http://$ADDR/metrics" 2>/dev/null | grep -q '^dcart_pctt_ring_depth'; then
+		found=1
+		break
+	fi
+	sleep 0.5
+	i=$((i + 1))
+done
+if [ "$found" -ne 1 ]; then
+	echo "smoke-diag: P-CTT series never appeared on /metrics" >&2
+	exit 1
+fi
+
+SCRAPE="$(curl -sf "http://$ADDR/metrics")"
+for series in \
+	dcart_pctt_ring_depth \
+	dcart_pctt_bucket_state \
+	dcart_pctt_queue_wait_seconds_bucket \
+	dcart_pctt_exec_seconds_bucket \
+	dcart_ops_write_total; do
+	if ! printf '%s\n' "$SCRAPE" | grep -q "$series"; then
+		echo "smoke-diag: /metrics missing $series" >&2
+		printf '%s\n' "$SCRAPE" >&2
+		exit 1
+	fi
+done
+
+curl -sf "http://$ADDR/healthz" | grep -q '^ok$'
+curl -sf "http://$ADDR/debug/traces" | grep -q '"enabled": true'
+
+echo "smoke-diag: live /metrics scrape OK"
+wait "$BENCH_PID"
