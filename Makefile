@@ -9,7 +9,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/olc ./internal/pctt ./internal/kvserver ./internal/metrics ./internal/obs .
 
-.PHONY: check vet staticcheck build test race bench bench-native smoke-native smoke-diag clean
+.PHONY: check vet staticcheck build test race bench bench-batch bench-native smoke-native smoke-diag clean
 
 check: vet staticcheck build test race
 
@@ -37,6 +37,13 @@ race:
 # Go-native microbenchmarks (testing.B): parallel CTT vs direct tree.
 bench:
 	$(GO) test -bench 'Mixed' -benchmem -run '^$$' .
+
+# Batch-shared descent microbenchmarks: one shared lock-coupled traversal
+# serving a sorted key batch vs per-op root descents, plus the anchored
+# (hot-node residency) variant. -benchtime=100x keeps it a functional
+# exercise in CI rather than a timing claim.
+bench-batch:
+	$(GO) test -bench 'BenchmarkBatchDescent' -benchmem -benchtime=100x -run '^$$' ./internal/olc
 
 # The native experiment: real wall-clock P-CTT vs direct-olc comparison,
 # machine-readable results in BENCH_native.json.

@@ -32,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	zipf := flag.Float64("zipf", 0, "Zipf skew s (default 1.25)")
 	threads := flag.Int("threads", 0, "modeled CPU threads (default 96)")
+	hotset := flag.Int("hotset", 0,
+		"per-worker hot-node residency anchors in the native experiment's parallel engine (0 = engine default 64, negative disables)")
 	jsonOut := flag.Bool("json", false,
 		"also write a machine-readable report (BENCH_native.json for -exp native)")
 	gogc := flag.Int("gogc", 400,
@@ -61,7 +63,7 @@ func main() {
 	}
 	o := bench.Options{
 		NumKeys: *keys, NumOps: *ops, Seed: *seed, ZipfS: *zipf,
-		Threads: *threads, Out: os.Stdout,
+		Threads: *threads, Out: os.Stdout, Hotset: *hotset,
 	}
 	if *jsonOut {
 		o.JSONPath = "BENCH_native.json"

@@ -77,6 +77,8 @@ func main() {
 		"total submitted-but-incomplete operation bound — the queue-wait knob (0 = engine default 4x batch size)")
 	batchNoSteal := flag.Bool("batch-no-steal", false,
 		"disable whole-bucket work stealing and handoff (pin buckets to their home worker)")
+	batchHotset := flag.Int("batch-hotset", 0,
+		"per-worker hot-node residency anchors for batch descents (0 = engine default 64, negative disables)")
 	diagAddr := flag.String("diag-addr", "",
 		"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address (empty = off)")
 	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery,
@@ -95,6 +97,7 @@ func main() {
 			QueueDepth:  *batchQueueDepth,
 			MaxInflight: *batchMaxInflight,
 			NoSteal:     *batchNoSteal,
+			HotsetCap:   *batchHotset,
 		}
 		if *diagAddr != "" {
 			cfg.RecordLatency = true

@@ -41,13 +41,13 @@ func Native(o Options) error {
 	}
 
 	tw := table(o)
-	fmt.Fprintln(tw, "system\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tcoalesced\tsteals")
+	fmt.Fprintln(tw, "system\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tcoalesced\tsteals\tshared\thot hit%")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\n",
 			r.System, r.Workers, engTime(float64(r.WallNanos)/1e9), r.OpsPerSec,
 			engTime(r.P50Nanos/1e9), engTime(r.P99Nanos/1e9),
 			engTime(r.QueueWaitP99Nanos/1e9), engTime(r.ExecP99Nanos/1e9),
-			r.CoalescedOps, r.BucketSteals)
+			r.CoalescedOps, r.BucketSteals, r.SharedDescents, 100*r.HotsetHitRate)
 	}
 	tw.Flush()
 
@@ -109,20 +109,34 @@ type nativeRow struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50Nanos  float64 `json:"p50_nanos"`
 	P99Nanos  float64 `json:"p99_nanos"`
-	// Queue-wait / execute breakdown of the same sampled latencies
-	// (P-CTT rows only): queue wait is true submit until the operation's
-	// trigger batch began executing, execute is batch begin until the
-	// operation completed. Comparable to internal/sim's open-loop
-	// queue-delay split.
-	QueueWaitP50Nanos float64 `json:"queue_wait_p50_nanos,omitempty"`
-	QueueWaitP99Nanos float64 `json:"queue_wait_p99_nanos,omitempty"`
-	ExecP50Nanos      float64 `json:"exec_p50_nanos,omitempty"`
-	ExecP99Nanos      float64 `json:"exec_p99_nanos,omitempty"`
+	// Queue-wait / execute breakdown of the same sampled latencies: queue
+	// wait is true submit until the operation's trigger batch began
+	// executing, execute is batch begin until the operation completed.
+	// Comparable to internal/sim's open-loop queue-delay split. Every field
+	// below is emitted on every row — zero-valued on direct-olc rows, which
+	// has no pipeline — so consumers can diff rows without per-system
+	// schemas.
+	QueueWaitP50Nanos float64 `json:"queue_wait_p50_nanos"`
+	QueueWaitP99Nanos float64 `json:"queue_wait_p99_nanos"`
+	ExecP50Nanos      float64 `json:"exec_p50_nanos"`
+	ExecP99Nanos      float64 `json:"exec_p99_nanos"`
 	CoalescedOps      int64   `json:"coalesced_ops"`
 	ShortcutHits      int64   `json:"shortcut_hits"`
-	BucketSteals      int64   `json:"bucket_steals,omitempty"`
-	BucketHandoffs    int64   `json:"bucket_handoffs,omitempty"`
-	WindowDeferrals   int64   `json:"window_deferrals,omitempty"`
+	BucketSteals      int64   `json:"bucket_steals"`
+	BucketHandoffs    int64   `json:"bucket_handoffs"`
+	WindowDeferrals   int64   `json:"window_deferrals"`
+	// Batch-shared traversal and hot-node residency (the traverse phase's
+	// descent-sharing machinery): one shared descent serves a whole sorted
+	// bucket-batch; HotsetHitRate is hits over hotset consultations
+	// (hit+miss), the fraction of shared descents that started below the
+	// root at a resident anchor.
+	SharedDescents int64   `json:"shared_descents"`
+	HotsetHits     int64   `json:"hotset_hits"`
+	HotsetMisses   int64   `json:"hotset_misses"`
+	HotsetHitRate  float64 `json:"hotset_hit_rate"`
+	// BypassOps counts operations the single-worker fast path executed
+	// directly (Workers==1 with an idle pipeline skips the queue hop).
+	BypassOps int64 `json:"bypass_ops"`
 }
 
 const nativeTrials = 3
@@ -181,7 +195,10 @@ func runNativeDirect(o Options, w *workload.Workload) nativeRow {
 // row's engine replaces the previous one's registrations), and
 // Options.Tracer samples lifecycle spans through the pipeline.
 func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
-	e := pctt.New(pctt.Config{Workers: workers, RecordLatency: true, Tracer: o.Tracer})
+	e := pctt.New(pctt.Config{
+		Workers: workers, RecordLatency: true, Tracer: o.Tracer,
+		HotsetCap: o.Hotset,
+	})
 	defer e.Close()
 	if o.Diag != nil {
 		e.RegisterObs(o.Diag)
@@ -203,6 +220,13 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
 			BucketSteals:    ms.Get(metrics.CtrBucketSteals),
 			BucketHandoffs:  ms.Get(metrics.CtrBucketHandoffs),
 			WindowDeferrals: ms.Get(metrics.CtrWindowDeferrals),
+			SharedDescents:  ms.Get(metrics.CtrSharedDescents),
+			HotsetHits:      ms.Get(metrics.CtrHotsetHit),
+			HotsetMisses:    ms.Get(metrics.CtrHotsetMiss),
+			BypassOps:       ms.Get(metrics.CtrBypassOps),
+		}
+		if n := row.HotsetHits + row.HotsetMisses; n > 0 {
+			row.HotsetHitRate = float64(row.HotsetHits) / float64(n)
 		}
 		total := e.LatencyHistogram()
 		queue := e.QueueWaitHistogram()

@@ -66,6 +66,30 @@ const (
 	CtrOffchipBytes = "offchip_bytes"
 	// CtrOnchipHits counts accesses served by on-chip buffers.
 	CtrOnchipHits = "onchip_hits"
+	// CtrSharedDescents counts batch-shared tree descents: one LocateBatch
+	// traversal that resolved a whole sorted key batch with a single
+	// lock-coupled walk (olc batch API; the paper's one-traversal-per-batch
+	// Trigger property).
+	CtrSharedDescents = "shared_descents"
+	// CtrBatchFallbacks counts batch operations that could not be served
+	// from their shared-descent location (structural change needed, stale
+	// leaf, in-batch ordering hazard) and fell back to a per-key root
+	// operation.
+	CtrBatchFallbacks = "batch_fallbacks"
+	// CtrHotsetHit / CtrHotsetMiss count hot-node residency lookups: a hit
+	// means a batch descent started from a cached interior anchor instead of
+	// the root (the software Tree_buffer analogue, P-CTT only).
+	CtrHotsetHit  = "hotset_hit"
+	CtrHotsetMiss = "hotset_miss"
+	// CtrHotsetEvict counts value-aware hotset evictions (a higher-value
+	// bucket anchor displaced the cheapest resident one).
+	CtrHotsetEvict = "hotset_evict"
+	// CtrHotsetInvalidate counts hotset entries dropped because their anchor
+	// node was made obsolete by a structural change.
+	CtrHotsetInvalidate = "hotset_invalidate"
+	// CtrBypassOps counts operations executed directly against the tree by
+	// the single-worker combine-window bypass (P-CTT only).
+	CtrBypassOps = "bypass_ops"
 )
 
 // Set is a collection of named atomic counters. The zero value is not
@@ -84,6 +108,9 @@ var standardNames = []string{
 	CtrCombineSteps, CtrShortcutMaintain, CtrBatches,
 	CtrBucketSteals, CtrBucketHandoffs, CtrWindowDeferrals,
 	CtrOffchipBytes, CtrOnchipHits,
+	CtrSharedDescents, CtrBatchFallbacks,
+	CtrHotsetHit, CtrHotsetMiss, CtrHotsetEvict, CtrHotsetInvalidate,
+	CtrBypassOps,
 }
 
 // NewSet returns a Set with the standard counters plus any extra names.

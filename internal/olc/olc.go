@@ -100,10 +100,11 @@ type Tree struct {
 	// Hot-path counter cells, resolved once at construction so the
 	// per-node instrumentation on descents costs one atomic add instead
 	// of a string-map lookup plus an atomic add.
-	cNodeAccesses, cKeyMatches *int64
-	cOpsRead, cOpsWrite        *int64
-	cLockAcquire, cContention  *int64
-	cAtomicOps, cRestarts      *int64
+	cNodeAccesses, cKeyMatches     *int64
+	cOpsRead, cOpsWrite            *int64
+	cLockAcquire, cContention      *int64
+	cAtomicOps, cRestarts          *int64
+	cSharedDescents, cBatchFallbks *int64
 }
 
 // Option configures a Tree.
@@ -133,6 +134,8 @@ func New(ms *metrics.Set, opts ...Option) *Tree {
 	t.cContention = ms.Counter(metrics.CtrLockContention)
 	t.cAtomicOps = ms.Counter(metrics.CtrAtomicOps)
 	t.cRestarts = ms.Counter(metrics.CtrRestarts)
+	t.cSharedDescents = ms.Counter(metrics.CtrSharedDescents)
+	t.cBatchFallbks = ms.Counter(metrics.CtrBatchFallbacks)
 	return t
 }
 

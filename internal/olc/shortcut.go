@@ -26,6 +26,11 @@ type Ref struct {
 // check staleness; that happens inside GetAt/PutAt.
 func (r Ref) Valid() bool { return r.n != nil }
 
+// Depth returns the key depth consumed on entry to the referenced node.
+// Callers that descend from a Ref (LocateBatch) must only use keys that
+// are at least this long and share the referenced path's leading bytes.
+func (r Ref) Depth() int { return r.depth }
+
 // Locate returns a shortcut reference for key: the deepest internal node
 // entered while descending for key (typically the target leaf's parent).
 // ok=false when the tree is empty or rooted at a bare leaf — no useful

@@ -3,6 +3,8 @@ package pctt
 import (
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -70,6 +72,43 @@ func (e *Engine) do(t task) taskResult {
 		e.mu.RUnlock()
 		replyPool.Put(reply)
 		return e.direct(t)
+	}
+	if e.bypassEligible() {
+		// Single worker, empty pipeline: no concurrent caller to coalesce
+		// with, so skip the queue hop and execute on this goroutine. Under
+		// load (anything in flight) the pipeline path re-engages and the
+		// combine window does its work.
+		e.mu.RUnlock()
+		replyPool.Put(reply)
+		r := e.direct(t)
+		e.ms.Inc(metrics.CtrBypassOps)
+		if t.enq != 0 {
+			now := time.Now().UnixNano()
+			d := float64(now-t.enq) * 1e-9
+			w := e.workers[0]
+			if e.cfg.RecordLatency {
+				w.histMu.Lock()
+				w.histTotal.Observe(d)
+				w.histQueue.Observe(0)
+				w.histExec.Observe(d)
+				w.histMu.Unlock()
+			}
+			if t.traced {
+				if tr := e.cfg.Tracer; tr != nil {
+					tr.Record(obs.Span{
+						TraceID:        t.hash,
+						Op:             opName(t.kind),
+						Worker:         0,
+						Bucket:         e.shardOf(t.key),
+						SubmitUnixNano: t.enq,
+						BatchUnixNano:  t.enq,
+						DoneUnixNano:   now,
+						ExecNanos:      now - t.enq,
+					})
+				}
+			}
+		}
+		return r
 	}
 	e.submitOne(e.shardOf(t.key), t)
 	e.mu.RUnlock()

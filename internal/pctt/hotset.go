@@ -1,0 +1,123 @@
+package pctt
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/olc"
+)
+
+// hotset is the worker-private software Tree_buffer (paper §III-E): a
+// small cache of decoded interior-node references ("anchors"), one per
+// combine bucket, ranked by bucket-population value under the same
+// value-aware replacement the accel simulator uses (mem.NewValueAware).
+// A resident anchor lets the bucket's next batch descent (olc.LocateBatch)
+// start below the root, skipping the shared upper levels entirely —
+// generalizing the leaf-only Shortcut_Table to interior nodes.
+//
+// Entries are keyed by bucket ID, so the residency ranking is exactly the
+// paper's: the value of a cached node is the population of operations
+// flowing through its bucket, and a new bucket displaces the cheapest
+// resident one only when it has proven more valuable (Admit). Anchors
+// self-validate through the olc obsolete flag — LocateBatch refuses a
+// stale anchor and the worker invalidates the entry.
+//
+// A hotset is goroutine-local to its worker; liveA mirrors the population
+// for the obs layer's occupancy gauge.
+type hotset struct {
+	capN    int
+	entries map[uint64]*hotEntry
+	policy  mem.Policy
+	liveA   atomic.Int64
+}
+
+// hotEntry is one resident anchor. path holds the anchor's leading key
+// bytes (length == anchor.Depth()); before descending from the anchor the
+// worker verifies every batch key carries these bytes, which is what makes
+// a from-anchor descent sound for keys that never loaded the bucket's
+// common prefix.
+type hotEntry struct {
+	anchor olc.Ref
+	path   []byte
+	value  int64
+}
+
+// newHotset returns a hotset bounded to capN anchors, or nil when the
+// feature is disabled (capN <= 0); a nil hotset reads as always-miss.
+func newHotset(capN int) *hotset {
+	if capN <= 0 {
+		return nil
+	}
+	return &hotset{
+		capN:    capN,
+		entries: make(map[uint64]*hotEntry, capN),
+		policy:  mem.NewValueAware(),
+	}
+}
+
+// get returns the resident anchor for a bucket.
+func (h *hotset) get(bucket uint64) (olc.Ref, []byte, bool) {
+	e, ok := h.entries[bucket]
+	if !ok {
+		return olc.Ref{}, nil, false
+	}
+	return e.anchor, e.path, true
+}
+
+// put inserts or refreshes the bucket's anchor, crediting delta (the
+// operations the bucket's batch just executed) to its value. At capacity
+// the value-aware policy admits the new bucket only when its first batch
+// outweighs the cheapest resident one; evicted reports a displacement.
+func (h *hotset) put(bucket uint64, anchor olc.Ref, pathSrc []byte, delta int64) (evicted bool) {
+	d := anchor.Depth()
+	if e, ok := h.entries[bucket]; ok {
+		e.value += delta
+		e.anchor = anchor
+		e.path = append(e.path[:0], pathSrc[:d]...)
+		h.policy.OnAccess(bucket, e.value)
+		return false
+	}
+	if len(h.entries) >= h.capN {
+		if !h.policy.Admit(delta) {
+			return false
+		}
+		v := h.policy.Victim()
+		h.policy.OnEvict(v)
+		delete(h.entries, v)
+		evicted = true
+	}
+	// pathSrc is a task key owned by a producer; copy the anchor bytes so
+	// the entry survives the key buffer's reuse.
+	h.entries[bucket] = &hotEntry{
+		anchor: anchor,
+		path:   append([]byte(nil), pathSrc[:d]...),
+		value:  delta,
+	}
+	h.policy.OnInsert(bucket, delta)
+	h.liveA.Store(int64(len(h.entries)))
+	return evicted
+}
+
+// invalidate drops the bucket's anchor (its node went obsolete).
+func (h *hotset) invalidate(bucket uint64) {
+	if _, ok := h.entries[bucket]; !ok {
+		return
+	}
+	h.policy.OnEvict(bucket)
+	delete(h.entries, bucket)
+	h.liveA.Store(int64(len(h.entries)))
+}
+
+// covers reports whether an anchor at the given depth/path can serve every
+// key: each key must be at least depth bytes long and carry the anchor's
+// path bytes. One short or divergent key disqualifies the whole batch —
+// the descent then starts from the root, which is always sound.
+func covers(keys [][]byte, depth int, path []byte) bool {
+	for _, k := range keys {
+		if len(k) < depth || !bytes.Equal(k[:depth], path) {
+			return false
+		}
+	}
+	return true
+}

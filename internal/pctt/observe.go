@@ -3,6 +3,7 @@ package pctt
 import (
 	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -73,6 +74,23 @@ func (e *Engine) RegisterObs(r *obs.Registry) {
 	r.RegisterGauge(ObsGroup, "dcart_pctt_shortcut_entries", "",
 		"live Shortcut_Table entries summed across workers",
 		func() float64 { return float64(e.ShortcutCount()) })
+	r.RegisterGauge(ObsGroup, "dcart_pctt_hotset_entries", "",
+		"resident hot-node anchors (software Tree_buffer) summed across workers",
+		func() float64 { return float64(e.HotsetCount()) })
+	r.RegisterGauge(ObsGroup, "dcart_pctt_nodes_per_op", "",
+		"tree nodes visited per executed operation (node_accesses over ops; "+
+			"the quantity batch-shared descents drive down, paper Fig 6)",
+		func() float64 {
+			ops := e.ms.Get(metrics.CtrOpsRead) + e.ms.Get(metrics.CtrOpsWrite)
+			if ops == 0 {
+				return 0
+			}
+			return float64(e.ms.Get(metrics.CtrNodeAccesses)) / float64(ops)
+		})
+	r.RegisterGauge(ObsGroup, "dcart_pctt_shared_descents", "",
+		"batch-shared lock-coupled descents (one traversal serving a whole "+
+			"sorted key batch)",
+		func() float64 { return float64(e.ms.Get(metrics.CtrSharedDescents)) })
 	for i := 0; i < e.cfg.Workers; i++ {
 		i := i
 		r.RegisterGauge(ObsGroup, "dcart_pctt_ring_depth",

@@ -92,6 +92,12 @@ type Config struct {
 	// ShortcutCap bounds each worker's Shortcut_Table population (default
 	// 1<<16 entries); exceeding it clears the table (epoch eviction).
 	ShortcutCap int
+	// HotsetCap bounds each worker's hot-node residency set: cached
+	// interior-node anchors (one per combine bucket, ranked by bucket
+	// population under value-aware replacement) that batch descents start
+	// from instead of the root — the software Tree_buffer analogue. Default
+	// 64 anchors per worker; negative disables the hotset entirely.
+	HotsetCap int
 	// MaxDelay is the combine-window deadline (default 100µs; negative
 	// disables deferral). A popped bucket holding fewer than MinBatch
 	// operations may be set aside — while the worker runs other ready
@@ -107,6 +113,15 @@ type Config struct {
 	// NoSteal disables whole-bucket work stealing and handoff, pinning
 	// every bucket to its home worker (bucket mod Workers).
 	NoSteal bool
+	// NoBypass disables the single-worker fast path. By default a
+	// Workers==1 engine with an empty pipeline executes operations directly
+	// against the tree (combining cannot help when one worker would execute
+	// the whole backlog serially anyway, and the queue hop dominates
+	// latency); under concurrent load — anything in flight — the pipeline
+	// path and its combine windows re-engage automatically. Set NoBypass to
+	// force every operation through the pipeline (ablation, tests of the
+	// combining machinery).
+	NoBypass bool
 	// CollectReads makes Run record every read's result, as in
 	// engine.Config.
 	CollectReads bool
@@ -144,6 +159,11 @@ func (c Config) Defaults() Config {
 	}
 	if c.ShortcutCap <= 0 {
 		c.ShortcutCap = 1 << 16
+	}
+	if c.HotsetCap == 0 {
+		c.HotsetCap = 64
+	} else if c.HotsetCap < 0 {
+		c.HotsetCap = 0 // disabled; newHotset returns nil
 	}
 	if c.MaxDelay == 0 {
 		c.MaxDelay = 100 * time.Microsecond
@@ -398,10 +418,17 @@ func (e *Engine) Run(ops []workload.Op) *engine.Result {
 
 	t0 := time.Now()
 	e.mu.RLock()
-	if e.closed {
+	switch {
+	case e.closed:
 		e.mu.RUnlock()
 		e.runSequential(ops, slots)
-	} else {
+	case e.bypassEligible():
+		// Single worker, empty pipeline: the combine window cannot help (one
+		// worker would execute the whole backlog serially anyway), so skip
+		// the queue hop and run the stream directly.
+		e.runBypass(ops, slots)
+		e.mu.RUnlock()
+	default:
 		e.dispatch(ops, slots)
 		e.mu.RUnlock()
 	}
@@ -478,6 +505,71 @@ func (e *Engine) dispatch(ops []workload.Op, slots []engine.ReadResult) {
 	wg.Wait()
 }
 
+// bypassEligible reports whether the single-worker fast path applies right
+// now: one worker, bypass not disabled, and nothing in flight (a shallow
+// queue means there is nothing to coalesce with; anything in flight means
+// concurrent producers are active and the combine window can win). Caller
+// holds e.mu (read) with e.closed false, which implies the pipeline
+// started.
+func (e *Engine) bypassEligible() bool {
+	return e.cfg.Workers == 1 && !e.cfg.NoBypass && e.inflight.Load() == 0
+}
+
+// runBypass executes the stream directly against the tree on the caller's
+// goroutine (single-worker fast path). Per-key order is trivially the
+// stream order; latency samples (queue wait pinned at zero — there is no
+// queue) and trace spans land in worker 0's instruments so the obs layer
+// sees one coherent story.
+func (e *Engine) runBypass(ops []workload.Op, slots []engine.ReadResult) {
+	w := e.workers[0]
+	record := e.cfg.RecordLatency
+	tr := e.cfg.Tracer
+	for i := range ops {
+		op := &ops[i]
+		var t0 int64
+		traced := tr != nil && tr.Sample()
+		if (record && i%16 == 0) || traced {
+			t0 = time.Now().UnixNano()
+		}
+		switch op.Kind {
+		case workload.Read:
+			v, ok := e.tree.Get(op.Key)
+			if slots != nil {
+				slots[i] = engine.ReadResult{Index: i, Value: v, OK: ok}
+			}
+		case workload.Write:
+			e.tree.Put(op.Key, op.Value)
+		case workload.Delete:
+			e.tree.Delete(op.Key)
+		}
+		if t0 != 0 {
+			now := time.Now().UnixNano()
+			d := float64(now-t0) * 1e-9
+			if record {
+				w.histMu.Lock()
+				w.histTotal.Observe(d)
+				w.histQueue.Observe(0)
+				w.histExec.Observe(d)
+				w.histMu.Unlock()
+			}
+			if traced {
+				tr.Record(obs.Span{
+					TraceID:        hashKey(op.Key),
+					Op:             opName(op.Kind),
+					Worker:         0,
+					Bucket:         e.shardOf(op.Key),
+					SubmitUnixNano: t0,
+					BatchUnixNano:  t0,
+					DoneUnixNano:   now,
+					ExecNanos:      now - t0,
+				})
+			}
+		}
+	}
+	w.ops.Add(int64(len(ops)))
+	e.ms.Add(metrics.CtrBypassOps, int64(len(ops)))
+}
+
 // runSequential is the post-Close fallback: direct tree execution.
 func (e *Engine) runSequential(ops []workload.Op, slots []engine.ReadResult) {
 	for i := range ops {
@@ -551,6 +643,28 @@ func (e *Engine) ShortcutCount() int {
 		n += w.shortcuts.liveA.Load()
 	}
 	return int(n)
+}
+
+// HotsetCount sums the live per-worker hot-node anchor populations. Safe
+// to call while the pipeline is live (reads each hotset's atomic mirror).
+func (e *Engine) HotsetCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := int64(0)
+	for _, w := range e.workers {
+		if w.hotset != nil {
+			n += w.hotset.liveA.Load()
+		}
+	}
+	return int(n)
+}
+
+// anchorMaxDepth bounds how deep a cached batch anchor may sit: the loaded
+// common prefix plus the whole bytes of the bucket label. An anchor below
+// that could be narrower than its bucket and would miss keys the bucket
+// legitimately routes.
+func (e *Engine) anchorMaxDepth() int {
+	return e.prefixSkip + e.cfg.PrefixBits/8
 }
 
 // commonPrefixLenAll returns the length of the byte prefix shared by every

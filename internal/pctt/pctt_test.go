@@ -283,9 +283,10 @@ func TestCloseThenUse(t *testing.T) {
 }
 
 // TestCoalescingCounters: a hot-key stream must coalesce and populate the
-// shortcut table.
+// shortcut table. NoBypass pins the single worker to the pipeline path —
+// by default a Workers==1 engine with an empty queue executes directly.
 func TestCoalescingCounters(t *testing.T) {
-	e := New(Config{Workers: 1, BatchSize: 1024, ChunkSize: 1024})
+	e := New(Config{Workers: 1, BatchSize: 1024, ChunkSize: 1024, NoBypass: true})
 	defer e.Close()
 	// A few sibling keys so the tree has internal nodes (a bare-leaf root
 	// admits no shortcut).

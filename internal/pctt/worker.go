@@ -33,6 +33,14 @@ type worker struct {
 	// migration noted in steal.go.
 	shortcuts *scTable
 
+	// hotset is the private hot-node residency set (software Tree_buffer):
+	// per-bucket interior anchors, ranked by bucket population under
+	// value-aware replacement, that batch descents start from instead of
+	// the root. nil when Config.HotsetCap disables the feature. Like the
+	// Shortcut_Table it migrates lazily on steals (the thief misses and
+	// re-derives anchors from its own batch descents).
+	hotset *hotset
+
 	// Latency histograms (RecordLatency): end-to-end, queue wait (submit
 	// until the op's trigger batch began), and execute (batch begin until
 	// the op completed). queue + execute == total per sample. histMu
@@ -62,12 +70,20 @@ type worker struct {
 	// gathered chunks themselves — tasks execute in place and are never
 	// copied out of the chunk a producer filled (the pipeline's only task
 	// copy is the producer's construction into that chunk).
-	bchunks [][]task // the trigger batch: chunks gathered from ready buckets
-	bn      int      // total operations across bchunks
-	runIDs  []int32  // buckets whose backlogs the current batch gathered
-	groups  []group
-	gtab    []gslot // open-addressed key-hash -> group index table
-	pending []*task // write tasks awaiting the group's combined flush
+	bchunks   [][]task // the trigger batch: chunks gathered from ready buckets
+	bchunkBkt []int32  // bucket ID per gathered chunk (parallel to bchunks)
+	bn        int      // total operations across bchunks
+	runIDs    []int32  // buckets whose backlogs the current batch gathered
+	groups    []group
+	gtab      []gslot // open-addressed key-hash -> group index table
+	pending   []*task // write tasks awaiting the group's combined flush
+
+	// locate-phase scratch (reused across batches): the scTable-miss groups
+	// of the bucket currently being located, their keys, and the per-key
+	// locations one shared LocateBatch descent fills in.
+	lgroups []*group
+	lkeys   [][]byte
+	llocs   []olc.BatchLoc
 
 	// execStart is the unix-nano begin of the current trigger batch
 	// (latency attribution point between queue wait and execute).
@@ -85,18 +101,32 @@ type deferredWindow struct {
 	deadline int64 // unix nanos
 }
 
-// batchCounters mirrors the counters execGroup touches.
+// batchCounters mirrors the counters the execute phases touch.
 type batchCounters struct {
-	shortcutHit, shortcutMiss, maintain int64
-	coalesced, opsRead, opsWrite        int64
+	shortcutHit, shortcutMiss, maintain  int64
+	coalesced, opsRead, opsWrite         int64
+	hotsetHit, hotsetMiss                int64
+	hotsetEvict, hotsetInvalid, fallback int64
 }
 
 // group is a set of same-key operations coalesced within one batch, in
 // arrival order, referenced in place in their gathered chunks. hash is the
 // key's unprobed hash carried in the task, reused for the Shortcut_Table.
+// bucket, scHit/scLeaf, located, and loc are filled by the locate phase
+// (locateGroups) before execGroup runs.
 type group struct {
 	ops  []*task
 	hash uint64
+	// bucket is the combine bucket the group's key belongs to (the unit the
+	// locate phase shares descents and anchors across).
+	bucket int32
+	// scHit/scLeaf: the Shortcut_Table resolved this key to a live leaf.
+	scHit  bool
+	scLeaf olc.LeafRef
+	// located: the shared batch descent resolved this key; loc carries its
+	// leaf (zero when absent at locate time) and insert anchor.
+	located bool
+	loc     olc.BatchLoc
 }
 
 // gslot is one open-addressed grouping-table slot; gi is the group index
@@ -113,6 +143,7 @@ func newWorker(e *Engine, id int) *worker {
 		e:         e,
 		id:        id,
 		shortcuts: newSCTable(),
+		hotset:    newHotset(e.cfg.HotsetCap),
 		wake:      make(chan struct{}, 1),
 	}
 	// Size the grouping table to a power of two holding the largest
@@ -170,6 +201,7 @@ func (w *worker) loop() {
 			return
 		}
 		w.bchunks = w.bchunks[:0]
+		w.bchunkBkt = w.bchunkBkt[:0]
 		w.bn = 0
 		w.runIDs = w.runIDs[:0]
 		now := time.Now().UnixNano()
@@ -371,6 +403,9 @@ func (w *worker) collect(id int32, stolen bool) {
 		k++
 	}
 	w.bchunks = append(w.bchunks, b.chunks[:k]...)
+	for i := 0; i < k; i++ {
+		w.bchunkBkt = append(w.bchunkBkt, id)
+	}
 	rest := copy(b.chunks, b.chunks[k:])
 	for i := rest; i < len(b.chunks); i++ {
 		b.chunks[i] = nil
@@ -420,6 +455,7 @@ func (w *worker) finishBatch() {
 // drain path; the main loop gathers several buckets per batch instead).
 func (w *worker) runBucket(id int32, stolen bool) {
 	w.bchunks = w.bchunks[:0]
+	w.bchunkBkt = w.bchunkBkt[:0]
 	w.bn = 0
 	w.runIDs = w.runIDs[:0]
 	w.collect(id, stolen)
@@ -449,7 +485,8 @@ func (w *worker) execBatch() {
 	w.groups = w.groups[:0]
 	clear(w.gtab) // one memclr; gslot has no pointers
 	mask := uint64(len(w.gtab) - 1)
-	for _, c := range w.bchunks {
+	for ci, c := range w.bchunks {
+		bkt := w.bchunkBkt[ci]
 		for i := range c {
 			t := &c[i]
 			pos := t.hash & mask
@@ -468,6 +505,9 @@ func (w *worker) execBatch() {
 					g := &w.groups[len(w.groups)-1]
 					g.ops = append(g.ops[:0], t)
 					g.hash = t.hash
+					g.bucket = bkt
+					g.scHit, g.scLeaf = false, olc.LeafRef{}
+					g.located, g.loc = false, olc.BatchLoc{}
 					break
 				}
 				if s.hash == t.hash {
@@ -482,6 +522,7 @@ func (w *worker) execBatch() {
 			}
 		}
 	}
+	w.locateGroups()
 	for gi := range w.groups {
 		w.execGroup(&w.groups[gi])
 	}
@@ -489,37 +530,124 @@ func (w *worker) execBatch() {
 	w.flushCounters()
 }
 
-// execGroup locates the group's target once (shortcut or root descent) and
-// triggers all of its operations together: reads beyond the first are
-// served from the group's running value, consecutive writes combine into a
-// single tree put (one version-lock acquisition per write burst).
+// locateGroups is the traverse phase run once per trigger batch: resolve
+// every group's target location before execution. Groups whose key the
+// Shortcut_Table already maps to a live leaf are done immediately; the
+// remainder of each bucket shares ONE lock-coupled batch descent
+// (olc.LocateBatch) — sorted keys, each tree node visited and each node
+// lock acquired once per bucket-batch rather than once per key — started
+// from the bucket's cached hot-node anchor when the hotset holds one.
+//
+// Chunks are gathered bucket by bucket and groups form in first-appearance
+// order, so w.groups is bucket-contiguous; the phase walks it in runs.
+func (w *worker) locateGroups() {
+	i := 0
+	for i < len(w.groups) {
+		j := i
+		bkt := w.groups[i].bucket
+		for j < len(w.groups) && w.groups[j].bucket == bkt {
+			j++
+		}
+		w.locateBucket(bkt, w.groups[i:j])
+		i = j
+	}
+}
+
+// locateBucket resolves one bucket's groups (see locateGroups).
+func (w *worker) locateBucket(bkt int32, groups []group) {
+	w.lgroups = w.lgroups[:0]
+	w.lkeys = w.lkeys[:0]
+	nops := 0
+	for gi := range groups {
+		g := &groups[gi]
+		nops += len(g.ops)
+		if s := w.shortcuts.get(g.hash); s != nil && bytes.Equal(s.key, g.ops[0].key) {
+			g.scHit, g.scLeaf = true, s.leaf // hash collision => miss
+			w.c.shortcutHit++
+			continue
+		}
+		w.c.shortcutMiss++
+		w.lgroups = append(w.lgroups, g)
+		w.lkeys = append(w.lkeys, g.ops[0].key)
+	}
+	if len(w.lgroups) == 0 {
+		return // every key shortcut to its leaf; nothing to descend for
+	}
+
+	// Hot-node residency: start the shared descent from the bucket's cached
+	// interior anchor when it can serve every key of this batch (each key
+	// must carry the anchor's path bytes — a key that never loaded the
+	// bucket's common prefix forces a root descent for the whole batch).
+	tree := w.e.tree
+	var from olc.Ref
+	anchored := false
+	if w.hotset != nil {
+		if ref, path, ok := w.hotset.get(uint64(bkt)); ok && covers(w.lkeys, ref.Depth(), path) {
+			from, anchored = ref, true
+		} else {
+			w.c.hotsetMiss++
+		}
+	}
+	if cap(w.llocs) < len(w.lkeys) {
+		w.llocs = make([]olc.BatchLoc, len(w.lkeys))
+	}
+	locs := w.llocs[:len(w.lkeys)]
+	st, ok := tree.LocateBatch(from, w.e.anchorMaxDepth(), w.lkeys, locs)
+	if !ok {
+		// The anchor's node went obsolete under a structural change: drop
+		// the entry and redo the descent from the root.
+		w.c.hotsetInvalid++
+		w.hotset.invalidate(uint64(bkt))
+		from, anchored = olc.Ref{}, false
+		st, _ = tree.LocateBatch(from, w.e.anchorMaxDepth(), w.lkeys, locs)
+	}
+	if anchored {
+		w.c.hotsetHit++
+	}
+	for k, g := range w.lgroups {
+		g.located, g.loc = true, locs[k]
+	}
+	if w.hotset != nil && st.Anchor.Valid() {
+		// Credit the whole bucket-batch population (shortcut hits included)
+		// to the anchor's value — the paper's bucket-population ranking.
+		if w.hotset.put(uint64(bkt), st.Anchor, w.lkeys[0], int64(nops)) {
+			w.c.hotsetEvict++
+		}
+	}
+}
+
+// execGroup triggers a group's operations together against the location
+// the traverse phase resolved (Shortcut_Table leaf, batch-descent leaf, or
+// batch-descent insert anchor): reads beyond the first are served from the
+// group's running value, consecutive writes combine into a single tree put
+// (one version-lock acquisition per write burst), and inserts re-enter the
+// tree at the key's located interior node rather than the root.
 //
 // Safety: the bucket state machine guarantees this worker is the only one
 // executing the group's key right now (a bucket runs on one worker at a
 // time, and a key maps to one bucket), so no other actor can change the
-// key's binding between the group's operations.
+// key's binding between the locate phase and the group's operations.
 func (w *worker) execGroup(g *group) {
 	tree := w.e.tree
 	key := g.ops[0].key
 
-	var leaf olc.LeafRef
-	hasRef := false
-	if s := w.shortcuts.get(g.hash); s != nil && bytes.Equal(s.key, key) {
-		leaf, hasRef = s.leaf, true // hash collision => miss
+	leaf, hasRef := g.scLeaf, g.scHit
+	if !hasRef && g.loc.Leaf.Valid() {
+		leaf, hasRef = g.loc.Leaf, true
 	}
 	refUsable := hasRef
-	if hasRef {
-		w.c.shortcutHit++
-	} else {
-		w.c.shortcutMiss++
-	}
 
 	// Running per-key state: once haveCur is set, cur/curFound track the
 	// key's logical value through the group without touching the tree.
+	// locAbsent records a batch-proven absence: the shared descent found no
+	// leaf, and nobody else may bind this key while the bucket runs here,
+	// so a leading read needs no descent of its own.
 	var cur uint64
 	curFound := false
 	haveCur := false
+	locAbsent := g.located && !hasRef
 	dirty := false // cur holds an unflushed write
+	wrote := false // the group changed the key's binding or value
 	w.pending = w.pending[:0]
 
 	// flush applies the combined pending writes as one tree put and
@@ -536,7 +664,17 @@ func (w *worker) execGroup(g *group) {
 			refUsable = false
 		}
 		if !refUsable {
-			replaced = tree.Put(key, cur)
+			// Insert: re-enter the tree at the batch descent's insert
+			// anchor; only a structural change at the anchor itself (or no
+			// anchor at all) pays a full root descent.
+			done := false
+			if r := g.loc.Ins; r.Valid() {
+				replaced, done = tree.PutAt(r, key, cur)
+			}
+			if !done {
+				replaced = tree.Put(key, cur)
+				w.c.fallback++
+			}
 		}
 		if n := len(w.pending) - 1; n > 0 {
 			// Coalesced writes beyond the first: counted as ops that
@@ -566,7 +704,13 @@ func (w *worker) execGroup(g *group) {
 						refUsable = false
 					}
 				}
-				if !refUsable {
+				switch {
+				case refUsable:
+				case locAbsent:
+					// The shared descent proved the key absent; the read is
+					// answered from that result, no own descent.
+					w.c.opsRead++
+				default:
 					cur, curFound = tree.Get(t.key)
 				}
 				haveCur = true
@@ -578,7 +722,7 @@ func (w *worker) execGroup(g *group) {
 			w.complete(t, taskResult{value: cur, found: curFound})
 		case workload.Write:
 			cur, curFound, haveCur = t.value, true, true
-			dirty = true
+			dirty, wrote = true, true
 			w.pending = append(w.pending, t)
 		case workload.Delete:
 			// Deletes restructure; flush combined writes first, then go
@@ -586,21 +730,29 @@ func (w *worker) execGroup(g *group) {
 			flush()
 			deleted := tree.Delete(t.key)
 			cur, curFound, haveCur = 0, false, true
+			wrote = true
 			w.complete(t, taskResult{found: deleted})
 		}
 	}
 	flush()
 
-	// Maintain the Shortcut_Table: refresh a missing or dead entry from
-	// the key's live leaf (overwriting also evicts a colliding or stale
-	// binding at this hash). A key that ended the group absent gets its
-	// entry dropped instead.
-	if !refUsable {
+	// Maintain the Shortcut_Table. A live leaf the table did not already
+	// hold — a batch-located one, or one created by this group's insert —
+	// becomes an entry; a key that ended the group absent gets its entry
+	// dropped. The batch-located case costs no descent at all (the shared
+	// descent already produced the leaf ref); only an insert pays a
+	// LocateLeaf. A batch-located absence with no writes needs nothing.
+	switch {
+	case refUsable && !g.scHit:
+		w.shortcuts.put(g.hash, key, leaf)
+		w.shortcuts.maintain(w.e.cfg.ShortcutCap)
+		w.c.maintain++
+	case !refUsable && (wrote || !g.located):
 		if lr, ok := tree.LocateLeaf(key); ok {
 			w.shortcuts.put(g.hash, key, lr)
 			w.shortcuts.maintain(w.e.cfg.ShortcutCap)
 			w.c.maintain++
-		} else if hasRef {
+		} else if g.scHit {
 			w.shortcuts.del(g.hash)
 		}
 	}
@@ -627,6 +779,21 @@ func (w *worker) flushCounters() {
 	}
 	if c.opsWrite != 0 {
 		ms.Add(metrics.CtrOpsWrite, c.opsWrite)
+	}
+	if c.hotsetHit != 0 {
+		ms.Add(metrics.CtrHotsetHit, c.hotsetHit)
+	}
+	if c.hotsetMiss != 0 {
+		ms.Add(metrics.CtrHotsetMiss, c.hotsetMiss)
+	}
+	if c.hotsetEvict != 0 {
+		ms.Add(metrics.CtrHotsetEvict, c.hotsetEvict)
+	}
+	if c.hotsetInvalid != 0 {
+		ms.Add(metrics.CtrHotsetInvalidate, c.hotsetInvalid)
+	}
+	if c.fallback != 0 {
+		ms.Add(metrics.CtrBatchFallbacks, c.fallback)
 	}
 	*c = batchCounters{}
 	ms.Inc(metrics.CtrBatches)
