@@ -7,9 +7,9 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/olc ./internal/pctt ./internal/kvserver ./internal/metrics ./internal/obs .
+RACE_PKGS = ./internal/olc ./internal/pctt ./internal/store ./internal/kvserver ./internal/metrics ./internal/obs .
 
-.PHONY: check vet staticcheck build test race bench bench-batch bench-native smoke-native smoke-diag clean
+.PHONY: check vet staticcheck build test race bench bench-batch bench-native smoke-native smoke-diag smoke-shards clean
 
 check: vet staticcheck build test race
 
@@ -62,6 +62,13 @@ smoke-native:
 # are live (gauges, latency histograms, trace spans).
 smoke-diag:
 	./scripts/smoke_diag.sh
+
+# Sharded-server smoke: boot dcart-kv with -shards 4 (one batching engine
+# per shard), run a TCP protocol round-trip including a cross-shard
+# ordered merge, scrape the per-shard /metrics groups, and verify the
+# per-shard snapshot files on graceful shutdown.
+smoke-shards:
+	./scripts/smoke_shards.sh
 
 clean:
 	rm -f repro.test BENCH_native.json

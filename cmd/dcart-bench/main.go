@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	threads := flag.Int("threads", 0, "modeled CPU threads (default 96)")
 	hotset := flag.Int("hotset", 0,
 		"per-worker hot-node residency anchors in the native experiment's parallel engine (0 = engine default 64, negative disables)")
+	shards := store.RegisterShardsFlag(flag.CommandLine)
 	jsonOut := flag.Bool("json", false,
 		"also write a machine-readable report (BENCH_native.json for -exp native)")
 	gogc := flag.Int("gogc", 400,
@@ -41,10 +43,7 @@ func main() {
 			"engines' steady-state live heap is small, so the default GC goal "+
 			"triggers a collection every few milliseconds and its pauses "+
 			"dominate tail latency at GOMAXPROCS=1")
-	diagAddr := flag.String("diag-addr", "",
-		"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address while experiments run (empty = off)")
-	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery,
-		"with -diag-addr: trace one operation in N through the parallel engine (rounded up to a power of two)")
+	diagFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *gogc > 0 {
@@ -63,14 +62,14 @@ func main() {
 	}
 	o := bench.Options{
 		NumKeys: *keys, NumOps: *ops, Seed: *seed, ZipfS: *zipf,
-		Threads: *threads, Out: os.Stdout, Hotset: *hotset,
+		Threads: *threads, Out: os.Stdout, Hotset: *hotset, Shards: *shards,
 	}
 	if *jsonOut {
 		o.JSONPath = "BENCH_native.json"
 	}
-	if *diagAddr != "" {
+	if diagFlags.Enabled() {
 		o.Diag = obs.NewRegistry()
-		o.Tracer = obs.NewTracer(0, *traceSample)
+		o.Tracer = diagFlags.Tracer()
 		// Process-level series, registered up front so /metrics serves
 		// meaningful content even before the first engine attaches (the
 		// native experiment's direct-olc row runs engine-less).
@@ -80,7 +79,7 @@ func main() {
 		o.Diag.RegisterGauge("process", "dcart_bench_goroutines", "",
 			"live goroutines in the benchmark process",
 			func() float64 { return float64(runtime.NumGoroutine()) })
-		diag, err := obs.Serve(*diagAddr, o.Diag, o.Tracer)
+		diag, err := obs.Serve(diagFlags.Addr(), o.Diag, o.Tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcart-bench: diagnostics listen:", err)
 			os.Exit(1)

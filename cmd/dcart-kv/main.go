@@ -10,6 +10,8 @@
 //	GET <key>              -> VALUE <uint64> | NOT_FOUND
 //	DEL <key>              -> OK | NOT_FOUND
 //	SCAN <prefix> <limit>  -> KEY <key> <value> lines, then END
+//	                          (END TRUNCATED when the server's 10k response
+//	                          cap clipped a larger result)
 //	LEN                    -> LEN <n>
 //	STATS                  -> one line: the observability snapshot
 //	QUIT                   -> closes the connection
@@ -19,7 +21,7 @@
 //
 // Usage:
 //
-//	dcart-kv [-addr :7070] [-snapshot file] [-batch-workers n]
+//	dcart-kv [-addr :7070] [-snapshot file] [-shards n] [-batch-workers n]
 //	         [-batch-max-delay 100us] [-batch-min-batch 64]
 //	         [-batch-queue-depth 4096] [-batch-max-inflight 16384]
 //	         [-batch-no-steal]
@@ -33,6 +35,14 @@
 // before touching the tree; the remaining -batch-* flags tune its
 // latency/throughput trade-off (combine-window deadline, backlog bounds,
 // work stealing — see internal/pctt.Config).
+//
+// With -shards > 1, the key space is partitioned across that many
+// independent sub-stores by the top key bytes (internal/store.Sharded,
+// the scale-out shape of the paper's Fig 6): point operations route to
+// the owning shard, SCAN/RANGE scatter to every shard and merge back in
+// global key order, snapshots become one file per shard, and /metrics
+// serves every series per shard under a shard="i" label. -shards composes
+// with -batch-workers (each shard gets its own engine).
 //
 // With -diag-addr, a diagnostics HTTP server exposes /metrics (Prometheus
 // text format), /statsz (the STATS snapshot as JSON), /debug/traces (the
@@ -59,55 +69,26 @@ import (
 
 	"repro/internal/kvserver"
 	"repro/internal/obs"
-	"repro/internal/pctt"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file to load/save")
-	batchWorkers := flag.Int("batch-workers", 0,
-		"route point ops through the parallel CTT engine with n workers (0 = direct)")
-	batchMaxDelay := flag.Duration("batch-max-delay", 0,
-		"combine-window deadline: a request waits at most this long for peers to coalesce with (0 = engine default 100µs, negative disables deferral)")
-	batchMinBatch := flag.Int("batch-min-batch", 0,
-		"combine-window fill target: buckets at or above this execute immediately (0 = engine default 64)")
-	batchQueueDepth := flag.Int("batch-queue-depth", 0,
-		"per-bucket backlog bound in operations (0 = engine default 4096)")
-	batchMaxInflight := flag.Int("batch-max-inflight", 0,
-		"total submitted-but-incomplete operation bound — the queue-wait knob (0 = engine default 4x batch size)")
-	batchNoSteal := flag.Bool("batch-no-steal", false,
-		"disable whole-bucket work stealing and handoff (pin buckets to their home worker)")
-	batchHotset := flag.Int("batch-hotset", 0,
-		"per-worker hot-node residency anchors for batch descents (0 = engine default 64, negative disables)")
-	diagAddr := flag.String("diag-addr", "",
-		"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address (empty = off)")
-	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery,
-		"trace one operation in N through the pipeline (batched mode with -diag-addr; rounded up to a power of two)")
+	storeFlags := store.RegisterFlags(flag.CommandLine)
+	diagFlags := obs.RegisterFlags(flag.CommandLine)
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long shutdown waits for in-flight connections before force-closing them")
 	flag.Parse()
 
 	var tracer *obs.Tracer
-	var srv *kvserver.Server
-	if *batchWorkers > 0 {
-		cfg := pctt.Config{
-			Workers:     *batchWorkers,
-			MaxDelay:    *batchMaxDelay,
-			MinBatch:    *batchMinBatch,
-			QueueDepth:  *batchQueueDepth,
-			MaxInflight: *batchMaxInflight,
-			NoSteal:     *batchNoSteal,
-			HotsetCap:   *batchHotset,
-		}
-		if *diagAddr != "" {
-			cfg.RecordLatency = true
-			tracer = obs.NewTracer(0, *traceSample)
-			cfg.Tracer = tracer
-		}
-		srv = kvserver.NewBatchedConfig(cfg)
-	} else {
-		srv = kvserver.New()
+	cfg := storeFlags.Config()
+	if diagFlags.Enabled() && cfg.Engine.Workers > 0 {
+		cfg.Engine.RecordLatency = true
+		tracer = diagFlags.Tracer()
+		cfg.Engine.Tracer = tracer
 	}
+	srv := kvserver.NewStore(store.Open(cfg))
 	if *snapshot != "" {
 		if err := srv.LoadSnapshot(*snapshot); err != nil && !os.IsNotExist(err) {
 			log.Fatalf("dcart-kv: load snapshot: %v", err)
@@ -115,9 +96,9 @@ func main() {
 	}
 
 	var diag *obs.Server
-	if *diagAddr != "" {
+	if diagFlags.Enabled() {
 		var err error
-		diag, err = obs.Serve(*diagAddr, srv.Registry(), tracer)
+		diag, err = obs.Serve(diagFlags.Addr(), srv.Registry(), tracer)
 		if err != nil {
 			log.Fatalf("dcart-kv: diagnostics listen: %v", err)
 		}

@@ -47,6 +47,9 @@ type Options struct {
 	// in the native experiment: 0 keeps pctt's default (64 anchors per
 	// worker), negative disables the hotset (ablation).
 	Hotset int
+	// Shards pins the native experiment's sharded-store sweep to exactly
+	// this shard count (0 sweeps the default {1, 2, 4}).
+	Shards int
 }
 
 func (o Options) defaults() Options {

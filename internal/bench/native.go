@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/olc"
 	"repro/internal/pctt"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -39,12 +41,15 @@ func Native(o Options) error {
 	for _, workers := range nativeWorkerCounts() {
 		rows = append(rows, runNativePCTT(o, w, workers))
 	}
+	for _, shards := range nativeShardCounts(o) {
+		rows = append(rows, runNativeSharded(o, w, shards))
+	}
 
 	tw := table(o)
-	fmt.Fprintln(tw, "system\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tcoalesced\tsteals\tshared\thot hit%")
+	fmt.Fprintln(tw, "system\tshards\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tcoalesced\tsteals\tshared\thot hit%")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\n",
-			r.System, r.Workers, engTime(float64(r.WallNanos)/1e9), r.OpsPerSec,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\n",
+			r.System, r.Shards, r.Workers, engTime(float64(r.WallNanos)/1e9), r.OpsPerSec,
 			engTime(r.P50Nanos/1e9), engTime(r.P99Nanos/1e9),
 			engTime(r.QueueWaitP99Nanos/1e9), engTime(r.ExecP99Nanos/1e9),
 			r.CoalescedOps, r.BucketSteals, r.SharedDescents, 100*r.HotsetHitRate)
@@ -53,7 +58,12 @@ func Native(o Options) error {
 
 	base := rows[0].OpsPerSec
 	for _, r := range rows[1:] {
-		fmt.Fprintf(o.Out, "%s@%d vs direct: %.2fx\n", r.System, r.Workers, r.OpsPerSec/base)
+		if r.Shards > 1 {
+			fmt.Fprintf(o.Out, "%s@%dx%dw vs direct: %.2fx\n",
+				r.System, r.Shards, r.Workers, r.OpsPerSec/base)
+		} else {
+			fmt.Fprintf(o.Out, "%s@%d vs direct: %.2fx\n", r.System, r.Workers, r.OpsPerSec/base)
+		}
 	}
 
 	if o.JSONPath != "" {
@@ -90,6 +100,17 @@ func nativeWorkerCounts() []int {
 	return counts
 }
 
+// nativeShardCounts picks the store shard counts for the sharded P-CTT
+// rows — the multi-SOU scale-out sweep. Options.Shards pins the sweep to
+// one point; the default {1, 2, 4} includes 1 so the store-routing
+// overhead over the plain engine rows is itself measured.
+func nativeShardCounts(o Options) []int {
+	if o.Shards > 0 {
+		return []int{o.Shards}
+	}
+	return []int{1, 2, 4}
+}
+
 // nativeReport is the machine-readable result written to JSONPath.
 type nativeReport struct {
 	Experiment string      `json:"experiment"`
@@ -103,7 +124,11 @@ type nativeReport struct {
 }
 
 type nativeRow struct {
-	System    string  `json:"system"`
+	System string `json:"system"`
+	// Shards is the store shard count the row ran behind: 1 for the
+	// direct tree and the plain engine rows (one index, no router),
+	// 2+ for the sharded scale-out rows. Workers is per shard.
+	Shards    int     `json:"shards"`
 	Workers   int     `json:"workers"`
 	WallNanos int64   `json:"wall_nanos"`
 	OpsPerSec float64 `json:"ops_per_sec"`
@@ -178,6 +203,7 @@ func runNativeDirect(o Options, w *workload.Workload) nativeRow {
 		if trial == 0 || wall < best.WallNanos {
 			best = nativeRow{
 				System:    "direct-olc",
+				Shards:    1,
 				Workers:   1,
 				WallNanos: wall,
 				OpsPerSec: float64(len(w.Ops)) / (float64(wall) / 1e9),
@@ -212,6 +238,7 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
 		ms := e.Metrics()
 		row := nativeRow{
 			System:          "P-CTT",
+			Shards:          1,
 			Workers:         workers,
 			WallNanos:       res.WallNanos,
 			OpsPerSec:       float64(len(w.Ops)) / (float64(res.WallNanos) / 1e9),
@@ -231,6 +258,114 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
 		total := e.LatencyHistogram()
 		queue := e.QueueWaitHistogram()
 		exec := e.ExecHistogram()
+		row.P50Nanos = total.Quantile(0.50) * 1e9
+		row.P99Nanos = total.Quantile(0.99) * 1e9
+		row.QueueWaitP50Nanos = queue.Quantile(0.50) * 1e9
+		row.QueueWaitP99Nanos = queue.Quantile(0.99) * 1e9
+		row.ExecP50Nanos = exec.Quantile(0.50) * 1e9
+		row.ExecP99Nanos = exec.Quantile(0.99) * 1e9
+		if trial == 0 || row.WallNanos < best.WallNanos {
+			best = row
+		}
+	}
+	return best
+}
+
+// nativeShardWorkers is the per-shard engine worker count on the sharded
+// rows: small and fixed, so the sweep isolates the scale-out axis (more
+// independent stores) from the scale-up axis the worker sweep covers.
+const nativeShardWorkers = 2
+
+// runNativeSharded executes the stream through a sharded store with one
+// P-CTT engine per shard — the software analogue of the paper's 16
+// replicated SOUs behind a prefix dispatcher (Fig 6). The stream is
+// pre-split by the store's shard router (the same top-bytes dispatch a
+// live sharded server performs per operation, hoisted out of the measured
+// loop) and all shards run their partitions concurrently; wall time is
+// the slowest shard's. With Options.Diag set, every shard engine is
+// attached under its own per-shard registry group, shard-labeled.
+func runNativeSharded(o Options, w *workload.Workload, shards int) nativeRow {
+	engines := make([]*pctt.Engine, shards)
+	for i := range engines {
+		engines[i] = pctt.New(pctt.Config{
+			Workers: nativeShardWorkers, RecordLatency: true, Tracer: o.Tracer,
+			HotsetCap: o.Hotset,
+		})
+	}
+	st := store.NewSharded(shards, func(i int) store.Store {
+		return store.WrapEngine(engines[i])
+	})
+	defer st.Close() // closes every shard engine
+	if o.Diag != nil {
+		st.RegisterObs(o.Diag)
+	}
+
+	keysBy := make([][][]byte, shards)
+	valsBy := make([][]uint64, shards)
+	for i, k := range w.Keys {
+		s := store.ShardOf(k, shards)
+		keysBy[s] = append(keysBy[s], k)
+		valsBy[s] = append(valsBy[s], uint64(i))
+	}
+	opsBy := make([][]workload.Op, shards)
+	for _, op := range w.Ops {
+		s := store.ShardOf(op.Key, shards)
+		opsBy[s] = append(opsBy[s], op)
+	}
+
+	each := func(fn func(i int)) {
+		var wg sync.WaitGroup
+		for i := 0; i < shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fn(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	each(func(i int) {
+		engines[i].Load(keysBy[i], valsBy[i])
+		engines[i].Run(opsBy[i]) // warmup: inserts absorbed, shortcuts warm
+	})
+
+	var best nativeRow
+	for trial := 0; trial < nativeTrials; trial++ {
+		for _, e := range engines {
+			e.Reset()
+		}
+		start := time.Now()
+		each(func(i int) { engines[i].Run(opsBy[i]) })
+		wall := time.Since(start).Nanoseconds()
+
+		row := nativeRow{
+			System:    "P-CTT-sharded",
+			Shards:    shards,
+			Workers:   nativeShardWorkers,
+			WallNanos: wall,
+			OpsPerSec: float64(len(w.Ops)) / (float64(wall) / 1e9),
+		}
+		total := metrics.NewHistogram()
+		queue := metrics.NewHistogram()
+		exec := metrics.NewHistogram()
+		for _, e := range engines {
+			ms := e.Metrics()
+			row.CoalescedOps += ms.Get(metrics.CtrCoalesced)
+			row.ShortcutHits += ms.Get(metrics.CtrShortcutHit)
+			row.BucketSteals += ms.Get(metrics.CtrBucketSteals)
+			row.BucketHandoffs += ms.Get(metrics.CtrBucketHandoffs)
+			row.WindowDeferrals += ms.Get(metrics.CtrWindowDeferrals)
+			row.SharedDescents += ms.Get(metrics.CtrSharedDescents)
+			row.HotsetHits += ms.Get(metrics.CtrHotsetHit)
+			row.HotsetMisses += ms.Get(metrics.CtrHotsetMiss)
+			row.BypassOps += ms.Get(metrics.CtrBypassOps)
+			total.Merge(e.LatencyHistogram())
+			queue.Merge(e.QueueWaitHistogram())
+			exec.Merge(e.ExecHistogram())
+		}
+		if n := row.HotsetHits + row.HotsetMisses; n > 0 {
+			row.HotsetHitRate = float64(row.HotsetHits) / float64(n)
+		}
 		row.P50Nanos = total.Quantile(0.50) * 1e9
 		row.P99Nanos = total.Quantile(0.99) * 1e9
 		row.QueueWaitP50Nanos = queue.Quantile(0.50) * 1e9

@@ -1,38 +1,44 @@
 // Package kvserver implements the line-protocol key-value service behind
-// cmd/dcart-kv: a thread-safe adaptive radix tree served over TCP, with
-// ordered prefix scans and checksummed snapshots. It is the "key-value
-// store" deployment scenario the DCART paper's introduction motivates,
-// using the same lock-coupling concurrent ART as the paper's CPU
-// baselines.
+// cmd/dcart-kv: the "key-value store" deployment scenario the DCART
+// paper's introduction motivates. It is a pure protocol layer — parsing,
+// response formatting, and connection lifecycle — over the storage
+// contract in internal/store, and never touches an index or engine
+// directly.
 //
-// Two execution modes:
+// The store decides the execution mode:
 //
-//   - New: point operations go straight to the tree, one descent per
-//     command (the baseline discipline).
-//   - NewBatched: point operations route through the parallel CTT engine
-//     (internal/pctt), whose combining front end coalesces concurrent
-//     requests that share a key prefix — the paper's CTT pipeline applied
-//     to live TCP traffic. Scans, LEN, and snapshots read the shared tree
-//     directly; a connection's own writes are visible because every
-//     Batcher call blocks until applied.
+//   - store.Direct: one lock-coupling tree descent per command (the
+//     baseline discipline of the paper's CPU systems).
+//   - store.Batched: point operations route through the parallel CTT
+//     engine (internal/pctt), whose combining front end coalesces
+//     concurrent requests that share a key prefix — the paper's CTT
+//     pipeline applied to live TCP traffic. A connection's own writes
+//     are visible because every engine call blocks until applied.
+//   - store.Sharded: the scale-out shape of the paper's Fig 6 — point
+//     operations route to the owning shard, SCAN/RANGE scatter-gather
+//     with an ordered merge.
+//
+// Every read, write, scan, LEN, and snapshot flows through the one
+// store.Store value, so swapping topologies never changes protocol
+// behavior.
 package kvserver
 
 import (
 	"bufio"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
 
-	"repro/internal/art"
-	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/olc"
 	"repro/internal/pctt"
+	"repro/internal/store"
 )
 
-// maxScanLimit caps SCAN responses.
+// maxScanLimit caps SCAN/RANGE responses. When this cap (not the
+// client's own limit) clips a response that had more rows, the
+// terminator becomes "END TRUNCATED" so clients can tell a complete
+// result from a clipped one.
 const maxScanLimit = 10_000
 
 // Per-connection buffer pools: the scanner's line buffer, the buffered
@@ -50,31 +56,17 @@ var (
 	}
 )
 
-// store is the point-operation interface both execution modes satisfy.
-type store interface {
-	Get(key []byte) (uint64, bool)
-	Put(key []byte, value uint64) bool
-	Delete(key []byte) bool
-}
-
 // Server is the key-value service. Safe for concurrent use; Serve is run
 // once per connection.
 type Server struct {
-	tree  *olc.Tree
-	ms    *metrics.Set
-	ops   store        // point-op path: the tree, or the batching engine
-	batch *pctt.Engine // non-nil in batched mode
-	reg   *obs.Registry
+	st      store.Store
+	reg     *obs.Registry
+	batched bool
+	maxScan int
 }
 
-// New returns an empty server executing point operations directly.
-func New() *Server {
-	ms := metrics.NewSet()
-	tree := olc.New(ms)
-	s := &Server{tree: tree, ms: ms, ops: tree}
-	s.initObs()
-	return s
-}
+// New returns an empty server over a direct (unbatched, unsharded) store.
+func New() *Server { return NewStore(store.NewDirect()) }
 
 // NewBatched returns an empty server whose point operations flow through
 // the parallel CTT engine with the given worker count (<=0 for the
@@ -88,50 +80,69 @@ func NewBatched(workers int) *Server {
 // (QueueDepth/MaxInflight), and work stealing (NoSteal) — for servers that
 // tune the latency/throughput trade-off per deployment.
 func NewBatchedConfig(cfg pctt.Config) *Server {
-	e := pctt.New(cfg)
-	s := &Server{tree: e.Tree(), ms: e.Metrics(), ops: e, batch: e}
+	return NewStore(store.NewBatched(cfg))
+}
+
+// NewStore returns a server over any store — direct, batched, sharded, or
+// a custom implementation. The server owns the store from here on: Close
+// closes it, snapshots go through store.Save/Load.
+func NewStore(st store.Store) *Server {
+	s := &Server{st: st, batched: isBatched(st), maxScan: maxScanLimit}
 	s.initObs()
 	return s
 }
 
-// initObs builds the server's observability registry: the engine's live
-// gauges/counters/histograms in batched mode, the tree's counter set in
-// direct mode, plus the key-count gauge. The same registry backs the STATS
-// wire command and (when dcart-kv passes it to obs.Serve) the diagnostics
-// HTTP endpoint.
+// isBatched reports whether point operations flow through a CTT pipeline
+// (directly or inside every shard of a sharded store).
+func isBatched(st store.Store) bool {
+	switch v := st.(type) {
+	case *store.Batched:
+		return true
+	case *store.Sharded:
+		return v.NumShards() > 0 && isBatched(v.Shard(0))
+	}
+	return false
+}
+
+// initObs builds the server's observability registry: whatever the store
+// exposes (engine pipeline series in batched mode, per-shard groups when
+// sharded) plus the server-level key-count gauge. The same registry backs
+// the STATS wire command and (when dcart-kv passes it to obs.Serve) the
+// diagnostics HTTP endpoint.
 func (s *Server) initObs() {
 	s.reg = obs.NewRegistry()
-	if s.batch != nil {
-		s.batch.RegisterObs(s.reg)
-	} else {
-		s.reg.RegisterCounters("kv", "dcart",
-			"tree event counter (see internal/metrics for the vocabulary)", s.ms)
-	}
+	s.st.RegisterObs(s.reg)
 	s.reg.RegisterGauge("kv", "dcart_keys", "", "keys stored in the tree",
-		func() float64 { return float64(s.tree.Len()) })
+		func() float64 { return float64(s.st.Len()) })
 }
 
 // Registry exposes the server's observability registry (for the
 // diagnostics HTTP server).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// Store exposes the server's storage layer.
+func (s *Server) Store() store.Store { return s.st }
+
 // StatsSnapshot returns the same point-in-time snapshot the STATS wire
 // command renders.
 func (s *Server) StatsSnapshot() *obs.Snapshot { return s.reg.Snapshot() }
 
-// Close stops the batching engine's workers, if any.
-func (s *Server) Close() error {
-	if s.batch != nil {
-		return s.batch.Close()
-	}
-	return nil
-}
+// Close shuts the store down (stopping any engine workers).
+func (s *Server) Close() error { return s.st.Close() }
 
 // Batched reports whether point operations flow through the CTT pipeline.
-func (s *Server) Batched() bool { return s.batch != nil }
+func (s *Server) Batched() bool { return s.batched }
 
 // Len returns the number of stored keys.
-func (s *Server) Len() int { return s.tree.Len() }
+func (s *Server) Len() int { return s.st.Len() }
+
+// SetMaxScanLimit overrides the SCAN/RANGE response cap (tests exercise
+// the TRUNCATED terminator without 10k-row fixtures). Call before Serve.
+func (s *Server) SetMaxScanLimit(n int) {
+	if n > 0 {
+		s.maxScan = n
+	}
+}
 
 // storedKey appends the 0x00 terminator so client keys are prefix-safe.
 func storedKey(tok string) []byte {
@@ -182,6 +193,17 @@ func (c *connState) kvLine(k []byte, v uint64) {
 	b = append(b, '\n')
 	c.scratch = b
 	c.w.Write(b)
+}
+
+// scanEnd writes the scan terminator: "END TRUNCATED" when the server's
+// response cap (not the client's own limit) clipped a response that had
+// more rows, plain "END" otherwise.
+func (c *connState) scanEnd(clipped, truncated bool) {
+	if clipped && truncated {
+		c.line("END", "TRUNCATED")
+	} else {
+		c.line("END")
+	}
 }
 
 func uintStr(v uint64) string { return strconv.FormatUint(v, 10) }
@@ -241,7 +263,7 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR bad value:", err.Error())
 			return true
 		}
-		if s.ops.Put(storedKey(args[0]), v) {
+		if s.st.Put(storedKey(args[0]), v) {
 			c.line("OK replaced")
 		} else {
 			c.line("OK")
@@ -251,7 +273,7 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR usage: GET <key>")
 			return true
 		}
-		if v, ok := s.ops.Get(storedKey(args[0])); ok {
+		if v, ok := s.st.Get(storedKey(args[0])); ok {
 			c.line("VALUE", uintStr(v))
 		} else {
 			c.line("NOT_FOUND")
@@ -261,7 +283,7 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR usage: DEL <key>")
 			return true
 		}
-		if s.ops.Delete(storedKey(args[0])) {
+		if s.st.Delete(storedKey(args[0])) {
 			c.line("OK")
 		} else {
 			c.line("NOT_FOUND")
@@ -276,18 +298,17 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR bad limit")
 			return true
 		}
-		if limit > maxScanLimit {
-			limit = maxScanLimit
+		clipped := limit > s.maxScan
+		if clipped {
+			limit = s.maxScan
 		}
-		n := 0
 		// The stored prefix has no terminator: scan the raw bytes. Each
 		// match streams out through the buffered writer immediately.
-		s.tree.ScanPrefix([]byte(args[0]), func(k []byte, v uint64) bool {
+		truncated := s.st.Scan([]byte(args[0]), limit, func(k []byte, v uint64) bool {
 			c.kvLine(k, v)
-			n++
-			return n < limit
+			return true
 		})
-		c.line("END")
+		c.scanEnd(clipped, truncated)
 	case "RANGE":
 		if len(args) != 3 {
 			c.line("ERR usage: RANGE <lo> <hi> <limit>")
@@ -298,19 +319,18 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR bad limit")
 			return true
 		}
-		if limit > maxScanLimit {
-			limit = maxScanLimit
+		clipped := limit > s.maxScan
+		if clipped {
+			limit = s.maxScan
 		}
-		n := 0
-		s.tree.AscendRange(storedKey(args[0]), storedKey(args[1]),
+		truncated := s.st.Range(storedKey(args[0]), storedKey(args[1]), limit,
 			func(k []byte, v uint64) bool {
 				c.kvLine(k, v)
-				n++
-				return n < limit
+				return true
 			})
-		c.line("END")
+		c.scanEnd(clipped, truncated)
 	case "LEN":
-		c.line("LEN", strconv.Itoa(s.tree.Len()))
+		c.line("LEN", strconv.Itoa(s.st.Len()))
 	case "STATS":
 		// The full observability snapshot — counters, live gauges, and
 		// latency quantiles when enabled — as sorted key=value pairs: the
@@ -325,37 +345,14 @@ func (c *connState) handle(line string) bool {
 	return true
 }
 
-// SaveSnapshot writes the store to path atomically (temp file + rename)
-// in the art snapshot format.
+// SaveSnapshot persists the store to path via store.Save (sharded stores
+// write one file per shard, everything else one atomic art-format file).
 func (s *Server) SaveSnapshot(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	_, werr := art.WriteSnapshot(f, s.tree.Len(), s.tree.Walk)
-	cerr := f.Close()
-	if werr != nil {
-		os.Remove(tmp)
-		return werr
-	}
-	if cerr != nil {
-		os.Remove(tmp)
-		return cerr
-	}
-	return os.Rename(tmp, path)
+	return store.Save(s.st, path)
 }
 
 // LoadSnapshot replaces the store's contents with the snapshot at path.
-// Call before serving traffic (it writes the tree directly).
+// Call before serving traffic.
 func (s *Server) LoadSnapshot(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return art.ReadSnapshotEntries(f, func(key []byte, value uint64) error {
-		s.tree.Put(key, value)
-		return nil
-	})
+	return store.Load(s.st, path)
 }

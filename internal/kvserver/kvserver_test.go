@@ -9,6 +9,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/pctt"
+	"repro/internal/store"
 )
 
 // session opens an in-memory client connection against srv.
@@ -40,23 +43,31 @@ func (s *session) cmd(t *testing.T, line string) string {
 	return strings.TrimSpace(resp)
 }
 
-// cmdLines reads until the END sentinel.
+// cmdLines reads until the END sentinel (plain or TRUNCATED), returning
+// the body lines only.
 func (s *session) cmdLines(t *testing.T, line string) []string {
+	t.Helper()
+	out, _ := s.cmdScan(t, line)
+	return out
+}
+
+// cmdScan reads a scan response, returning the body lines and the
+// terminator line ("END" or "END TRUNCATED").
+func (s *session) cmdScan(t *testing.T, line string) (body []string, end string) {
 	t.Helper()
 	if _, err := fmt.Fprintln(s.conn, line); err != nil {
 		t.Fatal(err)
 	}
-	var out []string
 	for {
 		resp, err := s.r.ReadString('\n')
 		if err != nil {
 			t.Fatalf("recv: %v", err)
 		}
 		resp = strings.TrimSpace(resp)
-		if resp == "END" {
-			return out
+		if resp == "END" || strings.HasPrefix(resp, "END ") {
+			return body, resp
 		}
-		out = append(out, resp)
+		body = append(body, resp)
 	}
 }
 
@@ -362,5 +373,169 @@ func TestBatchedSnapshot(t *testing.T) {
 	}
 	if back.Len() != 300 {
 		t.Fatalf("restored Len = %d", back.Len())
+	}
+}
+
+// TestScanTruncated: the TRUNCATED terminator marks exactly the responses
+// the server's own cap clipped — never ones the client's limit clipped,
+// never complete ones.
+func TestScanTruncated(t *testing.T) {
+	srv := New()
+	srv.SetMaxScanLimit(5)
+	c := newSession(srv)
+	defer c.close()
+
+	for i := 0; i < 8; i++ {
+		c.cmd(t, fmt.Sprintf("PUT user:%d %d", i, i))
+	}
+	c.cmd(t, "PUT other:0 99")
+
+	// Client asks beyond the cap and more rows existed: clipped.
+	body, end := c.cmdScan(t, "SCAN user: 100")
+	if len(body) != 5 || end != "END TRUNCATED" {
+		t.Fatalf("capped SCAN -> %d rows, end %q", len(body), end)
+	}
+	// Client limit below the cap does the clipping: plain END.
+	body, end = c.cmdScan(t, "SCAN user: 3")
+	if len(body) != 3 || end != "END" {
+		t.Fatalf("client-limited SCAN -> %d rows, end %q", len(body), end)
+	}
+	// Asking beyond the cap when the result fits under it: plain END.
+	body, end = c.cmdScan(t, "SCAN other: 100")
+	if len(body) != 1 || end != "END" {
+		t.Fatalf("small SCAN -> %d rows, end %q", len(body), end)
+	}
+	// Asking exactly the cap is the client's own limit, even at the edge.
+	body, end = c.cmdScan(t, "SCAN user: 5")
+	if len(body) != 5 || end != "END" {
+		t.Fatalf("at-cap SCAN -> %d rows, end %q", len(body), end)
+	}
+
+	// RANGE obeys the same contract.
+	body, end = c.cmdScan(t, "RANGE user:0 user:9 100")
+	if len(body) != 5 || end != "END TRUNCATED" {
+		t.Fatalf("capped RANGE -> %d rows, end %q", len(body), end)
+	}
+	body, end = c.cmdScan(t, "RANGE user:0 user:3 100")
+	if len(body) != 4 || end != "END" { // bounds are inclusive
+
+		t.Fatalf("small RANGE -> %d rows, end %q", len(body), end)
+	}
+}
+
+// TestShardedProtocol: the full protocol against a 4-way sharded store —
+// point ops route to owners, SCAN/RANGE merge across shards in globally
+// ascending order, LEN sums.
+func TestShardedProtocol(t *testing.T) {
+	srv := NewStore(store.NewSharded(4, func(int) store.Store { return store.NewDirect() }))
+	defer srv.Close()
+	if srv.Batched() {
+		t.Fatal("direct-sharded server reports batched")
+	}
+	c := newSession(srv)
+	defer c.close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		// Leading byte varies with i, so keys spread across shards.
+		c.cmd(t, fmt.Sprintf("PUT %c%02d:k %d", 'a'+i%13, i, i))
+	}
+	if got := c.cmd(t, "LEN"); got != fmt.Sprintf("LEN %d", n) {
+		t.Fatalf("LEN -> %q", got)
+	}
+	if got := c.cmd(t, "GET a00:k"); got != "VALUE 0" {
+		t.Fatalf("GET -> %q", got)
+	}
+	if got := c.cmd(t, "DEL a00:k"); got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := c.cmd(t, "GET a00:k"); got != "NOT_FOUND" {
+		t.Fatalf("GET after DEL -> %q", got)
+	}
+
+	// An empty prefix matches everything; the merge must come back
+	// strictly ascending even though four shards produced the segments.
+	lines := c.cmdLines(t, fmt.Sprintf("RANGE a %c99 %d", 'a'+13, n))
+	if len(lines) != n-1 {
+		t.Fatalf("RANGE rows = %d, want %d", len(lines), n-1)
+	}
+	prev := ""
+	for _, l := range lines {
+		key := strings.Fields(l)[1]
+		if key <= prev {
+			t.Fatalf("merge order violated: %q after %q", key, prev)
+		}
+		prev = key
+	}
+
+	if got := c.cmd(t, "STATS"); !strings.Contains(got, fmt.Sprintf("dcart_keys=%d", n-1)) {
+		t.Fatalf("STATS missing aggregate key count: %q", got)
+	}
+}
+
+// TestShardedSnapshot: a sharded server writes one file per shard and a
+// server with a different shard count restores the full set from them.
+func TestShardedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.snap")
+
+	srv := NewStore(store.NewSharded(4, func(int) store.Store { return store.NewDirect() }))
+	defer srv.Close()
+	c := newSession(srv)
+	for i := 0; i < 200; i++ {
+		c.cmd(t, fmt.Sprintf("PUT key%c%03d %d", 'a'+i%7, i, i))
+	}
+	c.close()
+	if err := srv.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p := fmt.Sprintf("%s.shard%d-of-4", path, i)
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing shard file %s: %v", p, err)
+		}
+	}
+
+	// Restore into a 2-way sharded server: resharding happens on load.
+	back := NewStore(store.NewSharded(2, func(int) store.Store { return store.NewDirect() }))
+	defer back.Close()
+	if err := back.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 200 {
+		t.Fatalf("restored Len = %d, want 200", back.Len())
+	}
+	bc := newSession(back)
+	defer bc.close()
+	if got := bc.cmd(t, "GET keya000"); got != "VALUE 0" {
+		t.Fatalf("restored GET -> %q", got)
+	}
+}
+
+// TestShardedBatchedProtocol: sharded store with a batching engine per
+// shard — the full scale-out topology — still speaks the exact protocol.
+func TestShardedBatchedProtocol(t *testing.T) {
+	srv := NewStore(store.NewSharded(2, func(int) store.Store {
+		return store.NewBatched(pctt.Config{Workers: 2})
+	}))
+	defer srv.Close()
+	if !srv.Batched() {
+		t.Fatal("batched-sharded server reports direct")
+	}
+	c := newSession(srv)
+	defer c.close()
+
+	for i := 0; i < 50; i++ {
+		c.cmd(t, fmt.Sprintf("PUT %c:%02d %d", 'a'+i%5, i, i))
+	}
+	if got := c.cmd(t, "LEN"); got != "LEN 50" {
+		t.Fatalf("LEN -> %q", got)
+	}
+	lines := c.cmdLines(t, "SCAN a 100")
+	if len(lines) != 10 {
+		t.Fatalf("SCAN a -> %d rows, want 10", len(lines))
+	}
+	if got := c.cmd(t, "GET a:00"); got != "VALUE 0" {
+		t.Fatalf("GET -> %q", got)
 	}
 }

@@ -90,6 +90,11 @@ const (
 	// CtrBypassOps counts operations executed directly against the tree by
 	// the single-worker combine-window bypass (P-CTT only).
 	CtrBypassOps = "bypass_ops"
+	// CtrOpsScan counts ordered read operations (prefix scans, range scans,
+	// and full walks) routed through an engine's scan path.
+	CtrOpsScan = "ops_scan"
+	// CtrScanRows counts key/value pairs delivered by scan operations.
+	CtrScanRows = "scan_rows"
 )
 
 // Set is a collection of named atomic counters. The zero value is not
@@ -110,7 +115,7 @@ var standardNames = []string{
 	CtrOffchipBytes, CtrOnchipHits,
 	CtrSharedDescents, CtrBatchFallbacks,
 	CtrHotsetHit, CtrHotsetMiss, CtrHotsetEvict, CtrHotsetInvalidate,
-	CtrBypassOps,
+	CtrBypassOps, CtrOpsScan, CtrScanRows,
 }
 
 // NewSet returns a Set with the standard counters plus any extra names.

@@ -1,0 +1,32 @@
+package obs
+
+import "flag"
+
+// Flags is the diagnostics flag pair every binary that serves the
+// observability endpoint needs. Registering it through RegisterFlags keeps
+// the flag names, defaults, and help text defined once instead of
+// hand-copied per binary.
+type Flags struct {
+	addr   *string
+	sample *int
+}
+
+// RegisterFlags registers -diag-addr and -trace-sample on fs and returns
+// accessors for the parsed values.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		addr: fs.String("diag-addr", "",
+			"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address (empty = off)"),
+		sample: fs.Int("trace-sample", DefaultSampleEvery,
+			"trace one operation in N through the pipeline (with -diag-addr; rounded up to a power of two)"),
+	}
+}
+
+// Enabled reports whether a diagnostics address was given.
+func (f *Flags) Enabled() bool { return *f.addr != "" }
+
+// Addr returns the parsed -diag-addr value.
+func (f *Flags) Addr() string { return *f.addr }
+
+// Tracer builds the lifecycle tracer configured by -trace-sample.
+func (f *Flags) Tracer() *Tracer { return NewTracer(0, *f.sample) }

@@ -30,12 +30,23 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
+	// Several counter sets may export the same metric names with distinct
+	// labels (one set per store shard); the HELP/TYPE header is emitted once
+	// per name, on first occurrence.
+	ctrHeadered := make(map[string]bool)
 	for _, c := range r.counters {
 		snap := c.set.Snapshot()
 		for _, n := range c.set.Names() { // registration order: stable scrapes
 			name := c.prefix + "_" + n + "_total"
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-				name, c.help, name, name, snap[n])
+			if !ctrHeadered[name] {
+				ctrHeadered[name] = true
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, c.help, name)
+			}
+			if c.labels != "" {
+				fmt.Fprintf(w, "%s{%s} %d\n", name, c.labels, snap[n])
+			} else {
+				fmt.Fprintf(w, "%s %d\n", name, snap[n])
+			}
 		}
 	}
 
@@ -52,18 +63,29 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 	}
 
+	histHeadered := make(map[string]bool, len(r.hists))
 	for _, hr := range r.hists {
 		h := hr.fn()
 		if h == nil {
 			continue
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", hr.name, hr.help, hr.name)
-		for i, cum := range h.Cumulative(promBounds) {
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hr.name, formatFloat(promBounds[i]), cum)
+		if !histHeadered[hr.name] {
+			histHeadered[hr.name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", hr.name, hr.help, hr.name)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hr.name, h.Count())
-		fmt.Fprintf(w, "%s_sum %s\n", hr.name, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "%s_count %d\n", hr.name, h.Count())
+		// The label body (if any) rides alongside le; sum/count carry it as
+		// their whole label set.
+		pre, sumLabels := "", ""
+		if hr.labels != "" {
+			pre = hr.labels + ","
+			sumLabels = "{" + hr.labels + "}"
+		}
+		for i, cum := range h.Cumulative(promBounds) {
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", hr.name, pre, formatFloat(promBounds[i]), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", hr.name, pre, h.Count())
+		fmt.Fprintf(w, "%s_sum%s %s\n", hr.name, sumLabels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", hr.name, sumLabels, h.Count())
 	}
 }
 

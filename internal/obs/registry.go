@@ -44,15 +44,17 @@ type gaugeReg struct {
 type counterReg struct {
 	group  string
 	prefix string // each counter exports as <prefix>_<name>_total
+	labels string // pre-rendered label pairs, e.g. `shard="2"`, or ""
 	help   string
 	set    *metrics.Set
 }
 
 type histReg struct {
-	group string
-	name  string
-	help  string
-	fn    HistogramFunc
+	group  string
+	name   string
+	labels string // pre-rendered label pairs, e.g. `shard="2"`, or ""
+	help   string
+	fn     HistogramFunc
 }
 
 // Registry is a dynamic collection of observability sources. Registrations
@@ -80,16 +82,29 @@ func (r *Registry) RegisterGauge(group, name, labels, help string, fn GaugeFunc)
 // RegisterCounters exports every counter of a metrics.Set as a Prometheus
 // counter named <prefix>_<counter>_total.
 func (r *Registry) RegisterCounters(group, prefix, help string, set *metrics.Set) {
+	r.RegisterCountersLabeled(group, prefix, "", help, set)
+}
+
+// RegisterCountersLabeled is RegisterCounters with a pre-rendered label
+// body (`shard="2"`) stamped on every exported series, so several sets —
+// e.g. one per store shard — can share counter names without colliding.
+func (r *Registry) RegisterCountersLabeled(group, prefix, labels, help string, set *metrics.Set) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.counters = append(r.counters, counterReg{group, prefix, help, set})
+	r.counters = append(r.counters, counterReg{group, prefix, labels, help, set})
 }
 
 // RegisterHistogram adds a latency histogram source (values in seconds).
 func (r *Registry) RegisterHistogram(group, name, help string, fn HistogramFunc) {
+	r.RegisterHistogramLabeled(group, name, "", help, fn)
+}
+
+// RegisterHistogramLabeled is RegisterHistogram with a pre-rendered label
+// body stamped on every exported bucket/sum/count series.
+func (r *Registry) RegisterHistogramLabeled(group, name, labels, help string, fn HistogramFunc) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.hists = append(r.hists, histReg{group, name, help, fn})
+	r.hists = append(r.hists, histReg{group, name, labels, help, fn})
 }
 
 // UnregisterGroup removes every registration carrying the group tag.
@@ -146,6 +161,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for _, c := range r.counters {
 		for n, v := range c.set.Snapshot() {
+			if c.labels != "" {
+				n = n + "{" + c.labels + "}"
+			}
 			s.Counters[n] = v
 		}
 	}
@@ -161,7 +179,11 @@ func (r *Registry) Snapshot() *Snapshot {
 		if h == nil {
 			continue
 		}
-		s.Histograms[hr.name] = HistStats{
+		name := hr.name
+		if hr.labels != "" {
+			name = hr.name + "{" + hr.labels + "}"
+		}
+		s.Histograms[name] = HistStats{
 			Count: h.Count(), Mean: h.Mean(),
 			P50: h.Quantile(0.50), P99: h.Quantile(0.99), Max: h.Max(),
 		}

@@ -62,22 +62,32 @@ func (e *Engine) InflightOps() int64 { return e.inflight.Load() }
 // redundancy (Fig 2), plus the P-CTT scheduling state (ring depths, bucket
 // states, steal/handoff counters) PR 3 introduced.
 func (e *Engine) RegisterObs(r *obs.Registry) {
-	r.UnregisterGroup(ObsGroup)
-	r.RegisterCounters(ObsGroup, "dcart",
+	e.RegisterObsTagged(r, ObsGroup, "")
+}
+
+// RegisterObsTagged is RegisterObs under a caller-chosen registry group
+// and with a pre-rendered label body (`shard="2"`, or empty) stamped on
+// every exported series. A sharded store registers each sub-engine under
+// its own group tag with a shard label, so several engines coexist in one
+// registry — where plain RegisterObs replaces whatever engine held
+// ObsGroup before it.
+func (e *Engine) RegisterObsTagged(r *obs.Registry, group, labels string) {
+	r.UnregisterGroup(group)
+	r.RegisterCountersLabeled(group, "dcart", labels,
 		"engine event counter (see internal/metrics for the vocabulary)", e.ms)
-	r.RegisterGauge(ObsGroup, "dcart_pctt_workers", "",
+	r.RegisterGauge(group, "dcart_pctt_workers", labels,
 		"configured P-CTT worker goroutines (SOU analogues)",
 		func() float64 { return float64(e.cfg.Workers) })
-	r.RegisterGauge(ObsGroup, "dcart_pctt_inflight_ops", "",
+	r.RegisterGauge(group, "dcart_pctt_inflight_ops", labels,
 		"submitted-but-incomplete operations (bounded by MaxInflight)",
 		func() float64 { return float64(e.InflightOps()) })
-	r.RegisterGauge(ObsGroup, "dcart_pctt_shortcut_entries", "",
+	r.RegisterGauge(group, "dcart_pctt_shortcut_entries", labels,
 		"live Shortcut_Table entries summed across workers",
 		func() float64 { return float64(e.ShortcutCount()) })
-	r.RegisterGauge(ObsGroup, "dcart_pctt_hotset_entries", "",
+	r.RegisterGauge(group, "dcart_pctt_hotset_entries", labels,
 		"resident hot-node anchors (software Tree_buffer) summed across workers",
 		func() float64 { return float64(e.HotsetCount()) })
-	r.RegisterGauge(ObsGroup, "dcart_pctt_nodes_per_op", "",
+	r.RegisterGauge(group, "dcart_pctt_nodes_per_op", labels,
 		"tree nodes visited per executed operation (node_accesses over ops; "+
 			"the quantity batch-shared descents drive down, paper Fig 6)",
 		func() float64 {
@@ -87,14 +97,14 @@ func (e *Engine) RegisterObs(r *obs.Registry) {
 			}
 			return float64(e.ms.Get(metrics.CtrNodeAccesses)) / float64(ops)
 		})
-	r.RegisterGauge(ObsGroup, "dcart_pctt_shared_descents", "",
+	r.RegisterGauge(group, "dcart_pctt_shared_descents", labels,
 		"batch-shared lock-coupled descents (one traversal serving a whole "+
 			"sorted key batch)",
 		func() float64 { return float64(e.ms.Get(metrics.CtrSharedDescents)) })
 	for i := 0; i < e.cfg.Workers; i++ {
 		i := i
-		r.RegisterGauge(ObsGroup, "dcart_pctt_ring_depth",
-			`worker="`+strconv.Itoa(i)+`"`,
+		r.RegisterGauge(group, "dcart_pctt_ring_depth",
+			joinLabels(labels, `worker="`+strconv.Itoa(i)+`"`),
 			"queued combine buckets in the worker's lock-free ring",
 			func() float64 { return float64(e.RingDepth(i)) })
 	}
@@ -107,20 +117,33 @@ func (e *Engine) RegisterObs(r *obs.Registry) {
 		{"running", func(_, _, r int) int { return r }},
 	} {
 		st := st
-		r.RegisterGauge(ObsGroup, "dcart_pctt_bucket_state",
-			`state="`+st.label+`"`,
+		r.RegisterGauge(group, "dcart_pctt_bucket_state",
+			joinLabels(labels, `state="`+st.label+`"`),
 			"combine buckets by scheduling state",
 			func() float64 { return float64(st.pick(e.BucketStateCounts())) })
 	}
 	if e.cfg.RecordLatency {
-		r.RegisterHistogram(ObsGroup, "dcart_pctt_latency_seconds",
+		r.RegisterHistogramLabeled(group, "dcart_pctt_latency_seconds", labels,
 			"sampled end-to-end operation latency (true submit to completion)",
 			e.LatencyHistogram)
-		r.RegisterHistogram(ObsGroup, "dcart_pctt_queue_wait_seconds",
+		r.RegisterHistogramLabeled(group, "dcart_pctt_queue_wait_seconds", labels,
 			"sampled combine + queue wait (submit until trigger batch start)",
 			e.QueueWaitHistogram)
-		r.RegisterHistogram(ObsGroup, "dcart_pctt_exec_seconds",
+		r.RegisterHistogramLabeled(group, "dcart_pctt_exec_seconds", labels,
 			"sampled trigger-execute time (batch start until completion)",
 			e.ExecHistogram)
+	}
+}
+
+// joinLabels joins two pre-rendered Prometheus label bodies, either of
+// which may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
 	}
 }

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"flag"
+
+	"repro/internal/pctt"
+)
+
+// Config selects a store topology: how many shards, and whether each
+// shard runs the direct tree or the batching engine.
+type Config struct {
+	// Shards partitions the store into this many independent sub-stores
+	// (<=1 keeps a single store).
+	Shards int
+	// Engine configures the parallel CTT engine behind each sub-store.
+	// Engine.Workers > 0 selects Batched sub-stores (the worker count is
+	// per shard); 0 selects Direct.
+	Engine pctt.Config
+}
+
+// Open builds the store Config describes.
+func Open(cfg Config) Store {
+	mk := func(int) Store {
+		if cfg.Engine.Workers > 0 {
+			return NewBatched(cfg.Engine)
+		}
+		return NewDirect()
+	}
+	if cfg.Shards > 1 {
+		return NewSharded(cfg.Shards, mk)
+	}
+	return mk(0)
+}
+
+// Flags bundles every store-topology flag: the engine's -batch-* knobs
+// (registered through pctt.Config.RegisterFlags) plus -shards. Both
+// binaries register through here, so each flag's name, default, and help
+// text is defined exactly once.
+type Flags struct {
+	// Engine receives the parsed -batch-* values.
+	Engine pctt.Config
+	shards *int
+}
+
+// RegisterFlags registers the full store flag set on fs.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.Engine.RegisterFlags(fs)
+	f.shards = RegisterShardsFlag(fs)
+	return f
+}
+
+// RegisterShardsFlag registers just the -shards knob (dcart-bench wants
+// it without the -batch-* set).
+func RegisterShardsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0,
+		"partition the store into n independent sub-stores: scatter-gather scans with ordered merge, per-shard snapshots and observability (<=1 = unsharded; for dcart-bench -exp native, pin the shard sweep to exactly n)")
+}
+
+// Shards returns the parsed -shards value.
+func (f *Flags) Shards() int { return *f.shards }
+
+// Config assembles the parsed flags into a store Config.
+func (f *Flags) Config() Config {
+	return Config{Shards: *f.shards, Engine: f.Engine}
+}

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Sharded partitions the key space across N independent sub-stores by the
+// top key bytes and routes every operation to its owner — the software
+// analogue of the paper's scale-out shape (16 replicated SOUs behind one
+// prefix-based dispatcher, Fig 6): point operations scatter to exactly
+// one unit, ordered reads scatter to all units and the results merge back
+// in key order (ordered k-way merge, as the SmartNIC ordered-KV and
+// FPGA batch-search systems do).
+//
+// Consistency: per-key operations are as strong as the sub-store provides
+// (per-key FIFO within a shard; a key never changes shards). Scans offer
+// no cross-shard snapshot isolation — each shard's segment is gathered at
+// a slightly different instant — but the merged output is always strictly
+// ascending across shard boundaries.
+type Sharded struct {
+	shards []Store
+}
+
+// NewSharded builds an n-way sharded store; factory is called once per
+// shard index to build the sub-stores (typically all Direct or all
+// Batched, but any mix of Stores works).
+func NewSharded(n int, factory func(shard int) Store) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]Store, n)}
+	for i := range s.shards {
+		s.shards[i] = factory(i)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes sub-store i (tests, benchmarks).
+func (s *Sharded) Shard(i int) Store { return s.shards[i] }
+
+// ShardOf maps a key to its shard among n: the top two key bytes,
+// big-endian, modulo n. Using the leading bytes keeps each combine
+// prefix's traffic on one shard (so the sub-engine's combining still
+// sees it whole) while spreading distinct prefixes across shards.
+func ShardOf(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var v uint32
+	if len(key) > 0 {
+		v = uint32(key[0]) << 8
+	}
+	if len(key) > 1 {
+		v |= uint32(key[1])
+	}
+	return int(v % uint32(n))
+}
+
+func (s *Sharded) owner(key []byte) Store {
+	return s.shards[ShardOf(key, len(s.shards))]
+}
+
+func (s *Sharded) Get(key []byte) (uint64, bool)     { return s.owner(key).Get(key) }
+func (s *Sharded) Put(key []byte, value uint64) bool { return s.owner(key).Put(key, value) }
+func (s *Sharded) Delete(key []byte) bool            { return s.owner(key).Delete(key) }
+
+// Len sums the shard cardinalities (keys never straddle shards).
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sub := range s.shards {
+		n += sub.Len()
+	}
+	return n
+}
+
+// Close closes every shard and returns the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, sub := range s.shards {
+		if err := sub.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// kvPair is one gathered scan row. The key slice references the shard
+// tree's immutable leaf key, so gathering retains no copies.
+type kvPair struct {
+	k []byte
+	v uint64
+}
+
+// gather scatters one ordered read across all shards concurrently. Each
+// shard collects its own ascending segment (at most limit+1 rows when
+// limit > 0 — enough to detect global truncation after the merge) and the
+// segments come back for a k-way merge on the caller's goroutine.
+func (s *Sharded) gather(limit int, scan func(sub Store, emit Visitor)) [][]kvPair {
+	parts := make([][]kvPair, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sub := range s.shards {
+		wg.Add(1)
+		go func(i int, sub Store) {
+			defer wg.Done()
+			var buf []kvPair
+			scan(sub, func(k []byte, v uint64) bool {
+				buf = append(buf, kvPair{k, v})
+				return limit <= 0 || len(buf) <= limit
+			})
+			parts[i] = buf
+		}(i, sub)
+	}
+	wg.Wait()
+	return parts
+}
+
+// mergeEmit streams the k sorted shard segments to fn in globally
+// ascending order, delivering at most limit rows when limit > 0. It
+// reports truncation under the Store.Scan contract. Shard counts are
+// small, so a linear scan over the k heads beats heap bookkeeping.
+func mergeEmit(parts [][]kvPair, limit int, fn Visitor) (truncated bool) {
+	heads := make([]int, len(parts))
+	delivered := 0
+	for {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || bytes.Compare(p[heads[i]].k, parts[best][heads[best]].k) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return false // all segments exhausted
+		}
+		if limit > 0 && delivered == limit {
+			return true // more rows existed beyond the limit
+		}
+		e := parts[best][heads[best]]
+		heads[best]++
+		delivered++
+		if !fn(e.k, e.v) {
+			return false // caller stopped the scan
+		}
+	}
+}
+
+func (s *Sharded) Scan(prefix []byte, limit int, fn Visitor) bool {
+	parts := s.gather(limit, func(sub Store, emit Visitor) {
+		sub.Scan(prefix, 0, emit)
+	})
+	return mergeEmit(parts, limit, fn)
+}
+
+func (s *Sharded) Range(lo, hi []byte, limit int, fn Visitor) bool {
+	parts := s.gather(limit, func(sub Store, emit Visitor) {
+		sub.Range(lo, hi, 0, emit)
+	})
+	return mergeEmit(parts, limit, fn)
+}
+
+// Walk merges the shards' full segments in ascending order. The gather
+// materializes every pair first (scans hold no cross-shard locks), so
+// Walk over a huge sharded store trades memory for merge simplicity —
+// snapshots prefer the per-shard path in SaveSnapshot, which never
+// gathers globally.
+func (s *Sharded) Walk(fn Visitor) bool {
+	parts := s.gather(0, func(sub Store, emit Visitor) {
+		sub.Walk(emit)
+	})
+	complete := true
+	mergeEmit(parts, 0, func(k []byte, v uint64) bool {
+		if !fn(k, v) {
+			complete = false
+			return false
+		}
+		return true
+	})
+	return complete
+}
+
+// RegisterObs registers every shard under its own registry group
+// ("store-shard<i>") with a shard label on each series, plus the
+// aggregate shard-count and key-count gauges under ObsGroup. Per-shard
+// groups attach and detach as units, so swapping one shard's engine
+// re-registers only that shard.
+func (s *Sharded) RegisterObs(r *obs.Registry) { s.RegisterObsTagged(r, ObsGroup, "") }
+
+// RegisterObsTagged implements ObsTagged.
+func (s *Sharded) RegisterObsTagged(r *obs.Registry, group, labels string) {
+	r.UnregisterGroup(group)
+	r.RegisterGauge(group, "dcart_store_shards", labels,
+		"configured store shards (independent sub-stores behind the router)",
+		func() float64 { return float64(len(s.shards)) })
+	r.RegisterGauge(group, "dcart_store_keys_total", labels,
+		"keys stored across all shards",
+		func() float64 { return float64(s.Len()) })
+	for i, sub := range s.shards {
+		shardGroup := fmt.Sprintf("%s-shard%d", group, i)
+		shardLabels := joinLabels(labels, fmt.Sprintf(`shard="%d"`, i))
+		if t, ok := sub.(ObsTagged); ok {
+			t.RegisterObsTagged(r, shardGroup, shardLabels)
+		}
+		sub := sub
+		r.RegisterGauge(shardGroup, "dcart_store_shard_keys", shardLabels,
+			"keys stored in this shard",
+			func() float64 { return float64(sub.Len()) })
+	}
+}
+
+// joinLabels joins two pre-rendered Prometheus label bodies, either of
+// which may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/art"
+)
+
+// Snapshot persistence lives at the store layer: a Store that knows its
+// own layout (Sharded) snapshots accordingly, everything else falls back
+// to one checksummed art-format file built from an ordered Walk. The
+// protocol layer (kvserver) calls Save/Load and never sees the layout.
+
+// Snapshotter is implemented by stores with a custom snapshot layout.
+type Snapshotter interface {
+	SaveSnapshot(path string) error
+	LoadSnapshot(path string) error
+}
+
+// Save persists st to path. Sharded stores write one file per shard
+// (<path>.shard<i>-of-<n>); everything else writes a single art-format
+// snapshot atomically (temp file + rename). Either way, files the other
+// layout (or another shard count) left behind are pruned, so exactly one
+// snapshot generation exists after a successful Save.
+func Save(st Store, path string) error {
+	if s, ok := st.(Snapshotter); ok {
+		return s.SaveSnapshot(path)
+	}
+	if err := saveFile(st, path); err != nil {
+		return err
+	}
+	pruneShardFiles(path, nil)
+	return nil
+}
+
+// Load replaces st's contents with the snapshot at path — the single
+// art-format file when present, otherwise a per-shard set saved under any
+// shard count. Every entry routes through st.Put, so any store can load
+// any layout (restarting with a different -shards value reshards here).
+// Call before serving traffic.
+func Load(st Store, path string) error {
+	if s, ok := st.(Snapshotter); ok {
+		return s.LoadSnapshot(path)
+	}
+	if _, err := os.Stat(path); err == nil {
+		return loadFile(st, path)
+	}
+	if files := shardFiles(path, 0); files != nil {
+		return loadFiles(st, files)
+	}
+	return loadFile(st, path) // surfaces the IsNotExist
+}
+
+// saveFile writes one art-format snapshot of st atomically.
+func saveFile(st Store, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := art.WriteSnapshot(f, st.Len(), func(fn func(key []byte, value uint64) bool) bool {
+		return st.Walk(fn)
+	})
+	cerr := f.Close()
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if cerr != nil {
+		os.Remove(tmp)
+		return cerr
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadFile feeds one art-format snapshot into st.Put.
+func loadFile(st Store, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return art.ReadSnapshotEntries(f, func(key []byte, value uint64) error {
+		st.Put(key, value)
+		return nil
+	})
+}
+
+// shardPath names shard i's snapshot file. The shard count rides in the
+// suffix so a load never mixes files from runs with different counts.
+func shardPath(path string, i, n int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", path, i, n)
+}
+
+// SaveSnapshot writes one art-format file per shard, concurrently (each
+// atomically via temp + rename), then prunes shard files left behind by
+// runs with a different shard count so a later load cannot mix
+// generations.
+func (s *Sharded) SaveSnapshot(path string) error {
+	n := len(s.shards)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, sub := range s.shards {
+		wg.Add(1)
+		go func(i int, sub Store) {
+			defer wg.Done()
+			errs[i] = saveFile(sub, shardPath(path, i, n))
+		}(i, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Prune stale files from other generations (best effort): shard files
+	// of other counts, and a single-file snapshot an unsharded run wrote.
+	current := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		current[shardPath(path, i, n)] = true
+	}
+	pruneShardFiles(path, current)
+	os.Remove(path)
+	return nil
+}
+
+// pruneShardFiles removes every <path>.shard*-of-* file not in keep.
+func pruneShardFiles(path string, keep map[string]bool) {
+	stale, err := filepath.Glob(path + ".shard*-of-*")
+	if err != nil {
+		return
+	}
+	for _, p := range stale {
+		if !keep[p] {
+			os.Remove(p)
+		}
+	}
+}
+
+// LoadSnapshot restores a sharded snapshot. It prefers the per-shard
+// files written for this shard count; failing that it accepts a shard set
+// written under any other count, and finally a single unsharded file —
+// every entry routes through s.Put, so resharding between runs is just a
+// restart with a different -shards value.
+func (s *Sharded) LoadSnapshot(path string) error {
+	n := len(s.shards)
+	files := shardFiles(path, n)
+	if files == nil {
+		return loadFile(s, path) // single-file fallback (or IsNotExist)
+	}
+	return loadFiles(s, files)
+}
+
+// loadFiles feeds a complete shard set into st concurrently; st.Put
+// routes every entry to its owning shard (or the one store).
+func loadFiles(st Store, files []string) error {
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	for i, p := range files {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			errs[i] = loadFile(st, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardFiles returns the snapshot shard set to load: the complete set for
+// the preferred count n (when n > 0) if present, otherwise the complete
+// set for whatever count shard0's file advertises, otherwise nil.
+func shardFiles(path string, n int) []string {
+	complete := func(count int) []string {
+		if count <= 0 {
+			return nil
+		}
+		files := make([]string, count)
+		for i := 0; i < count; i++ {
+			files[i] = shardPath(path, i, count)
+			if _, err := os.Stat(files[i]); err != nil {
+				return nil
+			}
+		}
+		return files
+	}
+	if files := complete(n); files != nil {
+		return files
+	}
+	// A set saved under a different count: discover it from shard0's name.
+	matches, err := filepath.Glob(path + ".shard0-of-*")
+	if err != nil {
+		return nil
+	}
+	for _, m := range matches {
+		var count int
+		if _, err := fmt.Sscanf(m[len(path):], ".shard0-of-%d", &count); err == nil && count > 0 {
+			if files := complete(count); files != nil {
+				return files
+			}
+		}
+	}
+	return nil
+}

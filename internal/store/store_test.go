@@ -1,0 +1,458 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pctt"
+)
+
+// topologies under test: every Store implementation, including sharded
+// wrappers of both kinds.
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	return map[string]Store{
+		"direct":  NewDirect(),
+		"batched": NewBatched(pctt.Config{Workers: 2}),
+		"sharded-direct": NewSharded(3, func(int) Store {
+			return NewDirect()
+		}),
+		"sharded-batched": NewSharded(2, func(int) Store {
+			return NewBatched(pctt.Config{Workers: 1})
+		}),
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("k%05d", i)) }
+
+func TestShardOf(t *testing.T) {
+	if got := ShardOf([]byte("anything"), 1); got != 0 {
+		t.Fatalf("n=1 -> %d", got)
+	}
+	if got := ShardOf(nil, 4); got != 0 {
+		t.Fatalf("empty key -> %d", got)
+	}
+	// Deterministic, in range, and actually spreading.
+	seen := map[int]bool{}
+	for i := 0; i < 512; i++ {
+		k := []byte{byte(i), byte(i >> 3), 'x'}
+		s := ShardOf(k, 4)
+		if s != ShardOf(k, 4) {
+			t.Fatal("ShardOf not deterministic")
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard out of range: %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("512 varied keys hit only shards %v", seen)
+	}
+	// Only the top two bytes matter: a combine prefix stays on one shard.
+	if ShardOf([]byte{9, 7, 1}, 8) != ShardOf([]byte{9, 7, 200, 31}, 8) {
+		t.Fatal("keys sharing the top two bytes landed on different shards")
+	}
+}
+
+// TestStoreOracle drives every topology through a random op stream next
+// to a map oracle, then audits point reads, Len, Walk order, and
+// bounded Scan/Range results (rows, order, and the truncated flag)
+// against the oracle.
+func TestStoreOracle(t *testing.T) {
+	for name, st := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			rng := rand.New(rand.NewSource(7))
+			oracle := map[string]uint64{}
+			for i := 0; i < 4000; i++ {
+				k := key(rng.Intn(600))
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := rng.Uint64()
+					existed := st.Put(k, v)
+					if _, want := oracle[string(k)]; existed != want {
+						t.Fatalf("Put(%s) existed=%v, oracle says %v", k, existed, want)
+					}
+					oracle[string(k)] = v
+				case 2:
+					existed := st.Delete(k)
+					if _, want := oracle[string(k)]; existed != want {
+						t.Fatalf("Delete(%s) existed=%v, oracle says %v", k, existed, want)
+					}
+					delete(oracle, string(k))
+				}
+			}
+
+			if st.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle has %d", st.Len(), len(oracle))
+			}
+			for i := 0; i < 600; i++ {
+				k := key(i)
+				v, ok := st.Get(k)
+				want, wantOK := oracle[string(k)]
+				if ok != wantOK || (ok && v != want) {
+					t.Fatalf("Get(%s) = (%d,%v), want (%d,%v)", k, v, ok, want, wantOK)
+				}
+			}
+
+			sorted := make([]string, 0, len(oracle))
+			for k := range oracle {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+
+			var walked []string
+			st.Walk(func(k []byte, v uint64) bool {
+				walked = append(walked, string(k))
+				return true
+			})
+			if len(walked) != len(sorted) {
+				t.Fatalf("Walk visited %d keys, want %d", len(walked), len(sorted))
+			}
+			for i := range walked {
+				if walked[i] != sorted[i] {
+					t.Fatalf("Walk order: [%d] = %q, want %q", i, walked[i], sorted[i])
+				}
+			}
+
+			// Bounded range scans vs the oracle, including the truncated flag.
+			for trial := 0; trial < 50; trial++ {
+				lo, hi := key(rng.Intn(600)), key(rng.Intn(600))
+				if bytes.Compare(lo, hi) > 0 {
+					lo, hi = hi, lo
+				}
+				var want []string
+				for _, k := range sorted {
+					if k >= string(lo) && k <= string(hi) {
+						want = append(want, k)
+					}
+				}
+				limit := 1 + rng.Intn(12)
+				var got []string
+				truncated := st.Range(lo, hi, limit, func(k []byte, v uint64) bool {
+					got = append(got, string(k))
+					return true
+				})
+				wantRows := len(want)
+				if wantRows > limit {
+					wantRows = limit
+				}
+				if len(got) != wantRows {
+					t.Fatalf("Range[%s,%s] limit=%d -> %d rows, want %d",
+						lo, hi, limit, len(got), wantRows)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("Range row %d = %q, want %q", i, got[i], want[i])
+					}
+				}
+				if truncated != (len(want) > limit) {
+					t.Fatalf("Range truncated=%v with %d matches, limit %d",
+						truncated, len(want), limit)
+				}
+			}
+
+			// Prefix scans: "k001" matches k00100..k00199 and k001 variants.
+			var got []string
+			truncated := st.Scan([]byte("k001"), 0, func(k []byte, v uint64) bool {
+				got = append(got, string(k))
+				return true
+			})
+			var want []string
+			for _, k := range sorted {
+				if len(k) >= 4 && k[:4] == "k001" {
+					want = append(want, k)
+				}
+			}
+			if truncated || len(got) != len(want) {
+				t.Fatalf("Scan k001 -> %d rows truncated=%v, want %d rows",
+					len(got), truncated, len(want))
+			}
+			// A visitor stopping early is not truncation.
+			if len(want) > 1 {
+				stopped := st.Scan([]byte("k001"), 0, func(k []byte, v uint64) bool {
+					return false
+				})
+				if stopped {
+					t.Fatal("early-stopped scan reported truncated")
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMergeBoundaries: rows interleave across shards (keys with
+// distinct top bytes) and the merged output is strictly ascending, with
+// truncation cutting at the globally correct row, not per shard.
+func TestShardedMergeBoundaries(t *testing.T) {
+	s := NewSharded(4, func(int) Store { return NewDirect() })
+	defer s.Close()
+	var all []string
+	for b := 0; b < 16; b++ {
+		for i := 0; i < 8; i++ {
+			k := fmt.Sprintf("%c%d", 'a'+b, i)
+			s.Put([]byte(k), uint64(b*8+i))
+			all = append(all, k)
+		}
+	}
+	sort.Strings(all)
+
+	var got []string
+	truncated := s.Range([]byte("a"), []byte("zzz"), 50, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if !truncated || len(got) != 50 {
+		t.Fatalf("got %d rows truncated=%v", len(got), truncated)
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("row %d = %q, want %q", i, got[i], all[i])
+		}
+		if i > 0 && got[i] <= got[i-1] {
+			t.Fatalf("merge order violated at %d: %q after %q", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestOpenTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{}, "*store.Direct"},
+		{Config{Engine: pctt.Config{Workers: 2}}, "*store.Batched"},
+		{Config{Shards: 4}, "*store.Sharded"},
+		{Config{Shards: 2, Engine: pctt.Config{Workers: 1}}, "*store.Sharded"},
+	} {
+		st := Open(tc.cfg)
+		if got := fmt.Sprintf("%T", st); got != tc.want {
+			t.Fatalf("Open(%+v) = %s, want %s", tc.cfg, got, tc.want)
+		}
+		if sh, ok := st.(*Sharded); ok {
+			wantSub := "*store.Direct"
+			if tc.cfg.Engine.Workers > 0 {
+				wantSub = "*store.Batched"
+			}
+			if got := fmt.Sprintf("%T", sh.Shard(0)); got != wantSub {
+				t.Fatalf("Open(%+v) shard type %s, want %s", tc.cfg, got, wantSub)
+			}
+		}
+		st.Close()
+	}
+}
+
+// TestSnapshotAcrossTopologies: Save/Load round-trips between every pair
+// of topologies, resharding through Put on load.
+func TestSnapshotAcrossTopologies(t *testing.T) {
+	build := map[string]func() Store{
+		"direct":    func() Store { return NewDirect() },
+		"sharded-2": func() Store { return NewSharded(2, func(int) Store { return NewDirect() }) },
+		"sharded-3": func() Store { return NewSharded(3, func(int) Store { return NewDirect() }) },
+	}
+	const n = 500
+	for fromName, from := range build {
+		for toName, to := range build {
+			t.Run(fromName+"->"+toName, func(t *testing.T) {
+				dir := t.TempDir()
+				path := filepath.Join(dir, "snap")
+				src := from()
+				defer src.Close()
+				for i := 0; i < n; i++ {
+					src.Put([]byte(fmt.Sprintf("%c%04d", 'a'+i%11, i)), uint64(i))
+				}
+				if err := Save(src, path); err != nil {
+					t.Fatal(err)
+				}
+				dst := to()
+				defer dst.Close()
+				if err := Load(dst, path); err != nil {
+					t.Fatal(err)
+				}
+				if dst.Len() != n {
+					t.Fatalf("restored Len = %d, want %d", dst.Len(), n)
+				}
+				if v, ok := dst.Get([]byte("a0000")); !ok || v != 0 {
+					t.Fatalf("restored Get = (%d,%v)", v, ok)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedSnapshotPrunesStale: re-saving under a new shard count
+// removes the old count's files, so later loads cannot mix generations.
+func TestShardedSnapshotPrunesStale(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	s4 := NewSharded(4, func(int) Store { return NewDirect() })
+	defer s4.Close()
+	s4.Put([]byte("k1"), 1)
+	if err := Save(s4, path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSharded(2, func(int) Store { return NewDirect() })
+	defer s2.Close()
+	s2.Put([]byte("k2"), 2)
+	if err := Save(s2, path); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(path + ".shard*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("stale shard files not pruned: %v", left)
+	}
+	for _, p := range left {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedObsRegistration: per-shard registry groups with shard
+// labels, aggregate gauges, and single-HELP Prometheus rendering.
+func TestShardedObsRegistration(t *testing.T) {
+	s := NewSharded(2, func(int) Store {
+		return NewBatched(pctt.Config{Workers: 1})
+	})
+	defer s.Close()
+	s.Put([]byte("alpha"), 1)
+	s.Put([]byte("zeta"), 2) // different top byte: other shard likely
+
+	r := obs.NewRegistry()
+	s.RegisterObs(r)
+	snap := r.Snapshot()
+	if snap.Gauges["dcart_store_shards"] != 2 {
+		t.Fatalf("dcart_store_shards = %v", snap.Gauges["dcart_store_shards"])
+	}
+	if snap.Gauges["dcart_store_keys_total"] != 2 {
+		t.Fatalf("dcart_store_keys_total = %v", snap.Gauges["dcart_store_keys_total"])
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf(`dcart_store_shard_keys{shard="%d"}`, i)
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("missing per-shard gauge %s in %v", name, snap.Gauges)
+		}
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	prom := buf.String()
+	if !strings.Contains(prom, `dcart_pctt_workers{shard="0"}`) ||
+		!strings.Contains(prom, `dcart_pctt_workers{shard="1"}`) {
+		t.Fatalf("per-shard engine series missing from prometheus output:\n%s", prom)
+	}
+	if n := strings.Count(prom, "# HELP dcart_pctt_workers "); n != 1 {
+		t.Fatalf("dcart_pctt_workers HELP rendered %d times", n)
+	}
+
+	// Detaching one shard's group removes exactly that shard.
+	r.UnregisterGroup("store-shard1")
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	prom = buf.String()
+	if strings.Contains(prom, `dcart_pctt_workers{shard="1"}`) {
+		t.Fatal("shard1 series survived UnregisterGroup")
+	}
+	if !strings.Contains(prom, `dcart_pctt_workers{shard="0"}`) {
+		t.Fatal("shard0 series lost with shard1's group")
+	}
+}
+
+// TestConcurrentScansUnderWrites is the -race workhorse: ordered reads
+// run concurrently with batched PUT/DEL churn on a sharded store. Every
+// scan must come back strictly ascending across shard boundaries, every
+// key of the stable set must appear in a full-range scan, and a writer's
+// own acked writes must be immediately visible.
+func TestConcurrentScansUnderWrites(t *testing.T) {
+	s := NewSharded(4, func(int) Store {
+		return NewBatched(pctt.Config{Workers: 2})
+	})
+	defer s.Close()
+
+	// Stable keys never touched by the churn: scans must always see all
+	// of them. Leading byte varies so they spread across shards.
+	const stable = 64
+	stableKeys := make([]string, stable)
+	for i := range stableKeys {
+		stableKeys[i] = fmt.Sprintf("%c-stable-%03d", 'a'+i%17, i)
+		s.Put([]byte(stableKeys[i]), uint64(i))
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers: churn volatile keys and verify read-your-writes after
+	// every acked op.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; !stop.Load(); i++ {
+				k := []byte(fmt.Sprintf("%c-hot-%d-%03d", 'a'+rng.Intn(17), w, rng.Intn(100)))
+				if i%3 == 0 {
+					s.Delete(k)
+					if _, ok := s.Get(k); ok {
+						t.Errorf("key %s visible after acked delete", k)
+						return
+					}
+				} else {
+					v := uint64(i)
+					s.Put(k, v)
+					if got, ok := s.Get(k); !ok || got != v {
+						t.Errorf("acked write %s=%d not visible (got %d,%v)", k, v, got, ok)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Scanners: full-range ordered reads racing the churn. They finish
+	// their fixed rounds while the writers are still churning, so every
+	// round races live batched writes.
+	var scanWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			for rounds := 0; rounds < 60; rounds++ {
+				var prev []byte
+				seen := make(map[string]bool, stable)
+				s.Range([]byte("a"), []byte("zzzz"), 0, func(k []byte, v uint64) bool {
+					if prev != nil && bytes.Compare(k, prev) <= 0 {
+						t.Errorf("scan order violated: %q after %q", k, prev)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					seen[string(k)] = true
+					return true
+				})
+				for _, k := range stableKeys {
+					if !seen[k] {
+						t.Errorf("stable key %q missing from scan", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// The scanners' rounds bound the test: once they finish, stop the
+	// writers and drain.
+	scanWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+}
