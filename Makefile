@@ -9,7 +9,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/olc ./internal/pctt ./internal/store ./internal/kvserver ./internal/metrics ./internal/obs .
 
-.PHONY: check vet staticcheck build test race bench bench-batch bench-native smoke-native smoke-diag smoke-shards clean
+.PHONY: check vet staticcheck build test race bench bench-batch bench-native bench-server benchdiff smoke-native smoke-diag smoke-shards smoke-pipeline clean
 
 check: vet staticcheck build test race
 
@@ -46,9 +46,24 @@ bench-batch:
 	$(GO) test -bench 'BenchmarkBatchDescent' -benchmem -benchtime=100x -run '^$$' ./internal/olc
 
 # The native experiment: real wall-clock P-CTT vs direct-olc comparison,
-# machine-readable results in BENCH_native.json.
+# machine-readable results in BENCH_native.json. SEED picks the workload
+# seed (default 1), so `make bench-native SEED=7` measures a different
+# key/op stream without touching the recorded default-seed report flow.
+SEED ?= 1
+
 bench-native:
-	$(GO) run ./cmd/dcart-bench -exp native -json
+	$(GO) run ./cmd/dcart-bench -exp native -seed $(SEED) -json
+
+# The server experiment: pipelined vs lockstep wire over loopback TCP,
+# all three store topologies, machine-readable results in
+# BENCH_server.json. Honors SEED like bench-native.
+bench-server:
+	$(GO) run ./cmd/dcart-bench -exp server -seed $(SEED) -json
+
+# Diff two benchmark reports (ops/sec and p99 movement per row):
+# make benchdiff A=BENCH_server.json B=/tmp/BENCH_server.json
+benchdiff:
+	$(GO) run ./scripts/benchdiff.go $(A) $(B)
 
 # Scaled-down native run for CI: exercises the whole measured pipeline
 # (dispatch, combine windows, stealing, latency split) end to end in a few
@@ -69,6 +84,12 @@ smoke-diag:
 # per-shard snapshot files on graceful shutdown.
 smoke-shards:
 	./scripts/smoke_shards.sh
+
+# Pipelined-wire smoke: boot dcart-kv at pipeline depth 64, blind-write a
+# deep command burst over raw TCP, and verify the responses come back in
+# exact command order with the /metrics pipeline series live.
+smoke-pipeline:
+	./scripts/smoke_pipeline.sh
 
 clean:
 	rm -f repro.test BENCH_native.json

@@ -36,8 +36,14 @@ func main() {
 	hotset := flag.Int("hotset", 0,
 		"per-worker hot-node residency anchors in the native experiment's parallel engine (0 = engine default 64, negative disables)")
 	shards := store.RegisterShardsFlag(flag.CommandLine)
+	conns := flag.Int("conns", 0,
+		"client connections in the server experiment (default 8)")
+	pipeDepth := flag.Int("pipeline-depth", 0,
+		"per-connection in-flight window in the server experiment's pipelined mode (default 64)")
+	flushEvery := flag.Int("flush-every", 0,
+		"server responses coalesced per flush in the server experiment's pipelined mode (default 32)")
 	jsonOut := flag.Bool("json", false,
-		"also write a machine-readable report (BENCH_native.json for -exp native)")
+		"also write a machine-readable report (BENCH_<exp>.json, e.g. BENCH_native.json)")
 	gogc := flag.Int("gogc", 400,
 		"GC percent for measurement runs (0 keeps the runtime default); the "+
 			"engines' steady-state live heap is small, so the default GC goal "+
@@ -63,9 +69,10 @@ func main() {
 	o := bench.Options{
 		NumKeys: *keys, NumOps: *ops, Seed: *seed, ZipfS: *zipf,
 		Threads: *threads, Out: os.Stdout, Hotset: *hotset, Shards: *shards,
+		Conns: *conns, PipelineDepth: *pipeDepth, FlushEvery: *flushEvery,
 	}
-	if *jsonOut {
-		o.JSONPath = "BENCH_native.json"
+	if *jsonOut && *exp != "all" {
+		o.JSONPath = "BENCH_" + *exp + ".json"
 	}
 	if diagFlags.Enabled() {
 		o.Diag = obs.NewRegistry()

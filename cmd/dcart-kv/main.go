@@ -25,6 +25,7 @@
 //	         [-batch-max-delay 100us] [-batch-min-batch 64]
 //	         [-batch-queue-depth 4096] [-batch-max-inflight 16384]
 //	         [-batch-no-steal]
+//	         [-pipeline-depth 64] [-flush-every 32]
 //	         [-diag-addr 127.0.0.1:7071] [-trace-sample 1024]
 //	         [-drain-timeout 10s]
 //
@@ -43,6 +44,14 @@
 // global key order, snapshots become one file per shard, and /metrics
 // serves every series per shard under a shard="i" label. -shards composes
 // with -batch-workers (each shard gets its own engine).
+//
+// Each connection runs the pipelined wire by default: commands are read
+// and submitted continuously with up to -pipeline-depth responses in
+// flight, responses complete in protocol order, and flushes coalesce to
+// one per -flush-every responses (plus one whenever the connection goes
+// idle, so nothing waits). SCAN/RANGE/LEN/STATS drain the window before
+// executing, preserving read-your-writes. -pipeline-depth 1 restores the
+// lockstep request/response loop.
 //
 // With -diag-addr, a diagnostics HTTP server exposes /metrics (Prometheus
 // text format), /statsz (the STATS snapshot as JSON), /debug/traces (the
@@ -76,6 +85,10 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file to load/save")
 	storeFlags := store.RegisterFlags(flag.CommandLine)
+	pipeDepth := flag.Int("pipeline-depth", kvserver.DefaultPipelineDepth,
+		"per-connection in-flight response window (1 = lockstep request/response)")
+	flushEvery := flag.Int("flush-every", kvserver.DefaultFlushEvery,
+		"responses coalesced per network flush on the pipelined path")
 	diagFlags := obs.RegisterFlags(flag.CommandLine)
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long shutdown waits for in-flight connections before force-closing them")
@@ -89,6 +102,7 @@ func main() {
 		cfg.Engine.Tracer = tracer
 	}
 	srv := kvserver.NewStore(store.Open(cfg))
+	srv.SetPipeline(*pipeDepth, *flushEvery)
 	if *snapshot != "" {
 		if err := srv.LoadSnapshot(*snapshot); err != nil && !os.IsNotExist(err) {
 			log.Fatalf("dcart-kv: load snapshot: %v", err)

@@ -50,6 +50,16 @@ type Options struct {
 	// Shards pins the native experiment's sharded-store sweep to exactly
 	// this shard count (0 sweeps the default {1, 2, 4}).
 	Shards int
+	// Conns is the client connection count for the server experiment
+	// (default 8).
+	Conns int
+	// PipelineDepth is the per-connection in-flight window the server
+	// experiment's pipelined mode runs at (default 64). Lockstep mode
+	// always runs at depth 1.
+	PipelineDepth int
+	// FlushEvery is the server's response-coalescing interval in the
+	// pipelined mode (default 32 responses per flush).
+	FlushEvery int
 }
 
 func (o Options) defaults() Options {
@@ -67,6 +77,15 @@ func (o Options) defaults() Options {
 	}
 	if o.Out == nil {
 		o.Out = os.Stdout
+	}
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = 64
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 32
 	}
 	return o
 }
@@ -147,6 +166,7 @@ var registry = []Runner{
 	{"sweep-treebuf", "Extension: Tree_buffer size x replacement policy", SweepTreeBuf},
 	{"extra-btree", "Extension: ART vs B+tree write amplification (paper SV claim)", BTreeCompare},
 	{"native", "Native (measured, not modeled): parallel CTT vs direct tree on this machine", Native},
+	{"server", "Networked server benchmark: pipelined vs lockstep wire over loopback TCP", ServerBench},
 }
 
 // List returns the experiment IDs in order.

@@ -1,0 +1,428 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/kvserver"
+	"repro/internal/metrics"
+	"repro/internal/pctt"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// ServerBench measures the wire: it boots an in-process kvserver on a
+// loopback TCP listener and drives the Zipf IPGEO point-op stream through
+// real client connections, comparing the lockstep discipline (one command
+// in flight per connection, one flush per response — the classic
+// request/response loop) against the pipelined path (depth-D in-flight
+// window, responses coalesced into one flush per K). Both modes run over
+// all three store topologies, so the table separates what the wire
+// contributes from what the engine contributes.
+//
+// This is the experiment the async store surface exists for: with a
+// lockstep wire, the combine engine only ever sees one request per
+// connection and batches across connections at best; the pipelined wire
+// keeps each connection's window full, which is the software analogue of
+// the paper's host interface streaming requests into the PCU's queue
+// rather than round-tripping them one at a time.
+//
+// Keys go over the text protocol hex-encoded (IPGEO keys are raw bytes);
+// hex preserves byte order, so the stream's prefix locality — what the
+// combine buckets key on — survives the encoding.
+func ServerBench(o Options) error {
+	o = o.defaults()
+	w := workload.MustGenerate(o.spec(workload.IPGEO, 0.5))
+	scripts, loadKeys := renderScripts(w, o.Conns)
+
+	type config struct {
+		system  string
+		shards  int
+		workers int
+		build   func() store.Store
+	}
+	configs := []config{
+		{"direct-olc", 1, 1, func() store.Store { return store.NewDirect() }},
+		{"pctt", 1, 2, func() store.Store {
+			return store.NewBatched(pctt.Config{Workers: 2})
+		}},
+		{"pctt-sharded", 2, 2, func() store.Store {
+			return store.NewSharded(2, func(int) store.Store {
+				return store.NewBatched(pctt.Config{Workers: 2})
+			})
+		}},
+	}
+	type mode struct {
+		name       string
+		depth      int
+		flushEvery int
+	}
+	modes := []mode{
+		{"lockstep", 1, 1},
+		{"pipelined", o.PipelineDepth, o.FlushEvery},
+	}
+
+	var rows []serverRow
+	for _, cfg := range configs {
+		for _, m := range modes {
+			row, err := runServerTrial(o, cfg.build(), scripts, loadKeys, m.depth, m.flushEvery)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", cfg.system, m.name, err)
+			}
+			row.System, row.Mode = cfg.system, m.name
+			row.Shards, row.Workers = cfg.shards, cfg.workers
+			rows = append(rows, row)
+		}
+	}
+
+	tw := table(o)
+	fmt.Fprintln(tw, "system\tmode\tconns\tdepth\twall\tops/sec\tP50\tP99\tbytes/op\tflushes/op\tdepth achieved")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%.3g\t%s\t%s\t%.1f\t%.4f\t%.1f\n",
+			r.System, r.Mode, r.Conns, r.PipelineDepth,
+			engTime(float64(r.WallNanos)/1e9), r.OpsPerSec,
+			engTime(r.P50Nanos/1e9), engTime(r.P99Nanos/1e9),
+			r.BytesPerOp, r.FlushesPerOp, r.DepthAchieved)
+	}
+	tw.Flush()
+
+	for i := 0; i+1 < len(rows); i += 2 {
+		lock, pipe := rows[i], rows[i+1]
+		fmt.Fprintf(o.Out, "%s pipelined vs lockstep: %.2fx ops/sec, %.2fx fewer flushes\n",
+			lock.System, pipe.OpsPerSec/lock.OpsPerSec,
+			lock.FlushesPerOp/pipe.FlushesPerOp)
+	}
+
+	if o.JSONPath != "" {
+		rep := serverReport{
+			Experiment:    "server",
+			Keys:          o.NumKeys,
+			Ops:           o.NumOps,
+			ReadRatio:     0.5,
+			ZipfS:         o.ZipfS,
+			Seed:          o.Seed,
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			Conns:         o.Conns,
+			PipelineDepth: o.PipelineDepth,
+			FlushEvery:    o.FlushEvery,
+			Rows:          rows,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "wrote %s\n", o.JSONPath)
+	}
+	return nil
+}
+
+// serverReport is the machine-readable result written to JSONPath.
+type serverReport struct {
+	Experiment    string      `json:"experiment"`
+	Keys          int         `json:"keys"`
+	Ops           int         `json:"ops"`
+	ReadRatio     float64     `json:"read_ratio"`
+	ZipfS         float64     `json:"zipf_s"`
+	Seed          int64       `json:"seed"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Conns         int         `json:"conns"`
+	PipelineDepth int         `json:"pipeline_depth"`
+	FlushEvery    int         `json:"flush_every"`
+	Rows          []serverRow `json:"rows"`
+}
+
+// serverRow is one config x mode measurement. Latencies are end-to-end
+// client-observed (command written until its response line read), sampled
+// every 16th op per connection.
+type serverRow struct {
+	System        string  `json:"system"`
+	Mode          string  `json:"mode"`
+	Shards        int     `json:"shards"`
+	Workers       int     `json:"workers"`
+	Conns         int     `json:"conns"`
+	PipelineDepth int     `json:"pipeline_depth"`
+	FlushEvery    int     `json:"flush_every"`
+	WallNanos     int64   `json:"wall_nanos"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50Nanos      float64 `json:"p50_nanos"`
+	P99Nanos      float64 `json:"p99_nanos"`
+	// BytesPerOp counts both directions of the wire, client-observed.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// FlushesPerOp is the server-side flush rate over the timed pass:
+	// ~1.0 in lockstep, ~1/K (plus idle flushes) pipelined.
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	// DepthAchieved is the server's mean response-window occupancy over
+	// the timed pass — how much pipeline the connection actually sustained,
+	// as opposed to the configured ceiling.
+	DepthAchieved float64 `json:"depth_achieved"`
+}
+
+// connScript is one connection's pre-rendered command stream.
+type connScript struct {
+	lines [][]byte // one command per entry, newline included
+	bytes int      // total request bytes
+}
+
+// renderScripts hex-encodes the workload and partitions the op stream
+// round-robin across conns. It also returns the hex keys to preload so
+// the run phase measures steady state, not first-insert descents.
+func renderScripts(w *workload.Workload, conns int) ([]connScript, [][]byte) {
+	scripts := make([]connScript, conns)
+	for i, op := range w.Ops {
+		hexKey := hex.EncodeToString(op.Key)
+		var line []byte
+		switch op.Kind {
+		case workload.Write:
+			line = []byte("PUT " + hexKey + " " + strconv.FormatUint(op.Value, 10) + "\n")
+		default:
+			line = []byte("GET " + hexKey + "\n")
+		}
+		sc := &scripts[i%conns]
+		sc.lines = append(sc.lines, line)
+		sc.bytes += len(line)
+	}
+	loadKeys := make([][]byte, len(w.Keys))
+	for i, k := range w.Keys {
+		loadKeys[i] = []byte(hex.EncodeToString(k))
+	}
+	return scripts, loadKeys
+}
+
+// latSample is the per-connection latency sampling interval.
+const latSample = 16
+
+// runServerTrial boots a server over st on a loopback listener, preloads
+// the key set, and runs the scripts through it: one untimed warmup pass,
+// then best-of-2 timed passes over fresh connections each time.
+func runServerTrial(o Options, st store.Store, scripts []connScript,
+	loadKeys [][]byte, depth, flushEvery int) (serverRow, error) {
+	for i, k := range loadKeys {
+		// Preload through the store directly, with the server's key
+		// terminator, so the wire sees a warm tree.
+		st.Put(append(k, 0), uint64(i))
+	}
+	srv := kvserver.NewStore(st)
+	srv.SetPipeline(depth, flushEvery)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serverRow{}, err
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.Serve(conn)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	var best serverRow
+	totalOps := 0
+	for _, sc := range scripts {
+		totalOps += len(sc.lines)
+	}
+	for trial := 0; trial < 3; trial++ {
+		before := srv.PipelineStats()
+		wall, hist, wireBytes, err := runServerPass(addr, scripts, depth)
+		if err != nil {
+			return serverRow{}, err
+		}
+		if trial == 0 {
+			continue // warmup: tree absorbed the stream's inserts
+		}
+		after := srv.PipelineStats()
+		row := serverRow{
+			Conns:         len(scripts),
+			PipelineDepth: depth,
+			FlushEvery:    flushEvery,
+			WallNanos:     wall.Nanoseconds(),
+			OpsPerSec:     float64(totalOps) / wall.Seconds(),
+			P50Nanos:      hist.Quantile(0.50) * 1e9,
+			P99Nanos:      hist.Quantile(0.99) * 1e9,
+			BytesPerOp:    float64(wireBytes) / float64(totalOps),
+		}
+		if dr := after.Responses - before.Responses; dr > 0 {
+			row.FlushesPerOp = float64(after.Flushes-before.Flushes) / float64(dr)
+			row.DepthAchieved = float64(after.DepthSum-before.DepthSum) / float64(dr)
+		}
+		if best.OpsPerSec == 0 || row.OpsPerSec > best.OpsPerSec {
+			best = row
+		}
+	}
+	return best, nil
+}
+
+// runServerPass dials one connection per script and runs them all
+// concurrently, returning the wall time over the whole pass, the merged
+// latency samples, and total wire bytes (both directions).
+func runServerPass(addr string, scripts []connScript, depth int) (time.Duration, *metrics.Histogram, int64, error) {
+	conns := make([]net.Conn, len(scripts))
+	for i := range conns {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	hists := make([]*metrics.Histogram, len(scripts))
+	respBytes := make([]int64, len(scripts))
+	errs := make([]error, len(scripts))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range scripts {
+		hists[i] = metrics.NewHistogram()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if depth > 1 {
+				respBytes[i], errs[i] = runPipelinedClient(conns[i], scripts[i].lines, hists[i], depth)
+			} else {
+				respBytes[i], errs[i] = runLockstepClient(conns[i], scripts[i].lines, hists[i])
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+
+	merged := hists[0]
+	var wire int64
+	for i := range scripts {
+		if errs[i] != nil {
+			return 0, nil, 0, errs[i]
+		}
+		if i > 0 {
+			merged.Merge(hists[i])
+		}
+		wire += respBytes[i] + int64(scripts[i].bytes)
+	}
+	return wall, merged, wire, nil
+}
+
+// runLockstepClient is the classic request/response loop: write, flush,
+// block on the reply — at most one command in flight.
+func runLockstepClient(conn net.Conn, lines [][]byte, hist *metrics.Histogram) (int64, error) {
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var respBytes int64
+	for i, line := range lines {
+		sample := i%latSample == 0
+		var t0 time.Time
+		if sample {
+			t0 = time.Now()
+		}
+		if _, err := bw.Write(line); err != nil {
+			return respBytes, err
+		}
+		if err := bw.Flush(); err != nil {
+			return respBytes, err
+		}
+		resp, err := br.ReadSlice('\n')
+		if err != nil {
+			return respBytes, fmt.Errorf("op %d: %w", i, err)
+		}
+		respBytes += int64(len(resp))
+		if sample {
+			hist.Observe(time.Since(t0).Seconds())
+		}
+	}
+	return respBytes, clientQuit(bw, br, &respBytes)
+}
+
+// runPipelinedClient keeps exactly depth commands in flight: a sender
+// goroutine writes ahead of the responses, gated by a window semaphore
+// the receiving (calling) goroutine releases as responses arrive — a
+// depth-D pipeline, not an unbounded blast, so the sampled latencies mean
+// "time an op spends in a full pipeline" rather than "time behind the
+// client's own entire backlog". The sender flushes whenever the window
+// blocks it (its writes-so-far are what will refill the window). Latency
+// sampling passes send stamps through a channel — the channel is the
+// happens-before edge between sender and receiver clocks.
+func runPipelinedClient(conn net.Conn, lines [][]byte, hist *metrics.Histogram, depth int) (int64, error) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	stamps := make(chan time.Time, len(lines)/latSample+1)
+	window := make(chan struct{}, depth)
+
+	sendErr := make(chan error, 1)
+	go func() {
+		for i, line := range lines {
+			select {
+			case window <- struct{}{}:
+			default:
+				// Window full: everything buffered so far must go out before
+				// responses can free it up.
+				if err := bw.Flush(); err != nil {
+					sendErr <- err
+					return
+				}
+				window <- struct{}{}
+			}
+			if i%latSample == 0 {
+				stamps <- time.Now()
+			}
+			if _, err := bw.Write(line); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- bw.Flush()
+	}()
+
+	var respBytes int64
+	for i := range lines {
+		resp, err := br.ReadSlice('\n')
+		if err != nil {
+			<-sendErr
+			return respBytes, fmt.Errorf("op %d: %w", i, err)
+		}
+		respBytes += int64(len(resp))
+		if i%latSample == 0 {
+			// The stamp for op i was sent before the command was written,
+			// so it is always available by the time the response arrives.
+			hist.Observe(time.Since(<-stamps).Seconds())
+		}
+		<-window
+	}
+	if err := <-sendErr; err != nil {
+		return respBytes, err
+	}
+	return respBytes, clientQuit(bw, br, &respBytes)
+}
+
+// clientQuit runs the QUIT handshake so the server side of the connection
+// winds down cleanly before the pass tears the sockets.
+func clientQuit(bw *bufio.Writer, br *bufio.Reader, respBytes *int64) error {
+	if _, err := bw.WriteString("QUIT\n"); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	resp, err := br.ReadSlice('\n')
+	if err != nil {
+		return err
+	}
+	*respBytes += int64(len(resp))
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/pctt"
@@ -41,12 +42,25 @@ import (
 // result from a clipped one.
 const maxScanLimit = 10_000
 
-// Per-connection buffer pools: the scanner's line buffer, the buffered
+// maxLineLen bounds one protocol line (command or response input). A
+// longer line is discarded whole and answered with "ERR line too long";
+// the session stays in sync at the next newline.
+const maxLineLen = 64 << 10
+
+// Pipelining defaults: the per-connection in-flight response window and
+// the response-coalescing flush cap. Depth 1 selects the lockstep path
+// (read one command, apply, respond, flush, repeat).
+const (
+	DefaultPipelineDepth = 64
+	DefaultFlushEvery    = 32
+)
+
+// Per-connection buffer pools: the buffered line reader, the buffered
 // response writer, and the response-line scratch are all recycled across
 // connections, so a busy accept loop stops churning the allocator.
 var (
-	scanBufPool = sync.Pool{
-		New: func() any { return make([]byte, 64<<10) },
+	readerPool = sync.Pool{
+		New: func() any { return bufio.NewReaderSize(eofReader{}, maxLineLen) },
 	}
 	writerPool = sync.Pool{
 		New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) },
@@ -56,6 +70,53 @@ var (
 	}
 )
 
+// eofReader is the parked readers' placeholder source (never read; it
+// just drops the pooled reader's reference to a dead connection).
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// serverStats is the server-wide pipelining instrumentation, aggregated
+// across connections. All fields are atomics written on the hot path and
+// read by the obs gauges and the server benchmark.
+type serverStats struct {
+	// inflight counts point operations submitted to the store whose
+	// responses have not completed yet.
+	inflight atomic.Int64
+	// flushes counts response-writer flushes that moved bytes (lockstep:
+	// one per command; pipelined: one per coalesced run).
+	flushes atomic.Int64
+	// responses counts completed pipelined responses; depthSum accumulates
+	// the connection's window occupancy observed as each one completed, so
+	// depthSum/responses is the mean pipeline depth actually achieved.
+	responses atomic.Int64
+	depthSum  atomic.Int64
+	// depthHW is the high-water submitted-but-unanswered count.
+	depthHW atomic.Int64
+}
+
+// submitted records one async submission and maintains the high-water
+// mark.
+func (st *serverStats) submitted() {
+	n := st.inflight.Add(1)
+	for {
+		hw := st.depthHW.Load()
+		if n <= hw || st.depthHW.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+// PipelineStats is a point-in-time copy of the server's pipelining
+// counters (see serverStats for field semantics).
+type PipelineStats struct {
+	Inflight       int64
+	Flushes        int64
+	Responses      int64
+	DepthSum       int64
+	DepthHighWater int64
+}
+
 // Server is the key-value service. Safe for concurrent use; Serve is run
 // once per connection.
 type Server struct {
@@ -63,6 +124,10 @@ type Server struct {
 	reg     *obs.Registry
 	batched bool
 	maxScan int
+
+	pipeDepth  int
+	flushEvery int
+	stats      serverStats
 }
 
 // New returns an empty server over a direct (unbatched, unsharded) store.
@@ -87,7 +152,10 @@ func NewBatchedConfig(cfg pctt.Config) *Server {
 // a custom implementation. The server owns the store from here on: Close
 // closes it, snapshots go through store.Save/Load.
 func NewStore(st store.Store) *Server {
-	s := &Server{st: st, batched: isBatched(st), maxScan: maxScanLimit}
+	s := &Server{
+		st: st, batched: isBatched(st), maxScan: maxScanLimit,
+		pipeDepth: DefaultPipelineDepth, flushEvery: DefaultFlushEvery,
+	}
 	s.initObs()
 	return s
 }
@@ -114,6 +182,50 @@ func (s *Server) initObs() {
 	s.st.RegisterObs(s.reg)
 	s.reg.RegisterGauge("kv", "dcart_keys", "", "keys stored in the tree",
 		func() float64 { return float64(s.st.Len()) })
+	s.reg.RegisterGauge("kv", "dcart_server_inflight", "",
+		"point operations submitted to the store and not yet answered (pipelined connections)",
+		func() float64 { return float64(s.stats.inflight.Load()) })
+	s.reg.RegisterGauge("kv", "dcart_server_flushes", "",
+		"cumulative response-writer flushes (pipelining coalesces up to flush-every responses per flush)",
+		func() float64 { return float64(s.stats.flushes.Load()) })
+	s.reg.RegisterGauge("kv", "dcart_server_pipeline_depth", "",
+		"mean per-connection response-window occupancy observed at completion (pipelined responses)",
+		func() float64 {
+			n := s.stats.responses.Load()
+			if n == 0 {
+				return 0
+			}
+			return float64(s.stats.depthSum.Load()) / float64(n)
+		})
+}
+
+// SetPipeline configures per-connection pipelining: depth is the bounded
+// in-flight response window (1 selects the lockstep path — read, apply,
+// respond, flush, repeat), flushEvery caps how many responses may coalesce
+// into one network flush (the writer also flushes whenever the window runs
+// dry, so an idle connection never waits on a buffered response). Call
+// before Serve.
+func (s *Server) SetPipeline(depth, flushEvery int) {
+	if depth < 1 {
+		depth = 1
+	}
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	s.pipeDepth = depth
+	s.flushEvery = flushEvery
+}
+
+// PipelineStats returns a point-in-time copy of the server-wide
+// pipelining counters.
+func (s *Server) PipelineStats() PipelineStats {
+	return PipelineStats{
+		Inflight:       s.stats.inflight.Load(),
+		Flushes:        s.stats.flushes.Load(),
+		Responses:      s.stats.responses.Load(),
+		DepthSum:       s.stats.depthSum.Load(),
+		DepthHighWater: s.stats.depthHW.Load(),
+	}
 }
 
 // Registry exposes the server's observability registry (for the
@@ -167,6 +279,16 @@ type connState struct {
 	scratch []byte
 }
 
+// flush pushes buffered responses to the connection, counting only
+// flushes that actually moved bytes.
+func (c *connState) flush() error {
+	if c.w.Buffered() == 0 {
+		return nil
+	}
+	c.s.stats.flushes.Add(1)
+	return c.w.Flush()
+}
+
 // line formats and streams one response line (parts joined by spaces).
 func (c *connState) line(parts ...string) {
 	b := c.scratch[:0]
@@ -208,19 +330,23 @@ func (c *connState) scanEnd(clipped, truncated bool) {
 
 func uintStr(v uint64) string { return strconv.FormatUint(v, 10) }
 
-// Serve handles one connection until QUIT, EOF, or a write error.
+// Serve handles one connection until QUIT, EOF, or a write error. With a
+// pipeline depth above 1 (the default) the connection runs the pipelined
+// reader/writer pair in pipeline.go; depth 1 runs the lockstep loop.
 func (s *Server) Serve(conn io.ReadWriteCloser) {
 	defer conn.Close()
 
-	sc := bufio.NewScanner(conn)
-	buf := scanBufPool.Get().([]byte)
-	defer scanBufPool.Put(buf) //nolint:staticcheck // slice is pooled whole
-	sc.Buffer(buf, len(buf))
+	r := readerPool.Get().(*bufio.Reader)
+	r.Reset(conn)
+	defer func() {
+		r.Reset(eofReader{}) // drop the conn reference before pooling
+		readerPool.Put(r)
+	}()
 
 	w := writerPool.Get().(*bufio.Writer)
 	w.Reset(conn)
 	defer func() {
-		w.Reset(io.Discard) // drop the conn reference before pooling
+		w.Reset(io.Discard)
 		writerPool.Put(w)
 	}()
 
@@ -231,19 +357,70 @@ func (s *Server) Serve(conn io.ReadWriteCloser) {
 		lineBufPool.Put(scratch)
 	}()
 
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+	if s.pipeDepth > 1 {
+		s.servePipelined(r, c)
+	} else {
+		s.serveLockstep(r, c)
+	}
+}
+
+// readLine returns the next protocol line without its terminator. A line
+// longer than the reader's buffer is discarded through its newline and
+// reported as tooLong — the session survives and resynchronizes at the
+// next line. A final unterminated line comes back together with io.EOF;
+// the returned slice aliases the reader's buffer and is only valid until
+// the next read.
+func readLine(r *bufio.Reader) (line []byte, tooLong bool, err error) {
+	line, err = r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		for err == bufio.ErrBufferFull {
+			_, err = r.ReadSlice('\n')
+		}
+		return nil, true, err
+	}
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	return line, false, err
+}
+
+// serveLockstep is the unpipelined connection loop: one command parsed,
+// applied, answered, and flushed at a time — the baseline the server
+// benchmark compares pipelining against, and the only mode where the
+// store's blocking calls are used.
+func (s *Server) serveLockstep(r *bufio.Reader, c *connState) {
+	for {
+		raw, tooLong, err := readLine(r)
+		if tooLong {
+			c.line("ERR line too long")
+			if c.flush() != nil {
+				return
+			}
+			if err != nil {
+				return
+			}
 			continue
 		}
-		if !c.handle(line) {
+		line := strings.TrimSpace(string(raw))
+		if line != "" {
+			quit := !c.handle(line)
+			// Window accounting: the lockstep path is a pipeline of depth
+			// exactly 1, and its flushes count like the pipelined path's so
+			// flushes-per-response is comparable across modes.
+			s.stats.responses.Add(1)
+			s.stats.depthSum.Add(1)
+			if quit {
+				break
+			}
+			if c.flush() != nil {
+				return
+			}
+		}
+		if err != nil {
 			break
 		}
-		if w.Flush() != nil {
-			return
-		}
 	}
-	w.Flush()
+	c.flush()
 }
 
 // handle executes one command line; returns false to close the session.
@@ -298,17 +475,9 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR bad limit")
 			return true
 		}
-		clipped := limit > s.maxScan
-		if clipped {
-			limit = s.maxScan
-		}
 		// The stored prefix has no terminator: scan the raw bytes. Each
 		// match streams out through the buffered writer immediately.
-		truncated := s.st.Scan([]byte(args[0]), limit, func(k []byte, v uint64) bool {
-			c.kvLine(k, v)
-			return true
-		})
-		c.scanEnd(clipped, truncated)
+		c.scan([]byte(args[0]), limit)
 	case "RANGE":
 		if len(args) != 3 {
 			c.line("ERR usage: RANGE <lo> <hi> <limit>")
@@ -319,16 +488,7 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR bad limit")
 			return true
 		}
-		clipped := limit > s.maxScan
-		if clipped {
-			limit = s.maxScan
-		}
-		truncated := s.st.Range(storedKey(args[0]), storedKey(args[1]), limit,
-			func(k []byte, v uint64) bool {
-				c.kvLine(k, v)
-				return true
-			})
-		c.scanEnd(clipped, truncated)
+		c.rangeScan(storedKey(args[0]), storedKey(args[1]), limit)
 	case "LEN":
 		c.line("LEN", strconv.Itoa(s.st.Len()))
 	case "STATS":

@@ -1,0 +1,295 @@
+// The pipelined connection path: one reader goroutine parses commands
+// continuously and submits point operations to the store asynchronously,
+// while a writer goroutine completes their responses in protocol order
+// with coalesced flushes. This is the software analogue of the paper's
+// host interface feeding the PCU's request queue (Fig 6): the wire keeps
+// the engine's combine window supplied with several in-flight operations
+// per connection instead of at most one, which is what lets the CTT
+// pipeline's combining see a single client's traffic at all.
+//
+// Ordering contract (identical to the lockstep path, observable at the
+// protocol level):
+//
+//   - Responses arrive in command order (the bounded items channel is the
+//     per-connection reorder window — completion is in-order even though
+//     execution inside the store may not be).
+//   - Read-your-writes per key: the store applies one producer's
+//     submissions per key in order, and the blocking/async boundary never
+//     reorders them.
+//   - SCAN, RANGE, LEN, and STATS are pipeline barriers: the reader stops
+//     submitting until the writer has drained every earlier response and
+//     run the command itself, so an ordered read observes exactly the
+//     session's earlier acknowledged writes (snapshots barrier the same
+//     way one level up: dcart-kv saves only after every connection
+//     drained and the store closed).
+//
+// Backpressure is the window itself: a reader that gets pipeDepth
+// responses ahead of the writer blocks submitting, which in turn stops
+// reading from the socket — a fast client is throttled by TCP flow
+// control, never by unbounded server memory.
+package kvserver
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// pipeKind discriminates the pipelined response items.
+type pipeKind uint8
+
+const (
+	pipeLiteral pipeKind = iota // pre-formatted response (errors, BYE)
+	pipeGet
+	pipePut
+	pipeDelete
+	pipeBarrier // runs on the writer after the window drained
+)
+
+// pipeItem is one in-flight response slot. Exactly one is enqueued per
+// command, in protocol order.
+type pipeItem struct {
+	kind pipeKind
+	tok  store.Pending // completion token for point ops
+	resp []byte        // pipeLiteral: the response line(s), owned
+	bar  func(*connState)
+	done chan struct{} // pipeBarrier: signaled after bar ran
+	quit bool          // close the session after this response
+}
+
+// servePipelined runs one connection's reader loop, with the response
+// writer on a second goroutine.
+func (s *Server) servePipelined(r *bufio.Reader, c *connState) {
+	items := make(chan pipeItem, s.pipeDepth)
+	writerDone := make(chan struct{})
+	go s.pipeWriter(items, c, writerDone)
+
+	// One reusable completion signal: at most one barrier is ever
+	// outstanding because the reader blocks on it.
+	barDone := make(chan struct{}, 1)
+	barrier := func(fn func(*connState)) {
+		items <- pipeItem{kind: pipeBarrier, bar: fn, done: barDone}
+		<-barDone
+	}
+	literal := func(parts ...string) {
+		items <- pipeItem{kind: pipeLiteral, resp: respLine(parts...)}
+	}
+
+read:
+	for {
+		raw, tooLong, err := readLine(r)
+		if tooLong {
+			literal("ERR line too long")
+			if err != nil {
+				break
+			}
+			continue
+		}
+		fields := strings.Fields(string(raw))
+		if len(fields) > 0 {
+			cmd := strings.ToUpper(fields[0])
+			args := fields[1:]
+			switch cmd {
+			case "PUT":
+				if len(args) != 2 {
+					literal("ERR usage: PUT <key> <uint64>")
+					break
+				}
+				v, perr := strconv.ParseUint(args[1], 10, 64)
+				if perr != nil {
+					literal("ERR bad value:", perr.Error())
+					break
+				}
+				s.stats.submitted()
+				items <- pipeItem{kind: pipePut, tok: s.st.PutAsync(storedKey(args[0]), v)}
+			case "GET":
+				if len(args) != 1 {
+					literal("ERR usage: GET <key>")
+					break
+				}
+				s.stats.submitted()
+				items <- pipeItem{kind: pipeGet, tok: s.st.GetAsync(storedKey(args[0]))}
+			case "DEL":
+				if len(args) != 1 {
+					literal("ERR usage: DEL <key>")
+					break
+				}
+				s.stats.submitted()
+				items <- pipeItem{kind: pipeDelete, tok: s.st.DeleteAsync(storedKey(args[0]))}
+			case "SCAN":
+				if len(args) != 2 {
+					literal("ERR usage: SCAN <prefix> <limit>")
+					break
+				}
+				limit, lerr := strconv.Atoi(args[1])
+				if lerr != nil || limit < 1 {
+					literal("ERR bad limit")
+					break
+				}
+				prefix := []byte(args[0])
+				barrier(func(c *connState) { c.scan(prefix, limit) })
+			case "RANGE":
+				if len(args) != 3 {
+					literal("ERR usage: RANGE <lo> <hi> <limit>")
+					break
+				}
+				limit, lerr := strconv.Atoi(args[2])
+				if lerr != nil || limit < 1 {
+					literal("ERR bad limit")
+					break
+				}
+				lo, hi := storedKey(args[0]), storedKey(args[1])
+				barrier(func(c *connState) { c.rangeScan(lo, hi, limit) })
+			case "LEN":
+				barrier(func(c *connState) {
+					c.line("LEN", strconv.Itoa(s.st.Len()))
+				})
+			case "STATS":
+				barrier(func(c *connState) {
+					c.line("STATS", s.reg.Snapshot().String())
+				})
+			case "QUIT":
+				items <- pipeItem{kind: pipeLiteral, resp: respLine("BYE"), quit: true}
+				break read
+			default:
+				literal("ERR unknown command", cmd)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(items)
+	<-writerDone
+}
+
+// pipeWriter completes responses in protocol order: literal responses are
+// copied out, point-op tokens are waited (this is where in-order
+// completion meets out-of-order execution), barriers run inline. Flushes
+// coalesce — one per flushEvery responses, plus one whenever the window
+// runs dry so no response ever waits on an idle connection. On a write
+// error the writer goes dark but keeps draining, so every submitted token
+// is still waited and the reader is never wedged on a full window.
+func (s *Server) pipeWriter(items <-chan pipeItem, c *connState, done chan<- struct{}) {
+	defer close(done)
+	dead := false
+	sinceFlush := 0
+	flush := func() {
+		if !dead && c.flush() != nil {
+			dead = true
+		}
+		sinceFlush = 0
+	}
+	for {
+		var it pipeItem
+		var ok bool
+		select {
+		case it, ok = <-items:
+		default:
+			// Window dry: everything answered so far goes out before we
+			// block waiting for more commands.
+			flush()
+			it, ok = <-items
+		}
+		if !ok {
+			flush()
+			return
+		}
+		occupancy := int64(len(items)) + 1
+		switch it.kind {
+		case pipeLiteral:
+			if !dead {
+				c.w.Write(it.resp)
+			}
+		case pipeGet:
+			v, found := it.tok.Wait()
+			s.stats.inflight.Add(-1)
+			if !dead {
+				if found {
+					c.line("VALUE", uintStr(v))
+				} else {
+					c.line("NOT_FOUND")
+				}
+			}
+		case pipePut:
+			_, replaced := it.tok.Wait()
+			s.stats.inflight.Add(-1)
+			if !dead {
+				if replaced {
+					c.line("OK replaced")
+				} else {
+					c.line("OK")
+				}
+			}
+		case pipeDelete:
+			_, found := it.tok.Wait()
+			s.stats.inflight.Add(-1)
+			if !dead {
+				if found {
+					c.line("OK")
+				} else {
+					c.line("NOT_FOUND")
+				}
+			}
+		case pipeBarrier:
+			if !dead {
+				it.bar(c)
+			}
+			it.done <- struct{}{}
+		}
+		s.stats.responses.Add(1)
+		s.stats.depthSum.Add(occupancy)
+		sinceFlush++
+		if sinceFlush >= s.flushEvery || it.quit {
+			flush()
+		}
+	}
+}
+
+// respLine renders one response line into an owned buffer (the pipelined
+// reader cannot use the writer-owned scratch).
+func respLine(parts ...string) []byte {
+	n := len(parts)
+	for _, p := range parts {
+		n += len(p)
+	}
+	b := make([]byte, 0, n)
+	for i, p := range parts {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, p...)
+	}
+	return append(b, '\n')
+}
+
+// scan executes SCAN against the store, streaming rows through the
+// writer's connState (shared by the lockstep handle path).
+func (c *connState) scan(prefix []byte, limit int) {
+	s := c.s
+	clipped := limit > s.maxScan
+	if clipped {
+		limit = s.maxScan
+	}
+	truncated := s.st.Scan(prefix, limit, func(k []byte, v uint64) bool {
+		c.kvLine(k, v)
+		return true
+	})
+	c.scanEnd(clipped, truncated)
+}
+
+// rangeScan executes RANGE under the same contract as scan.
+func (c *connState) rangeScan(lo, hi []byte, limit int) {
+	s := c.s
+	clipped := limit > s.maxScan
+	if clipped {
+		limit = s.maxScan
+	}
+	truncated := s.st.Range(lo, hi, limit, func(k []byte, v uint64) bool {
+		c.kvLine(k, v)
+		return true
+	})
+	c.scanEnd(clipped, truncated)
+}

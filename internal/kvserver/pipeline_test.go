@@ -1,0 +1,269 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pctt"
+	"repro/internal/store"
+)
+
+// TestOversizedLineRecovers sends a line far beyond the 64KiB read buffer
+// and asserts the server answers ERR, stays in sync, and keeps serving.
+func TestOversizedLineRecovers(t *testing.T) {
+	s := newSession(New())
+	defer s.close()
+
+	if got := s.cmd(t, "PUT before 1"); got != "OK" {
+		t.Fatalf("PUT before = %q", got)
+	}
+	huge := "PUT big " + strings.Repeat("9", 70<<10)
+	if got := s.cmd(t, huge); got != "ERR line too long" {
+		t.Fatalf("oversized line = %q", got)
+	}
+	// The connection must have discarded the remainder and resynced.
+	if got := s.cmd(t, "LEN"); got != "LEN 1" {
+		t.Fatalf("LEN after oversized = %q", got)
+	}
+	if got := s.cmd(t, "GET before"); got != "VALUE 1" {
+		t.Fatalf("GET after oversized = %q", got)
+	}
+}
+
+// TestParserEdgeCases drives malformed commands mid-pipeline and asserts
+// every one gets exactly one response and the session stays usable.
+func TestParserEdgeCases(t *testing.T) {
+	s := newSession(New())
+	defer s.close()
+
+	cases := []struct{ cmd, want string }{
+		{"PUT k 1 2", "ERR usage: PUT <key> <uint64>"}, // embedded space in value
+		{"PUT", "ERR usage: PUT <key> <uint64>"},
+		{"PUT k", "ERR usage: PUT <key> <uint64>"},
+		{"PUT k notanum", "ERR bad value: strconv.ParseUint: parsing \"notanum\": invalid syntax"},
+		{"GET", "ERR usage: GET <key>"},        // empty key collapses to no args
+		{"GET   ", "ERR usage: GET <key>"},     // whitespace-only args
+		{"DEL", "ERR usage: DEL <key>"},
+		{"SCAN p", "ERR usage: SCAN <prefix> <limit>"},
+		{"SCAN p zero", "ERR bad limit"},
+		{"SCAN p 0", "ERR bad limit"},
+		{"RANGE a b", "ERR usage: RANGE <lo> <hi> <limit>"},
+		{"FROB x", "ERR unknown command FROB"},
+		{"put lower 5", "OK"}, // commands are case-insensitive
+		{"GET lower", "VALUE 5"},
+	}
+	for _, tc := range cases {
+		if got := s.cmd(t, tc.cmd); got != tc.want {
+			t.Fatalf("%q = %q, want %q", tc.cmd, got, tc.want)
+		}
+	}
+	// Blank lines produce no response and do not desync the stream.
+	if _, err := fmt.Fprint(s.conn, "\n   \nGET lower\n"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.r.ReadString('\n')
+	if err != nil || strings.TrimSpace(resp) != "VALUE 5" {
+		t.Fatalf("after blank lines: %q, %v", resp, err)
+	}
+}
+
+// TestUnknownCommandMidPipeline blind-writes a burst mixing valid and
+// invalid commands and asserts the responses come back one-per-command in
+// order — a parse error must not cost the stream a slot.
+func TestUnknownCommandMidPipeline(t *testing.T) {
+	s := newSession(New())
+	defer s.close()
+
+	var script strings.Builder
+	var want []string
+	for i := 0; i < 50; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&script, "PUT k%d %d\n", i, i)
+			want = append(want, "OK")
+		case 1:
+			fmt.Fprintf(&script, "BOGUS%d\n", i)
+			want = append(want, fmt.Sprintf("ERR unknown command BOGUS%d", i))
+		default:
+			fmt.Fprintf(&script, "GET k%d\n", i-2)
+			want = append(want, fmt.Sprintf("VALUE %d", i-2))
+		}
+	}
+	go io.WriteString(s.conn, script.String())
+	for i, w := range want {
+		resp, err := s.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if got := strings.TrimSpace(resp); got != w {
+			t.Fatalf("response %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestPipelineBarrier blind-writes PUTs immediately followed by a SCAN
+// and asserts the scan observes every earlier acknowledged write — the
+// barrier drained the window first.
+func TestPipelineBarrier(t *testing.T) {
+	srv := NewBatchedConfig(pctt.Config{Workers: 2})
+	s := newSession(srv)
+	defer s.close()
+
+	const n = 40
+	var script strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&script, "PUT bar:%02d %d\n", i, i)
+	}
+	script.WriteString("SCAN bar: 100\nLEN\n")
+	go io.WriteString(s.conn, script.String())
+
+	for i := 0; i < n; i++ {
+		resp, err := s.r.ReadString('\n')
+		if err != nil || strings.TrimSpace(resp) != "OK" {
+			t.Fatalf("PUT %d: %q, %v", i, resp, err)
+		}
+	}
+	rows := 0
+	for {
+		resp, err := s.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := strings.TrimSpace(resp)
+		if line == "END" {
+			break
+		}
+		if !strings.HasPrefix(line, "KEY bar:") {
+			t.Fatalf("scan row %d = %q", rows, line)
+		}
+		rows++
+	}
+	if rows != n {
+		t.Fatalf("SCAN after barrier saw %d rows, want %d", rows, n)
+	}
+	resp, err := s.r.ReadString('\n')
+	if err != nil || strings.TrimSpace(resp) != fmt.Sprintf("LEN %d", n) {
+		t.Fatalf("LEN after barrier: %q, %v", resp, err)
+	}
+}
+
+// pipeScript is one connection's deterministic command script and its
+// expected response sequence.
+type pipeScript struct {
+	cmds string
+	want []string
+}
+
+// buildPipeScript interleaves PUTs and GETs over a small per-connection
+// key set so expected responses (including read-your-writes values and
+// OK-vs-OK-replaced) are fully determined by submission order.
+func buildPipeScript(conn, ops int) pipeScript {
+	var b strings.Builder
+	var want []string
+	last := map[string]uint64{}
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("c%d:k%d", conn, i%8)
+		if i%3 != 2 {
+			v := uint64(conn*1_000_000 + i)
+			fmt.Fprintf(&b, "PUT %s %d\n", key, v)
+			if _, ok := last[key]; ok {
+				want = append(want, "OK replaced")
+			} else {
+				want = append(want, "OK")
+			}
+			last[key] = v
+		} else {
+			fmt.Fprintf(&b, "GET %s\n", key)
+			if v, ok := last[key]; ok {
+				want = append(want, fmt.Sprintf("VALUE %d", v))
+			} else {
+				want = append(want, "NOT_FOUND")
+			}
+		}
+	}
+	b.WriteString("QUIT\n")
+	want = append(want, "BYE")
+	return pipeScript{cmds: b.String(), want: want}
+}
+
+// TestPipelinedConcurrentOrderingRYW runs 8 pipelined connections
+// concurrently against one batched store, each blind-writing its whole
+// script, and asserts every connection's responses arrive exactly in
+// command order with read-your-writes values. Run under -race in CI.
+func TestPipelinedConcurrentOrderingRYW(t *testing.T) {
+	srv := NewBatchedConfig(pctt.Config{Workers: 4})
+	defer srv.Close()
+
+	const conns = 8
+	const ops = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for cn := 0; cn < conns; cn++ {
+		wg.Add(1)
+		go func(cn int) {
+			defer wg.Done()
+			client, server := net.Pipe()
+			serveDone := make(chan struct{})
+			go func() { defer close(serveDone); srv.Serve(server) }()
+			sc := buildPipeScript(cn, ops)
+			go io.WriteString(client, sc.cmds) // blind writer; backpressure throttles it
+			r := bufio.NewReader(client)
+			for i, w := range sc.want {
+				resp, err := r.ReadString('\n')
+				if err != nil {
+					errs <- fmt.Errorf("conn %d response %d: %v", cn, i, err)
+					client.Close()
+					return
+				}
+				if got := strings.TrimSpace(resp); got != w {
+					errs <- fmt.Errorf("conn %d response %d = %q, want %q", cn, i, got, w)
+					client.Close()
+					return
+				}
+			}
+			client.Close()
+			<-serveDone
+		}(cn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := srv.PipelineStats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight gauge = %d after drain, want 0", st.Inflight)
+	}
+	if st.Responses == 0 || st.DepthHighWater < 1 {
+		t.Fatalf("stats not accounted: %+v", st)
+	}
+}
+
+// TestLockstepModeMatchesPipelined runs the same script in depth-1
+// (lockstep) mode and asserts identical responses — SetPipeline(1, …)
+// must fully restore the serial path.
+func TestLockstepModeMatchesPipelined(t *testing.T) {
+	srv := NewStore(store.NewDirect())
+	srv.SetPipeline(1, 1)
+	defer srv.Close()
+
+	s := newSession(srv)
+	defer s.close()
+	sc := buildPipeScript(0, 60)
+	go io.WriteString(s.conn, sc.cmds)
+	for i, w := range sc.want {
+		resp, err := s.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if got := strings.TrimSpace(resp); got != w {
+			t.Fatalf("response %d = %q, want %q", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package pctt
+
+import (
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Pending is the completion token of one asynchronous Batcher submission
+// (GetAsync/PutAsync/DeleteAsync). Wait blocks until the operation has
+// applied and returns its outcome; it must be called exactly once — the
+// token is pooled and becomes invalid the moment Wait returns.
+//
+// Async submission is how a single producer (e.g. one pipelined server
+// connection) keeps several operations in flight at once, so the combine
+// window sees more than one of its requests per batch. Ordering is the
+// same as the blocking API: tasks enter their combine bucket in submission
+// order, so per key, per producer, FIFO holds — a producer that submits
+// W(k,v) then R(k) observes v once both tokens resolve, whether or not it
+// waited in between.
+type Pending struct {
+	reply chan taskResult
+	res   taskResult
+	ready bool
+}
+
+var pendingPool = sync.Pool{New: func() any { return new(Pending) }}
+
+// resolvedPending wraps an already-computed result (bypass and post-Close
+// paths execute on the submitting goroutine).
+func resolvedPending(r taskResult) *Pending {
+	p := pendingPool.Get().(*Pending)
+	p.res, p.ready = r, true
+	return p
+}
+
+// Wait blocks until the operation has applied. The returned pair is
+// (value, present) for Get, (_, replaced) for Put, and (_, present) for
+// Delete — the same results the blocking calls return.
+func (p *Pending) Wait() (uint64, bool) {
+	if !p.ready {
+		p.res = <-p.reply
+		replyPool.Put(p.reply)
+	}
+	r := p.res
+	p.reply, p.res, p.ready = nil, taskResult{}, false
+	pendingPool.Put(p)
+	return r.value, r.found
+}
+
+// GetAsync submits a read without waiting for it. The key must not be
+// mutated until Wait returns.
+func (e *Engine) GetAsync(key []byte) *Pending {
+	return e.doAsync(task{kind: workload.Read, key: key})
+}
+
+// PutAsync submits a write without waiting for it; Wait reports whether an
+// existing value was replaced.
+func (e *Engine) PutAsync(key []byte, value uint64) *Pending {
+	return e.doAsync(task{kind: workload.Write, key: key, value: value})
+}
+
+// DeleteAsync submits a removal without waiting for it; Wait reports
+// whether the key was present.
+func (e *Engine) DeleteAsync(key []byte) *Pending {
+	return e.doAsync(task{kind: workload.Delete, key: key})
+}
+
+// doAsync is do without the final blocking receive: the reply channel is
+// handed to the caller inside a Pending instead. Submission itself may
+// still block on the pipeline's backpressure gates (MaxInflight,
+// QueueDepth) — that is the bound that keeps a fast producer from growing
+// the backlog without limit.
+func (e *Engine) doAsync(t task) *Pending {
+	e.start()
+	t.hash = hashKey(t.key)
+	e.stamp(&t)
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return resolvedPending(e.direct(t))
+	}
+	if e.bypassEligible() {
+		e.mu.RUnlock()
+		return resolvedPending(e.bypassOne(t))
+	}
+	reply := replyPool.Get().(chan taskResult)
+	t.reply = reply
+	e.submitOne(e.shardOf(t.key), t)
+	e.mu.RUnlock()
+
+	p := pendingPool.Get().(*Pending)
+	p.reply, p.ready = reply, false
+	return p
+}

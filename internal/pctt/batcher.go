@@ -51,12 +51,37 @@ func (e *Engine) Delete(key []byte) bool {
 // but the tree itself stays safe for concurrent use).
 func (e *Engine) do(t task) taskResult {
 	e.start()
+	t.hash = hashKey(t.key)
+	e.stamp(&t)
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return e.direct(t)
+	}
+	if e.bypassEligible() {
+		// Single worker, empty pipeline: no concurrent caller to coalesce
+		// with, so skip the queue hop and execute on this goroutine. Under
+		// load (anything in flight) the pipeline path re-engages and the
+		// combine window does its work.
+		e.mu.RUnlock()
+		return e.bypassOne(t)
+	}
 	reply := replyPool.Get().(chan taskResult)
 	t.reply = reply
-	t.hash = hashKey(t.key)
-	// Latency is sampled 1-in-16 (as on the Run path) so a live server's
-	// histogram upkeep stays off most requests; tracing makes its own
-	// (typically much sparser) sampling decision.
+	e.submitOne(e.shardOf(t.key), t)
+	e.mu.RUnlock()
+
+	r := <-reply
+	replyPool.Put(reply)
+	return r
+}
+
+// stamp applies the Batcher path's sampling decisions to a task before
+// submission. Latency is sampled 1-in-16 (as on the Run path) so a live
+// server's histogram upkeep stays off most requests; tracing makes its own
+// (typically much sparser) sampling decision.
+func (e *Engine) stamp(t *task) {
 	if e.cfg.RecordLatency && e.latN.Add(1)&15 == 0 {
 		t.enq = time.Now().UnixNano()
 	}
@@ -66,55 +91,40 @@ func (e *Engine) do(t task) taskResult {
 			t.enq = time.Now().UnixNano()
 		}
 	}
+}
 
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		replyPool.Put(reply)
-		return e.direct(t)
-	}
-	if e.bypassEligible() {
-		// Single worker, empty pipeline: no concurrent caller to coalesce
-		// with, so skip the queue hop and execute on this goroutine. Under
-		// load (anything in flight) the pipeline path re-engages and the
-		// combine window does its work.
-		e.mu.RUnlock()
-		replyPool.Put(reply)
-		r := e.direct(t)
-		e.ms.Inc(metrics.CtrBypassOps)
-		if t.enq != 0 {
-			now := time.Now().UnixNano()
-			d := float64(now-t.enq) * 1e-9
-			w := e.workers[0]
-			if e.cfg.RecordLatency {
-				w.histMu.Lock()
-				w.histTotal.Observe(d)
-				w.histQueue.Observe(0)
-				w.histExec.Observe(d)
-				w.histMu.Unlock()
-			}
-			if t.traced {
-				if tr := e.cfg.Tracer; tr != nil {
-					tr.Record(obs.Span{
-						TraceID:        t.hash,
-						Op:             opName(t.kind),
-						Worker:         0,
-						Bucket:         e.shardOf(t.key),
-						SubmitUnixNano: t.enq,
-						BatchUnixNano:  t.enq,
-						DoneUnixNano:   now,
-						ExecNanos:      now - t.enq,
-					})
-				}
+// bypassOne executes one Batcher task on the caller's goroutine (the
+// single-worker fast path) and performs the bypassed pipeline's latency and
+// tracing bookkeeping so the obs layer still sees one coherent story.
+func (e *Engine) bypassOne(t task) taskResult {
+	r := e.direct(t)
+	e.ms.Inc(metrics.CtrBypassOps)
+	if t.enq != 0 {
+		now := time.Now().UnixNano()
+		d := float64(now-t.enq) * 1e-9
+		w := e.workers[0]
+		if e.cfg.RecordLatency {
+			w.histMu.Lock()
+			w.histTotal.Observe(d)
+			w.histQueue.Observe(0)
+			w.histExec.Observe(d)
+			w.histMu.Unlock()
+		}
+		if t.traced {
+			if tr := e.cfg.Tracer; tr != nil {
+				tr.Record(obs.Span{
+					TraceID:        t.hash,
+					Op:             opName(t.kind),
+					Worker:         0,
+					Bucket:         e.shardOf(t.key),
+					SubmitUnixNano: t.enq,
+					BatchUnixNano:  t.enq,
+					DoneUnixNano:   now,
+					ExecNanos:      now - t.enq,
+				})
 			}
 		}
-		return r
 	}
-	e.submitOne(e.shardOf(t.key), t)
-	e.mu.RUnlock()
-
-	r := <-reply
-	replyPool.Put(reply)
 	return r
 }
 

@@ -1,0 +1,156 @@
+// Async submission support: the Batched and Sharded topologies route
+// GetAsync/PutAsync/DeleteAsync straight into the pctt engine's async
+// Batcher surface (the pipeline's own backpressure and per-key FIFO apply
+// unchanged); Direct has no pipeline, so it runs a small worker shim — a
+// few goroutines fed by key-routed queues — that decouples submission from
+// the tree descent while preserving per-key submission order.
+package store
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/olc"
+)
+
+// resolved is an already-completed Pending: the synchronous fallback for
+// closed stores, where the operation executed on the submitting goroutine.
+type resolved struct {
+	value uint64
+	found bool
+}
+
+func (r resolved) Wait() (uint64, bool) { return r.value, r.found }
+
+// Shim operation kinds.
+const (
+	shimGet uint8 = iota
+	shimPut
+	shimDelete
+)
+
+// shimOp is one queued Direct async operation and, once executed, its own
+// completion token. The done channel is created once per pooled op and
+// reused across recycles.
+type shimOp struct {
+	kind  uint8
+	key   []byte
+	value uint64
+	found bool
+	done  chan struct{}
+}
+
+var shimOpPool = sync.Pool{
+	New: func() any { return &shimOp{done: make(chan struct{}, 1)} },
+}
+
+// Wait implements Pending. Exactly one completion is sent per submission,
+// so the receive never blocks past execution.
+func (p *shimOp) Wait() (uint64, bool) {
+	<-p.done
+	v, ok := p.value, p.found
+	p.key = nil
+	shimOpPool.Put(p)
+	return v, ok
+}
+
+// shimWorkers caps the Direct shim's worker pool. The shim exists to let a
+// submitter keep parsing while descents run, not to scale the tree — the
+// lock-coupling tree handles real concurrency on its own — so a handful of
+// workers is enough to keep submission non-blocking at any realistic
+// per-connection rate.
+func shimWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shimQueueDepth bounds each shim worker's pending queue; a full queue
+// blocks submitters (backpressure), mirroring the engine's QueueDepth.
+const shimQueueDepth = 256
+
+// asyncShim executes Direct async submissions on a small worker pool.
+// Operations are routed to a worker by key hash, so two submissions of the
+// same key from one goroutine land on the same FIFO queue — per-key
+// submission order is preserved, which is what keeps read-your-writes
+// intact for a pipelined connection.
+type asyncShim struct {
+	tree   *olc.Tree
+	queues []chan *shimOp
+	wg     sync.WaitGroup
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newAsyncShim(tree *olc.Tree) *asyncShim {
+	s := &asyncShim{tree: tree, queues: make([]chan *shimOp, shimWorkers())}
+	for i := range s.queues {
+		q := make(chan *shimOp, shimQueueDepth)
+		s.queues[i] = q
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for op := range q {
+				s.exec(op)
+			}
+		}()
+	}
+	return s
+}
+
+func (s *asyncShim) exec(op *shimOp) {
+	switch op.kind {
+	case shimGet:
+		op.value, op.found = s.tree.Get(op.key)
+	case shimPut:
+		op.found = s.tree.Put(op.key, op.value)
+	default:
+		op.found = s.tree.Delete(op.key)
+	}
+	op.done <- struct{}{}
+}
+
+// submit routes op to its key's worker queue, or executes it inline after
+// close (the store stays usable, just without the submission decoupling).
+func (s *asyncShim) submit(op *shimOp) Pending {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.exec(op)
+		return op
+	}
+	s.queues[shimIndex(op.key, len(s.queues))] <- op
+	s.mu.RUnlock()
+	return op
+}
+
+// close drains the queues and stops the workers; every submitted token
+// still completes.
+func (s *asyncShim) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// shimIndex routes a key to a shim worker (FNV-1a over the whole key, so
+// queues balance even when leading bytes cluster).
+func shimIndex(key []byte, n int) int {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(h % uint32(n))
+}

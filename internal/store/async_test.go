@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pctt"
+)
+
+// asyncStores builds one of each topology for the async-surface tests.
+func asyncStores(t *testing.T) map[string]Store {
+	t.Helper()
+	return map[string]Store{
+		"direct":  NewDirect(),
+		"batched": NewBatched(pctt.Config{Workers: 2}),
+		"sharded": NewSharded(2, func(int) Store {
+			return NewBatched(pctt.Config{Workers: 2})
+		}),
+	}
+}
+
+// TestAsyncOracle drives a deterministic op sequence through the async
+// surface of every topology, waiting each token immediately, and checks
+// the results against a plain map oracle.
+func TestAsyncOracle(t *testing.T) {
+	for name, st := range asyncStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			oracle := map[string]uint64{}
+			for i := 0; i < 2000; i++ {
+				key := []byte(fmt.Sprintf("k%03d", i%97))
+				switch i % 5 {
+				case 0, 1: // put
+					v := uint64(i)
+					_, replaced := st.PutAsync(key, v).Wait()
+					_, had := oracle[string(key)]
+					if replaced != had {
+						t.Fatalf("op %d: PutAsync replaced=%v want %v", i, replaced, had)
+					}
+					oracle[string(key)] = v
+				case 2, 3: // get
+					v, found := st.GetAsync(key).Wait()
+					want, had := oracle[string(key)]
+					if found != had || (had && v != want) {
+						t.Fatalf("op %d: GetAsync=(%d,%v) want (%d,%v)", i, v, found, want, had)
+					}
+				default: // delete
+					_, found := st.DeleteAsync(key).Wait()
+					_, had := oracle[string(key)]
+					if found != had {
+						t.Fatalf("op %d: DeleteAsync found=%v want %v", i, found, had)
+					}
+					delete(oracle, string(key))
+				}
+			}
+			if st.Len() != len(oracle) {
+				t.Fatalf("Len=%d want %d", st.Len(), len(oracle))
+			}
+		})
+	}
+}
+
+// TestAsyncPipelinedRYW submits a window of operations per key before
+// waiting any of them — the pipelined pattern — and checks per-key
+// read-your-writes: a GET submitted after a PUT from the same goroutine
+// must observe that PUT (or a later one from the same producer).
+func TestAsyncPipelinedRYW(t *testing.T) {
+	for name, st := range asyncStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			const producers = 4
+			const rounds = 300
+			var wg sync.WaitGroup
+			errs := make(chan error, producers)
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					key := []byte(fmt.Sprintf("ryw-p%d", p))
+					type slot struct {
+						tok  Pending
+						want uint64
+						get  bool
+					}
+					window := make([]slot, 0, 2*rounds)
+					for i := 0; i < rounds; i++ {
+						v := uint64(i + 1)
+						window = append(window,
+							slot{tok: st.PutAsync(key, v)},
+							slot{tok: st.GetAsync(key), want: v, get: true})
+					}
+					for i, sl := range window {
+						v, found := sl.tok.Wait()
+						if sl.get && (!found || v != sl.want) {
+							errs <- fmt.Errorf("producer %d slot %d: got (%d,%v) want (%d,true)",
+								p, i, v, found, sl.want)
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAsyncAfterClose verifies the synchronous fallback: tokens issued
+// after Close still complete with correct results.
+func TestAsyncAfterClose(t *testing.T) {
+	for name, st := range asyncStores(t) {
+		t.Run(name, func(t *testing.T) {
+			st.PutAsync([]byte("pre"), 7).Wait()
+			if err := st.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, replaced := st.PutAsync([]byte("post"), 9).Wait(); replaced {
+				t.Fatal("post-close PutAsync reported replaced for a fresh key")
+			}
+			if v, found := st.GetAsync([]byte("post")).Wait(); !found || v != 9 {
+				t.Fatalf("post-close GetAsync=(%d,%v) want (9,true)", v, found)
+			}
+			if _, found := st.DeleteAsync([]byte("pre")).Wait(); !found {
+				t.Fatal("post-close DeleteAsync missed a pre-close key")
+			}
+		})
+	}
+}
+
+// TestAsyncCloseDrains launches async submissions racing Close and checks
+// every issued token completes (no hang, no lost completion).
+func TestAsyncCloseDrains(t *testing.T) {
+	for name, st := range asyncStores(t) {
+		t.Run(name, func(t *testing.T) {
+			const n = 500
+			toks := make(chan Pending, n)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					key := []byte(fmt.Sprintf("drain%03d", i))
+					toks <- st.PutAsync(key, uint64(i))
+				}
+				close(toks)
+			}()
+			go func() {
+				st.Close() // races the submissions
+			}()
+			for tok := range toks {
+				tok.Wait() // must not hang
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -35,6 +35,16 @@ func (b *Batched) Metrics() *metrics.Set { return b.e.Metrics() }
 func (b *Batched) Get(key []byte) (uint64, bool)     { return b.e.Get(key) }
 func (b *Batched) Put(key []byte, value uint64) bool { return b.e.Put(key, value) }
 func (b *Batched) Delete(key []byte) bool            { return b.e.Delete(key) }
+
+// The async surface maps directly onto the engine's async Batcher calls:
+// submissions from one goroutine enter their combine buckets in order, so
+// several of one producer's requests can share a combine window — the
+// whole point of pipelined submission.
+func (b *Batched) GetAsync(key []byte) Pending { return b.e.GetAsync(key) }
+func (b *Batched) PutAsync(key []byte, value uint64) Pending {
+	return b.e.PutAsync(key, value)
+}
+func (b *Batched) DeleteAsync(key []byte) Pending { return b.e.DeleteAsync(key) }
 func (b *Batched) Len() int                          { return b.e.Len() }
 func (b *Batched) Walk(fn Visitor) bool              { return b.e.Walk(fn) }
 func (b *Batched) Close() error                      { return b.e.Close() }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/metrics"
@@ -13,9 +14,15 @@ const ObsGroup = "store"
 
 // Direct executes every operation with one descent of the lock-coupling
 // concurrent ART — the baseline discipline the paper's CPU systems use.
+// Async submissions run on a lazily-started worker shim (see async.go)
+// so a pipelined producer is not serialized behind each descent.
 type Direct struct {
 	tree *olc.Tree
 	ms   *metrics.Set
+
+	shimOnce sync.Once
+	shim     *asyncShim
+	closed   atomic.Bool
 }
 
 // NewDirect returns an empty direct store with a private counter set.
@@ -35,7 +42,55 @@ func (d *Direct) Put(key []byte, value uint64) bool { return d.tree.Put(key, val
 func (d *Direct) Delete(key []byte) bool            { return d.tree.Delete(key) }
 func (d *Direct) Len() int                          { return d.tree.Len() }
 func (d *Direct) Walk(fn Visitor) bool              { return d.tree.Walk(fn) }
-func (d *Direct) Close() error                      { return nil }
+
+// Close stops the async shim's workers (draining queued submissions first;
+// every issued token still completes). The store stays usable: blocking
+// calls are unaffected and later async calls execute synchronously.
+func (d *Direct) Close() error {
+	d.closed.Store(true)
+	// Claim the Once so a concurrent async call cannot start a fresh shim
+	// after we are done here.
+	d.shimOnce.Do(func() {})
+	if d.shim != nil {
+		d.shim.close()
+	}
+	return nil
+}
+
+func (d *Direct) GetAsync(key []byte) Pending { return d.pend(shimGet, key, 0) }
+func (d *Direct) PutAsync(key []byte, value uint64) Pending {
+	return d.pend(shimPut, key, value)
+}
+func (d *Direct) DeleteAsync(key []byte) Pending { return d.pend(shimDelete, key, 0) }
+
+func (d *Direct) pend(kind uint8, key []byte, value uint64) Pending {
+	if !d.closed.Load() {
+		if s := d.lazyShim(); s != nil {
+			op := shimOpPool.Get().(*shimOp)
+			op.kind, op.key, op.value = kind, key, value
+			return s.submit(op)
+		}
+	}
+	// Closed (or lost the creation race with Close): synchronous fallback.
+	switch kind {
+	case shimGet:
+		v, ok := d.tree.Get(key)
+		return resolved{value: v, found: ok}
+	case shimPut:
+		return resolved{found: d.tree.Put(key, value)}
+	default:
+		return resolved{found: d.tree.Delete(key)}
+	}
+}
+
+func (d *Direct) lazyShim() *asyncShim {
+	d.shimOnce.Do(func() {
+		if !d.closed.Load() {
+			d.shim = newAsyncShim(d.tree)
+		}
+	})
+	return d.shim
+}
 
 func (d *Direct) Scan(prefix []byte, limit int, fn Visitor) bool {
 	d.ms.Inc(metrics.CtrOpsScan)

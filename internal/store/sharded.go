@@ -71,6 +71,15 @@ func (s *Sharded) Get(key []byte) (uint64, bool)     { return s.owner(key).Get(k
 func (s *Sharded) Put(key []byte, value uint64) bool { return s.owner(key).Put(key, value) }
 func (s *Sharded) Delete(key []byte) bool            { return s.owner(key).Delete(key) }
 
+// Async submissions route to the owning shard like their blocking twins;
+// a key never changes shards, so per-key submission order is preserved by
+// whatever the sub-store guarantees.
+func (s *Sharded) GetAsync(key []byte) Pending { return s.owner(key).GetAsync(key) }
+func (s *Sharded) PutAsync(key []byte, value uint64) Pending {
+	return s.owner(key).PutAsync(key, value)
+}
+func (s *Sharded) DeleteAsync(key []byte) Pending { return s.owner(key).DeleteAsync(key) }
+
 // Len sums the shard cardinalities (keys never straddle shards).
 func (s *Sharded) Len() int {
 	n := 0

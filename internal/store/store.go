@@ -31,6 +31,15 @@ import "repro/internal/obs"
 // stops the iteration.
 type Visitor func(key []byte, value uint64) bool
 
+// Pending is the completion token of an asynchronous point operation.
+// Wait blocks until the operation has applied and returns its result:
+// (value, present) for GetAsync, (_, replaced) for PutAsync, and
+// (_, present) for DeleteAsync. Wait must be called exactly once — tokens
+// are pooled by the implementations and become invalid once Wait returns.
+type Pending interface {
+	Wait() (value uint64, found bool)
+}
+
 // Store is the storage contract. All methods are safe for concurrent use.
 type Store interface {
 	// Get returns the value stored under key.
@@ -40,6 +49,19 @@ type Store interface {
 	Put(key []byte, value uint64) bool
 	// Delete removes key; it reports whether the key was present.
 	Delete(key []byte) bool
+	// GetAsync, PutAsync, and DeleteAsync submit the corresponding point
+	// operation without waiting for it to apply, returning a completion
+	// token. This is how one producer keeps several operations in flight
+	// (a pipelined server connection feeding the engine's combine window).
+	// Per key, per submitting goroutine, operations apply in submission
+	// order — so a producer that submits PutAsync(k) then GetAsync(k)
+	// reads its own write once both tokens resolve, the same
+	// read-your-writes contract the blocking calls give. Submission may
+	// block for backpressure when the store's pipeline is full; the key
+	// must not be mutated until the token's Wait returns.
+	GetAsync(key []byte) Pending
+	PutAsync(key []byte, value uint64) Pending
+	DeleteAsync(key []byte) Pending
 	// Scan visits, in ascending key order, keys starting with prefix. With
 	// limit > 0 at most limit pairs reach fn; Scan then reports whether
 	// the limit truncated the result (limit pairs delivered, fn never

@@ -1,0 +1,136 @@
+// Command benchdiff compares two machine-readable benchmark reports
+// (BENCH_*.json, as written by dcart-bench -json) row by row and prints
+// the throughput and tail-latency movement between them:
+//
+//	go run ./scripts/benchdiff.go BENCH_native.json /tmp/BENCH_native.json
+//	make benchdiff A=BENCH_server.json B=/tmp/BENCH_server.json
+//
+// Rows are matched on their identity fields (system, mode, shards,
+// workers, conns, pipeline_depth, flush_every — whichever the report
+// carries); rows present on only one side are listed, not diffed. The
+// reader is schema-loose on purpose: it works across report kinds
+// (native, server) and survives fields coming and going between PRs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// row is one benchmark measurement, decoded loosely.
+type row map[string]any
+
+// report is the common shell of every BENCH_*.json.
+type report struct {
+	Experiment string `json:"experiment"`
+	Rows       []row  `json:"rows"`
+}
+
+// identityFields, in display order, are the fields that name a row; the
+// remaining numeric fields are measurements.
+var identityFields = []string{
+	"system", "mode", "shards", "workers", "conns", "pipeline_depth", "flush_every",
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
+		os.Exit(2)
+	}
+	oldRep, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	if oldRep.Experiment != newRep.Experiment {
+		fmt.Printf("note: comparing different experiments (%q vs %q)\n",
+			oldRep.Experiment, newRep.Experiment)
+	}
+
+	oldRows := index(oldRep.Rows)
+	newRows := index(newRep.Rows)
+
+	keys := make([]string, 0, len(oldRows))
+	for k := range oldRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "row\tops/sec\tdelta\tp99\tdelta\n")
+	for _, k := range keys {
+		o := oldRows[k]
+		n, ok := newRows[k]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t(only in %s)\t\t\t\n", k, os.Args[1])
+			continue
+		}
+		delete(newRows, k)
+		fmt.Fprintf(tw, "%s\t%.3g -> %.3g\t%s\t%.3gus -> %.3gus\t%s\n",
+			k,
+			num(o, "ops_per_sec"), num(n, "ops_per_sec"),
+			pct(num(o, "ops_per_sec"), num(n, "ops_per_sec")),
+			num(o, "p99_nanos")/1e3, num(n, "p99_nanos")/1e3,
+			pct(num(o, "p99_nanos"), num(n, "p99_nanos")))
+	}
+	for k := range newRows {
+		fmt.Fprintf(tw, "%s\t(only in %s)\t\t\t\n", k, os.Args[2])
+	}
+	tw.Flush()
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return &rep, nil
+}
+
+// index keys each row by its identity fields.
+func index(rows []row) map[string]row {
+	out := make(map[string]row, len(rows))
+	for _, r := range rows {
+		var parts []string
+		for _, f := range identityFields {
+			if v, ok := r[f]; ok {
+				parts = append(parts, fmt.Sprintf("%v", v))
+			}
+		}
+		out[strings.Join(parts, "/")] = r
+	}
+	return out
+}
+
+// num pulls a numeric field, zero when absent.
+func num(r row, field string) float64 {
+	v, _ := r[field].(float64)
+	return v
+}
+
+// pct renders the relative change new-vs-old, guarding empty baselines.
+func pct(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

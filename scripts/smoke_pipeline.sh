@@ -1,0 +1,120 @@
+#!/bin/bash
+# Pipelined-wire smoke test: boot dcart-kv with a depth-64 pipelined
+# connection path, blind-write a deep burst of commands in one shot (a
+# raw pipelined client — no waiting between commands), and verify every
+# response comes back exactly in command order, the barrier commands see
+# all earlier writes, and the /metrics pipeline series are live. Checks
+# the async wire end to end — submission, in-order completion, coalesced
+# flushes, barrier drains — not performance.
+#
+# bash (not sh): the client side uses /dev/tcp.
+set -eu
+
+PORT="${SMOKE_PIPELINE_PORT:-7161}"
+DIAG_PORT="${SMOKE_PIPELINE_DIAG_PORT:-7162}"
+DIR="$(mktemp -d)"
+KV_PID=
+cleanup() {
+	if [ -n "$KV_PID" ] && kill -0 "$KV_PID" 2>/dev/null; then
+		kill "$KV_PID" 2>/dev/null || true
+		wait "$KV_PID" 2>/dev/null || true
+	fi
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+go build -o "$DIR/dcart-kv" ./cmd/dcart-kv
+"$DIR/dcart-kv" -addr "127.0.0.1:$PORT" -batch-workers 2 \
+	-pipeline-depth 64 -flush-every 32 \
+	-diag-addr "127.0.0.1:$DIAG_PORT" >"$DIR/kv.log" 2>&1 &
+KV_PID=$!
+
+# Wait for the listener.
+up=0
+for _ in $(seq 1 100); do
+	if ! kill -0 "$KV_PID" 2>/dev/null; then
+		echo "smoke-pipeline: server exited early" >&2
+		cat "$DIR/kv.log" >&2
+		exit 1
+	fi
+	if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+		exec 3>&- 3<&-
+		up=1
+		break
+	fi
+	sleep 0.2
+done
+if [ "$up" -ne 1 ]; then
+	echo "smoke-pipeline: server never came up on :$PORT" >&2
+	cat "$DIR/kv.log" >&2
+	exit 1
+fi
+
+# Build a deterministic burst: 100 PUTs, a GET per key, one parse error
+# mid-stream, then the barrier commands — and the exact response sequence
+# the ordering contract promises for it.
+REQ="$DIR/req.txt"
+WANT="$DIR/want.txt"
+: >"$REQ"
+: >"$WANT"
+for i in $(seq -w 0 99); do
+	echo "PUT pk$i $((10#$i))" >>"$REQ"
+	echo "OK" >>"$WANT"
+done
+echo "BOGUS mid pipeline" >>"$REQ"
+echo "ERR unknown command BOGUS" >>"$WANT"
+for i in $(seq -w 0 99); do
+	echo "GET pk$i" >>"$REQ"
+	echo "VALUE $((10#$i))" >>"$WANT"
+done
+echo "LEN" >>"$REQ"
+echo "LEN 100" >>"$WANT"
+echo "SCAN pk0 100" >>"$REQ"
+for i in $(seq -w 0 9); do
+	echo "KEY pk0$i $((10#$i))" >>"$WANT"
+done
+echo "END" >>"$WANT"
+echo "QUIT" >>"$REQ"
+echo "BYE" >>"$WANT"
+
+# Blind-write the whole burst at once (depth far beyond one response per
+# round trip), then read everything back.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+cat "$REQ" >&3
+GOT="$DIR/got.txt"
+cat <&3 >"$GOT"
+exec 3>&- 3<&-
+
+if ! diff -u "$WANT" "$GOT"; then
+	echo "smoke-pipeline: pipelined responses out of order or wrong" >&2
+	cat "$DIR/kv.log" >&2
+	exit 1
+fi
+
+# /metrics must serve the pipeline series, with the in-flight gauge back
+# to zero after the drain and a positive achieved depth.
+SCRAPE="$(curl -sf "http://127.0.0.1:$DIAG_PORT/metrics")"
+echo "$SCRAPE" | grep -q '^dcart_server_inflight 0$' || {
+	echo "smoke-pipeline: dcart_server_inflight gauge missing or nonzero after drain" >&2
+	echo "$SCRAPE" | grep dcart_server >&2 || true
+	exit 1
+}
+echo "$SCRAPE" | grep -q '^dcart_server_flushes [1-9]' || {
+	echo "smoke-pipeline: dcart_server_flushes counter missing or zero" >&2
+	echo "$SCRAPE" | grep dcart_server >&2 || true
+	exit 1
+}
+DEPTH="$(echo "$SCRAPE" | sed -n 's/^dcart_server_pipeline_depth //p')"
+case "$DEPTH" in
+[1-9]*) ;;
+*)
+	echo "smoke-pipeline: dcart_server_pipeline_depth = '$DEPTH', want >= 1" >&2
+	echo "$SCRAPE" | grep dcart_server >&2 || true
+	exit 1
+	;;
+esac
+
+kill -TERM "$KV_PID"
+wait "$KV_PID" 2>/dev/null || true
+KV_PID=
+echo "smoke-pipeline: ordered pipelined burst, barrier reads, and /metrics OK"
