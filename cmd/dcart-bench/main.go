@@ -77,6 +77,7 @@ func main() {
 	if diagFlags.Enabled() {
 		o.Diag = obs.NewRegistry()
 		o.Tracer = diagFlags.Tracer()
+		o.Journal = diagFlags.Journal()
 		// Process-level series, registered up front so /metrics serves
 		// meaningful content even before the first engine attaches (the
 		// native experiment's direct-olc row runs engine-less).
@@ -86,13 +87,22 @@ func main() {
 		o.Diag.RegisterGauge("process", "dcart_bench_goroutines", "",
 			"live goroutines in the benchmark process",
 			func() float64 { return float64(runtime.NumGoroutine()) })
-		diag, err := obs.Serve(diagFlags.Addr(), o.Diag, o.Tracer)
+		collector := diagFlags.Collector(o.Diag)
+		diag, err := obs.ServeAll(diagFlags.Addr(), obs.Diagnostics{
+			Registry:  o.Diag,
+			Tracer:    o.Tracer,
+			Collector: collector,
+			Journal:   o.Journal,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcart-bench: diagnostics listen:", err)
 			os.Exit(1)
 		}
 		log.Printf("dcart-bench: diagnostics on http://%s/metrics", diag.Addr())
 		defer func() {
+			if collector != nil {
+				collector.Stop()
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			diag.Shutdown(ctx) //nolint:errcheck // best-effort on the way out
 			cancel()

@@ -27,6 +27,7 @@
 //	         [-batch-no-steal]
 //	         [-pipeline-depth 64] [-flush-every 32]
 //	         [-diag-addr 127.0.0.1:7071] [-trace-sample 1024]
+//	         [-obs-window 1s] [-slow-op 10ms] [-slow-op-log]
 //	         [-drain-timeout 10s]
 //
 // With -snapshot, the store loads the file at startup (if present) and
@@ -55,9 +56,15 @@
 //
 // With -diag-addr, a diagnostics HTTP server exposes /metrics (Prometheus
 // text format), /statsz (the STATS snapshot as JSON), /debug/traces (the
-// sampled op-lifecycle span ring in batched mode), /debug/pprof/*, and
-// /healthz; latency recording and 1/-trace-sample lifecycle tracing are
-// enabled on the batched engine automatically.
+// sampled op-lifecycle span ring; ?id=<key hash> composes the wire and
+// engine spans of one traced op into a stage waterfall),
+// /debug/timeseries (rolling per--obs-window counter rates and latency
+// quantiles as JSON, or a TOP-style text view with ?view=top),
+// /debug/events (the slow-op journal as JSON lines once -slow-op is set),
+// /debug/pprof/*, and /healthz; latency recording and 1/-trace-sample
+// lifecycle tracing are enabled on the batched engine automatically, and
+// every connection stamps wire-stage spans (parse, submit, window,
+// execute, flush) for traced or journaled operations.
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the listener closes (no new
 // connections), in-flight connections drain for up to -drain-timeout
@@ -94,25 +101,43 @@ func main() {
 		"how long shutdown waits for in-flight connections before force-closing them")
 	flag.Parse()
 
-	var tracer *obs.Tracer
+	var (
+		tracer  *obs.Tracer
+		journal *obs.Journal
+	)
 	cfg := storeFlags.Config()
-	if diagFlags.Enabled() && cfg.Engine.Workers > 0 {
-		cfg.Engine.RecordLatency = true
+	if diagFlags.Enabled() {
 		tracer = diagFlags.Tracer()
-		cfg.Engine.Tracer = tracer
+		journal = diagFlags.Journal()
+		if cfg.Engine.Workers > 0 {
+			cfg.Engine.RecordLatency = true
+			cfg.Engine.Tracer = tracer
+			cfg.Engine.Journal = journal
+		}
 	}
 	srv := kvserver.NewStore(store.Open(cfg))
 	srv.SetPipeline(*pipeDepth, *flushEvery)
+	srv.SetTracer(tracer)
+	srv.SetJournal(journal)
 	if *snapshot != "" {
 		if err := srv.LoadSnapshot(*snapshot); err != nil && !os.IsNotExist(err) {
 			log.Fatalf("dcart-kv: load snapshot: %v", err)
 		}
 	}
 
-	var diag *obs.Server
+	var (
+		diag      *obs.Server
+		collector *obs.Collector
+	)
 	if diagFlags.Enabled() {
+		collector = diagFlags.Collector(srv.Registry())
 		var err error
-		diag, err = obs.Serve(diagFlags.Addr(), srv.Registry(), tracer)
+		diag, err = obs.ServeAll(diagFlags.Addr(), obs.Diagnostics{
+			Registry:  srv.Registry(),
+			Tracer:    tracer,
+			Collector: collector,
+			Journal:   journal,
+		})
 		if err != nil {
 			log.Fatalf("dcart-kv: diagnostics listen: %v", err)
 		}
@@ -186,6 +211,9 @@ func main() {
 		} else {
 			log.Printf("dcart-kv: snapshot saved to %s", *snapshot)
 		}
+	}
+	if collector != nil {
+		collector.Stop()
 	}
 	if diag != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

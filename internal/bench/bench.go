@@ -43,6 +43,9 @@ type Options struct {
 	// Tracer, when non-nil, samples op lifecycles through the parallel
 	// engine into the diagnostics span ring (native experiment).
 	Tracer *obs.Tracer
+	// Journal, when non-nil, captures every engine op slower than its
+	// threshold with a stage breakdown (native experiment).
+	Journal *obs.Journal
 	// Hotset sizes the parallel engine's per-worker hot-node residency set
 	// in the native experiment: 0 keeps pctt's default (64 anchors per
 	// worker), negative disables the hotset (ablation).

@@ -37,12 +37,17 @@ func Native(o Options) error {
 	o = o.defaults()
 	w := workload.MustGenerate(o.spec(workload.IPGEO, 0.5))
 
-	rows := []nativeRow{runNativeDirect(o, w)}
+	var rows, warmups []nativeRow
+	collect := func(steady, warmup nativeRow) {
+		rows = append(rows, steady)
+		warmups = append(warmups, warmup)
+	}
+	collect(runNativeDirect(o, w))
 	for _, workers := range nativeWorkerCounts() {
-		rows = append(rows, runNativePCTT(o, w, workers))
+		collect(runNativePCTT(o, w, workers))
 	}
 	for _, shards := range nativeShardCounts(o) {
-		rows = append(rows, runNativeSharded(o, w, shards))
+		collect(runNativeSharded(o, w, shards))
 	}
 
 	tw := table(o)
@@ -75,7 +80,9 @@ func Native(o Options) error {
 			ZipfS:      o.ZipfS,
 			Seed:       o.Seed,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Rows:       rows,
+			// Steady-state rows first (identical shape to older reports),
+			// then the timed warmup passes, phase-tagged.
+			Rows: append(rows, warmups...),
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -125,6 +132,13 @@ type nativeReport struct {
 
 type nativeRow struct {
 	System string `json:"system"`
+	// Phase distinguishes the timed warmup pass ("warmup": the tree absorbs
+	// the stream's inserts, shortcut tables and hotsets populate) from the
+	// steady-state best-of-trials measurement (empty, so steady rows
+	// serialize exactly as before this field existed). scripts/benchdiff.go
+	// keys row identity on phase too, so diffs compare steady state against
+	// steady state.
+	Phase string `json:"phase,omitempty"`
 	// Shards is the store shard count the row ran behind: 1 for the
 	// direct tree and the plain engine rows (one index, no router),
 	// 2+ for the sharded scale-out rows. Workers is per shard.
@@ -167,8 +181,10 @@ type nativeRow struct {
 const nativeTrials = 3
 
 // runNativeDirect executes the stream one operation at a time against the
-// concurrent tree — the single-goroutine baseline discipline.
-func runNativeDirect(o Options, w *workload.Workload) nativeRow {
+// concurrent tree — the single-goroutine baseline discipline. The warmup
+// pass (the tree absorbing the stream's inserts) is timed and returned as
+// its own phase-tagged row alongside the steady-state best-of-trials.
+func runNativeDirect(o Options, w *workload.Workload) (steady, warmup nativeRow) {
 	tree := olc.New(nil)
 	for i, k := range w.Keys {
 		tree.Put(k, uint64(i))
@@ -195,7 +211,12 @@ func runNativeDirect(o Options, w *workload.Workload) nativeRow {
 		}
 		return time.Since(start).Nanoseconds()
 	}
-	pass(nil) // warmup: absorb the stream's inserts
+	warmWall := pass(nil) // warmup: absorb the stream's inserts
+	warmup = nativeRow{
+		System: "direct-olc", Phase: "warmup", Shards: 1, Workers: 1,
+		WallNanos: warmWall,
+		OpsPerSec: float64(len(w.Ops)) / (float64(warmWall) / 1e9),
+	}
 	var best nativeRow
 	for trial := 0; trial < nativeTrials; trial++ {
 		hist := metrics.NewHistogram()
@@ -212,7 +233,7 @@ func runNativeDirect(o Options, w *workload.Workload) nativeRow {
 			}
 		}
 	}
-	return best
+	return best, warmup
 }
 
 // runNativePCTT executes the same stream through the parallel CTT engine.
@@ -220,17 +241,24 @@ func runNativeDirect(o Options, w *workload.Workload) nativeRow {
 // attached to the diagnostics registry for the duration of the row (each
 // row's engine replaces the previous one's registrations), and
 // Options.Tracer samples lifecycle spans through the pipeline.
-func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
+func runNativePCTT(o Options, w *workload.Workload, workers int) (steady, warmup nativeRow) {
 	e := pctt.New(pctt.Config{
 		Workers: workers, RecordLatency: true, Tracer: o.Tracer,
-		HotsetCap: o.Hotset,
+		Journal: o.Journal, HotsetCap: o.Hotset,
 	})
 	defer e.Close()
 	if o.Diag != nil {
 		e.RegisterObs(o.Diag)
 	}
 	e.Load(w.Keys, nil)
-	e.Run(w.Ops) // warmup: absorb inserts, populate the shortcut tables
+	// Warmup: absorb inserts, populate the shortcut tables — timed and
+	// reported as its own phase so warmup-vs-steady regressions are visible.
+	wres := e.Run(w.Ops)
+	warmup = nativeRow{
+		System: "P-CTT", Phase: "warmup", Shards: 1, Workers: workers,
+		WallNanos: wres.WallNanos,
+		OpsPerSec: float64(len(w.Ops)) / (float64(wres.WallNanos) / 1e9),
+	}
 	var best nativeRow
 	for trial := 0; trial < nativeTrials; trial++ {
 		e.Reset() // counters and histograms: each trial measured alone
@@ -268,7 +296,7 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) nativeRow {
 			best = row
 		}
 	}
-	return best
+	return best, warmup
 }
 
 // nativeShardWorkers is the per-shard engine worker count on the sharded
@@ -284,12 +312,12 @@ const nativeShardWorkers = 2
 // loop) and all shards run their partitions concurrently; wall time is
 // the slowest shard's. With Options.Diag set, every shard engine is
 // attached under its own per-shard registry group, shard-labeled.
-func runNativeSharded(o Options, w *workload.Workload, shards int) nativeRow {
+func runNativeSharded(o Options, w *workload.Workload, shards int) (steady, warmup nativeRow) {
 	engines := make([]*pctt.Engine, shards)
 	for i := range engines {
 		engines[i] = pctt.New(pctt.Config{
 			Workers: nativeShardWorkers, RecordLatency: true, Tracer: o.Tracer,
-			HotsetCap: o.Hotset,
+			Journal: o.Journal, HotsetCap: o.Hotset,
 		})
 	}
 	st := store.NewSharded(shards, func(i int) store.Store {
@@ -324,10 +352,17 @@ func runNativeSharded(o Options, w *workload.Workload, shards int) nativeRow {
 		}
 		wg.Wait()
 	}
-	each(func(i int) {
-		engines[i].Load(keysBy[i], valsBy[i])
-		engines[i].Run(opsBy[i]) // warmup: inserts absorbed, shortcuts warm
-	})
+	each(func(i int) { engines[i].Load(keysBy[i], valsBy[i]) })
+	// Warmup (timed): inserts absorbed, shortcuts warm across all shards.
+	warmStart := time.Now()
+	each(func(i int) { engines[i].Run(opsBy[i]) })
+	warmWall := time.Since(warmStart).Nanoseconds()
+	warmup = nativeRow{
+		System: "P-CTT-sharded", Phase: "warmup",
+		Shards: shards, Workers: nativeShardWorkers,
+		WallNanos: warmWall,
+		OpsPerSec: float64(len(w.Ops)) / (float64(warmWall) / 1e9),
+	}
 
 	var best nativeRow
 	for trial := 0; trial < nativeTrials; trial++ {
@@ -376,5 +411,5 @@ func runNativeSharded(o Options, w *workload.Workload, shards int) nativeRow {
 			best = row
 		}
 	}
-	return best
+	return best, warmup
 }

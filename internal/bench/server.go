@@ -70,16 +70,19 @@ func ServerBench(o Options) error {
 		{"pipelined", o.PipelineDepth, o.FlushEvery},
 	}
 
-	var rows []serverRow
+	var rows, warmups []serverRow
 	for _, cfg := range configs {
 		for _, m := range modes {
-			row, err := runServerTrial(o, cfg.build(), scripts, loadKeys, m.depth, m.flushEvery)
+			row, warm, err := runServerTrial(o, cfg.build(), scripts, loadKeys, m.depth, m.flushEvery)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", cfg.system, m.name, err)
 			}
 			row.System, row.Mode = cfg.system, m.name
 			row.Shards, row.Workers = cfg.shards, cfg.workers
+			warm.System, warm.Mode = cfg.system, m.name
+			warm.Shards, warm.Workers = cfg.shards, cfg.workers
 			rows = append(rows, row)
+			warmups = append(warmups, warm)
 		}
 	}
 
@@ -113,7 +116,9 @@ func ServerBench(o Options) error {
 			Conns:         o.Conns,
 			PipelineDepth: o.PipelineDepth,
 			FlushEvery:    o.FlushEvery,
-			Rows:          rows,
+			// Steady-state rows first (identical shape to older reports),
+			// then the timed warmup passes, phase-tagged.
+			Rows: append(rows, warmups...),
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -146,8 +151,13 @@ type serverReport struct {
 // client-observed (command written until its response line read), sampled
 // every 16th op per connection.
 type serverRow struct {
-	System        string  `json:"system"`
-	Mode          string  `json:"mode"`
+	System string `json:"system"`
+	Mode   string `json:"mode"`
+	// Phase tags the timed warmup pass ("warmup": the tree absorbing the
+	// stream's inserts over fresh connections) vs the steady-state
+	// best-of-trials (empty — steady rows serialize exactly as before).
+	// benchdiff keys identity on phase, so steady compares with steady.
+	Phase         string  `json:"phase,omitempty"`
 	Shards        int     `json:"shards"`
 	Workers       int     `json:"workers"`
 	Conns         int     `json:"conns"`
@@ -203,10 +213,11 @@ func renderScripts(w *workload.Workload, conns int) ([]connScript, [][]byte) {
 const latSample = 16
 
 // runServerTrial boots a server over st on a loopback listener, preloads
-// the key set, and runs the scripts through it: one untimed warmup pass,
-// then best-of-2 timed passes over fresh connections each time.
+// the key set, and runs the scripts through it: one timed warmup pass
+// (returned as its own phase-tagged row), then best-of-2 timed passes over
+// fresh connections each time.
 func runServerTrial(o Options, st store.Store, scripts []connScript,
-	loadKeys [][]byte, depth, flushEvery int) (serverRow, error) {
+	loadKeys [][]byte, depth, flushEvery int) (serverRow, serverRow, error) {
 	for i, k := range loadKeys {
 		// Preload through the store directly, with the server's key
 		// terminator, so the wire sees a warm tree.
@@ -218,7 +229,7 @@ func runServerTrial(o Options, st store.Store, scripts []connScript,
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return serverRow{}, err
+		return serverRow{}, serverRow{}, err
 	}
 	defer ln.Close()
 	go func() {
@@ -232,7 +243,7 @@ func runServerTrial(o Options, st store.Store, scripts []connScript,
 	}()
 	addr := ln.Addr().String()
 
-	var best serverRow
+	var best, warmup serverRow
 	totalOps := 0
 	for _, sc := range scripts {
 		totalOps += len(sc.lines)
@@ -241,10 +252,7 @@ func runServerTrial(o Options, st store.Store, scripts []connScript,
 		before := srv.PipelineStats()
 		wall, hist, wireBytes, err := runServerPass(addr, scripts, depth)
 		if err != nil {
-			return serverRow{}, err
-		}
-		if trial == 0 {
-			continue // warmup: tree absorbed the stream's inserts
+			return serverRow{}, serverRow{}, err
 		}
 		after := srv.PipelineStats()
 		row := serverRow{
@@ -261,11 +269,18 @@ func runServerTrial(o Options, st store.Store, scripts []connScript,
 			row.FlushesPerOp = float64(after.Flushes-before.Flushes) / float64(dr)
 			row.DepthAchieved = float64(after.DepthSum-before.DepthSum) / float64(dr)
 		}
+		if trial == 0 {
+			// Warmup: the tree absorbed the stream's inserts. Timed and
+			// reported as its own phase-tagged row rather than discarded.
+			row.Phase = "warmup"
+			warmup = row
+			continue
+		}
 		if best.OpsPerSec == 0 || row.OpsPerSec > best.OpsPerSec {
 			best = row
 		}
 	}
-	return best, nil
+	return best, warmup, nil
 }
 
 // runServerPass dials one connection per script and runs them all

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/pctt"
@@ -128,6 +129,13 @@ type Server struct {
 	pipeDepth  int
 	flushEvery int
 	stats      serverStats
+
+	// tracer and journal observe the wire layer: the tracer samples
+	// operations for stage-stamped lifecycle spans; the journal captures
+	// every operation slower than its threshold. Both optional (SetTracer /
+	// SetJournal, before Serve).
+	tracer  *obs.Tracer
+	journal *obs.Journal
 }
 
 // New returns an empty server over a direct (unbatched, unsharded) store.
@@ -216,6 +224,25 @@ func (s *Server) SetPipeline(depth, flushEvery int) {
 	s.flushEvery = flushEvery
 }
 
+// SetTracer attaches a wire-layer span tracer: sampled operations carry
+// parse → submit → window → execute → flush stage stamps through the
+// pipelined path, keyed by the same end-to-end key hash the engine's spans
+// use so one operation's spans compose into a waterfall. Call before
+// Serve; typically the same tracer is handed to the engine config.
+func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer = tr }
+
+// SetJournal attaches the slow-op journal: EVERY point operation is
+// stage-stamped through the wire (no sampling) and offered to the journal,
+// which keeps only those at or above its latency threshold. Call before
+// Serve.
+func (s *Server) SetJournal(j *obs.Journal) { s.journal = j }
+
+// Tracer returns the wire tracer (nil when unset).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Journal returns the slow-op journal (nil when unset).
+func (s *Server) Journal() *obs.Journal { return s.journal }
+
 // PipelineStats returns a point-in-time copy of the server-wide
 // pipelining counters.
 func (s *Server) PipelineStats() PipelineStats {
@@ -277,6 +304,10 @@ type connState struct {
 	s       *Server
 	w       *bufio.Writer
 	scratch []byte
+	// ws is the lockstep path's in-progress wire span: serveLockstep arms
+	// it before handle so the command parser can fill in the op name and
+	// key hash. Nil whenever the op is neither traced nor journaled.
+	ws *wireSpan
 }
 
 // flush pushes buffered responses to the connection, counting only
@@ -403,17 +434,33 @@ func (s *Server) serveLockstep(r *bufio.Reader, c *connState) {
 		}
 		line := strings.TrimSpace(string(raw))
 		if line != "" {
+			var ws *wireSpan
+			if traced := s.tracer != nil && s.tracer.Sample(); traced || s.journal != nil {
+				ws = &wireSpan{traced: traced, lineAt: time.Now().UnixNano()}
+				c.ws = ws
+			}
 			quit := !c.handle(line)
+			if ws != nil {
+				ws.waitedAt = time.Now().UnixNano()
+				c.ws = nil
+			}
 			// Window accounting: the lockstep path is a pipeline of depth
 			// exactly 1, and its flushes count like the pipelined path's so
 			// flushes-per-response is comparable across modes.
 			s.stats.responses.Add(1)
 			s.stats.depthSum.Add(1)
 			if quit {
-				break
+				c.flush()
+				if ws != nil {
+					ws.finalizeLockstep(time.Now().UnixNano(), s.tracer, s.journal)
+				}
+				return
 			}
 			if c.flush() != nil {
 				return
+			}
+			if ws != nil {
+				ws.finalizeLockstep(time.Now().UnixNano(), s.tracer, s.journal)
 			}
 		}
 		if err != nil {
@@ -429,6 +476,9 @@ func (c *connState) handle(line string) bool {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
+	if c.ws != nil {
+		c.ws.op = strings.ToLower(cmd)
+	}
 	switch cmd {
 	case "PUT":
 		if len(args) != 2 {
@@ -440,7 +490,11 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR bad value:", err.Error())
 			return true
 		}
-		if s.st.Put(storedKey(args[0]), v) {
+		k := storedKey(args[0])
+		if c.ws != nil {
+			c.ws.hash = pctt.HashKey(k)
+		}
+		if s.st.Put(k, v) {
 			c.line("OK replaced")
 		} else {
 			c.line("OK")
@@ -450,7 +504,11 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR usage: GET <key>")
 			return true
 		}
-		if v, ok := s.st.Get(storedKey(args[0])); ok {
+		k := storedKey(args[0])
+		if c.ws != nil {
+			c.ws.hash = pctt.HashKey(k)
+		}
+		if v, ok := s.st.Get(k); ok {
 			c.line("VALUE", uintStr(v))
 		} else {
 			c.line("NOT_FOUND")
@@ -460,7 +518,11 @@ func (c *connState) handle(line string) bool {
 			c.line("ERR usage: DEL <key>")
 			return true
 		}
-		if s.st.Delete(storedKey(args[0])) {
+		k := storedKey(args[0])
+		if c.ws != nil {
+			c.ws.hash = pctt.HashKey(k)
+		}
+		if s.st.Delete(k) {
 			c.line("OK")
 		} else {
 			c.line("NOT_FOUND")

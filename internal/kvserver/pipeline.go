@@ -33,7 +33,10 @@ import (
 	"bufio"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
+	"repro/internal/pctt"
 	"repro/internal/store"
 )
 
@@ -57,6 +60,118 @@ type pipeItem struct {
 	bar  func(*connState)
 	done chan struct{} // pipeBarrier: signaled after bar ran
 	quit bool          // close the session after this response
+	ws   *wireSpan     // wire-layer stage stamps (traced or journaled ops)
+}
+
+// wireSpan accumulates one operation's stage stamps across the pipelined
+// wire: the reader stamps parse and submit, the writer stamps the window
+// dequeue and the store wait, and the span finalizes at the flush that
+// actually put the response on the wire. Its trace ID is the engine's own
+// key hash (pctt.HashKey), so a sampled op's wire span and engine span
+// compose into one waterfall.
+type wireSpan struct {
+	hash   uint64
+	op     string
+	traced bool // chosen by the tracer's sampler (journal-only spans are not)
+
+	lineAt      int64 // readLine returned (parse begins)
+	parsedAt    int64 // command parsed, submit begins
+	submittedAt int64 // store async submit returned (engine backpressure ends)
+	dequeuedAt  int64 // writer picked the item out of the reorder window
+	waitedAt    int64 // store completion token resolved (response formatted)
+}
+
+// finalize builds the completed wire span once its response hit the wire
+// and hands it to the tracer and journal.
+func (ws *wireSpan) finalize(flushedAt int64, tr *obs.Tracer, j *obs.Journal) {
+	st := make([]obs.Stage, 0, 5)
+	at := ws.lineAt
+	push := func(name string, end int64) {
+		if end < at {
+			end = at // wall-clock stamps; guard against clock steps
+		}
+		st = append(st, obs.Stage{Name: name, StartUnixNano: at, EndUnixNano: end})
+		at = end
+	}
+	push("parse", ws.parsedAt)
+	push("submit", ws.submittedAt)
+	push("window", ws.dequeuedAt)
+	push("execute", ws.waitedAt)
+	push("flush", flushedAt)
+	s := obs.Span{
+		TraceID:        ws.hash,
+		Op:             ws.op,
+		Worker:         -1, // the wire has no pipeline worker
+		Bucket:         -1,
+		SubmitUnixNano: ws.lineAt,
+		BatchUnixNano:  st[3].StartUnixNano, // execute begins
+		DoneUnixNano:   at,
+		QueueWaitNanos: st[3].StartUnixNano - ws.lineAt,
+		ExecNanos:      at - st[3].StartUnixNano,
+		Layer:          "wire",
+		Stages:         st,
+	}
+	if ws.traced && tr != nil {
+		tr.Record(s)
+	}
+	if j != nil {
+		j.Observe(s)
+	}
+}
+
+// finalizeLockstep is finalize for the lockstep path, whose one-at-a-time
+// loop has no submit or window stages: handle() covers parse+execute in
+// one interval, then the per-command flush.
+func (ws *wireSpan) finalizeLockstep(flushedAt int64, tr *obs.Tracer, j *obs.Journal) {
+	exec := ws.waitedAt
+	if exec < ws.lineAt {
+		exec = ws.lineAt
+	}
+	if flushedAt < exec {
+		flushedAt = exec
+	}
+	s := obs.Span{
+		TraceID:        ws.hash,
+		Op:             ws.op,
+		Worker:         -1,
+		Bucket:         -1,
+		SubmitUnixNano: ws.lineAt,
+		BatchUnixNano:  ws.lineAt,
+		DoneUnixNano:   flushedAt,
+		ExecNanos:      exec - ws.lineAt,
+		Layer:          "wire",
+		Stages: []obs.Stage{
+			{Name: "execute", StartUnixNano: ws.lineAt, EndUnixNano: exec},
+			{Name: "flush", StartUnixNano: exec, EndUnixNano: flushedAt},
+		},
+	}
+	if ws.traced && tr != nil {
+		tr.Record(s)
+	}
+	if j != nil {
+		j.Observe(s)
+	}
+}
+
+// beginWireSpan makes the per-command wire sampling decision: every op is
+// stamped when the slow-op journal is armed, plus the tracer's own 1-in-N
+// choice. lineAt is the pre-parse stamp taken when readLine returned; zero
+// means wire observability is off entirely and no span is made.
+func (s *Server) beginWireSpan(lineAt int64, op string, key []byte) *wireSpan {
+	if lineAt == 0 {
+		return nil
+	}
+	traced := s.tracer != nil && s.tracer.Sample()
+	if !traced && s.journal == nil {
+		return nil
+	}
+	return &wireSpan{
+		hash:     pctt.HashKey(key),
+		op:       op,
+		traced:   traced,
+		lineAt:   lineAt,
+		parsedAt: time.Now().UnixNano(),
+	}
 }
 
 // servePipelined runs one connection's reader loop, with the response
@@ -77,6 +192,10 @@ func (s *Server) servePipelined(r *bufio.Reader, c *connState) {
 		items <- pipeItem{kind: pipeLiteral, resp: respLine(parts...)}
 	}
 
+	// obsOn gates the wire-span clock reads: zero lineAt short-circuits
+	// beginWireSpan, so un-observed connections never touch the clock.
+	obsOn := s.tracer != nil || s.journal != nil
+
 read:
 	for {
 		raw, tooLong, err := readLine(r)
@@ -86,6 +205,10 @@ read:
 				break
 			}
 			continue
+		}
+		var lineAt int64
+		if obsOn {
+			lineAt = time.Now().UnixNano()
 		}
 		fields := strings.Fields(string(raw))
 		if len(fields) > 0 {
@@ -102,22 +225,40 @@ read:
 					literal("ERR bad value:", perr.Error())
 					break
 				}
+				k := storedKey(args[0])
+				ws := s.beginWireSpan(lineAt, "put", k)
 				s.stats.submitted()
-				items <- pipeItem{kind: pipePut, tok: s.st.PutAsync(storedKey(args[0]), v)}
+				tok := s.st.PutAsync(k, v)
+				if ws != nil {
+					ws.submittedAt = time.Now().UnixNano()
+				}
+				items <- pipeItem{kind: pipePut, tok: tok, ws: ws}
 			case "GET":
 				if len(args) != 1 {
 					literal("ERR usage: GET <key>")
 					break
 				}
+				k := storedKey(args[0])
+				ws := s.beginWireSpan(lineAt, "get", k)
 				s.stats.submitted()
-				items <- pipeItem{kind: pipeGet, tok: s.st.GetAsync(storedKey(args[0]))}
+				tok := s.st.GetAsync(k)
+				if ws != nil {
+					ws.submittedAt = time.Now().UnixNano()
+				}
+				items <- pipeItem{kind: pipeGet, tok: tok, ws: ws}
 			case "DEL":
 				if len(args) != 1 {
 					literal("ERR usage: DEL <key>")
 					break
 				}
+				k := storedKey(args[0])
+				ws := s.beginWireSpan(lineAt, "delete", k)
 				s.stats.submitted()
-				items <- pipeItem{kind: pipeDelete, tok: s.st.DeleteAsync(storedKey(args[0]))}
+				tok := s.st.DeleteAsync(k)
+				if ws != nil {
+					ws.submittedAt = time.Now().UnixNano()
+				}
+				items <- pipeItem{kind: pipeDelete, tok: tok, ws: ws}
 			case "SCAN":
 				if len(args) != 2 {
 					literal("ERR usage: SCAN <prefix> <limit>")
@@ -176,11 +317,23 @@ func (s *Server) pipeWriter(items <-chan pipeItem, c *connState, done chan<- str
 	defer close(done)
 	dead := false
 	sinceFlush := 0
+	// spans holds the stamped wire spans whose responses are buffered but
+	// not yet flushed; they finalize (tracer + slow-op journal) when the
+	// flush that carries their responses happens, so the flush stage
+	// measures real coalescing delay. Bounded by the flush cadence.
+	var spans []*wireSpan
 	flush := func() {
 		if !dead && c.flush() != nil {
 			dead = true
 		}
 		sinceFlush = 0
+		if len(spans) > 0 {
+			flushedAt := time.Now().UnixNano()
+			for _, ws := range spans {
+				ws.finalize(flushedAt, s.tracer, s.journal)
+			}
+			spans = spans[:0]
+		}
 	}
 	for {
 		var it pipeItem
@@ -198,6 +351,9 @@ func (s *Server) pipeWriter(items <-chan pipeItem, c *connState, done chan<- str
 			return
 		}
 		occupancy := int64(len(items)) + 1
+		if it.ws != nil {
+			it.ws.dequeuedAt = time.Now().UnixNano()
+		}
 		switch it.kind {
 		case pipeLiteral:
 			if !dead {
@@ -238,6 +394,10 @@ func (s *Server) pipeWriter(items <-chan pipeItem, c *connState, done chan<- str
 				it.bar(c)
 			}
 			it.done <- struct{}{}
+		}
+		if it.ws != nil {
+			it.ws.waitedAt = time.Now().UnixNano()
+			spans = append(spans, it.ws)
 		}
 		s.stats.responses.Add(1)
 		s.stats.depthSum.Add(occupancy)

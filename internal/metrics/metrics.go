@@ -424,6 +424,72 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Clone returns an independent copy of h.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{
+		counts: make([]uint64, len(h.counts)),
+		total:  h.total,
+		min:    h.min,
+		max:    h.max,
+		sum:    h.sum,
+	}
+	copy(out.counts, h.counts)
+	return out
+}
+
+// Delta returns a new histogram holding the samples h gained since prev —
+// the per-window latency distribution the obs windowed collector derives
+// from two cumulative scrapes. prev must be an earlier copy of the same
+// logical histogram (or nil/empty, in which case Delta returns a clone of
+// h). If any bucket count decreased — the source histogram was reset or
+// replaced between the two copies, so subtraction would wrap — Delta treats
+// h itself as the window and returns its clone.
+//
+// The delta's min/max are resolved at bucket precision (~1%) from the
+// outermost buckets that gained samples; its sum is the cumulative sums'
+// difference, clamped at zero in case of float drift.
+func (h *Histogram) Delta(prev *Histogram) *Histogram {
+	if prev == nil || prev.total == 0 {
+		return h.Clone()
+	}
+	if prev.total > h.total || len(prev.counts) != len(h.counts) {
+		return h.Clone() // reset/replaced (or foreign shape): wrap-safe fallback
+	}
+	out := NewHistogram()
+	lo, hi := -1, -1
+	for i := range h.counts {
+		if h.counts[i] < prev.counts[i] {
+			return h.Clone() // per-bucket wrap: source was reset between copies
+		}
+		d := h.counts[i] - prev.counts[i]
+		out.counts[i] = d
+		if d != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	out.total = h.total - prev.total
+	if out.total > 0 {
+		out.sum = h.sum - prev.sum
+		if out.sum < 0 {
+			out.sum = 0
+		}
+		out.min = boundary(lo)
+		out.max = boundary(hi)
+		// The true extremes are exact only when the window reaches past the
+		// previous copy's envelope.
+		if h.max > prev.max {
+			out.max = h.max
+		}
+		if h.min < prev.min {
+			out.min = h.min
+		}
+	}
+	return out
+}
+
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {

@@ -392,3 +392,110 @@ func TestTopShare(t *testing.T) {
 		t.Fatalf("TopShare(zeros) = %v", got)
 	}
 }
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{1e-6, 5e-4, 2e-3} {
+		h.Observe(v)
+	}
+	c := h.Clone()
+	if c.Count() != h.Count() || c.Sum() != h.Sum() || c.Min() != h.Min() || c.Max() != h.Max() {
+		t.Fatalf("clone summary mismatch: %+v vs %+v", c, h)
+	}
+	h.Observe(1) // clone must be independent
+	if c.Count() == h.Count() {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestHistogramDeltaBasic(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1e-5)
+	h.Observe(1e-5)
+	prev := h.Clone()
+	h.Observe(1e-3)
+	h.Observe(2e-3)
+	h.Observe(1e-3)
+
+	d := h.Delta(prev)
+	if d.Count() != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count())
+	}
+	wantSum := h.Sum() - prev.Sum()
+	if math.Abs(d.Sum()-wantSum) > 1e-12 {
+		t.Fatalf("delta sum = %g, want %g", d.Sum(), wantSum)
+	}
+	// All window samples are >= 1e-3; the old 1e-5 samples must not leak in.
+	if q := d.Quantile(0); q < 1e-3*0.98 {
+		t.Fatalf("delta min quantile %g includes pre-window samples", q)
+	}
+	// Max reaches past prev's envelope, so it is exact.
+	if d.Max() != h.Max() {
+		t.Fatalf("delta max = %g, want exact %g", d.Max(), h.Max())
+	}
+	// Min stays inside prev's envelope: bucket precision only.
+	lo := d.Min()
+	if lo < 1e-3/1.02 || lo > 1e-3*1.02 {
+		t.Fatalf("delta min = %g, want ~1e-3 at bucket precision", lo)
+	}
+}
+
+func TestHistogramDeltaEmptyAndNilPrev(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(2e-4)
+	for _, prev := range []*Histogram{nil, NewHistogram()} {
+		d := h.Delta(prev)
+		if d.Count() != 1 || d.Sum() != h.Sum() {
+			t.Fatalf("delta vs empty prev: count=%d sum=%g", d.Count(), d.Sum())
+		}
+	}
+	// Independence: mutating the delta must not touch h.
+	h.Delta(nil).Observe(1)
+	if h.Count() != 1 {
+		t.Fatal("Delta(nil) returned a view, not a copy")
+	}
+}
+
+func TestHistogramDeltaNoChange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3e-3)
+	d := h.Delta(h.Clone())
+	if d.Count() != 0 || d.Sum() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatalf("zero-delta window not empty: %+v", d)
+	}
+}
+
+func TestHistogramDeltaReset(t *testing.T) {
+	// prev recorded more samples than the current histogram: the source was
+	// reset (or swapped for a fresh one) between copies. Delta must not wrap.
+	prev := NewHistogram()
+	for i := 0; i < 10; i++ {
+		prev.Observe(1e-4)
+	}
+	h := NewHistogram()
+	h.Observe(7e-3)
+	d := h.Delta(prev)
+	if d.Count() != 1 {
+		t.Fatalf("reset delta count = %d, want clone of current (1)", d.Count())
+	}
+	if d.Quantile(0.5) < 7e-3/1.02 {
+		t.Fatalf("reset delta quantile = %g, want ~7e-3", d.Quantile(0.5))
+	}
+}
+
+func TestHistogramDeltaPerBucketWrap(t *testing.T) {
+	// Same totals but one bucket decreased: still a reset, caught per bucket.
+	prev := NewHistogram()
+	prev.Observe(1e-5)
+	prev.Observe(1e-5)
+	h := NewHistogram()
+	h.Observe(9e-2)
+	h.Observe(9e-2)
+	d := h.Delta(prev)
+	if d.Count() != 2 {
+		t.Fatalf("wrap delta count = %d, want 2", d.Count())
+	}
+	if d.Quantile(0) < 9e-2/1.02 {
+		t.Fatalf("wrap delta kept stale buckets: q0 = %g", d.Quantile(0))
+	}
+}

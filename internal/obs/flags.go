@@ -1,25 +1,62 @@
 package obs
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
 
-// Flags is the diagnostics flag pair every binary that serves the
+// Flags is the diagnostics flag set every binary that serves the
 // observability endpoint needs. Registering it through RegisterFlags keeps
 // the flag names, defaults, and help text defined once instead of
 // hand-copied per binary.
 type Flags struct {
-	addr   *string
-	sample *int
+	addr      *string
+	sample    int
+	window    *time.Duration
+	slowOp    *time.Duration
+	slowOpLog *bool
 }
 
-// RegisterFlags registers -diag-addr and -trace-sample on fs and returns
-// accessors for the parsed values.
+// RegisterFlags registers the diagnostics flags on fs and returns
+// accessors for the parsed values:
+//
+//	-diag-addr     serve the diagnostics HTTP endpoint
+//	-trace-sample  op-lifecycle sampling stride (validated power of two)
+//	-obs-window    windowed-collector tick (0 disables)
+//	-slow-op       slow-op journal latency threshold (0 disables)
+//	-slow-op-log   mirror journaled slow ops to stderr as JSON lines
 func RegisterFlags(fs *flag.FlagSet) *Flags {
-	return &Flags{
+	f := &Flags{
 		addr: fs.String("diag-addr", "",
-			"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/pprof, /healthz) on this address (empty = off)"),
-		sample: fs.Int("trace-sample", DefaultSampleEvery,
-			"trace one operation in N through the pipeline (with -diag-addr; rounded up to a power of two)"),
+			"serve diagnostics HTTP (/metrics, /statsz, /debug/traces, /debug/timeseries, /debug/events, /debug/pprof, /healthz) on this address (empty = off)"),
+		window: fs.Duration("obs-window", DefaultWindowTick,
+			"windowed-collector sampling tick for /debug/timeseries (with -diag-addr; 0 = off)"),
+		slowOp: fs.Duration("slow-op", 0,
+			"journal any operation slower than this to /debug/events (with -diag-addr; 0 = off)"),
+		slowOpLog: fs.Bool("slow-op-log", false,
+			"also mirror journaled slow ops to stderr as JSON lines (with -slow-op)"),
 	}
+	f.sample = DefaultSampleEvery
+	// The Tracer's sampling mask needs a power-of-two stride; NewTracer
+	// would silently round up, so an off value would sample at a different
+	// rate than asked. Reject it at parse time instead.
+	fs.Func("trace-sample",
+		fmt.Sprintf("trace one operation in N through the pipeline (with -diag-addr; N must be a power of two; default %d)", DefaultSampleEvery),
+		func(v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("not an integer: %q", v)
+			}
+			if n < 1 || n&(n-1) != 0 {
+				return fmt.Errorf("must be a power of two (1, 2, 4, ...), got %d", n)
+			}
+			f.sample = n
+			return nil
+		})
+	return f
 }
 
 // Enabled reports whether a diagnostics address was given.
@@ -29,4 +66,25 @@ func (f *Flags) Enabled() bool { return *f.addr != "" }
 func (f *Flags) Addr() string { return *f.addr }
 
 // Tracer builds the lifecycle tracer configured by -trace-sample.
-func (f *Flags) Tracer() *Tracer { return NewTracer(0, *f.sample) }
+func (f *Flags) Tracer() *Tracer { return NewTracer(0, f.sample) }
+
+// Collector builds the windowed collector configured by -obs-window over
+// reg, or returns nil when the collector is disabled.
+func (f *Flags) Collector(reg *Registry) *Collector {
+	if *f.window <= 0 {
+		return nil
+	}
+	return NewCollector(reg, *f.window, DefaultWindowCount)
+}
+
+// Journal builds the slow-op journal configured by -slow-op and
+// -slow-op-log, or returns nil when journaling is disabled.
+func (f *Flags) Journal() *Journal {
+	if *f.slowOp <= 0 {
+		return nil
+	}
+	if *f.slowOpLog {
+		return NewJournal(*f.slowOp, 0, os.Stderr)
+	}
+	return NewJournal(*f.slowOp, 0, nil)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSampleValidation(t *testing.T) {
+	for _, bad := range []string{"0", "-8", "3", "1000", "abc"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		RegisterFlags(fs)
+		err := fs.Parse([]string{"-trace-sample", bad})
+		if err == nil {
+			t.Fatalf("-trace-sample %s accepted, want parse error", bad)
+		}
+		if bad != "abc" && !strings.Contains(err.Error(), "power of two") {
+			t.Fatalf("-trace-sample %s: error %q lacks a clear message", bad, err)
+		}
+	}
+	for _, good := range []string{"1", "2", "64", "1024"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		f := RegisterFlags(fs)
+		if err := fs.Parse([]string{"-trace-sample", good, "-diag-addr", "x"}); err != nil {
+			t.Fatalf("-trace-sample %s rejected: %v", good, err)
+		}
+		tr := f.Tracer()
+		want := good
+		if got := tr.SampleEvery(); want != "" && itoa(got) != want {
+			t.Fatalf("-trace-sample %s: tracer stride %d", good, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestTraceSampleDefault(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Tracer().SampleEvery(); got != DefaultSampleEvery {
+		t.Fatalf("default stride = %d, want %d", got, DefaultSampleEvery)
+	}
+}
+
+func TestFlagsCollectorAndJournal(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-obs-window", "0", "-slow-op", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Collector(NewRegistry()) != nil {
+		t.Fatal("-obs-window 0 built a collector")
+	}
+	if f.Journal() != nil {
+		t.Fatal("-slow-op 0 built a journal")
+	}
+
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	f2 := RegisterFlags(fs2)
+	if err := fs2.Parse([]string{"-obs-window", "10ms", "-slow-op", "5ms"}); err != nil {
+		t.Fatal(err)
+	}
+	c := f2.Collector(NewRegistry())
+	if c == nil || c.Tick() != 10*time.Millisecond {
+		t.Fatalf("collector = %+v", c)
+	}
+	c.Stop()
+	j := f2.Journal()
+	if j == nil || j.Threshold() != 5*time.Millisecond {
+		t.Fatalf("journal = %+v", j)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultJournalCap is the default slow-op event-ring capacity.
+const DefaultJournalCap = 256
+
+// Event is one journaled slow operation: the span that tripped the
+// threshold plus a monotonic sequence number. The embedded Span's fields
+// marshal flat, so each event is one self-contained JSON line with the
+// full stage breakdown.
+type Event struct {
+	Span
+	Seq          uint64 `json:"seq"`
+	TimeUnixNano int64  `json:"time_unix_nano"` // completion time
+	TotalNanos   int64  `json:"total_nanos"`    // done - submit
+}
+
+// Journal is the slow-op journal: a threshold-triggered structured event
+// ring. Every completed span offered to Observe is kept only when its
+// end-to-end latency meets the threshold, so under healthy load the journal
+// costs one comparison per offered span; when something goes slow, the ring
+// holds the most recent offenders with their stage breakdowns (served as
+// JSON lines at /debug/events) and can mirror each event to an io.Writer
+// (typically stderr) as it happens.
+type Journal struct {
+	threshold int64 // nanoseconds; spans at or above are recorded
+	mirror    io.Writer
+
+	seq      atomic.Uint64
+	recorded atomic.Uint64
+	offered  atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+}
+
+// NewJournal returns a journal recording spans whose end-to-end latency is
+// >= threshold, keeping the last capacity events (<=0 selects
+// DefaultJournalCap). mirror may be nil; when set, every recorded event is
+// also written to it as one compact JSON line (writes are serialized).
+func NewJournal(threshold time.Duration, capacity int, mirror io.Writer) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &Journal{
+		threshold: threshold.Nanoseconds(),
+		mirror:    mirror,
+		ring:      make([]Event, capacity),
+	}
+}
+
+// Threshold returns the slow-op latency threshold.
+func (j *Journal) Threshold() time.Duration {
+	return time.Duration(j.threshold)
+}
+
+// Observe offers one completed span and reports whether it was journaled
+// (its end-to-end latency met the threshold).
+func (j *Journal) Observe(s Span) bool {
+	j.offered.Add(1)
+	total := s.TotalNanos()
+	if total < j.threshold {
+		return false
+	}
+	e := Event{
+		Span:         s,
+		Seq:          j.seq.Add(1),
+		TimeUnixNano: s.DoneUnixNano,
+		TotalNanos:   total,
+	}
+	j.recorded.Add(1)
+	j.mu.Lock()
+	j.ring[j.next] = e
+	j.next++
+	if j.next == len(j.ring) {
+		j.next = 0
+		j.full = true
+	}
+	j.mu.Unlock()
+	if j.mirror != nil {
+		line, err := json.Marshal(e)
+		if err == nil {
+			line = append(line, '\n')
+			j.mu.Lock()
+			j.mirror.Write(line) //nolint:errcheck // best-effort mirror
+			j.mu.Unlock()
+		}
+	}
+	return true
+}
+
+// Offered returns how many spans were offered to Observe.
+func (j *Journal) Offered() uint64 { return j.offered.Load() }
+
+// Recorded returns how many events met the threshold since construction
+// (including ones the ring has since overwritten).
+func (j *Journal) Recorded() uint64 { return j.recorded.Load() }
+
+// Events returns the retained events, newest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.next
+	if j.full {
+		n = len(j.ring)
+	}
+	out := make([]Event, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, j.ring[(j.next-i+len(j.ring))%len(j.ring)])
+	}
+	return out
+}
+
+// journalMeta is the first line of the /debug/events NDJSON body.
+type journalMeta struct {
+	Enabled        bool   `json:"enabled"`
+	ThresholdNanos int64  `json:"threshold_nanos,omitempty"`
+	Offered        uint64 `json:"offered,omitempty"`
+	Recorded       uint64 `json:"recorded,omitempty"`
+}
+
+// WriteJSONLines renders the journal as NDJSON: one meta line, then the
+// retained events newest first, one JSON object per line.
+func (j *Journal) WriteJSONLines(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	meta := journalMeta{
+		Enabled:        true,
+		ThresholdNanos: j.threshold,
+		Offered:        j.Offered(),
+		Recorded:       j.Recorded(),
+	}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, e := range j.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

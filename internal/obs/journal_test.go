@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func spanWithLatency(id uint64, nanos int64) Span {
+	return Span{
+		TraceID:        id,
+		Op:             "put",
+		Layer:          "wire",
+		SubmitUnixNano: 1_000,
+		DoneUnixNano:   1_000 + nanos,
+		Stages: []Stage{
+			{Name: "parse", StartUnixNano: 1_000, EndUnixNano: 1_200},
+			{Name: "execute", StartUnixNano: 1_200, EndUnixNano: 1_000 + nanos},
+		},
+	}
+}
+
+func TestJournalThreshold(t *testing.T) {
+	j := NewJournal(time.Microsecond, 8, nil)
+	if j.Observe(spanWithLatency(1, 500)) {
+		t.Fatal("500ns span journaled below 1µs threshold")
+	}
+	if !j.Observe(spanWithLatency(2, 1_000)) {
+		t.Fatal("span exactly at threshold not journaled")
+	}
+	if !j.Observe(spanWithLatency(3, 2_000)) {
+		t.Fatal("2µs span not journaled")
+	}
+	if j.Offered() != 3 || j.Recorded() != 2 {
+		t.Fatalf("offered=%d recorded=%d, want 3/2", j.Offered(), j.Recorded())
+	}
+	evs := j.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	// Newest first, with sequence numbers and the stage breakdown intact.
+	if evs[0].TraceID != 3 || evs[1].TraceID != 2 {
+		t.Fatalf("order: got %d,%d want 3,2", evs[0].TraceID, evs[1].TraceID)
+	}
+	if evs[0].Seq != 2 || evs[0].TotalNanos != 2_000 || len(evs[0].Stages) != 2 {
+		t.Fatalf("event payload: %+v", evs[0])
+	}
+}
+
+func TestJournalRingWrap(t *testing.T) {
+	j := NewJournal(0, 3, nil)
+	for i := uint64(1); i <= 5; i++ {
+		j.Observe(spanWithLatency(i, int64(i)))
+	}
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, want := range []uint64{5, 4, 3} {
+		if evs[i].TraceID != want {
+			t.Fatalf("evs[%d].TraceID = %d, want %d", i, evs[i].TraceID, want)
+		}
+	}
+}
+
+func TestJournalMirrorJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(0, 8, &buf)
+	j.Observe(spanWithLatency(7, 1_000))
+	j.Observe(spanWithLatency(8, 2_000))
+
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("mirror line %d not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		// Embedded span fields must marshal flat on the event line.
+		if e.Op != "put" || e.Layer != "wire" || len(e.Stages) != 2 {
+			t.Fatalf("mirror event lost span fields: %+v", e)
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("mirror wrote %d lines, want 2", lines)
+	}
+}
+
+func TestJournalWriteJSONLines(t *testing.T) {
+	j := NewJournal(time.Nanosecond, 8, nil)
+	j.Observe(spanWithLatency(9, 5_000))
+
+	var buf bytes.Buffer
+	if err := j.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("body has %d lines, want meta + 1 event:\n%s", len(lines), buf.String())
+	}
+	var meta journalMeta
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Enabled || meta.ThresholdNanos != 1 || meta.Recorded != 1 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.TraceID != 9 || e.TotalNanos != 5_000 {
+		t.Fatalf("event = %+v", e)
+	}
+}

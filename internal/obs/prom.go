@@ -4,7 +4,51 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
+
+// Label renders one Prometheus label pair, name="value", escaping the
+// value per the text exposition format (backslash, double quote, and
+// newline). Registration sites build their pre-rendered label bodies with
+// this instead of fmt.Sprintf so a hostile or odd value (a path, say)
+// cannot break the exposition syntax.
+func Label(name, value string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len(value) + 3)
+	b.WriteString(name)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// JoinLabels joins pre-rendered label bodies with a comma, skipping empty
+// parts — the shared helper for layering a shard="i" or worker="j" pair
+// onto caller-provided labels.
+func JoinLabels(parts ...string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}
 
 // promBounds are the upper bounds (seconds) of the exported Prometheus
 // histogram buckets: 1-2.5-5 per decade from 1µs to 10s. The internal

@@ -191,6 +191,45 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// rawSample reads every registered source once under one read lock,
+// returning cumulative counter values, gauge values, and fresh histogram
+// copies (HistogramFunc already returns a merged copy the caller may keep).
+// The windowed Collector diffs two consecutive rawSamples into a Window.
+func (r *Registry) rawSample() (ctrs map[string]int64, gauges map[string]float64, hists map[string]*metrics.Histogram) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ctrs = make(map[string]int64)
+	gauges = make(map[string]float64)
+	hists = make(map[string]*metrics.Histogram)
+	for _, c := range r.counters {
+		for n, v := range c.set.Snapshot() {
+			if c.labels != "" {
+				n = n + "{" + c.labels + "}"
+			}
+			ctrs[n] = v
+		}
+	}
+	for _, g := range r.gauges {
+		name := g.name
+		if g.labels != "" {
+			name = g.name + "{" + g.labels + "}"
+		}
+		gauges[name] = g.fn()
+	}
+	for _, hr := range r.hists {
+		h := hr.fn()
+		if h == nil {
+			continue
+		}
+		name := hr.name
+		if hr.labels != "" {
+			name = hr.name + "{" + hr.labels + "}"
+		}
+		hists[name] = h
+	}
+	return ctrs, gauges, hists
+}
+
 // String renders the snapshot as one line of sorted "key=value" pairs,
 // omitting zero counters and zero gauges — the dcart-kv STATS wire format.
 func (s *Snapshot) String() string {

@@ -134,3 +134,62 @@ func TestWritePrometheusFormat(t *testing.T) {
 		t.Fatalf("unexpected _sum in:\n%s", out)
 	}
 }
+
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct{ name, value, want string }{
+		{"shard", "3", `shard="3"`},
+		{"path", `C:\data`, `path="C:\\data"`},
+		{"q", `say "hi"`, `q="say \"hi\""`},
+		{"nl", "a\nb", `nl="a\nb"`},
+		{"mixed", "\\\"\n", `mixed="\\\"\n"`},
+	}
+	for _, c := range cases {
+		if got := Label(c.name, c.value); got != c.want {
+			t.Fatalf("Label(%q, %q) = %s, want %s", c.name, c.value, got, c.want)
+		}
+	}
+	if got := JoinLabels(`a="1"`, "", `b="2"`); got != `a="1",b="2"` {
+		t.Fatalf("JoinLabels = %s", got)
+	}
+	if got := JoinLabels("", ""); got != "" {
+		t.Fatalf("JoinLabels empties = %q", got)
+	}
+}
+
+func TestWritePrometheusLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	set := metrics.NewSet()
+	set.Add(metrics.CtrOpsRead, 1)
+	nasty := Label("shard", "0\\\"evil\"\nnext")
+	r.RegisterCountersLabeled("g", "dcart", nasty, "engine counters", set)
+	r.RegisterGauge("g", "dcart_depth", Label("path", `C:\kv "prod"`), "depth", func() float64 { return 2 })
+
+	h := metrics.NewHistogram()
+	h.Observe(1e-3)
+	r.RegisterHistogramLabeled("g", "dcart_lat_seconds", Label("shard", "a\nb"), "latency", func() *metrics.Histogram { return h })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	// No raw newline may survive inside any series line: every line must be
+	// a well-formed sample or header.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", out)
+		}
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	for _, want := range []string{
+		`dcart_ops_read_total{shard="0\\\"evil\"\nnext"} 1`,
+		`dcart_depth{path="C:\\kv \"prod\""} 2`,
+		`dcart_lat_seconds_bucket{shard="a\nb",le="+Inf"} 1`,
+		`dcart_lat_seconds_sum{shard="a\nb"} 0.001`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing escaped series %q in:\n%s", want, out)
+		}
+	}
+}

@@ -6,41 +6,63 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
+
+// Diagnostics bundles the observability sources a Server exposes. Registry
+// is required; the rest are optional — the corresponding endpoints report
+// themselves disabled when nil.
+type Diagnostics struct {
+	Registry  *Registry
+	Tracer    *Tracer
+	Collector *Collector
+	Journal   *Journal
+}
 
 // Server is the diagnostics HTTP endpoint both binaries expose behind
 // -diag-addr:
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/statsz        the same snapshot as JSON (and as the STATS wire command)
-//	/debug/traces  the sampled op-lifecycle span ring, newest first
-//	/debug/pprof/* the standard Go profiler endpoints
-//	/healthz       liveness probe ("ok")
+//	/metrics           Prometheus text exposition of the registry
+//	/statsz            the same snapshot as JSON (and as the STATS wire command)
+//	/debug/traces      the sampled op-lifecycle span ring, newest first
+//	                   (?id=<trace id> renders a per-stage text waterfall)
+//	/debug/timeseries  the windowed collector's per-window deltas/rates
+//	                   (?view=top renders a TOP-style text view)
+//	/debug/events      the slow-op journal, newest first, as JSON lines
+//	/debug/pprof/*     the standard Go profiler endpoints
+//	/healthz           liveness probe ("ok")
 //
 // It is opt-in and read-only: nothing here mutates engine state, and every
 // handler reads through registered callbacks so a scrape never blocks the
 // pipeline's hot paths.
 type Server struct {
-	reg    *Registry
-	tracer *Tracer
-	ln     net.Listener
-	srv    *http.Server
+	d   Diagnostics
+	ln  net.Listener
+	srv *http.Server
 }
 
 // Serve starts a diagnostics server on addr (e.g. "127.0.0.1:7071";
 // ":0" picks a free port — read it back from Addr). tracer may be nil, in
-// which case /debug/traces reports tracing disabled.
+// which case /debug/traces reports tracing disabled. For the windowed
+// collector and slow-op journal endpoints, use ServeAll.
 func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	return ServeAll(addr, Diagnostics{Registry: reg, Tracer: tracer})
+}
+
+// ServeAll starts a diagnostics server exposing every source in d.
+func ServeAll(addr string, d Diagnostics) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, tracer: tracer, ln: ln}
+	s := &Server{d: d, ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -65,14 +87,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.WritePrometheus(w)
+	s.d.Registry.WritePrometheus(w)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.reg.Snapshot()) //nolint:errcheck // best-effort diagnostics write
+	enc.Encode(s.d.Registry.Snapshot()) //nolint:errcheck // best-effort diagnostics write
 }
 
 // tracesReport is the /debug/traces response body.
@@ -83,16 +105,68 @@ type tracesReport struct {
 	Spans       []Span `json:"spans"`
 }
 
-func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		s.handleWaterfall(w, id)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	rep := tracesReport{Spans: []Span{}}
-	if s.tracer != nil {
+	if s.d.Tracer != nil {
 		rep.Enabled = true
-		rep.SampleEvery = s.tracer.SampleEvery()
-		rep.Recorded = s.tracer.Recorded()
-		rep.Spans = s.tracer.Spans()
+		rep.SampleEvery = s.d.Tracer.SampleEvery()
+		rep.Recorded = s.d.Tracer.Recorded()
+		rep.Spans = s.d.Tracer.Spans()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(rep) //nolint:errcheck // best-effort diagnostics write
+}
+
+// handleWaterfall serves /debug/traces?id=<trace id> — a text waterfall of
+// every retained span carrying that ID. The ID accepts decimal or 0x-hex
+// (the JSON view prints trace IDs in decimal; waterfall headers in hex).
+func (s *Server) handleWaterfall(w http.ResponseWriter, id string) {
+	if s.d.Tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	n, err := strconv.ParseUint(id, 0, 64)
+	if err != nil {
+		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spans := s.d.Tracer.SpansFor(n)
+	if len(spans) == 0 {
+		http.Error(w, "no retained spans for that trace id", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	WriteWaterfall(w, spans)
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	if s.d.Collector == nil {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&Timeseries{Windows: []Window{}}) //nolint:errcheck
+		return
+	}
+	if r.URL.Query().Get("view") == "top" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.d.Collector.WriteTop(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.d.Collector.Report()) //nolint:errcheck // best-effort diagnostics write
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.d.Journal == nil {
+		json.NewEncoder(w).Encode(journalMeta{}) //nolint:errcheck
+		return
+	}
+	s.d.Journal.WriteJSONLines(w) //nolint:errcheck // best-effort diagnostics write
 }

@@ -113,3 +113,118 @@ func TestServerNilTracer(t *testing.T) {
 		t.Fatalf("nil-tracer report = %+v", rep)
 	}
 }
+
+func TestServerContinuousTelemetryEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	set := metrics.NewSet()
+	reg.RegisterCounters("t", "dcart", "counters", set)
+
+	tr := NewTracer(8, 1)
+	tr.Record(Span{
+		TraceID: 77, Op: "put", Layer: "wire", Worker: -1, Bucket: -1,
+		SubmitUnixNano: 1_000, DoneUnixNano: 9_000,
+		Stages: []Stage{
+			{Name: "parse", StartUnixNano: 1_000, EndUnixNano: 2_000},
+			{Name: "flush", StartUnixNano: 2_000, EndUnixNano: 9_000},
+		},
+	})
+
+	col := stalledCollector(t, reg, 8)
+	col.baseline(0)
+	set.Add(metrics.CtrOpsWrite, 12)
+	col.sample(1_000_000_000)
+
+	j := NewJournal(time.Nanosecond, 8, nil)
+	j.Observe(Span{TraceID: 77, Op: "put", SubmitUnixNano: 1, DoneUnixNano: 5_000_000})
+
+	srv, err := ServeAll("127.0.0.1:0", Diagnostics{Registry: reg, Tracer: tr, Collector: col, Journal: j})
+	if err != nil {
+		t.Fatalf("ServeAll: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	base := "http://" + srv.Addr()
+
+	// /debug/timeseries JSON.
+	code, body, ctype := get(t, base+"/debug/timeseries")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/timeseries: %d %q", code, ctype)
+	}
+	var ts Timeseries
+	if err := json.Unmarshal([]byte(body), &ts); err != nil {
+		t.Fatalf("/debug/timeseries not JSON: %v\n%s", err, body)
+	}
+	if !ts.Enabled || len(ts.Windows) != 1 || ts.Windows[0].Counters["ops_write"] != 12 {
+		t.Fatalf("/debug/timeseries = %+v", ts)
+	}
+
+	// /debug/timeseries?view=top text view.
+	code, body, ctype = get(t, base+"/debug/timeseries?view=top")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("timeseries top view: %d %q", code, ctype)
+	}
+	if !strings.Contains(body, "COUNTER RATES") || !strings.Contains(body, "ops_write") {
+		t.Fatalf("top view body:\n%s", body)
+	}
+
+	// /debug/events NDJSON: meta line then events.
+	code, body, ctype = get(t, base+"/debug/events")
+	if code != 200 || !strings.HasPrefix(ctype, "application/x-ndjson") {
+		t.Fatalf("/debug/events: %d %q", code, ctype)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/debug/events lines = %d:\n%s", len(lines), body)
+	}
+	var meta journalMeta
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil || !meta.Enabled || meta.Recorded != 1 {
+		t.Fatalf("/debug/events meta = %+v (%v)", meta, err)
+	}
+
+	// /debug/traces?id= waterfall, decimal and hex forms.
+	for _, q := range []string{"77", "0x4d"} {
+		code, body, ctype = get(t, base+"/debug/traces?id="+q)
+		if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+			t.Fatalf("waterfall id=%s: %d %q\n%s", q, code, ctype, body)
+		}
+		if !strings.Contains(body, "wire/put") || !strings.Contains(body, "parse") || !strings.Contains(body, "flush") {
+			t.Fatalf("waterfall id=%s body:\n%s", q, body)
+		}
+	}
+	if code, _, _ := get(t, base+"/debug/traces?id=12345"); code != 404 {
+		t.Fatalf("unknown trace id: %d, want 404", code)
+	}
+	if code, _, _ := get(t, base+"/debug/traces?id=nope"); code != 400 {
+		t.Fatalf("malformed trace id: %d, want 400", code)
+	}
+}
+
+func TestServerTelemetryDisabled(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	base := "http://" + srv.Addr()
+
+	code, body, _ := get(t, base+"/debug/timeseries")
+	var ts Timeseries
+	if code != 200 || json.Unmarshal([]byte(body), &ts) != nil || ts.Enabled {
+		t.Fatalf("disabled timeseries: %d %s", code, body)
+	}
+	code, body, _ = get(t, base+"/debug/events")
+	var meta journalMeta
+	if code != 200 || json.Unmarshal([]byte(body), &meta) != nil || meta.Enabled {
+		t.Fatalf("disabled events: %d %s", code, body)
+	}
+	if code, _, _ := get(t, base+"/debug/traces?id=1"); code != 404 {
+		t.Fatalf("waterfall with nil tracer: %d, want 404", code)
+	}
+}

@@ -25,7 +25,31 @@ type Span struct {
 	DoneUnixNano   int64 `json:"done_unix_nano"`
 	QueueWaitNanos int64 `json:"queue_wait_nanos"` // batch start - submit
 	ExecNanos      int64 `json:"exec_nanos"`       // done - batch start
+
+	// Layer names the pipeline layer that recorded the span: "engine" for
+	// pctt/store-side execution, "wire" for the kvserver reader→writer path.
+	// Spans sharing a TraceID across layers describe the same operation and
+	// compose into one waterfall (WriteWaterfall).
+	Layer string `json:"layer,omitempty"`
+	// Stages is the span's ordered stage breakdown — e.g. the wire's
+	// parse→submit→window→execute→flush, or the engine's
+	// queue→combine→traverse→trigger — mapping the paper's §4.1 latency
+	// split onto wall-clock stamps.
+	Stages []Stage `json:"stages,omitempty"`
 }
+
+// Stage is one named interval inside a Span.
+type Stage struct {
+	Name          string `json:"name"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	EndUnixNano   int64  `json:"end_unix_nano"`
+}
+
+// Nanos returns the stage duration.
+func (s Stage) Nanos() int64 { return s.EndUnixNano - s.StartUnixNano }
+
+// TotalNanos returns the span's end-to-end duration.
+func (s Span) TotalNanos() int64 { return s.DoneUnixNano - s.SubmitUnixNano }
 
 // Tracer is a sampled, low-overhead span recorder: a 1/N sampling decision
 // (one atomic increment on the submit path) feeding a fixed-size ring of
@@ -105,6 +129,20 @@ func (t *Tracer) Spans() []Span {
 	out := make([]Span, 0, n)
 	for i := 1; i <= n; i++ {
 		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// SpansFor returns the retained spans carrying the given trace ID, newest
+// first — every layer's view of one operation (the /debug/traces?id=
+// waterfall input).
+func (t *Tracer) SpansFor(id uint64) []Span {
+	all := t.Spans()
+	out := all[:0]
+	for _, s := range all {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
 	}
 	return out
 }

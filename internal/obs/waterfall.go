@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// waterfallWidth is the bar width in columns.
+const waterfallWidth = 48
+
+// WriteWaterfall renders a text waterfall of the given spans — normally
+// every layer's spans for one trace ID (Tracer.SpansFor), e.g. a kvserver
+// wire span over a pctt engine span for the same key hash. Each span
+// prints a header line and one row per stage with its offset from the
+// earliest submit, its duration, and a bar scaled onto a shared timeline,
+// so queue wait vs execute (the paper's §4.1 split) is visible at a
+// glance. Spans without explicit stages fall back to the queue/exec pair
+// derived from their submit/batch/done stamps.
+func WriteWaterfall(w io.Writer, spans []Span) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "(no spans)")
+		return
+	}
+	// Oldest first, so the wire span (submitted earliest) leads.
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].SubmitUnixNano < ordered[j].SubmitUnixNano
+	})
+
+	t0 := ordered[0].SubmitUnixNano
+	t1 := t0
+	for _, s := range ordered {
+		if s.SubmitUnixNano < t0 {
+			t0 = s.SubmitUnixNano
+		}
+		if s.DoneUnixNano > t1 {
+			t1 = s.DoneUnixNano
+		}
+		for _, st := range stagesOf(s) {
+			if st.EndUnixNano > t1 {
+				t1 = st.EndUnixNano
+			}
+		}
+	}
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+
+	fmt.Fprintf(w, "trace %#016x — %d span(s), %s end to end\n",
+		ordered[0].TraceID, len(ordered), time.Duration(span))
+	for _, s := range ordered {
+		layer := s.Layer
+		if layer == "" {
+			layer = "engine"
+		}
+		fmt.Fprintf(w, "\n%s/%s", layer, s.Op)
+		if s.Worker >= 0 {
+			fmt.Fprintf(w, "  worker=%d", s.Worker)
+		}
+		if s.Bucket >= 0 {
+			fmt.Fprintf(w, " bucket=%d", s.Bucket)
+		}
+		if s.Migrated {
+			fmt.Fprint(w, " migrated")
+		}
+		fmt.Fprintf(w, "  total=%s\n", time.Duration(s.TotalNanos()))
+		for _, st := range stagesOf(s) {
+			off := st.StartUnixNano - t0
+			fmt.Fprintf(w, "  %-10s %10s +%-10s |%s|\n",
+				st.Name,
+				time.Duration(st.Nanos()),
+				time.Duration(off),
+				bar(off, st.Nanos(), span))
+		}
+	}
+}
+
+// stagesOf returns a span's stage list, synthesizing the classic
+// queue-wait/exec pair for spans recorded before stages existed (or by
+// paths that only stamp the three lifecycle points).
+func stagesOf(s Span) []Stage {
+	if len(s.Stages) > 0 {
+		return s.Stages
+	}
+	if s.SubmitUnixNano == 0 || s.DoneUnixNano == 0 {
+		return nil
+	}
+	batch := s.BatchUnixNano
+	if batch < s.SubmitUnixNano {
+		batch = s.SubmitUnixNano
+	}
+	return []Stage{
+		{Name: "queue", StartUnixNano: s.SubmitUnixNano, EndUnixNano: batch},
+		{Name: "exec", StartUnixNano: batch, EndUnixNano: s.DoneUnixNano},
+	}
+}
+
+// bar renders one stage interval onto the shared [0, span) timeline.
+func bar(off, dur, span int64) string {
+	if off < 0 {
+		off = 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	lead := int(off * waterfallWidth / span)
+	fill := int(dur * waterfallWidth / span)
+	if lead >= waterfallWidth {
+		lead = waterfallWidth - 1
+	}
+	if fill < 1 {
+		fill = 1 // every stage stays visible
+	}
+	if lead+fill > waterfallWidth {
+		fill = waterfallWidth - lead
+	}
+	var b strings.Builder
+	b.WriteString(strings.Repeat("·", lead))
+	b.WriteString(strings.Repeat("█", fill))
+	b.WriteString(strings.Repeat(" ", waterfallWidth-lead-fill))
+	return b.String()
+}

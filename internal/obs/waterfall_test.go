@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteWaterfallMultiLayer(t *testing.T) {
+	base := int64(1_000_000_000)
+	wire := Span{
+		TraceID: 0xabc, Op: "put", Layer: "wire", Worker: -1, Bucket: -1,
+		SubmitUnixNano: base, DoneUnixNano: base + 10_000,
+		Stages: []Stage{
+			{Name: "parse", StartUnixNano: base, EndUnixNano: base + 500},
+			{Name: "submit", StartUnixNano: base + 500, EndUnixNano: base + 1_000},
+			{Name: "window", StartUnixNano: base + 1_000, EndUnixNano: base + 4_000},
+			{Name: "execute", StartUnixNano: base + 4_000, EndUnixNano: base + 9_000},
+			{Name: "flush", StartUnixNano: base + 9_000, EndUnixNano: base + 10_000},
+		},
+	}
+	engine := Span{
+		TraceID: 0xabc, Op: "put", Layer: "engine", Worker: 2, Bucket: 17,
+		SubmitUnixNano: base + 1_200, BatchUnixNano: base + 5_000, DoneUnixNano: base + 8_500,
+		Stages: []Stage{
+			{Name: "queue", StartUnixNano: base + 1_200, EndUnixNano: base + 5_000},
+			{Name: "trigger", StartUnixNano: base + 5_000, EndUnixNano: base + 8_500},
+		},
+	}
+
+	var b strings.Builder
+	WriteWaterfall(&b, []Span{engine, wire}) // unsorted on purpose
+	out := b.String()
+
+	for _, want := range []string{
+		"trace 0x0000000000000abc", "2 span(s)",
+		"wire/put", "engine/put", "worker=2 bucket=17",
+		"parse", "window", "execute", "flush", "queue", "trigger",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	// The wire span submitted first, so its header precedes the engine's.
+	if strings.Index(out, "wire/put") > strings.Index(out, "engine/put") {
+		t.Fatalf("spans not ordered oldest first:\n%s", out)
+	}
+	// Every stage row carries a visible bar.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && !strings.Contains(line, "█") {
+			t.Fatalf("stage row has empty bar: %q", line)
+		}
+	}
+}
+
+func TestWriteWaterfallLegacySpanSynthesizesStages(t *testing.T) {
+	s := Span{
+		TraceID: 5, Op: "get", Worker: 0, Bucket: 3,
+		SubmitUnixNano: 100, BatchUnixNano: 400, DoneUnixNano: 900,
+	}
+	var b strings.Builder
+	WriteWaterfall(&b, []Span{s})
+	out := b.String()
+	if !strings.Contains(out, "queue") || !strings.Contains(out, "exec") {
+		t.Fatalf("legacy span lacks synthesized queue/exec stages:\n%s", out)
+	}
+}
+
+func TestWriteWaterfallEmpty(t *testing.T) {
+	var b strings.Builder
+	WriteWaterfall(&b, nil)
+	if !strings.Contains(b.String(), "no spans") {
+		t.Fatalf("empty waterfall output: %q", b.String())
+	}
+}

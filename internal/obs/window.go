@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultWindowTick is the default collector sampling interval.
+const DefaultWindowTick = time.Second
+
+// DefaultWindowCount is how many windows the collector retains (at the
+// default 1s tick: five minutes of history).
+const DefaultWindowCount = 300
+
+// Window is one collector tick: per-series counter deltas (and the derived
+// rates), gauge values at the end of the window, and per-window latency
+// summaries obtained by delta-merging the cumulative histograms. Series
+// names follow the Snapshot convention, `name` or `name{labels}`.
+type Window struct {
+	StartUnixNano int64                `json:"start_unix_nano"`
+	EndUnixNano   int64                `json:"end_unix_nano"`
+	Counters      map[string]int64     `json:"counters,omitempty"` // deltas over the window
+	Gauges        map[string]float64   `json:"gauges,omitempty"`
+	Histograms    map[string]HistStats `json:"histograms,omitempty"` // window-local distribution
+}
+
+// Seconds returns the window's wall-clock length.
+func (w *Window) Seconds() float64 {
+	return float64(w.EndUnixNano-w.StartUnixNano) / 1e9
+}
+
+// Rate returns counter name's per-second rate over this window.
+func (w *Window) Rate(name string) float64 {
+	s := w.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(w.Counters[name]) / s
+}
+
+// Collector turns the registry's cumulative state into time-resolved
+// telemetry: a background sampler snapshots every registered source on a
+// fixed tick and keeps the last N windows of per-series deltas in a ring.
+// One scrape of /debug/timeseries then answers what a single cumulative
+// scrape cannot — warmup vs steady state, a latency spike that already
+// passed, rate trends across a bench run.
+//
+// Sampling cost is bounded by the registry's own Snapshot cost (one
+// read-locked pass over the callbacks) and is paid on the collector
+// goroutine, never on an engine hot path.
+type Collector struct {
+	reg  *Registry
+	tick time.Duration
+
+	mu       sync.Mutex
+	ring     []Window
+	next     int
+	full     bool
+	prevCtr  map[string]int64
+	prevHist map[string]*metrics.Histogram
+	prevAt   int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCollector starts a collector sampling reg every tick, retaining
+// capacity windows. Zero or negative arguments select the defaults. The
+// construction itself takes the baseline sample, so the first emitted
+// window holds deltas since start, not all-time cumulative values. Stop
+// the returned collector when done.
+func NewCollector(reg *Registry, tick time.Duration, capacity int) *Collector {
+	if tick <= 0 {
+		tick = DefaultWindowTick
+	}
+	if capacity <= 0 {
+		capacity = DefaultWindowCount
+	}
+	c := &Collector{
+		reg:  reg,
+		tick: tick,
+		ring: make([]Window, capacity),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	c.baseline(time.Now().UnixNano())
+	go c.run()
+	return c
+}
+
+// Tick returns the sampling interval.
+func (c *Collector) Tick() time.Duration { return c.tick }
+
+// Stop terminates the sampling goroutine and waits for it to exit. The
+// retained windows stay readable.
+func (c *Collector) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			c.sample(now.UnixNano())
+		}
+	}
+}
+
+// baseline primes the previous-sample state without emitting a window.
+func (c *Collector) baseline(now int64) {
+	ctrs, _, hists := c.reg.rawSample()
+	c.mu.Lock()
+	c.prevCtr, c.prevHist, c.prevAt = ctrs, hists, now
+	c.mu.Unlock()
+}
+
+// sample takes one registry snapshot and appends the delta window.
+func (c *Collector) sample(now int64) {
+	ctrs, gauges, hists := c.reg.rawSample()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	w := Window{StartUnixNano: c.prevAt, EndUnixNano: now}
+	if len(ctrs) > 0 {
+		w.Counters = make(map[string]int64, len(ctrs))
+		for n, v := range ctrs {
+			d := v - c.prevCtr[n]
+			if d < 0 {
+				// The source was reset or replaced (bench swaps engines
+				// between rows): treat the current value as the window.
+				d = v
+			}
+			if d != 0 {
+				w.Counters[n] = d
+			}
+		}
+	}
+	if len(gauges) > 0 {
+		w.Gauges = gauges
+	}
+	if len(hists) > 0 {
+		w.Histograms = make(map[string]HistStats, len(hists))
+		for n, h := range hists {
+			d := h.Delta(c.prevHist[n])
+			if d.Count() == 0 {
+				continue
+			}
+			w.Histograms[n] = HistStats{
+				Count: d.Count(), Mean: d.Mean(),
+				P50: d.Quantile(0.50), P99: d.Quantile(0.99), Max: d.Max(),
+			}
+		}
+	}
+
+	c.ring[c.next] = w
+	c.next++
+	if c.next == len(c.ring) {
+		c.next = 0
+		c.full = true
+	}
+	c.prevCtr, c.prevHist, c.prevAt = ctrs, hists, now
+}
+
+// Windows returns the retained windows, newest first.
+func (c *Collector) Windows() []Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.next
+	if c.full {
+		n = len(c.ring)
+	}
+	out := make([]Window, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, c.ring[(c.next-i+len(c.ring))%len(c.ring)])
+	}
+	return out
+}
+
+// Timeseries is the /debug/timeseries JSON response body.
+type Timeseries struct {
+	Enabled     bool     `json:"enabled"`
+	TickSeconds float64  `json:"tick_seconds,omitempty"`
+	Capacity    int      `json:"capacity,omitempty"`
+	Windows     []Window `json:"windows"` // newest first
+}
+
+// Report assembles the JSON view of the retained windows, newest first.
+func (c *Collector) Report() *Timeseries {
+	return &Timeseries{
+		Enabled:     true,
+		TickSeconds: c.tick.Seconds(),
+		Capacity:    len(c.ring),
+		Windows:     c.Windows(),
+	}
+}
+
+// topRows is how many series each WriteTop section shows.
+const topRows = 16
+
+// WriteTop renders a TOP-style text view of the newest window: the hottest
+// counters by per-second rate, current gauges, and per-window latency
+// percentiles, followed by a short rate trend over the preceding windows.
+func (c *Collector) WriteTop(w io.Writer) {
+	ws := c.Windows()
+	fmt.Fprintf(w, "dcart timeseries — tick %s, %d/%d windows retained, newest first\n",
+		c.tick, len(ws), len(c.ring))
+	if len(ws) == 0 {
+		fmt.Fprintln(w, "(no windows sampled yet)")
+		return
+	}
+	cur := ws[0]
+	fmt.Fprintf(w, "window %s .. %s (%.3fs)\n\n",
+		time.Unix(0, cur.StartUnixNano).UTC().Format("15:04:05.000"),
+		time.Unix(0, cur.EndUnixNano).UTC().Format("15:04:05.000"),
+		cur.Seconds())
+
+	type kv struct {
+		name string
+		rate float64
+	}
+	rates := make([]kv, 0, len(cur.Counters))
+	for n := range cur.Counters {
+		rates = append(rates, kv{n, cur.Rate(n)})
+	}
+	sort.Slice(rates, func(i, j int) bool {
+		if rates[i].rate != rates[j].rate {
+			return rates[i].rate > rates[j].rate
+		}
+		return rates[i].name < rates[j].name
+	})
+	fmt.Fprintln(w, "COUNTER RATES (per second, this window)")
+	if len(rates) == 0 {
+		fmt.Fprintln(w, "  (idle)")
+	}
+	for i, r := range rates {
+		if i == topRows {
+			fmt.Fprintf(w, "  … %d more\n", len(rates)-topRows)
+			break
+		}
+		fmt.Fprintf(w, "  %-52s %14.1f/s\n", r.name, r.rate)
+	}
+
+	if len(cur.Gauges) > 0 {
+		names := make([]string, 0, len(cur.Gauges))
+		for n := range cur.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "\nGAUGES")
+		for i, n := range names {
+			if i == topRows {
+				fmt.Fprintf(w, "  … %d more\n", len(names)-topRows)
+				break
+			}
+			fmt.Fprintf(w, "  %-52s %14s\n", n, formatFloat(cur.Gauges[n]))
+		}
+	}
+
+	if len(cur.Histograms) > 0 {
+		names := make([]string, 0, len(cur.Histograms))
+		for n := range cur.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "\nLATENCY (this window)")
+		for _, n := range names {
+			h := cur.Histograms[n]
+			fmt.Fprintf(w, "  %-52s n=%-8d p50=%-10s p99=%-10s max=%s\n",
+				n, h.Count, fmtDur(h.P50), fmtDur(h.P99), fmtDur(h.Max))
+		}
+	}
+
+	// Rate trend for the single hottest counter across retained windows.
+	if len(rates) > 0 {
+		hot := rates[0].name
+		fmt.Fprintf(w, "\nTREND %s (newest first)\n ", hot)
+		for i, win := range ws {
+			if i == 12 {
+				break
+			}
+			fmt.Fprintf(w, " %.0f/s", win.Rate(hot))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// fmtDur renders seconds with a duration unit suited to its magnitude.
+func fmtDur(seconds float64) string {
+	return time.Duration(seconds * 1e9).Round(time.Microsecond).String()
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// stalledCollector builds a collector whose background ticker effectively
+// never fires, so tests drive sample() deterministically.
+func stalledCollector(t *testing.T, reg *Registry, capacity int) *Collector {
+	t.Helper()
+	c := NewCollector(reg, time.Hour, capacity)
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestCollectorCounterDeltasAndRates(t *testing.T) {
+	reg := NewRegistry()
+	ms := metrics.NewSet()
+	reg.RegisterCounters("g", "dcart", "test counters", ms)
+	ms.Add(metrics.CtrOpsWrite, 100) // pre-baseline traffic
+
+	c := stalledCollector(t, reg, 8)
+	// Re-baseline at a deterministic stamp (construction already sampled,
+	// but at wall-clock time and before the +100 would be miscounted).
+	c.baseline(1_000)
+
+	ms.Add(metrics.CtrOpsWrite, 50)
+	ms.Add(metrics.CtrOpsRead, 20)
+	c.sample(2_000_000_000 + 1_000) // 2s window
+
+	ws := c.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ws))
+	}
+	w := ws[0]
+	if got := w.Counters["ops_write"]; got != 50 {
+		t.Fatalf("ops_write delta = %d, want 50 (cumulative must not leak)", got)
+	}
+	if got := w.Counters["ops_read"]; got != 20 {
+		t.Fatalf("ops_read delta = %d, want 20", got)
+	}
+	if r := w.Rate("ops_write"); r < 24.9 || r > 25.1 {
+		t.Fatalf("ops_write rate = %g/s, want 25", r)
+	}
+	// Zero-delta counters are omitted to keep windows small.
+	if _, ok := w.Counters["restarts"]; ok {
+		t.Fatal("zero-delta counter present in window")
+	}
+}
+
+func TestCollectorCounterResetClamped(t *testing.T) {
+	reg := NewRegistry()
+	ms := metrics.NewSet()
+	reg.RegisterCounters("g", "dcart", "test counters", ms)
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+
+	ms.Add(metrics.CtrOpsWrite, 40)
+	c.sample(1_000_000_000)
+
+	// The bench harness swaps engines between rows: unregister the old set,
+	// register a fresh one whose counters restart near zero.
+	reg.UnregisterGroup("g")
+	ms2 := metrics.NewSet()
+	reg.RegisterCounters("g", "dcart", "test counters", ms2)
+	ms2.Add(metrics.CtrOpsWrite, 7)
+	c.sample(2_000_000_000)
+
+	ws := c.Windows()
+	if got := ws[0].Counters["ops_write"]; got != 7 {
+		t.Fatalf("post-reset delta = %d, want clamp to current value 7", got)
+	}
+}
+
+func TestCollectorWindowHistograms(t *testing.T) {
+	reg := NewRegistry()
+	var mu sync.Mutex
+	h := metrics.NewHistogram()
+	reg.RegisterHistogram("g", "dcart_lat_seconds", "test hist", func() *metrics.Histogram {
+		mu.Lock()
+		defer mu.Unlock()
+		return h.Clone()
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+
+	observe := func(v float64) {
+		mu.Lock()
+		h.Observe(v)
+		mu.Unlock()
+	}
+	observe(1e-5)
+	c.sample(1_000_000_000)
+	observe(1e-2)
+	observe(2e-2)
+	c.sample(2_000_000_000)
+
+	ws := c.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	// Newest window holds only the two 10-20ms samples, not the old 10µs one.
+	hs, ok := ws[0].Histograms["dcart_lat_seconds"]
+	if !ok {
+		t.Fatalf("newest window missing histogram: %+v", ws[0])
+	}
+	if hs.Count != 2 {
+		t.Fatalf("window hist count = %d, want 2", hs.Count)
+	}
+	if hs.P50 < 1e-2/1.02 {
+		t.Fatalf("window p50 = %g, contaminated by pre-window samples", hs.P50)
+	}
+	// A window with no new samples omits the histogram entirely.
+	c.sample(3_000_000_000)
+	if _, ok := c.Windows()[0].Histograms["dcart_lat_seconds"]; ok {
+		t.Fatal("idle window carries an empty histogram")
+	}
+}
+
+func TestCollectorRingWrapNewestFirst(t *testing.T) {
+	reg := NewRegistry()
+	ms := metrics.NewSet()
+	reg.RegisterCounters("g", "dcart", "test counters", ms)
+	c := stalledCollector(t, reg, 3)
+	c.baseline(0)
+
+	for i := 1; i <= 5; i++ {
+		ms.Add(metrics.CtrOpsWrite, int64(i))
+		c.sample(int64(i) * 1_000_000_000)
+	}
+	ws := c.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("retained %d windows, want 3", len(ws))
+	}
+	for i, want := range []int64{5, 4, 3} { // newest first
+		if got := ws[i].Counters["ops_write"]; got != want {
+			t.Fatalf("ws[%d] delta = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCollectorTopView(t *testing.T) {
+	reg := NewRegistry()
+	ms := metrics.NewSet()
+	reg.RegisterCounters("g", "dcart", "test counters", ms)
+	reg.RegisterGauge("g", "dcart_depth", "", "test gauge", func() float64 { return 42 })
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+
+	ms.Add(metrics.CtrOpsWrite, 10)
+	c.sample(1_000_000_000)
+
+	var b strings.Builder
+	c.WriteTop(&b)
+	out := b.String()
+	for _, want := range []string{"COUNTER RATES", "ops_write", "GAUGES", "dcart_depth", "TREND"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCollectorConcurrentSampleScrapeUnregister exercises the collector's
+// sampling goroutine racing live scrapes and group churn — run under
+// -race (obs is in the Makefile's RACE_PKGS).
+func TestCollectorConcurrentSampleScrapeUnregister(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, time.Millisecond, 16)
+	defer c.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer churn: engines attach/detach while their counters move.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := fmt.Sprintf("eng%d", i%3)
+			ms := metrics.NewSet()
+			reg.UnregisterGroup(g)
+			reg.RegisterCounters(g, "dcart", "test counters", ms)
+			h := metrics.NewHistogram()
+			var mu sync.Mutex
+			reg.RegisterHistogram(g, "dcart_lat_seconds", "test hist", func() *metrics.Histogram {
+				mu.Lock()
+				defer mu.Unlock()
+				return h.Clone()
+			})
+			for j := 0; j < 50; j++ {
+				ms.Inc(metrics.CtrOpsWrite)
+				mu.Lock()
+				h.Observe(1e-4)
+				mu.Unlock()
+			}
+		}
+	}()
+
+	// Scrapers: timeseries JSON + TOP view + snapshot, concurrently.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.Windows()
+				_ = c.Report()
+				var b strings.Builder
+				c.WriteTop(&b)
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if len(c.Windows()) == 0 {
+		t.Fatal("collector sampled no windows while running")
+	}
+}

@@ -83,6 +83,7 @@ func (e *Engine) do(t task) taskResult {
 // (typically much sparser) sampling decision.
 func (e *Engine) stamp(t *task) {
 	if e.cfg.RecordLatency && e.latN.Add(1)&15 == 0 {
+		t.lat = true
 		t.enq = time.Now().UnixNano()
 	}
 	if tr := e.cfg.Tracer; tr != nil && tr.Sample() {
@@ -90,6 +91,9 @@ func (e *Engine) stamp(t *task) {
 		if t.enq == 0 {
 			t.enq = time.Now().UnixNano()
 		}
+	}
+	if e.cfg.Journal != nil && t.enq == 0 {
+		t.enq = time.Now().UnixNano()
 	}
 }
 
@@ -103,25 +107,36 @@ func (e *Engine) bypassOne(t task) taskResult {
 		now := time.Now().UnixNano()
 		d := float64(now-t.enq) * 1e-9
 		w := e.workers[0]
-		if e.cfg.RecordLatency {
+		if t.lat {
 			w.histMu.Lock()
 			w.histTotal.Observe(d)
 			w.histQueue.Observe(0)
 			w.histExec.Observe(d)
 			w.histMu.Unlock()
 		}
-		if t.traced {
-			if tr := e.cfg.Tracer; tr != nil {
-				tr.Record(obs.Span{
-					TraceID:        t.hash,
-					Op:             opName(t.kind),
-					Worker:         0,
-					Bucket:         e.shardOf(t.key),
-					SubmitUnixNano: t.enq,
-					BatchUnixNano:  t.enq,
-					DoneUnixNano:   now,
-					ExecNanos:      now - t.enq,
-				})
+		j := e.cfg.Journal
+		if t.traced || j != nil {
+			s := obs.Span{
+				TraceID:        t.hash,
+				Op:             opName(t.kind),
+				Worker:         0,
+				Bucket:         e.shardOf(t.key),
+				SubmitUnixNano: t.enq,
+				BatchUnixNano:  t.enq,
+				DoneUnixNano:   now,
+				ExecNanos:      now - t.enq,
+				Layer:          "engine",
+				Stages: []obs.Stage{{
+					Name: "trigger", StartUnixNano: t.enq, EndUnixNano: now,
+				}},
+			}
+			if t.traced {
+				if tr := e.cfg.Tracer; tr != nil {
+					tr.Record(s)
+				}
+			}
+			if j != nil {
+				j.Observe(s)
 			}
 		}
 	}

@@ -104,7 +104,7 @@ func (e *Engine) RegisterObsTagged(r *obs.Registry, group, labels string) {
 	for i := 0; i < e.cfg.Workers; i++ {
 		i := i
 		r.RegisterGauge(group, "dcart_pctt_ring_depth",
-			joinLabels(labels, `worker="`+strconv.Itoa(i)+`"`),
+			obs.JoinLabels(labels, obs.Label("worker", strconv.Itoa(i))),
 			"queued combine buckets in the worker's lock-free ring",
 			func() float64 { return float64(e.RingDepth(i)) })
 	}
@@ -118,7 +118,7 @@ func (e *Engine) RegisterObsTagged(r *obs.Registry, group, labels string) {
 	} {
 		st := st
 		r.RegisterGauge(group, "dcart_pctt_bucket_state",
-			joinLabels(labels, `state="`+st.label+`"`),
+			obs.JoinLabels(labels, obs.Label("state", st.label)),
 			"combine buckets by scheduling state",
 			func() float64 { return float64(st.pick(e.BucketStateCounts())) })
 	}
@@ -132,18 +132,5 @@ func (e *Engine) RegisterObsTagged(r *obs.Registry, group, labels string) {
 		r.RegisterHistogramLabeled(group, "dcart_pctt_exec_seconds", labels,
 			"sampled trigger-execute time (batch start until completion)",
 			e.ExecHistogram)
-	}
-}
-
-// joinLabels joins two pre-rendered Prometheus label bodies, either of
-// which may be empty.
-func joinLabels(a, b string) string {
-	switch {
-	case a == "":
-		return b
-	case b == "":
-		return a
-	default:
-		return a + "," + b
 	}
 }

@@ -135,6 +135,13 @@ type Config struct {
 	// The tracer makes its own 1/N sampling decision; an unsampled
 	// operation pays one atomic increment at submit and nothing else.
 	Tracer *obs.Tracer
+	// Journal, when non-nil, is the slow-op journal: EVERY operation is
+	// stamped at submit (one clock read) and its completed span — with the
+	// engine's queue/combine/traverse/trigger stage breakdown — is offered
+	// to the journal, which keeps only ops at or above its latency
+	// threshold. Unlike Tracer there is no sampling: a slow op must not
+	// escape because it wasn't the 1-in-N one.
+	Journal *obs.Journal
 }
 
 // Defaults fills unset fields.
@@ -205,9 +212,12 @@ type task struct {
 	// (Run-mode completion accounting).
 	done *sync.WaitGroup
 	// enq is a unix-nano true-submit stamp when latency recording or
-	// tracing sampled this task (taken at task creation, before any
-	// producer-side buffering).
+	// tracing sampled this task, or the slow-op journal is armed (taken at
+	// task creation, before any producer-side buffering).
 	enq int64
+	// lat marks the task as chosen by the 1-in-16 latency sampler; its
+	// queue/exec split lands in the worker histograms at completion.
+	lat bool
 	// traced marks the task as chosen by the obs tracer's sampler; its
 	// lifecycle span is recorded at completion.
 	traced bool
@@ -478,6 +488,7 @@ func (e *Engine) dispatch(ops []workload.Op, slots []engine.ReadResult) {
 			t.res = &slots[i]
 		}
 		if e.cfg.RecordLatency && i%sampleEvery == 0 {
+			t.lat = true
 			t.enq = time.Now().UnixNano()
 		}
 		if tr := e.cfg.Tracer; tr != nil && tr.Sample() {
@@ -485,6 +496,9 @@ func (e *Engine) dispatch(ops []workload.Op, slots []engine.ReadResult) {
 			if t.enq == 0 {
 				t.enq = time.Now().UnixNano()
 			}
+		}
+		if e.cfg.Journal != nil && t.enq == 0 {
+			t.enq = time.Now().UnixNano()
 		}
 		c = append(c, t)
 		open[s] = c
@@ -524,11 +538,13 @@ func (e *Engine) runBypass(ops []workload.Op, slots []engine.ReadResult) {
 	w := e.workers[0]
 	record := e.cfg.RecordLatency
 	tr := e.cfg.Tracer
+	j := e.cfg.Journal
 	for i := range ops {
 		op := &ops[i]
 		var t0 int64
 		traced := tr != nil && tr.Sample()
-		if (record && i%16 == 0) || traced {
+		lat := record && i%16 == 0
+		if lat || traced || j != nil {
 			t0 = time.Now().UnixNano()
 		}
 		switch op.Kind {
@@ -545,15 +561,15 @@ func (e *Engine) runBypass(ops []workload.Op, slots []engine.ReadResult) {
 		if t0 != 0 {
 			now := time.Now().UnixNano()
 			d := float64(now-t0) * 1e-9
-			if record {
+			if lat {
 				w.histMu.Lock()
 				w.histTotal.Observe(d)
 				w.histQueue.Observe(0)
 				w.histExec.Observe(d)
 				w.histMu.Unlock()
 			}
-			if traced {
-				tr.Record(obs.Span{
+			if traced || j != nil {
+				s := obs.Span{
 					TraceID:        hashKey(op.Key),
 					Op:             opName(op.Kind),
 					Worker:         0,
@@ -562,7 +578,17 @@ func (e *Engine) runBypass(ops []workload.Op, slots []engine.ReadResult) {
 					BatchUnixNano:  t0,
 					DoneUnixNano:   now,
 					ExecNanos:      now - t0,
-				})
+					Layer:          "engine",
+					Stages: []obs.Stage{{
+						Name: "trigger", StartUnixNano: t0, EndUnixNano: now,
+					}},
+				}
+				if traced {
+					tr.Record(s)
+				}
+				if j != nil {
+					j.Observe(s)
+				}
 			}
 		}
 	}

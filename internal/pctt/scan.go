@@ -73,14 +73,16 @@ func (e *Engine) Walk(fn func(key []byte, value uint64) bool) bool {
 func (e *Engine) beginScan(op string, startKey []byte) func(rows int) {
 	e.ms.Inc(metrics.CtrOpsScan)
 	tr := e.cfg.Tracer
-	if tr == nil || !tr.Sample() {
+	j := e.cfg.Journal
+	traced := tr != nil && tr.Sample()
+	if !traced && j == nil {
 		return func(rows int) { e.ms.Add(metrics.CtrScanRows, int64(rows)) }
 	}
 	t0 := time.Now().UnixNano()
 	return func(rows int) {
 		e.ms.Add(metrics.CtrScanRows, int64(rows))
 		now := time.Now().UnixNano()
-		tr.Record(obs.Span{
+		s := obs.Span{
 			TraceID:        hashKey(startKey),
 			Op:             op,
 			Worker:         -1, // executes on the caller, not a pipeline worker
@@ -89,6 +91,16 @@ func (e *Engine) beginScan(op string, startKey []byte) func(rows int) {
 			BatchUnixNano:  t0,
 			DoneUnixNano:   now,
 			ExecNanos:      now - t0,
-		})
+			Layer:          "engine",
+			Stages: []obs.Stage{{
+				Name: "scan", StartUnixNano: t0, EndUnixNano: now,
+			}},
+		}
+		if traced {
+			tr.Record(s)
+		}
+		if j != nil {
+			j.Observe(s)
+		}
 	}
 }

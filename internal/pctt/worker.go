@@ -87,7 +87,12 @@ type worker struct {
 
 	// execStart is the unix-nano begin of the current trigger batch
 	// (latency attribution point between queue wait and execute).
+	// groupEnd/locateEnd subdivide the batch further — grouping done,
+	// traverse (locateGroups) done — giving traced and journaled spans the
+	// combine/traverse/trigger stage breakdown.
 	execStart int64
+	groupEnd  int64
+	locateEnd int64
 
 	// c accumulates counter deltas batch-locally; execBatch flushes it to
 	// the shared metrics.Set once per batch (an Inc per operation would put
@@ -183,6 +188,12 @@ func hashKey(key []byte) uint64 {
 	}
 	return h
 }
+
+// HashKey exposes the pipeline's end-to-end key hash — the trace ID every
+// engine span carries. Layers above the engine (the kvserver wire path)
+// stamp their spans with the same hash so one operation's spans correlate
+// across layers in the /debug/traces?id= waterfall.
+func HashKey(key []byte) uint64 { return hashKey(key) }
 
 // loop is the worker body. Each iteration assembles one trigger batch by
 // GATHERING every ready bucket it can reach — expired combine windows
@@ -478,7 +489,8 @@ func clearTasks(ts []task) {
 // place in their gathered chunks — grouping produces *task lists, not
 // copies.
 func (w *worker) execBatch() {
-	if w.e.cfg.RecordLatency || w.e.cfg.Tracer != nil {
+	stamping := w.e.cfg.RecordLatency || w.e.cfg.Tracer != nil || w.e.cfg.Journal != nil
+	if stamping {
 		w.execStart = time.Now().UnixNano()
 	}
 
@@ -522,7 +534,13 @@ func (w *worker) execBatch() {
 			}
 		}
 	}
+	if stamping {
+		w.groupEnd = time.Now().UnixNano()
+	}
 	w.locateGroups()
+	if stamping {
+		w.locateEnd = time.Now().UnixNano()
+	}
 	for gi := range w.groups {
 		w.execGroup(&w.groups[gi])
 	}
@@ -816,32 +834,67 @@ func (w *worker) complete(t *task, r taskResult) {
 		if wait < 0 {
 			wait = 0 // wall-clock stamps; guard against clock steps
 		}
-		w.histMu.Lock()
-		w.histTotal.Observe(float64(now-t.enq) * 1e-9)
-		w.histQueue.Observe(float64(wait) * 1e-9)
-		w.histExec.Observe(float64(now-w.execStart) * 1e-9)
-		w.histMu.Unlock()
-		if t.traced {
-			if tr := w.e.cfg.Tracer; tr != nil {
-				bkt := w.e.shardOf(t.key)
-				tr.Record(obs.Span{
-					TraceID:        t.hash,
-					Op:             opName(t.kind),
-					Worker:         w.id,
-					Bucket:         bkt,
-					Migrated:       bkt%w.e.cfg.Workers != w.id,
-					SubmitUnixNano: t.enq,
-					BatchUnixNano:  w.execStart,
-					DoneUnixNano:   now,
-					QueueWaitNanos: wait,
-					ExecNanos:      now - w.execStart,
-				})
+		if t.lat {
+			w.histMu.Lock()
+			w.histTotal.Observe(float64(now-t.enq) * 1e-9)
+			w.histQueue.Observe(float64(wait) * 1e-9)
+			w.histExec.Observe(float64(now-w.execStart) * 1e-9)
+			w.histMu.Unlock()
+		}
+		j := w.e.cfg.Journal
+		if t.traced || j != nil {
+			bkt := w.e.shardOf(t.key)
+			s := obs.Span{
+				TraceID:        t.hash,
+				Op:             opName(t.kind),
+				Worker:         w.id,
+				Bucket:         bkt,
+				Migrated:       bkt%w.e.cfg.Workers != w.id,
+				SubmitUnixNano: t.enq,
+				BatchUnixNano:  w.execStart,
+				DoneUnixNano:   now,
+				QueueWaitNanos: wait,
+				ExecNanos:      now - w.execStart,
+				Layer:          "engine",
+				Stages:         engineStages(t.enq, w.execStart, w.groupEnd, w.locateEnd, now),
+			}
+			if t.traced {
+				if tr := w.e.cfg.Tracer; tr != nil {
+					tr.Record(s)
+				}
+			}
+			if j != nil {
+				j.Observe(s)
 			}
 		}
 	}
 	if t.done != nil {
 		t.done.Done()
 	}
+}
+
+// engineStages builds the engine span's stage breakdown from the task's
+// submit stamp and the batch's phase stamps: queue (submit until the batch
+// began), combine (grouping by key), traverse (locate phase: Shortcut_Table
+// plus shared descents), and trigger (group execution until this task's
+// completion). The batch stamps are per-batch wall-clock reads; each stage
+// start is clamped to the previous end so a clock step or a task that
+// submitted mid-batch never yields a negative stage.
+func engineStages(enq, execStart, groupEnd, locateEnd, done int64) []obs.Stage {
+	st := make([]obs.Stage, 0, 4)
+	at := enq
+	push := func(name string, end int64) {
+		if end < at {
+			end = at
+		}
+		st = append(st, obs.Stage{Name: name, StartUnixNano: at, EndUnixNano: end})
+		at = end
+	}
+	push("queue", execStart)
+	push("combine", groupEnd)
+	push("traverse", locateEnd)
+	push("trigger", done)
+	return st
 }
 
 // opName renders a task kind for trace spans.

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/obs"
@@ -214,7 +215,7 @@ func (s *Sharded) RegisterObsTagged(r *obs.Registry, group, labels string) {
 		func() float64 { return float64(s.Len()) })
 	for i, sub := range s.shards {
 		shardGroup := fmt.Sprintf("%s-shard%d", group, i)
-		shardLabels := joinLabels(labels, fmt.Sprintf(`shard="%d"`, i))
+		shardLabels := obs.JoinLabels(labels, obs.Label("shard", strconv.Itoa(i)))
 		if t, ok := sub.(ObsTagged); ok {
 			t.RegisterObsTagged(r, shardGroup, shardLabels)
 		}
@@ -222,18 +223,5 @@ func (s *Sharded) RegisterObsTagged(r *obs.Registry, group, labels string) {
 		r.RegisterGauge(shardGroup, "dcart_store_shard_keys", shardLabels,
 			"keys stored in this shard",
 			func() float64 { return float64(sub.Len()) })
-	}
-}
-
-// joinLabels joins two pre-rendered Prometheus label bodies, either of
-// which may be empty.
-func joinLabels(a, b string) string {
-	switch {
-	case a == "":
-		return b
-	case b == "":
-		return a
-	default:
-		return a + "," + b
 	}
 }

@@ -34,6 +34,7 @@ type report struct {
 // remaining numeric fields are measurements.
 var identityFields = []string{
 	"system", "mode", "shards", "workers", "conns", "pipeline_depth", "flush_every",
+	"phase",
 }
 
 func main() {

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Diagnostics-endpoint smoke test: run the native benchmark with
 # -diag-addr, scrape /metrics while the P-CTT rows are executing, and
-# verify the engine's live series, the health probe, and the trace ring
-# are all served. Checks liveness of the observability wiring, not
-# performance numbers.
+# verify the engine's live series, the health probe, the trace ring, the
+# windowed timeseries, and the slow-op journal are all served. Checks
+# liveness of the observability wiring, not performance numbers.
 set -eu
 
 PORT="${SMOKE_DIAG_PORT:-7141}"
@@ -13,7 +13,8 @@ BENCH_PID=
 trap 'if [ -n "$BENCH_PID" ]; then kill "$BENCH_PID" 2>/dev/null || true; fi; rm -f "$OUT"' EXIT
 
 go run ./cmd/dcart-bench -exp native -keys 50000 -ops 1500000 \
-	-diag-addr "$ADDR" -trace-sample 64 >"$OUT" 2>&1 &
+	-diag-addr "$ADDR" -trace-sample 64 -obs-window 500ms -slow-op 1ns \
+	>"$OUT" 2>&1 &
 BENCH_PID=$!
 
 # Poll until the P-CTT engine's series appear: the direct-olc row runs
@@ -55,5 +56,32 @@ done
 curl -sf "http://$ADDR/healthz" | grep -q '^ok$'
 curl -sf "http://$ADDR/debug/traces" | grep -q '"enabled": true'
 
-echo "smoke-diag: live /metrics scrape OK"
+# Rolling windows: the collector ticks at 500ms, so by now the report
+# must be enabled and hold at least one sampled window.
+TS="$(curl -sf "http://$ADDR/debug/timeseries")"
+printf '%s\n' "$TS" | grep -q '"enabled": true' || {
+	echo "smoke-diag: /debug/timeseries not enabled" >&2
+	printf '%s\n' "$TS" >&2
+	exit 1
+}
+printf '%s\n' "$TS" | grep -q '"start_unix_nano"' || {
+	echo "smoke-diag: /debug/timeseries holds no windows" >&2
+	printf '%s\n' "$TS" >&2
+	exit 1
+}
+curl -sf "http://$ADDR/debug/timeseries?view=top" | grep -q '^dcart timeseries'
+
+# Slow-op journal: the 1ns threshold journals effectively every engine
+# op, so the NDJSON meta line must be enabled and events recorded.
+EV="$(curl -sf "http://$ADDR/debug/events" | head -1)"
+printf '%s\n' "$EV" | grep -q '"enabled":true' || {
+	echo "smoke-diag: /debug/events not enabled: $EV" >&2
+	exit 1
+}
+printf '%s\n' "$EV" | grep -q '"recorded":[1-9]' || {
+	echo "smoke-diag: /debug/events recorded no slow ops: $EV" >&2
+	exit 1
+}
+
+echo "smoke-diag: live /metrics, /debug/timeseries, /debug/events scrapes OK"
 wait "$BENCH_PID"
