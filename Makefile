@@ -9,7 +9,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/olc ./internal/pctt ./internal/store ./internal/kvserver ./internal/metrics ./internal/obs .
 
-.PHONY: check vet staticcheck build test race bench bench-batch bench-native bench-server benchdiff smoke-native smoke-diag smoke-shards smoke-pipeline clean
+.PHONY: check vet staticcheck build test race bench bench-batch bench-native bench-server benchdiff smoke-native smoke-diag smoke-shards smoke-pipeline smoke-health clean
 
 check: vet staticcheck build test race
 
@@ -90,6 +90,13 @@ smoke-shards:
 # exact command order with the /metrics pipeline series live.
 smoke-pipeline:
 	./scripts/smoke_pipeline.sh
+
+# Health/flight-recorder smoke: boot dcart-kv with the health engine and a
+# flight-recorder directory, verify the /healthz JSON verdict settles on
+# ok, trigger a bundle dump over HTTP, and validate its contents and the
+# rate limit.
+smoke-health:
+	./scripts/smoke_health.sh
 
 clean:
 	rm -f repro.test BENCH_native.json

@@ -87,12 +87,38 @@ func main() {
 		o.Diag.RegisterGauge("process", "dcart_bench_goroutines", "",
 			"live goroutines in the benchmark process",
 			func() float64 { return float64(runtime.NumGoroutine()) })
+		obs.RegisterRuntime(o.Diag)
+		if o.Journal != nil {
+			obs.RegisterJournal(o.Diag, o.Journal)
+		}
 		collector := diagFlags.Collector(o.Diag)
+		var health *obs.Health
+		if collector != nil {
+			health = obs.NewHealth(collector, obs.DefaultHealthRules()...)
+		}
+		var flight *obs.FlightRecorder
+		if dir := diagFlags.FlightDir(); dir != "" {
+			flight = obs.NewFlightRecorder(dir, obs.Diagnostics{
+				Registry:  o.Diag,
+				Tracer:    o.Tracer,
+				Collector: collector,
+				Journal:   o.Journal,
+				Health:    health,
+			}, health)
+			cfgMap := make(map[string]string)
+			flag.Visit(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
+			flight.SetConfig(cfgMap)
+			if health != nil {
+				flight.TriggerOnFire(health, log.Printf)
+			}
+		}
 		diag, err := obs.ServeAll(diagFlags.Addr(), obs.Diagnostics{
 			Registry:  o.Diag,
 			Tracer:    o.Tracer,
 			Collector: collector,
 			Journal:   o.Journal,
+			Health:    health,
+			Flight:    flight,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcart-bench: diagnostics listen:", err)

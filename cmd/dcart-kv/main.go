@@ -28,7 +28,7 @@
 //	         [-pipeline-depth 64] [-flush-every 32]
 //	         [-diag-addr 127.0.0.1:7071] [-trace-sample 1024]
 //	         [-obs-window 1s] [-slow-op 10ms] [-slow-op-log]
-//	         [-drain-timeout 10s]
+//	         [-flightrec-dir dir] [-drain-timeout 10s]
 //
 // With -snapshot, the store loads the file at startup (if present) and
 // writes it back on shutdown. With -batch-workers > 0, point operations
@@ -64,7 +64,16 @@
 // /debug/pprof/*, and /healthz; latency recording and 1/-trace-sample
 // lifecycle tracing are enabled on the batched engine automatically, and
 // every connection stamps wire-stage spans (parse, submit, window,
-// execute, flush) for traced or journaled operations.
+// execute, flush) for traced or journaled operations. When the rolling
+// collector is on, /healthz upgrades from a static "ok" to a JSON health
+// verdict (ok|degraded|critical, HTTP 503 when critical) computed by
+// declarative rules over the collector windows: stalled P-CTT workers
+// (frozen heartbeat with work in flight), sustained inflight saturation,
+// and slow-op journal rate. With -flightrec-dir, any rule firing — or
+// SIGQUIT, or GET /debug/flightrec?trigger=1 — dumps an atomic
+// post-mortem bundle (recent windows, journal, spans, goroutine profile,
+// runtime snapshot, config) into that directory, rate-limited with
+// bounded retention.
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the listener closes (no new
 // connections), in-flight connections drain for up to -drain-timeout
@@ -128,15 +137,55 @@ func main() {
 	var (
 		diag      *obs.Server
 		collector *obs.Collector
+		health    *obs.Health
+		flight    *obs.FlightRecorder
 	)
 	if diagFlags.Enabled() {
+		obs.RegisterRuntime(srv.Registry())
+		if journal != nil {
+			obs.RegisterJournal(srv.Registry(), journal)
+		}
 		collector = diagFlags.Collector(srv.Registry())
+		if collector != nil {
+			health = obs.NewHealth(collector, obs.DefaultHealthRules()...)
+		}
+		if dir := diagFlags.FlightDir(); dir != "" {
+			flight = obs.NewFlightRecorder(dir, obs.Diagnostics{
+				Registry:  srv.Registry(),
+				Tracer:    tracer,
+				Collector: collector,
+				Journal:   journal,
+				Health:    health,
+			}, health)
+			cfgMap := make(map[string]string)
+			flag.Visit(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
+			flight.SetConfig(cfgMap)
+			if health != nil {
+				flight.TriggerOnFire(health, log.Printf)
+			}
+			// SIGQUIT dumps a post-mortem bundle without killing the
+			// process (the Go runtime's stack-dump-and-exit behaviour
+			// only applies while SIGQUIT is unhandled).
+			quit := make(chan os.Signal, 1)
+			signal.Notify(quit, syscall.SIGQUIT)
+			go func() {
+				for range quit {
+					if dir, err := flight.Trigger("sigquit"); err != nil {
+						log.Printf("dcart-kv: flight recorder: %v", err)
+					} else {
+						log.Printf("dcart-kv: flight recorder bundle at %s", dir)
+					}
+				}
+			}()
+		}
 		var err error
 		diag, err = obs.ServeAll(diagFlags.Addr(), obs.Diagnostics{
 			Registry:  srv.Registry(),
 			Tracer:    tracer,
 			Collector: collector,
 			Journal:   journal,
+			Health:    health,
+			Flight:    flight,
 		})
 		if err != nil {
 			log.Fatalf("dcart-kv: diagnostics listen: %v", err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/olc"
 	"repro/internal/pctt"
 	"repro/internal/store"
@@ -51,12 +52,13 @@ func Native(o Options) error {
 	}
 
 	tw := table(o)
-	fmt.Fprintln(tw, "system\tshards\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tcoalesced\tsteals\tshared\thot hit%")
+	fmt.Fprintln(tw, "system\tshards\tworkers\twall\tops/sec\tP50\tP99\tqwait P99\texec P99\tgc pause\tcoalesced\tsteals\tshared\thot hit%")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.3g\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\n",
 			r.System, r.Shards, r.Workers, engTime(float64(r.WallNanos)/1e9), r.OpsPerSec,
 			engTime(r.P50Nanos/1e9), engTime(r.P99Nanos/1e9),
 			engTime(r.QueueWaitP99Nanos/1e9), engTime(r.ExecP99Nanos/1e9),
+			engTime(r.GCPauseTotalNanos/1e9),
 			r.CoalescedOps, r.BucketSteals, r.SharedDescents, 100*r.HotsetHitRate)
 	}
 	tw.Flush()
@@ -176,6 +178,11 @@ type nativeRow struct {
 	// BypassOps counts operations the single-worker fast path executed
 	// directly (Workers==1 with an idle pipeline skips the queue hop).
 	BypassOps int64 `json:"bypass_ops"`
+	// Embedded runtime attribution: GC cycles/pause time and scheduler
+	// latency the pass absorbed, bracketed per measured pass (the best-of
+	// trials keeps the winning trial's delta, so the runtime columns
+	// describe the same pass the latency columns do).
+	runtimeCols
 }
 
 const nativeTrials = 3
@@ -211,25 +218,31 @@ func runNativeDirect(o Options, w *workload.Workload) (steady, warmup nativeRow)
 		}
 		return time.Since(start).Nanoseconds()
 	}
+	rtPrev := obs.ReadRuntime()
 	warmWall := pass(nil) // warmup: absorb the stream's inserts
+	rtNow := obs.ReadRuntime()
 	warmup = nativeRow{
 		System: "direct-olc", Phase: "warmup", Shards: 1, Workers: 1,
-		WallNanos: warmWall,
-		OpsPerSec: float64(len(w.Ops)) / (float64(warmWall) / 1e9),
+		WallNanos:   warmWall,
+		OpsPerSec:   float64(len(w.Ops)) / (float64(warmWall) / 1e9),
+		runtimeCols: runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 	}
 	var best nativeRow
 	for trial := 0; trial < nativeTrials; trial++ {
 		hist := metrics.NewHistogram()
+		rtPrev = obs.ReadRuntime()
 		wall := pass(hist)
+		rtNow = obs.ReadRuntime()
 		if trial == 0 || wall < best.WallNanos {
 			best = nativeRow{
-				System:    "direct-olc",
-				Shards:    1,
-				Workers:   1,
-				WallNanos: wall,
-				OpsPerSec: float64(len(w.Ops)) / (float64(wall) / 1e9),
-				P50Nanos:  hist.Quantile(0.50) * 1e9,
-				P99Nanos:  hist.Quantile(0.99) * 1e9,
+				System:      "direct-olc",
+				Shards:      1,
+				Workers:     1,
+				WallNanos:   wall,
+				OpsPerSec:   float64(len(w.Ops)) / (float64(wall) / 1e9),
+				P50Nanos:    hist.Quantile(0.50) * 1e9,
+				P99Nanos:    hist.Quantile(0.99) * 1e9,
+				runtimeCols: runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 			}
 		}
 	}
@@ -253,16 +266,21 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) (steady, warmup
 	e.Load(w.Keys, nil)
 	// Warmup: absorb inserts, populate the shortcut tables — timed and
 	// reported as its own phase so warmup-vs-steady regressions are visible.
+	rtPrev := obs.ReadRuntime()
 	wres := e.Run(w.Ops)
+	rtNow := obs.ReadRuntime()
 	warmup = nativeRow{
 		System: "P-CTT", Phase: "warmup", Shards: 1, Workers: workers,
-		WallNanos: wres.WallNanos,
-		OpsPerSec: float64(len(w.Ops)) / (float64(wres.WallNanos) / 1e9),
+		WallNanos:   wres.WallNanos,
+		OpsPerSec:   float64(len(w.Ops)) / (float64(wres.WallNanos) / 1e9),
+		runtimeCols: runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 	}
 	var best nativeRow
 	for trial := 0; trial < nativeTrials; trial++ {
 		e.Reset() // counters and histograms: each trial measured alone
+		rtPrev = obs.ReadRuntime()
 		res := e.Run(w.Ops)
+		rtNow = obs.ReadRuntime()
 		ms := e.Metrics()
 		row := nativeRow{
 			System:          "P-CTT",
@@ -279,6 +297,7 @@ func runNativePCTT(o Options, w *workload.Workload, workers int) (steady, warmup
 			HotsetHits:      ms.Get(metrics.CtrHotsetHit),
 			HotsetMisses:    ms.Get(metrics.CtrHotsetMiss),
 			BypassOps:       ms.Get(metrics.CtrBypassOps),
+			runtimeCols:     runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 		}
 		if n := row.HotsetHits + row.HotsetMisses; n > 0 {
 			row.HotsetHitRate = float64(row.HotsetHits) / float64(n)
@@ -354,14 +373,17 @@ func runNativeSharded(o Options, w *workload.Workload, shards int) (steady, warm
 	}
 	each(func(i int) { engines[i].Load(keysBy[i], valsBy[i]) })
 	// Warmup (timed): inserts absorbed, shortcuts warm across all shards.
+	rtPrev := obs.ReadRuntime()
 	warmStart := time.Now()
 	each(func(i int) { engines[i].Run(opsBy[i]) })
 	warmWall := time.Since(warmStart).Nanoseconds()
+	rtNow := obs.ReadRuntime()
 	warmup = nativeRow{
 		System: "P-CTT-sharded", Phase: "warmup",
 		Shards: shards, Workers: nativeShardWorkers,
-		WallNanos: warmWall,
-		OpsPerSec: float64(len(w.Ops)) / (float64(warmWall) / 1e9),
+		WallNanos:   warmWall,
+		OpsPerSec:   float64(len(w.Ops)) / (float64(warmWall) / 1e9),
+		runtimeCols: runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 	}
 
 	var best nativeRow
@@ -369,16 +391,19 @@ func runNativeSharded(o Options, w *workload.Workload, shards int) (steady, warm
 		for _, e := range engines {
 			e.Reset()
 		}
+		rtPrev = obs.ReadRuntime()
 		start := time.Now()
 		each(func(i int) { engines[i].Run(opsBy[i]) })
 		wall := time.Since(start).Nanoseconds()
+		rtNow = obs.ReadRuntime()
 
 		row := nativeRow{
-			System:    "P-CTT-sharded",
-			Shards:    shards,
-			Workers:   nativeShardWorkers,
-			WallNanos: wall,
-			OpsPerSec: float64(len(w.Ops)) / (float64(wall) / 1e9),
+			System:      "P-CTT-sharded",
+			Shards:      shards,
+			Workers:     nativeShardWorkers,
+			WallNanos:   wall,
+			OpsPerSec:   float64(len(w.Ops)) / (float64(wall) / 1e9),
+			runtimeCols: runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 		}
 		total := metrics.NewHistogram()
 		queue := metrics.NewHistogram()

@@ -1,0 +1,27 @@
+package bench
+
+import "repro/internal/obs"
+
+// runtimeCols are the Go-runtime attribution columns stamped on every
+// measured BENCH row (warmup rows included): how much GC and scheduler
+// interference the pass absorbed. They let scripts/benchdiff.go attribute
+// a p99 regression to the runtime (more pause time, worse scheduling
+// latency) versus the pipeline itself. Zero-valued fields serialize too,
+// so consumers can diff rows without per-system schemas.
+type runtimeCols struct {
+	GCCycles          uint64  `json:"gc_cycles"`
+	GCPauseTotalNanos float64 `json:"gc_pause_total_nanos"`
+	GCPauseMaxNanos   float64 `json:"gc_pause_max_nanos"`
+	SchedLatP99Nanos  float64 `json:"sched_lat_p99_nanos"`
+	HeapLiveBytes     uint64  `json:"heap_live_bytes"`
+}
+
+func runtimeColsOf(d obs.RuntimeDelta) runtimeCols {
+	return runtimeCols{
+		GCCycles:          d.GCCycles,
+		GCPauseTotalNanos: d.GCPauseTotalNanos,
+		GCPauseMaxNanos:   d.GCPauseMaxNanos,
+		SchedLatP99Nanos:  d.SchedLatP99Nanos,
+		HeapLiveBytes:     d.HeapLiveBytes,
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/kvserver"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pctt"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -176,6 +177,10 @@ type serverRow struct {
 	// the timed pass — how much pipeline the connection actually sustained,
 	// as opposed to the configured ceiling.
 	DepthAchieved float64 `json:"depth_achieved"`
+	// Embedded runtime attribution (GC cycles/pause time, scheduler
+	// latency, live heap) bracketing the same pass the latency columns
+	// describe — see runtimeCols.
+	runtimeCols
 }
 
 // connScript is one connection's pre-rendered command stream.
@@ -250,10 +255,12 @@ func runServerTrial(o Options, st store.Store, scripts []connScript,
 	}
 	for trial := 0; trial < 3; trial++ {
 		before := srv.PipelineStats()
+		rtPrev := obs.ReadRuntime()
 		wall, hist, wireBytes, err := runServerPass(addr, scripts, depth)
 		if err != nil {
 			return serverRow{}, serverRow{}, err
 		}
+		rtNow := obs.ReadRuntime()
 		after := srv.PipelineStats()
 		row := serverRow{
 			Conns:         len(scripts),
@@ -264,6 +271,7 @@ func runServerTrial(o Options, st store.Store, scripts []connScript,
 			P50Nanos:      hist.Quantile(0.50) * 1e9,
 			P99Nanos:      hist.Quantile(0.99) * 1e9,
 			BytesPerOp:    float64(wireBytes) / float64(totalOps),
+			runtimeCols:   runtimeColsOf(rtNow.DeltaSince(rtPrev)),
 		}
 		if dr := after.Responses - before.Responses; dr > 0 {
 			row.FlushesPerOp = float64(after.Flushes-before.Flushes) / float64(dr)

@@ -1,0 +1,68 @@
+package kvserver
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConnBacklogTracking covers the per-connection backlog surface PR 10
+// added for the health engine: ConnBacklogs tracks connection arrival and
+// departure, and the kv-group gauges expose the count and the maximum
+// occupancy.
+func TestConnBacklogTracking(t *testing.T) {
+	srv := New()
+	if got := srv.ConnBacklogs(); len(got) != 0 {
+		t.Fatalf("backlogs before any connection = %v", got)
+	}
+	snap := srv.Registry().Snapshot()
+	if _, ok := snap.Gauges["dcart_server_connections"]; !ok {
+		t.Fatalf("dcart_server_connections gauge missing: %v", snap.Gauges)
+	}
+	if _, ok := snap.Gauges["dcart_server_conn_backlog_max"]; !ok {
+		t.Fatalf("dcart_server_conn_backlog_max gauge missing: %v", snap.Gauges)
+	}
+
+	s1 := newSession(srv)
+	s2 := newSession(srv)
+	if resp := s1.cmd(t, "PUT alpha 1"); resp != "OK" {
+		t.Fatalf("PUT: %q", resp)
+	}
+	if resp := s2.cmd(t, "GET alpha"); resp != "VALUE 1" {
+		t.Fatalf("GET: %q", resp)
+	}
+	if got := len(srv.ConnBacklogs()); got != 2 {
+		t.Fatalf("live connections = %d, want 2", got)
+	}
+	if v := srv.Registry().Snapshot().Gauges["dcart_server_connections"]; v != 2 {
+		t.Fatalf("connections gauge = %g, want 2", v)
+	}
+	// Idle connections drain to zero backlog. The pipelined responder
+	// stores 0 just after flushing the last response, so poll briefly.
+	drainDeadline := time.Now().Add(2 * time.Second)
+	for {
+		idle := true
+		for _, b := range srv.ConnBacklogs() {
+			if b != 0 {
+				idle = false
+			}
+		}
+		if idle {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("idle connection backlog never drained: %v", srv.ConnBacklogs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s1.close()
+	s2.close()
+	// Serve's deferred untracking runs as the handler goroutine exits.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.ConnBacklogs()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("connections never untracked: %v", srv.ConnBacklogs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

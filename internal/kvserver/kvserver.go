@@ -136,6 +136,20 @@ type Server struct {
 	// SetJournal, before Serve).
 	tracer  *obs.Tracer
 	journal *obs.Journal
+
+	// conns tracks live connections (*connTrack → nothing) so the obs
+	// layer can see backpressure forming per connection, not just in the
+	// server-wide aggregates.
+	conns sync.Map
+}
+
+// connTrack is one live connection's occupancy mirror: backlog is the
+// connection's reorder-window occupancy (commands submitted, responses
+// not yet completed), updated by the pipelined writer as it completes
+// each response. Lockstep connections stay at 0 — their window is
+// definitionally empty between commands.
+type connTrack struct {
+	backlog atomic.Int64
 }
 
 // New returns an empty server over a direct (unbatched, unsharded) store.
@@ -205,6 +219,33 @@ func (s *Server) initObs() {
 			}
 			return float64(s.stats.depthSum.Load()) / float64(n)
 		})
+	s.reg.RegisterGauge("kv", "dcart_server_connections", "",
+		"live client connections",
+		func() float64 { return float64(len(s.ConnBacklogs())) })
+	s.reg.RegisterGauge("kv", "dcart_server_conn_backlog_max", "",
+		"largest per-connection response-window occupancy right now (a window "+
+			"pinned at pipeline-depth means that client is fully backpressured)",
+		func() float64 {
+			var max int64
+			for _, b := range s.ConnBacklogs() {
+				if b > max {
+					max = b
+				}
+			}
+			return float64(max)
+		})
+}
+
+// ConnBacklogs returns each live connection's current response-window
+// occupancy (order unspecified). Load tests read this to watch
+// backpressure form per connection.
+func (s *Server) ConnBacklogs() []int64 {
+	out := []int64{}
+	s.conns.Range(func(k, _ any) bool {
+		out = append(out, k.(*connTrack).backlog.Load())
+		return true
+	})
+	return out
 }
 
 // SetPipeline configures per-connection pipelining: depth is the bounded
@@ -304,6 +345,7 @@ type connState struct {
 	s       *Server
 	w       *bufio.Writer
 	scratch []byte
+	track   *connTrack
 	// ws is the lockstep path's in-progress wire span: serveLockstep arms
 	// it before handle so the command parser can fill in the op name and
 	// key hash. Nil whenever the op is neither traced nor journaled.
@@ -382,8 +424,11 @@ func (s *Server) Serve(conn io.ReadWriteCloser) {
 	}()
 
 	scratch := lineBufPool.Get().(*[]byte)
-	c := &connState{s: s, w: w, scratch: (*scratch)[:0]}
+	track := &connTrack{}
+	s.conns.Store(track, struct{}{})
+	c := &connState{s: s, w: w, scratch: (*scratch)[:0], track: track}
 	defer func() {
+		s.conns.Delete(track)
 		*scratch = c.scratch[:0]
 		lineBufPool.Put(scratch)
 	}()

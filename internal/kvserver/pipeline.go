@@ -344,13 +344,16 @@ func (s *Server) pipeWriter(items <-chan pipeItem, c *connState, done chan<- str
 			// Window dry: everything answered so far goes out before we
 			// block waiting for more commands.
 			flush()
+			c.track.backlog.Store(0)
 			it, ok = <-items
 		}
 		if !ok {
 			flush()
+			c.track.backlog.Store(0)
 			return
 		}
 		occupancy := int64(len(items)) + 1
+		c.track.backlog.Store(occupancy)
 		if it.ws != nil {
 			it.ws.dequeuedAt = time.Now().UnixNano()
 		}

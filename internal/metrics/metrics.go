@@ -352,6 +352,25 @@ func (h *Histogram) Observe(seconds float64) {
 	h.sum += seconds
 }
 
+// ObserveN records n identical latency samples in seconds with one bucket
+// add. It exists for bulk conversion of externally-bucketed distributions
+// (the runtime/metrics histograms): adding counts instead of looping
+// Observe keeps the conversion O(source buckets), not O(samples).
+func (h *Histogram) ObserveN(seconds float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[bucketOf(seconds)] += n
+	if h.total == 0 || seconds < h.min {
+		h.min = seconds
+	}
+	if seconds > h.max {
+		h.max = seconds
+	}
+	h.total += n
+	h.sum += seconds * float64(n)
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
 

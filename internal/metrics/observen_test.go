@@ -1,0 +1,46 @@
+package metrics
+
+import "testing"
+
+func TestHistogramObserveN(t *testing.T) {
+	// ObserveN(v, n) must be indistinguishable from n Observe(v) calls.
+	a := NewHistogram()
+	b := NewHistogram()
+	for i := 0; i < 5; i++ {
+		a.Observe(1e-4)
+	}
+	for i := 0; i < 3; i++ {
+		a.Observe(2e-3)
+	}
+	b.ObserveN(1e-4, 5)
+	b.ObserveN(2e-3, 3)
+
+	if a.Count() != b.Count() || b.Count() != 8 {
+		t.Fatalf("counts = %d vs %d, want 8", a.Count(), b.Count())
+	}
+	if a.Sum() != b.Sum() {
+		t.Fatalf("sums = %g vs %g", a.Sum(), b.Sum())
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("min/max = %g/%g vs %g/%g", a.Min(), a.Max(), b.Min(), b.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q%.2f = %g vs %g", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+
+	// n=0 is a no-op and must not disturb min/max.
+	before := b.Min()
+	b.ObserveN(1e-9, 0)
+	if b.Count() != 8 || b.Min() != before {
+		t.Fatalf("ObserveN(_, 0) mutated the histogram: count=%d min=%g", b.Count(), b.Min())
+	}
+
+	// First-sample min handling on an empty histogram.
+	c := NewHistogram()
+	c.ObserveN(3e-2, 4)
+	if c.Min() != 3e-2 || c.Max() != 3e-2 || c.Count() != 4 {
+		t.Fatalf("fresh ObserveN: min=%g max=%g count=%d", c.Min(), c.Max(), c.Count())
+	}
+}

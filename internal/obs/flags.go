@@ -18,6 +18,7 @@ type Flags struct {
 	window    *time.Duration
 	slowOp    *time.Duration
 	slowOpLog *bool
+	flightDir *string
 }
 
 // RegisterFlags registers the diagnostics flags on fs and returns
@@ -28,6 +29,7 @@ type Flags struct {
 //	-obs-window    windowed-collector tick (0 disables)
 //	-slow-op       slow-op journal latency threshold (0 disables)
 //	-slow-op-log   mirror journaled slow ops to stderr as JSON lines
+//	-flightrec-dir anomaly flight-recorder bundle directory (empty disables)
 func RegisterFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{
 		addr: fs.String("diag-addr", "",
@@ -38,6 +40,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 			"journal any operation slower than this to /debug/events (with -diag-addr; 0 = off)"),
 		slowOpLog: fs.Bool("slow-op-log", false,
 			"also mirror journaled slow ops to stderr as JSON lines (with -slow-op)"),
+		flightDir: fs.String("flightrec-dir", "",
+			"write anomaly flight-recorder bundles (windows, journal, spans, goroutines, runtime, config) under this directory on health-rule firings, SIGQUIT, or /debug/flightrec?trigger=1 (with -diag-addr; empty = off)"),
 	}
 	f.sample = DefaultSampleEvery
 	// The Tracer's sampling mask needs a power-of-two stride; NewTracer
@@ -76,6 +80,9 @@ func (f *Flags) Collector(reg *Registry) *Collector {
 	}
 	return NewCollector(reg, *f.window, DefaultWindowCount)
 }
+
+// FlightDir returns the parsed -flightrec-dir value ("" = disabled).
+func (f *Flags) FlightDir() string { return *f.flightDir }
 
 // Journal builds the slow-op journal configured by -slow-op and
 // -slow-op-log, or returns nil when journaling is disabled.

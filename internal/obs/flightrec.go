@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Flight-recorder defaults.
+const (
+	// DefaultFlightMinInterval rate-limits dumps: a flapping rule must not
+	// turn the recorder into a disk-filling loop.
+	DefaultFlightMinInterval = 30 * time.Second
+	// DefaultFlightKeep bounds retention; the oldest bundles beyond it are
+	// pruned after each dump.
+	DefaultFlightKeep = 8
+	// flightWindowCap bounds how many collector windows a bundle carries
+	// (newest first) — two minutes at the default tick, enough to see the
+	// anomaly form without serializing the whole five-minute ring.
+	flightWindowCap = 120
+)
+
+// ErrFlightRateLimited is returned by Trigger when a dump was suppressed
+// by the minimum-interval rate limit.
+var ErrFlightRateLimited = errors.New("obs: flight recorder rate limited")
+
+// flightPrefix names bundle directories: flightrec-<UTC stamp>-<reason>.
+const flightPrefix = "flightrec-"
+
+// FlightRecorder dumps a post-mortem bundle of every live observability
+// source to a timestamped directory when something fires: a health rule,
+// SIGQUIT, or /debug/flightrec?trigger=1. The windowed collector and the
+// journal lose their evidence as the rings wrap — the recorder's job is
+// to freeze that evidence at the moment an anomaly is detected, so the
+// post-mortem needs no live endpoint and no reproduction.
+//
+// Bundles are written to a hidden temp directory and renamed into place,
+// so a reader never observes a partial bundle; manifest.json is the
+// completeness marker and index.
+type FlightRecorder struct {
+	dir    string
+	d      Diagnostics
+	health *Health
+	config map[string]string
+
+	minInterval time.Duration
+	keep        int
+
+	mu         sync.Mutex
+	lastAt     time.Time
+	dumps      uint64
+	suppressed uint64
+}
+
+// NewFlightRecorder builds a recorder writing bundles under dir (created
+// on first dump). d's nil sources are simply absent from bundles; health
+// may be nil.
+func NewFlightRecorder(dir string, d Diagnostics, health *Health) *FlightRecorder {
+	return &FlightRecorder{
+		dir: dir, d: d, health: health,
+		minInterval: DefaultFlightMinInterval,
+		keep:        DefaultFlightKeep,
+	}
+}
+
+// SetLimits overrides the rate limit and retention (zero keeps the
+// current value; tests shrink both).
+func (f *FlightRecorder) SetLimits(minInterval time.Duration, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if minInterval > 0 {
+		f.minInterval = minInterval
+	}
+	if keep > 0 {
+		f.keep = keep
+	}
+}
+
+// SetConfig attaches the process configuration (typically flag values)
+// dumped into every bundle's config.json.
+func (f *FlightRecorder) SetConfig(cfg map[string]string) {
+	f.mu.Lock()
+	f.config = cfg
+	f.mu.Unlock()
+}
+
+// Dir returns the bundle directory.
+func (f *FlightRecorder) Dir() string { return f.dir }
+
+// flightManifest is a bundle's manifest.json.
+type flightManifest struct {
+	Reason       string   `json:"reason"`
+	TimeUnixNano int64    `json:"time_unix_nano"`
+	Time         string   `json:"time"` // RFC3339, for humans
+	Files        []string `json:"files"`
+}
+
+// flightStatus is the /debug/flightrec response body.
+type flightStatus struct {
+	Enabled         bool     `json:"enabled"`
+	Dir             string   `json:"dir,omitempty"`
+	Dumps           uint64   `json:"dumps"`
+	Suppressed      uint64   `json:"suppressed"`
+	LastUnixNano    int64    `json:"last_unix_nano,omitempty"`
+	MinIntervalSecs float64  `json:"min_interval_seconds"`
+	Keep            int      `json:"keep"`
+	Bundles         []string `json:"bundles"`
+}
+
+func (f *FlightRecorder) status() flightStatus {
+	f.mu.Lock()
+	st := flightStatus{
+		Enabled: true, Dir: f.dir,
+		Dumps: f.dumps, Suppressed: f.suppressed,
+		MinIntervalSecs: f.minInterval.Seconds(), Keep: f.keep,
+	}
+	if !f.lastAt.IsZero() {
+		st.LastUnixNano = f.lastAt.UnixNano()
+	}
+	f.mu.Unlock()
+	st.Bundles = f.bundles()
+	return st
+}
+
+// bundles lists completed bundle directory names, oldest first (the
+// timestamped names sort chronologically).
+func (f *FlightRecorder) bundles() []string {
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return []string{}
+	}
+	out := []string{}
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), flightPrefix) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trigger dumps one bundle attributed to reason and returns its
+// directory. ErrFlightRateLimited means a recent dump already captured
+// this state.
+func (f *FlightRecorder) Trigger(reason string) (string, error) {
+	f.mu.Lock()
+	now := time.Now()
+	if !f.lastAt.IsZero() && now.Sub(f.lastAt) < f.minInterval {
+		f.suppressed++
+		f.mu.Unlock()
+		return "", ErrFlightRateLimited
+	}
+	f.lastAt = now
+	f.dumps++
+	cfg := f.config
+	f.mu.Unlock()
+
+	name := flightPrefix + now.UTC().Format("20060102T150405.000000000") + "-" + sanitizeReason(reason)
+	final := filepath.Join(f.dir, name)
+	tmp := filepath.Join(f.dir, "."+name+".tmp")
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	manifest := flightManifest{
+		Reason:       reason,
+		TimeUnixNano: now.UnixNano(),
+		Time:         now.UTC().Format(time.RFC3339Nano),
+	}
+
+	writeJSON := func(fname string, v any) {
+		fp, err := os.Create(filepath.Join(tmp, fname))
+		if err != nil {
+			return
+		}
+		enc := json.NewEncoder(fp)
+		enc.SetIndent("", "  ")
+		if enc.Encode(v) == nil {
+			manifest.Files = append(manifest.Files, fname)
+		}
+		fp.Close()
+	}
+
+	if f.d.Collector != nil {
+		ts := f.d.Collector.Report()
+		if len(ts.Windows) > flightWindowCap {
+			ts.Windows = ts.Windows[:flightWindowCap]
+		}
+		writeJSON("windows.json", ts)
+	}
+	if f.d.Journal != nil {
+		if fp, err := os.Create(filepath.Join(tmp, "events.ndjson")); err == nil {
+			if f.d.Journal.WriteJSONLines(fp) == nil {
+				manifest.Files = append(manifest.Files, "events.ndjson")
+			}
+			fp.Close()
+		}
+	}
+	if f.d.Tracer != nil {
+		writeJSON("traces.json", tracesReport{
+			Enabled:     true,
+			SampleEvery: f.d.Tracer.SampleEvery(),
+			Recorded:    f.d.Tracer.Recorded(),
+			Spans:       f.d.Tracer.Spans(),
+		})
+	}
+	if f.d.Registry != nil {
+		writeJSON("statsz.json", f.d.Registry.Snapshot())
+	}
+	if f.health != nil {
+		writeJSON("health.json", f.health.Status())
+	}
+	writeJSON("runtime.json", ReadRuntime().Report())
+	if cfg != nil {
+		writeJSON("config.json", cfg)
+	}
+	if fp, err := os.Create(filepath.Join(tmp, "goroutines.txt")); err == nil {
+		if p := pprof.Lookup("goroutine"); p != nil && p.WriteTo(fp, 2) == nil {
+			manifest.Files = append(manifest.Files, "goroutines.txt")
+		}
+		fp.Close()
+	}
+
+	// Manifest last: its presence marks the bundle complete.
+	sort.Strings(manifest.Files)
+	writeJSON("manifest.json", manifest)
+	if err := os.Rename(tmp, final); err != nil {
+		os.RemoveAll(tmp)
+		return "", err
+	}
+	f.prune()
+	return final, nil
+}
+
+// prune removes the oldest bundles beyond the retention bound.
+func (f *FlightRecorder) prune() {
+	f.mu.Lock()
+	keep := f.keep
+	f.mu.Unlock()
+	names := f.bundles()
+	for len(names) > keep {
+		os.RemoveAll(filepath.Join(f.dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// sanitizeReason maps a trigger reason into a filesystem-safe directory
+// suffix.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// TriggerOnFire wires health firings to the recorder: registers an OnFire
+// hook that dumps a bundle named after the firing rule on its own
+// goroutine (file I/O must not block the collector's sampling tick).
+// logf, if non-nil, receives one line per dump or dump failure.
+func (f *FlightRecorder) TriggerOnFire(h *Health, logf func(format string, args ...any)) {
+	if h == nil {
+		return
+	}
+	h.SetOnFire(func(st Status) {
+		reason := "health"
+		if len(st.Firing) > 0 {
+			reason = "rule-" + st.Firing[0].Rule
+		}
+		go func() {
+			dir, err := f.Trigger(reason)
+			if logf == nil {
+				return
+			}
+			switch {
+			case err == nil:
+				logf("obs: health %s: flight-recorder bundle %s", st.Status, dir)
+			case errors.Is(err, ErrFlightRateLimited):
+				// Quiet: a recent bundle already captured this state.
+			default:
+				logf("obs: flight-recorder dump failed: %v", err)
+			}
+		}()
+	})
+}

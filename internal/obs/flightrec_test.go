@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// flightFixture builds a recorder over a live set of sources with one
+// sampled window and one journaled event.
+func flightFixture(t *testing.T) (*FlightRecorder, string) {
+	t.Helper()
+	reg := NewRegistry()
+	set := metrics.NewSet()
+	reg.RegisterCounters("t", "dcart", "counters", set)
+	reg.RegisterGauge("t", "dcart_pctt_worker_heartbeat", `worker="0"`,
+		"heartbeat", func() float64 { return 3 })
+
+	col := stalledCollector(t, reg, 8)
+	col.baseline(0)
+	set.Add(metrics.CtrOpsWrite, 7)
+	col.sample(1_000_000_000)
+
+	tr := NewTracer(8, 1)
+	tr.Record(Span{TraceID: 1, Op: "put"})
+	j := NewJournal(time.Nanosecond, 8, nil)
+	j.Observe(Span{TraceID: 1, Op: "put", SubmitUnixNano: 1, DoneUnixNano: 2_000_000})
+
+	h := NewHealth(col, SaturationRule(0.9, 1))
+	dir := t.TempDir()
+	f := NewFlightRecorder(dir, Diagnostics{
+		Registry: reg, Tracer: tr, Collector: col, Journal: j, Health: h,
+	}, h)
+	f.SetConfig(map[string]string{"batch-workers": "2"})
+	return f, dir
+}
+
+func TestFlightRecorderBundle(t *testing.T) {
+	f, dir := flightFixture(t)
+	bundle, err := f.Trigger("unit test!")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	name := filepath.Base(bundle)
+	if !strings.HasPrefix(name, flightPrefix) || !strings.HasSuffix(name, "-unit_test_") {
+		t.Fatalf("bundle name %q: want flightrec- prefix and sanitized reason", name)
+	}
+
+	var man flightManifest
+	data, err := os.ReadFile(filepath.Join(bundle, "manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("manifest not JSON: %v", err)
+	}
+	if man.Reason != "unit test!" || man.TimeUnixNano == 0 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	for _, want := range []string{
+		"windows.json", "events.ndjson", "traces.json", "statsz.json",
+		"health.json", "runtime.json", "config.json", "goroutines.txt",
+	} {
+		found := false
+		for _, got := range man.Files {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("manifest missing %s: %v", want, man.Files)
+		}
+		if _, err := os.Stat(filepath.Join(bundle, want)); err != nil {
+			t.Fatalf("listed file absent: %v", err)
+		}
+	}
+
+	// The windows dump carries the heartbeat series the stall post-mortem
+	// needs, and the goroutine profile is a full stack dump.
+	wdata, _ := os.ReadFile(filepath.Join(bundle, "windows.json"))
+	if !strings.Contains(string(wdata), "dcart_pctt_worker_heartbeat") {
+		t.Fatalf("windows.json missing heartbeat series:\n%s", wdata)
+	}
+	gdata, _ := os.ReadFile(filepath.Join(bundle, "goroutines.txt"))
+	if !strings.Contains(string(gdata), "goroutine") {
+		t.Fatalf("goroutines.txt not a profile:\n%.200s", gdata)
+	}
+	cdata, _ := os.ReadFile(filepath.Join(bundle, "config.json"))
+	if !strings.Contains(string(cdata), "batch-workers") {
+		t.Fatalf("config.json = %s", cdata)
+	}
+
+	// No stray temp directory survives the rename.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Fatalf("leftover temp entry %s", e.Name())
+		}
+	}
+}
+
+func TestFlightRecorderRateLimitAndRetention(t *testing.T) {
+	f, dir := flightFixture(t)
+	if _, err := f.Trigger("first"); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	// Default 30s minimum interval: an immediate re-trigger is suppressed.
+	if _, err := f.Trigger("second"); !errors.Is(err, ErrFlightRateLimited) {
+		t.Fatalf("second: %v, want ErrFlightRateLimited", err)
+	}
+	st := f.status()
+	if st.Dumps != 1 || st.Suppressed != 1 || len(st.Bundles) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// With the limit off and retention 2, older bundles are pruned.
+	f.SetLimits(time.Nanosecond, 2)
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) // distinct timestamped names
+		if _, err := f.Trigger("more"); err != nil {
+			t.Fatalf("trigger %d: %v", i, err)
+		}
+	}
+	names := f.bundles()
+	if len(names) != 2 {
+		t.Fatalf("retained %d bundles, want 2: %v", len(names), names)
+	}
+	// The survivors are the newest (names sort chronologically).
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 2 {
+		t.Fatalf("dir holds %d entries, want 2", len(ents))
+	}
+	if !strings.HasSuffix(names[0], "-more") || !strings.HasSuffix(names[1], "-more") {
+		t.Fatalf("pruned the wrong bundles: %v", names)
+	}
+}
+
+func TestFlightRecorderTriggerOnFire(t *testing.T) {
+	reg := NewRegistry()
+	inflight := 100.0
+	reg.RegisterGauge("t", "dcart_pctt_inflight_ops", "", "x",
+		func() float64 { return inflight })
+	reg.RegisterGauge("t", "dcart_pctt_max_inflight", "", "x",
+		func() float64 { return 100 })
+	col := stalledCollector(t, reg, 8)
+	col.baseline(0)
+	h := NewHealth(col, SaturationRule(0.9, 1))
+	f := NewFlightRecorder(t.TempDir(), Diagnostics{Registry: reg, Collector: col, Health: h}, h)
+
+	logged := make(chan string, 1)
+	f.TriggerOnFire(h, func(format string, args ...any) {
+		select {
+		case logged <- format:
+		default:
+		}
+	})
+	col.sample(1_000_000_000)
+	h.Evaluate()
+
+	select {
+	case <-logged:
+	case <-time.After(5 * time.Second):
+		t.Fatal("health firing produced no flight-recorder dump")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.bundles()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no bundle written")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	names := f.bundles()
+	if !strings.HasSuffix(names[0], "-rule-engine-saturated") {
+		t.Fatalf("bundle name %q, want rule-attributed suffix", names[0])
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	if got := sanitizeReason(""); got != "manual" {
+		t.Fatalf("empty reason = %q", got)
+	}
+	if got := sanitizeReason("rule-worker-stalled"); got != "rule-worker-stalled" {
+		t.Fatalf("clean reason mangled: %q", got)
+	}
+	if got := sanitizeReason("../../etc <evil>"); strings.ContainsAny(got, "/.<> ") {
+		t.Fatalf("unsafe characters survive: %q", got)
+	}
+	long := strings.Repeat("a", 100)
+	if got := sanitizeReason(long); len(got) > 48 {
+		t.Fatalf("len = %d, want <= 48", len(got))
+	}
+}

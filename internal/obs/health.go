@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Severity grades a health rule's verdict. The paper's accelerator knows
+// when a structural unit saturates (Fig 6/7); the health engine gives the
+// software SOUs the same self-awareness: rules over the collector's
+// windows turn raw telemetry into ok / degraded / critical.
+type Severity int
+
+const (
+	// SevOK: no rule firing.
+	SevOK Severity = iota
+	// SevDegraded: the pipeline still makes progress but is saturated or
+	// shedding latency (sustained high occupancy, elevated slow-op rate).
+	SevDegraded
+	// SevCritical: some part of the pipeline stopped making progress.
+	SevCritical
+)
+
+// String returns the JSON-facing severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevDegraded:
+		return "degraded"
+	case SevCritical:
+		return "critical"
+	}
+	return "ok"
+}
+
+// Rule is one declarative health condition. Each collector tick the
+// engine calls Check once per retained window (newest first, up to
+// Windows of them) with that window and its predecessor; an instance —
+// identified by its label body, e.g. `shard="0",worker="1"` — fires only
+// when Check reports it in Windows consecutive windows, so one noisy
+// sample never flips health.
+type Rule struct {
+	Name     string
+	Severity Severity
+	// Windows is how many consecutive windows the condition must hold
+	// before the rule fires (minimum 1).
+	Windows int
+	// Check inspects one window (cur) with its predecessor (prev, nil for
+	// the oldest retained window) and returns the instances for which the
+	// condition holds, mapped to a human-readable detail. Nil/empty means
+	// nothing held.
+	Check func(cur, prev *Window) map[string]string
+}
+
+// Firing is one rule instance currently firing.
+type Firing struct {
+	Rule          string `json:"rule"`
+	Severity      string `json:"severity"`
+	Instance      string `json:"instance,omitempty"` // label body, "" = whole process
+	Detail        string `json:"detail,omitempty"`
+	Windows       int    `json:"windows"` // consecutive windows held so far
+	SinceUnixNano int64  `json:"since_unix_nano"`
+
+	sev Severity // for sorting/worst-of; JSON carries the string form
+}
+
+// Status is the /healthz response body when a health engine is attached.
+type Status struct {
+	Status            string   `json:"status"` // ok | degraded | critical
+	EvaluatedUnixNano int64    `json:"evaluated_unix_nano"`
+	Firing            []Firing `json:"firing"`
+}
+
+// Health evaluates declarative rules against a Collector's windows. It
+// self-registers on the collector's sample hook, so evaluation happens
+// once per tick on the collector goroutine — never on an engine hot path
+// and never lazily on a probe (an idle /healthz scrape sees the verdict
+// of the last tick, not a fresh sample).
+type Health struct {
+	col   *Collector
+	rules []Rule
+
+	mu        sync.Mutex
+	active    map[string]*Firing // rule|instance → firing state
+	evaluated int64
+	onFire    func(Status)
+}
+
+// NewHealth builds a health engine over col and registers it on the
+// collector's per-tick hook. Rules evaluate in the given order.
+func NewHealth(col *Collector, rules ...Rule) *Health {
+	h := &Health{col: col, rules: rules, active: make(map[string]*Firing)}
+	col.SetOnSample(h.Evaluate)
+	return h
+}
+
+// SetOnFire registers fn to run (on the collector goroutine) whenever a
+// rule instance transitions from quiet to firing — the flight recorder's
+// trigger. Re-evaluations of an already-firing instance do not re-fire.
+func (h *Health) SetOnFire(fn func(Status)) {
+	h.mu.Lock()
+	h.onFire = fn
+	h.mu.Unlock()
+}
+
+// Evaluate runs every rule against the collector's current windows and
+// updates the firing set. Called automatically per collector tick;
+// exported so deterministic tests can drive it after manual samples.
+func (h *Health) Evaluate() {
+	ws := h.col.Windows() // newest first
+	var nowNano int64
+	if len(ws) > 0 {
+		nowNano = ws[0].EndUnixNano
+	}
+	type cand struct {
+		key string
+		f   Firing
+	}
+	var cands []cand
+	for _, r := range h.rules {
+		need := r.Windows
+		if need <= 0 {
+			need = 1
+		}
+		if len(ws) < need || r.Check == nil {
+			continue
+		}
+		// Oldest-to-newest so the intersection keeps the newest detail.
+		var held map[string]string
+		for i := need - 1; i >= 0; i-- {
+			var prev *Window
+			if i+1 < len(ws) {
+				prev = &ws[i+1]
+			}
+			got := r.Check(&ws[i], prev)
+			if i == need-1 {
+				held = got
+			} else {
+				held = intersectInstances(held, got)
+			}
+			if len(held) == 0 {
+				held = nil
+				break
+			}
+		}
+		for inst, detail := range held {
+			cands = append(cands, cand{
+				key: r.Name + "|" + inst,
+				f: Firing{
+					Rule: r.Name, Severity: r.Severity.String(), sev: r.Severity,
+					Instance: inst, Detail: detail,
+					Windows: need, SinceUnixNano: ws[need-1].StartUnixNano,
+				},
+			})
+		}
+	}
+
+	h.mu.Lock()
+	prev := h.active
+	next := make(map[string]*Firing, len(cands))
+	newFiring := false
+	for _, c := range cands {
+		f := c.f
+		if old, ok := prev[c.key]; ok {
+			// Already firing: keep the original onset, extend the streak.
+			f.SinceUnixNano = old.SinceUnixNano
+			if old.Windows >= f.Windows {
+				f.Windows = old.Windows + 1
+			}
+		} else {
+			newFiring = true
+		}
+		next[c.key] = &f
+	}
+	h.active = next
+	h.evaluated = nowNano
+	fn := h.onFire
+	h.mu.Unlock()
+	if newFiring && fn != nil {
+		fn(h.Status())
+	}
+}
+
+// Status returns the current verdict: the worst firing severity and every
+// firing instance, most severe first.
+func (h *Health) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Status{Status: SevOK.String(), EvaluatedUnixNano: h.evaluated, Firing: []Firing{}}
+	worst := SevOK
+	for _, f := range h.active {
+		st.Firing = append(st.Firing, *f)
+		if f.sev > worst {
+			worst = f.sev
+		}
+	}
+	sort.Slice(st.Firing, func(i, j int) bool {
+		if st.Firing[i].sev != st.Firing[j].sev {
+			return st.Firing[i].sev > st.Firing[j].sev
+		}
+		if st.Firing[i].Rule != st.Firing[j].Rule {
+			return st.Firing[i].Rule < st.Firing[j].Rule
+		}
+		return st.Firing[i].Instance < st.Firing[j].Instance
+	})
+	st.Status = worst.String()
+	return st
+}
+
+func intersectInstances(base, got map[string]string) map[string]string {
+	if len(base) == 0 || len(got) == 0 {
+		return nil
+	}
+	out := make(map[string]string)
+	for k, v := range got {
+		if _, ok := base[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// splitSeries splits a Snapshot series name — `name` or `name{labels}` —
+// into the metric name and the label body.
+func splitSeries(series string) (name, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	return series[:i], strings.TrimSuffix(series[i+1:], "}")
+}
+
+// dropLabel removes one `name="value"` pair from a pre-rendered label
+// body. Values are assumed comma-free (the repo's labels are small
+// integers: shard/worker indices).
+func dropLabel(labels, name string) string {
+	if labels == "" {
+		return ""
+	}
+	parts := strings.Split(labels, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, name+`="`) {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// seriesName renders the Snapshot key for name with a label body.
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// gaugeAt reads one gauge series from a window.
+func gaugeAt(w *Window, name, labels string) (float64, bool) {
+	v, ok := w.Gauges[seriesName(name, labels)]
+	return v, ok
+}
+
+// Default thresholds for DefaultHealthRules.
+const (
+	// DefaultHealthWindows is how many consecutive collector windows a
+	// condition must hold before a default rule fires.
+	DefaultHealthWindows = 3
+	// DefaultSaturationFraction is the in-flight occupancy (relative to
+	// the engine's MaxInflight bound) the saturation rule fires at.
+	DefaultSaturationFraction = 0.9
+	// DefaultSlowOpRate is the journaled slow-ops-per-second rate the
+	// degradation rule fires at.
+	DefaultSlowOpRate = 25.0
+)
+
+// DefaultHealthRules is the rule set both binaries run: worker stalls are
+// critical, sustained saturation and elevated slow-op rates are degraded.
+func DefaultHealthRules() []Rule {
+	return []Rule{
+		WorkerStallRule(DefaultHealthWindows),
+		SaturationRule(DefaultSaturationFraction, DefaultHealthWindows),
+		JournalRateRule(DefaultSlowOpRate, DefaultHealthWindows),
+	}
+}
+
+// WorkerStallRule fires critical when a pctt worker's progress heartbeat
+// (dcart_pctt_worker_heartbeat, bumped once per trigger batch) stopped
+// advancing across consecutive windows while its engine still had work —
+// the worker's own ring holds queued buckets or the engine (scoped by any
+// shard label) reports ops in flight. An idle engine never fires: both
+// occupancy gauges sit at zero.
+func WorkerStallRule(windows int) Rule {
+	return Rule{
+		Name:     "worker-stalled",
+		Severity: SevCritical,
+		Windows:  windows,
+		Check: func(cur, prev *Window) map[string]string {
+			if prev == nil {
+				return nil
+			}
+			var out map[string]string
+			for series, hb := range cur.Gauges {
+				name, labels := splitSeries(series)
+				if name != "dcart_pctt_worker_heartbeat" {
+					continue
+				}
+				ph, ok := prev.Gauges[series]
+				if !ok || hb != ph {
+					continue
+				}
+				scope := dropLabel(labels, "worker")
+				infl, _ := gaugeAt(cur, "dcart_pctt_inflight_ops", scope)
+				ring, _ := gaugeAt(cur, "dcart_pctt_ring_depth", labels)
+				if infl <= 0 && ring <= 0 {
+					continue
+				}
+				if out == nil {
+					out = make(map[string]string)
+				}
+				out[labels] = fmt.Sprintf(
+					"heartbeat stuck at %.0f batches; ring depth %.0f, %.0f engine ops in flight",
+					hb, ring, infl)
+			}
+			return out
+		},
+	}
+}
+
+// SaturationRule fires degraded when an engine's in-flight occupancy
+// (dcart_pctt_inflight_ops against its dcart_pctt_max_inflight bound,
+// per shard via the existing shard labels) sustains at or above frac —
+// backpressure is forming and latency is about to follow Fig 7's
+// saturation knee.
+func SaturationRule(frac float64, windows int) Rule {
+	return Rule{
+		Name:     "engine-saturated",
+		Severity: SevDegraded,
+		Windows:  windows,
+		Check: func(cur, _ *Window) map[string]string {
+			var out map[string]string
+			for series, v := range cur.Gauges {
+				name, labels := splitSeries(series)
+				if name != "dcart_pctt_inflight_ops" {
+					continue
+				}
+				max, ok := gaugeAt(cur, "dcart_pctt_max_inflight", labels)
+				if !ok || max <= 0 || v < frac*max {
+					continue
+				}
+				if out == nil {
+					out = make(map[string]string)
+				}
+				out[labels] = fmt.Sprintf("in-flight %.0f of %.0f (%.0f%% of MaxInflight)",
+					v, max, 100*v/max)
+			}
+			return out
+		},
+	}
+}
+
+// JournalRateRule fires degraded when the slow-op journal records at or
+// above perSec entries per second (from the cumulative
+// dcart_journal_recorded_total gauge registered by RegisterJournal) —
+// the tail is fattening even if no single component looks stuck.
+func JournalRateRule(perSec float64, windows int) Rule {
+	return Rule{
+		Name:     "slow-op-rate",
+		Severity: SevDegraded,
+		Windows:  windows,
+		Check: func(cur, prev *Window) map[string]string {
+			if prev == nil {
+				return nil
+			}
+			c, ok := gaugeAt(cur, "dcart_journal_recorded_total", "")
+			if !ok {
+				return nil
+			}
+			p, _ := gaugeAt(prev, "dcart_journal_recorded_total", "")
+			secs := cur.Seconds()
+			if secs <= 0 {
+				return nil
+			}
+			rate := (c - p) / secs
+			if rate < perSec {
+				return nil
+			}
+			return map[string]string{
+				"": fmt.Sprintf("%.1f slow ops/s journaled (threshold %.1f/s)", rate, perSec),
+			}
+		},
+	}
+}
+
+// RegisterJournal exposes the slow-op journal's cumulative totals as
+// gauges (group "journal") so the collector windows them and
+// JournalRateRule can see the journaling rate.
+func RegisterJournal(r *Registry, j *Journal) {
+	r.RegisterGauge("journal", "dcart_journal_recorded_total", "",
+		"operations captured by the slow-op journal since start",
+		func() float64 { return float64(j.Recorded()) })
+	r.RegisterGauge("journal", "dcart_journal_offered_total", "",
+		"operations offered to the slow-op journal since start",
+		func() float64 { return float64(j.Offered()) })
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// healthGauges is a mutable gauge bank registered behind a registry, so
+// tests drive rule inputs deterministically through manual samples.
+type healthGauges struct {
+	vals map[string]float64
+}
+
+func newHealthGauges(reg *Registry, series map[string]float64) *healthGauges {
+	g := &healthGauges{vals: series}
+	for s := range series {
+		s := s
+		name, labels := splitSeries(s)
+		reg.RegisterGauge("test", name, labels, "test gauge",
+			func() float64 { return g.vals[s] })
+	}
+	return g
+}
+
+func TestWorkerStallRule(t *testing.T) {
+	reg := NewRegistry()
+	g := newHealthGauges(reg, map[string]float64{
+		`dcart_pctt_worker_heartbeat{worker="0"}`: 5,
+		`dcart_pctt_worker_heartbeat{worker="1"}`: 9,
+		`dcart_pctt_ring_depth{worker="0"}`:       0,
+		`dcart_pctt_ring_depth{worker="1"}`:       0,
+		"dcart_pctt_inflight_ops":                 40,
+		"dcart_pctt_max_inflight":                 16384,
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h := NewHealth(c, WorkerStallRule(2))
+
+	tick := func(sec int64) {
+		c.sample(sec * 1_000_000_000)
+		h.Evaluate()
+	}
+
+	// Worker 1 advances its heartbeat every window; worker 0 is frozen
+	// with engine ops in flight. Windows=2 needs two consecutive holds,
+	// and the oldest window has no predecessor — so the rule fires on the
+	// third sample, not before.
+	tick(1)
+	tick(2)
+	if st := h.Status(); st.Status != "ok" {
+		t.Fatalf("premature firing after 2 windows: %+v", st)
+	}
+	g.vals[`dcart_pctt_worker_heartbeat{worker="1"}`] = 10
+	tick(3)
+	st := h.Status()
+	if st.Status != "critical" || len(st.Firing) != 1 {
+		t.Fatalf("status = %+v, want critical with 1 firing", st)
+	}
+	f := st.Firing[0]
+	if f.Rule != "worker-stalled" || f.Instance != `worker="0"` {
+		t.Fatalf("firing = %+v, want worker-stalled on worker 0", f)
+	}
+	if !strings.Contains(f.Detail, "heartbeat stuck") {
+		t.Fatalf("detail = %q", f.Detail)
+	}
+	since := f.SinceUnixNano
+
+	// Still stalled: the streak extends and the onset is preserved.
+	g.vals[`dcart_pctt_worker_heartbeat{worker="1"}`] = 11
+	tick(4)
+	f = h.Status().Firing[0]
+	if f.SinceUnixNano != since {
+		t.Fatalf("since moved: %d -> %d", since, f.SinceUnixNano)
+	}
+	if f.Windows < 3 {
+		t.Fatalf("streak = %d, want >= 3", f.Windows)
+	}
+
+	// Worker 0 makes progress: the firing clears.
+	g.vals[`dcart_pctt_worker_heartbeat{worker="0"}`] = 6
+	tick(5)
+	if st := h.Status(); st.Status != "ok" || len(st.Firing) != 0 {
+		t.Fatalf("status after recovery = %+v, want ok", st)
+	}
+}
+
+func TestWorkerStallRuleIdleEngineNeverFires(t *testing.T) {
+	reg := NewRegistry()
+	newHealthGauges(reg, map[string]float64{
+		`dcart_pctt_worker_heartbeat{worker="0"}`: 0,
+		`dcart_pctt_ring_depth{worker="0"}`:       0,
+		"dcart_pctt_inflight_ops":                 0,
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h := NewHealth(c, WorkerStallRule(1))
+	for i := int64(1); i <= 4; i++ {
+		c.sample(i * 1_000_000_000)
+		h.Evaluate()
+	}
+	// Frozen heartbeat with zero occupancy is idleness, not a stall.
+	if st := h.Status(); st.Status != "ok" {
+		t.Fatalf("idle engine flagged: %+v", st)
+	}
+}
+
+func TestWorkerStallRuleShardScoped(t *testing.T) {
+	// Sharded layout: the stalled worker's engine (shard 0) has ops in
+	// flight; shard 1's engine is idle with a frozen heartbeat — only the
+	// shard-0 worker may fire, because occupancy is scoped per shard.
+	reg := NewRegistry()
+	newHealthGauges(reg, map[string]float64{
+		`dcart_pctt_worker_heartbeat{shard="0",worker="0"}`: 3,
+		`dcart_pctt_worker_heartbeat{shard="1",worker="0"}`: 7,
+		`dcart_pctt_ring_depth{shard="0",worker="0"}`:       2,
+		`dcart_pctt_ring_depth{shard="1",worker="0"}`:       0,
+		`dcart_pctt_inflight_ops{shard="0"}`:                12,
+		`dcart_pctt_inflight_ops{shard="1"}`:                0,
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h := NewHealth(c, WorkerStallRule(1))
+	c.sample(1_000_000_000)
+	c.sample(2_000_000_000)
+	h.Evaluate()
+	st := h.Status()
+	if st.Status != "critical" || len(st.Firing) != 1 {
+		t.Fatalf("status = %+v, want exactly the shard-0 worker", st)
+	}
+	if got := st.Firing[0].Instance; got != `shard="0",worker="0"` {
+		t.Fatalf("instance = %q", got)
+	}
+}
+
+func TestSaturationRule(t *testing.T) {
+	reg := NewRegistry()
+	g := newHealthGauges(reg, map[string]float64{
+		"dcart_pctt_inflight_ops": 95,
+		"dcart_pctt_max_inflight": 100,
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h := NewHealth(c, SaturationRule(0.9, 1))
+	c.sample(1_000_000_000)
+	h.Evaluate()
+	st := h.Status()
+	if st.Status != "degraded" || len(st.Firing) != 1 || st.Firing[0].Rule != "engine-saturated" {
+		t.Fatalf("status = %+v, want degraded engine-saturated", st)
+	}
+	if !strings.Contains(st.Firing[0].Detail, "95 of 100") {
+		t.Fatalf("detail = %q", st.Firing[0].Detail)
+	}
+	g.vals["dcart_pctt_inflight_ops"] = 50
+	c.sample(2_000_000_000)
+	h.Evaluate()
+	if st := h.Status(); st.Status != "ok" {
+		t.Fatalf("status after drain = %+v, want ok", st)
+	}
+}
+
+func TestJournalRateRule(t *testing.T) {
+	reg := NewRegistry()
+	g := newHealthGauges(reg, map[string]float64{
+		"dcart_journal_recorded_total": 0,
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h := NewHealth(c, JournalRateRule(25, 1))
+	c.sample(1_000_000_000)
+	h.Evaluate()
+	if st := h.Status(); st.Status != "ok" {
+		t.Fatalf("no journaling yet: %+v", st)
+	}
+	g.vals["dcart_journal_recorded_total"] = 100 // 100/s over a 1s window
+	c.sample(2_000_000_000)
+	h.Evaluate()
+	st := h.Status()
+	if st.Status != "degraded" || len(st.Firing) != 1 || st.Firing[0].Rule != "slow-op-rate" {
+		t.Fatalf("status = %+v, want degraded slow-op-rate", st)
+	}
+	// Rate subsides below threshold: 10/s.
+	g.vals["dcart_journal_recorded_total"] = 110
+	c.sample(3_000_000_000)
+	h.Evaluate()
+	if st := h.Status(); st.Status != "ok" {
+		t.Fatalf("status after subsiding = %+v, want ok", st)
+	}
+}
+
+func TestHealthOnFireOnlyOnTransition(t *testing.T) {
+	reg := NewRegistry()
+	g := newHealthGauges(reg, map[string]float64{
+		"dcart_pctt_inflight_ops": 100,
+		"dcart_pctt_max_inflight": 100,
+	})
+	c := stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h := NewHealth(c, SaturationRule(0.9, 1))
+	fired := 0
+	h.SetOnFire(func(st Status) { fired++ })
+
+	for i := int64(1); i <= 3; i++ {
+		c.sample(i * 1_000_000_000)
+		h.Evaluate()
+	}
+	if fired != 1 {
+		t.Fatalf("onFire ran %d times while continuously firing, want 1", fired)
+	}
+	// Clear, then re-fire: a fresh quiet->firing transition.
+	g.vals["dcart_pctt_inflight_ops"] = 0
+	c.sample(4_000_000_000)
+	h.Evaluate()
+	g.vals["dcart_pctt_inflight_ops"] = 100
+	c.sample(5_000_000_000)
+	h.Evaluate()
+	if fired != 2 {
+		t.Fatalf("onFire ran %d times after clear+refire, want 2", fired)
+	}
+}
+
+func TestSeriesLabelHelpers(t *testing.T) {
+	name, labels := splitSeries(`dcart_x{shard="2",worker="1"}`)
+	if name != "dcart_x" || labels != `shard="2",worker="1"` {
+		t.Fatalf("splitSeries = %q %q", name, labels)
+	}
+	if got := dropLabel(labels, "worker"); got != `shard="2"` {
+		t.Fatalf("dropLabel = %q", got)
+	}
+	if got := dropLabel(`worker="1"`, "worker"); got != "" {
+		t.Fatalf("dropLabel single = %q", got)
+	}
+	if got := seriesName("dcart_x", `shard="2"`); got != `dcart_x{shard="2"}` {
+		t.Fatalf("seriesName = %q", got)
+	}
+	if got := seriesName("dcart_x", ""); got != "dcart_x" {
+		t.Fatalf("seriesName bare = %q", got)
+	}
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"math"
+	rtm "runtime/metrics"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RuntimeGroup is the registry group tag for the Go-runtime telemetry
+// series. The runtime underneath the pipeline is a confounder the
+// data-centric view cannot see on its own: a GC pause or a scheduling
+// delay lands in an op's queue-wait stage and masquerades as pipeline
+// tail latency. Registering the runtime's own distributions next to the
+// engine's lets /metrics, /debug/timeseries, and BENCH rows attribute a
+// p99 regression to GC vs pipeline instead of guessing.
+const RuntimeGroup = "runtime"
+
+// runtimeCacheTTL bounds how often the registry callbacks re-read
+// runtime/metrics: one scrape touches several series, and each Read stops
+// the world briefly for some metrics, so all callbacks within the TTL
+// share one read.
+const runtimeCacheTTL = 100 * time.Millisecond
+
+// runtime/metrics sample names. Histogram-kinded names first appeared
+// under different paths across Go releases; runtimeSampleNames filters
+// against the running toolchain's supported set, so an absent name
+// degrades to an empty series instead of a KindBad panic.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGomaxprocs = "/sched/gomaxprocs:threads"
+	rmHeapLive   = "/gc/heap/live:bytes"
+	rmHeapGoal   = "/gc/heap/goal:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+var runtimeSupportedOnce sync.Once
+var runtimeSupported map[string]bool
+
+func runtimeSampleNames() []string {
+	runtimeSupportedOnce.Do(func() {
+		runtimeSupported = make(map[string]bool)
+		for _, d := range rtm.All() {
+			runtimeSupported[d.Name] = true
+		}
+	})
+	want := []string{
+		rmGoroutines, rmGomaxprocs, rmHeapLive, rmHeapGoal,
+		rmGCCycles, rmGCPauses, rmSchedLat,
+	}
+	out := want[:0]
+	for _, n := range want {
+		if runtimeSupported[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RuntimeStats is a cached reader over runtime/metrics backing the
+// RuntimeGroup registry callbacks. Safe for concurrent use.
+type RuntimeStats struct {
+	mu      sync.Mutex
+	samples []rtm.Sample
+	idx     map[string]int
+	last    time.Time
+}
+
+// NewRuntimeStats builds a reader and takes the initial sample.
+func NewRuntimeStats() *RuntimeStats {
+	s := &RuntimeStats{idx: make(map[string]int)}
+	for _, n := range runtimeSampleNames() {
+		s.idx[n] = len(s.samples)
+		s.samples = append(s.samples, rtm.Sample{Name: n})
+	}
+	rtm.Read(s.samples)
+	s.last = time.Now()
+	return s
+}
+
+func (s *RuntimeStats) refreshLocked() {
+	if time.Since(s.last) < runtimeCacheTTL {
+		return
+	}
+	rtm.Read(s.samples)
+	s.last = time.Now()
+}
+
+// gauge returns the named sample as a float64 (0 when unsupported).
+func (s *RuntimeStats) gauge(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok {
+		return 0
+	}
+	s.refreshLocked()
+	return sampleFloat(s.samples[i].Value)
+}
+
+// histogram converts the named cumulative runtime histogram into the
+// repository's metrics.Histogram (empty when unsupported).
+func (s *RuntimeStats) histogram(name string) *metrics.Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := metrics.NewHistogram()
+	i, ok := s.idx[name]
+	if !ok {
+		return h
+	}
+	s.refreshLocked()
+	if s.samples[i].Value.Kind() == rtm.KindFloat64Histogram {
+		convertRuntimeHist(h, s.samples[i].Value.Float64Histogram())
+	}
+	return h
+}
+
+func sampleFloat(v rtm.Value) float64 {
+	switch v.Kind() {
+	case rtm.KindUint64:
+		return float64(v.Uint64())
+	case rtm.KindFloat64:
+		return v.Float64()
+	}
+	return 0
+}
+
+// convertRuntimeHist folds a runtime/metrics Float64Histogram into h.
+// Each source bucket's count lands at the bucket's representative point
+// (geometric midpoint; the finite edge for half-open end buckets). The
+// mapping is deterministic, so two conversions of the same cumulative
+// source diff cleanly — which is what lets the Collector window these
+// like any other registered histogram.
+func convertRuntimeHist(h *metrics.Histogram, src *rtm.Float64Histogram) {
+	if src == nil {
+		return
+	}
+	for i, n := range src.Counts {
+		if n == 0 || i+1 >= len(src.Buckets) {
+			continue
+		}
+		lo, hi := src.Buckets[i], src.Buckets[i+1]
+		var v float64
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			v = 0
+		case math.IsInf(lo, -1):
+			v = hi
+		case math.IsInf(hi, 1):
+			v = lo
+		case lo <= 0:
+			v = hi / 2
+		default:
+			v = math.Sqrt(lo * hi)
+		}
+		h.ObserveN(v, n)
+	}
+}
+
+// RegisterRuntime registers the Go-runtime telemetry series under the
+// RuntimeGroup group on r and returns the shared reader. The series flow
+// everywhere registry sources flow: Prometheus exposition, /statsz, the
+// windowed collector (GC pauses and scheduler latency appear as
+// per-window distributions next to the pipeline's own queue-wait/execute
+// split), and the health engine's windows.
+func RegisterRuntime(r *Registry) *RuntimeStats {
+	s := NewRuntimeStats()
+	gauges := []struct {
+		name, sample, help string
+	}{
+		{"dcart_runtime_goroutines", rmGoroutines, "live goroutines"},
+		{"dcart_runtime_gomaxprocs", rmGomaxprocs, "GOMAXPROCS: OS threads executing user Go code"},
+		{"dcart_runtime_heap_live_bytes", rmHeapLive, "heap bytes live after the last GC mark"},
+		{"dcart_runtime_heap_goal_bytes", rmHeapGoal, "heap size the GC is pacing toward"},
+		{"dcart_runtime_gc_cycles", rmGCCycles, "completed GC cycles since process start (cumulative)"},
+	}
+	for _, g := range gauges {
+		sample := g.sample
+		r.RegisterGauge(RuntimeGroup, g.name, "", g.help,
+			func() float64 { return s.gauge(sample) })
+	}
+	r.RegisterHistogram(RuntimeGroup, "dcart_runtime_gc_pause_seconds",
+		"stop-the-world GC pause distribution since process start (cumulative)",
+		func() *metrics.Histogram { return s.histogram(rmGCPauses) })
+	r.RegisterHistogram(RuntimeGroup, "dcart_runtime_sched_latency_seconds",
+		"time goroutines spent runnable before running, since process start (cumulative)",
+		func() *metrics.Histogram { return s.histogram(rmSchedLat) })
+	return s
+}
+
+// RuntimeSnapshot is a point-in-time read of the runtime telemetry set,
+// for callers that want before/after deltas rather than registry series
+// (the bench harness brackets each measured pass with two of these).
+type RuntimeSnapshot struct {
+	Goroutines    int
+	GOMAXPROCS    int
+	HeapLiveBytes uint64
+	HeapGoalBytes uint64
+	GCCycles      uint64
+	GCPause       *metrics.Histogram // cumulative since process start
+	SchedLatency  *metrics.Histogram // cumulative since process start
+}
+
+// ReadRuntime takes a fresh (uncached) runtime snapshot.
+func ReadRuntime() RuntimeSnapshot {
+	names := runtimeSampleNames()
+	samples := make([]rtm.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	rtm.Read(samples)
+	out := RuntimeSnapshot{
+		GCPause:      metrics.NewHistogram(),
+		SchedLatency: metrics.NewHistogram(),
+	}
+	for _, smp := range samples {
+		switch smp.Name {
+		case rmGoroutines:
+			out.Goroutines = int(sampleFloat(smp.Value))
+		case rmGomaxprocs:
+			out.GOMAXPROCS = int(sampleFloat(smp.Value))
+		case rmHeapLive:
+			out.HeapLiveBytes = uint64(sampleFloat(smp.Value))
+		case rmHeapGoal:
+			out.HeapGoalBytes = uint64(sampleFloat(smp.Value))
+		case rmGCCycles:
+			out.GCCycles = uint64(sampleFloat(smp.Value))
+		case rmGCPauses:
+			if smp.Value.Kind() == rtm.KindFloat64Histogram {
+				convertRuntimeHist(out.GCPause, smp.Value.Float64Histogram())
+			}
+		case rmSchedLat:
+			if smp.Value.Kind() == rtm.KindFloat64Histogram {
+				convertRuntimeHist(out.SchedLatency, smp.Value.Float64Histogram())
+			}
+		}
+	}
+	return out
+}
+
+// RuntimeDelta is the runtime activity between two snapshots, in the
+// units BENCH rows report (nanoseconds).
+type RuntimeDelta struct {
+	GCCycles          uint64
+	GCPauseCount      uint64
+	GCPauseTotalNanos float64
+	GCPauseMaxNanos   float64
+	SchedLatP99Nanos  float64
+	HeapLiveBytes     uint64 // live heap at the end of the interval
+}
+
+// DeltaSince returns the runtime activity between prev and s.
+func (s RuntimeSnapshot) DeltaSince(prev RuntimeSnapshot) RuntimeDelta {
+	d := RuntimeDelta{HeapLiveBytes: s.HeapLiveBytes}
+	if s.GCCycles >= prev.GCCycles {
+		d.GCCycles = s.GCCycles - prev.GCCycles
+	}
+	if s.GCPause != nil {
+		pd := s.GCPause.Delta(prev.GCPause)
+		d.GCPauseCount = pd.Count()
+		d.GCPauseTotalNanos = pd.Sum() * 1e9
+		if pd.Count() > 0 {
+			d.GCPauseMaxNanos = pd.Max() * 1e9
+		}
+	}
+	if s.SchedLatency != nil {
+		sd := s.SchedLatency.Delta(prev.SchedLatency)
+		if sd.Count() > 0 {
+			d.SchedLatP99Nanos = sd.Quantile(0.99) * 1e9
+		}
+	}
+	return d
+}
+
+// RuntimeReport is the JSON rendering of a snapshot (flight-recorder
+// bundles).
+type RuntimeReport struct {
+	Goroutines    int       `json:"goroutines"`
+	GOMAXPROCS    int       `json:"gomaxprocs"`
+	HeapLiveBytes uint64    `json:"heap_live_bytes"`
+	HeapGoalBytes uint64    `json:"heap_goal_bytes"`
+	GCCycles      uint64    `json:"gc_cycles"`
+	GCPause       HistStats `json:"gc_pause"`
+	SchedLatency  HistStats `json:"sched_latency"`
+}
+
+// Report renders the snapshot for JSON serialization.
+func (s RuntimeSnapshot) Report() RuntimeReport {
+	return RuntimeReport{
+		Goroutines:    s.Goroutines,
+		GOMAXPROCS:    s.GOMAXPROCS,
+		HeapLiveBytes: s.HeapLiveBytes,
+		HeapGoalBytes: s.HeapGoalBytes,
+		GCCycles:      s.GCCycles,
+		GCPause:       histStatsOf(s.GCPause),
+		SchedLatency:  histStatsOf(s.SchedLatency),
+	}
+}
+
+func histStatsOf(h *metrics.Histogram) HistStats {
+	if h == nil || h.Count() == 0 {
+		return HistStats{}
+	}
+	return HistStats{
+		Count: h.Count(), Mean: h.Mean(),
+		P50: h.Quantile(0.50), P99: h.Quantile(0.99), Max: h.Max(),
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"runtime/debug"
+	rtm "runtime/metrics"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestConvertRuntimeHist(t *testing.T) {
+	inf := math.Inf(1)
+	src := &rtm.Float64Histogram{
+		Counts:  []uint64{2, 3, 1},
+		Buckets: []float64{math.Inf(-1), 1e-6, 4e-6, inf},
+	}
+	h := metrics.NewHistogram()
+	convertRuntimeHist(h, src)
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	// (-Inf, 1e-6] lands at the finite edge, (1e-6, 4e-6] at the geometric
+	// midpoint 2e-6, (4e-6, +Inf) at the finite edge.
+	if h.Max() < 4e-6/1.02 || h.Max() > 4e-6*1.02 {
+		t.Fatalf("max = %g, want ~4e-6", h.Max())
+	}
+	if h.Min() > 1e-6*1.02 {
+		t.Fatalf("min = %g, want ~1e-6", h.Min())
+	}
+	// Determinism: re-converting the same cumulative source must diff to
+	// empty — the property the Collector's per-window deltas rely on.
+	h2 := metrics.NewHistogram()
+	convertRuntimeHist(h2, src)
+	if d := h2.Delta(h); d.Count() != 0 {
+		t.Fatalf("same-source delta count = %d, want 0", d.Count())
+	}
+}
+
+func TestRegisterRuntimeSeries(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"dcart_runtime_goroutines",
+		"dcart_runtime_gomaxprocs",
+		"dcart_runtime_heap_live_bytes",
+		"dcart_runtime_gc_cycles",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("snapshot missing %s: %+v", name, snap.Gauges)
+		}
+	}
+	if snap.Gauges["dcart_runtime_goroutines"] < 1 {
+		t.Fatalf("goroutines gauge = %g, want >= 1", snap.Gauges["dcart_runtime_goroutines"])
+	}
+	if snap.Gauges["dcart_runtime_gomaxprocs"] < 1 {
+		t.Fatalf("gomaxprocs gauge = %g, want >= 1", snap.Gauges["dcart_runtime_gomaxprocs"])
+	}
+	// The histogram series render through the Prometheus exposition like
+	// any other registered histogram.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "dcart_runtime_gc_pause_seconds") {
+		t.Fatalf("prometheus exposition missing runtime histogram:\n%s", b.String())
+	}
+}
+
+func TestRuntimeDeltaAcrossGC(t *testing.T) {
+	before := ReadRuntime()
+	debug.FreeOSMemory() // forces a GC cycle, so the delta must see >= 1
+	after := ReadRuntime()
+	d := after.DeltaSince(before)
+	if d.GCCycles < 1 {
+		t.Fatalf("GC cycles delta = %d, want >= 1", d.GCCycles)
+	}
+	if d.GCPauseCount < 1 || d.GCPauseTotalNanos <= 0 {
+		t.Fatalf("GC pause delta = %+v, want at least one pause", d)
+	}
+	if d.GCPauseMaxNanos > d.GCPauseTotalNanos {
+		t.Fatalf("pause max %g > total %g", d.GCPauseMaxNanos, d.GCPauseTotalNanos)
+	}
+	rep := after.Report()
+	if rep.GCCycles != after.GCCycles || rep.GCPause.Count == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,6 +19,12 @@ type Diagnostics struct {
 	Tracer    *Tracer
 	Collector *Collector
 	Journal   *Journal
+	// Health, when non-nil, upgrades /healthz from a static liveness "ok"
+	// to the health engine's ok|degraded|critical JSON verdict.
+	Health *Health
+	// Flight, when non-nil, exposes /debug/flightrec (status, and
+	// ?trigger=1 to dump a bundle on demand).
+	Flight *FlightRecorder
 }
 
 // Server is the diagnostics HTTP endpoint both binaries expose behind
@@ -30,8 +37,10 @@ type Diagnostics struct {
 //	/debug/timeseries  the windowed collector's per-window deltas/rates
 //	                   (?view=top renders a TOP-style text view)
 //	/debug/events      the slow-op journal, newest first, as JSON lines
+//	/debug/flightrec   flight-recorder status (?trigger=1 dumps a bundle)
 //	/debug/pprof/*     the standard Go profiler endpoints
-//	/healthz           liveness probe ("ok")
+//	/healthz           health verdict: ok|degraded|critical JSON when a
+//	                   health engine is attached, plain "ok" otherwise
 //
 // It is opt-in and read-only: nothing here mutates engine state, and every
 // handler reads through registered callbacks so a scrape never blocks the
@@ -63,10 +72,8 @@ func ServeAll(addr string, d Diagnostics) (*Server, error) {
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/debug/events", s.handleEvents)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/flightrec", s.handleFlightrec)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -83,6 +90,62 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Shutdown gracefully stops the server.
 func (s *Server) Shutdown(ctx context.Context) error {
 	return s.srv.Shutdown(ctx)
+}
+
+// handleHealthz serves the health verdict. Without a health engine it
+// stays the legacy static liveness probe. With one, the body is the
+// engine's Status JSON; the HTTP code is 200 for ok/degraded (the process
+// is alive and still serving) and 503 for critical, so a plain HTTP
+// prober distinguishes "limping" from "stuck" without parsing JSON.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.d.Health == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+		return
+	}
+	st := s.d.Health.Status()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status == SevCritical.String() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st) //nolint:errcheck // best-effort diagnostics write
+}
+
+// handleFlightrec serves flight-recorder status; ?trigger=1 dumps a
+// bundle on demand (429 when the rate limit suppressed it).
+func (s *Server) handleFlightrec(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.d.Flight == nil {
+		json.NewEncoder(w).Encode(flightStatus{Bundles: []string{}}) //nolint:errcheck
+		return
+	}
+	if r.URL.Query().Get("trigger") == "1" {
+		dir, err := s.d.Flight.Trigger("http")
+		switch {
+		case errors.Is(err, ErrFlightRateLimited):
+			writeJSONError(w, http.StatusTooManyRequests, "rate limited: a recent bundle already captured this state")
+			return
+		case err != nil:
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"bundle": dir}) //nolint:errcheck
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.d.Flight.status()) //nolint:errcheck // best-effort diagnostics write
+}
+
+// writeJSONError emits a {"error": ...} body with the given status, so
+// machine consumers of the debug endpoints never have to sniff text
+// error bodies.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -126,19 +189,22 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // handleWaterfall serves /debug/traces?id=<trace id> — a text waterfall of
 // every retained span carrying that ID. The ID accepts decimal or 0x-hex
 // (the JSON view prints trace IDs in decimal; waterfall headers in hex).
+// Unknown or unretained IDs get a 404 with a JSON error body — an empty
+// 200 would be indistinguishable from a dropped trace.
 func (s *Server) handleWaterfall(w http.ResponseWriter, id string) {
 	if s.d.Tracer == nil {
-		http.Error(w, "tracing disabled", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "tracing disabled")
 		return
 	}
 	n, err := strconv.ParseUint(id, 0, 64)
 	if err != nil {
-		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "bad trace id: "+err.Error())
 		return
 	}
 	spans := s.d.Tracer.SpansFor(n)
 	if len(spans) == 0 {
-		http.Error(w, "no retained spans for that trace id", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound,
+			"no retained spans for trace id "+id+" (sampled out, or already evicted from the span ring)")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

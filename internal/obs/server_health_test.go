@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// serveHealth boots a diagnostics server over a health engine driven by a
+// single mutable gauge bank, already sampled once.
+func serveHealth(t *testing.T, flight bool) (base string, g *healthGauges, c *Collector, h *Health) {
+	t.Helper()
+	reg := NewRegistry()
+	g = newHealthGauges(reg, map[string]float64{
+		"dcart_pctt_inflight_ops":                 0,
+		"dcart_pctt_max_inflight":                 100,
+		`dcart_pctt_worker_heartbeat{worker="0"}`: 1,
+		`dcart_pctt_ring_depth{worker="0"}`:       0,
+	})
+	c = stalledCollector(t, reg, 8)
+	c.baseline(0)
+	h = NewHealth(c, WorkerStallRule(1), SaturationRule(0.9, 1))
+	c.sample(1_000_000_000)
+	h.Evaluate()
+
+	d := Diagnostics{Registry: reg, Collector: c, Health: h}
+	if flight {
+		f := NewFlightRecorder(t.TempDir(), d, h)
+		f.SetLimits(DefaultFlightMinInterval, 4)
+		d.Flight = f
+	}
+	srv, err := ServeAll("127.0.0.1:0", d)
+	if err != nil {
+		t.Fatalf("ServeAll: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	})
+	return "http://" + srv.Addr(), g, c, h
+}
+
+func TestHealthzVerdictJSON(t *testing.T) {
+	base, g, c, h := serveHealth(t, false)
+
+	// Healthy: 200 with an ok JSON verdict (no longer the legacy text).
+	code, body, ctype := get(t, base+"/healthz")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/healthz: %d %q", code, ctype)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if st.Status != "ok" || len(st.Firing) != 0 {
+		t.Fatalf("healthy verdict = %+v", st)
+	}
+
+	// Saturated: degraded still answers 200 — the process serves, probers
+	// must not kill it — with the firing rule in the body. The heartbeat
+	// keeps advancing so the stall rule stays quiet.
+	g.vals["dcart_pctt_inflight_ops"] = 95
+	g.vals[`dcart_pctt_worker_heartbeat{worker="0"}`] = 2
+	c.sample(2_000_000_000)
+	h.Evaluate()
+	code, body, _ = get(t, base+"/healthz")
+	if code != 200 {
+		t.Fatalf("degraded /healthz code = %d, want 200", code)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.Status != "degraded" {
+		t.Fatalf("degraded verdict = %+v (%v)", st, err)
+	}
+	if len(st.Firing) != 1 || st.Firing[0].Rule != "engine-saturated" {
+		t.Fatalf("firing = %+v", st.Firing)
+	}
+
+	// Stalled worker on top: critical answers 503.
+	g.vals[`dcart_pctt_ring_depth{worker="0"}`] = 2
+	c.sample(3_000_000_000)
+	c.sample(4_000_000_000)
+	h.Evaluate()
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("critical /healthz code = %d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.Status != "critical" {
+		t.Fatalf("critical verdict = %+v (%v)", st, err)
+	}
+	// Most severe first: the stall outranks the saturation.
+	if st.Firing[0].Rule != "worker-stalled" {
+		t.Fatalf("firing order = %+v", st.Firing)
+	}
+}
+
+func TestFlightrecEndpoint(t *testing.T) {
+	base, _, _, _ := serveHealth(t, true)
+
+	// Status before any dump.
+	code, body, ctype := get(t, base+"/debug/flightrec")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/flightrec: %d %q", code, ctype)
+	}
+	var st flightStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if !st.Enabled || st.Dumps != 0 || len(st.Bundles) != 0 {
+		t.Fatalf("initial status = %+v", st)
+	}
+
+	// Manual trigger dumps a bundle and returns its path.
+	code, body, _ = get(t, base+"/debug/flightrec?trigger=1")
+	if code != 200 {
+		t.Fatalf("trigger: %d %s", code, body)
+	}
+	var resp map[string]string
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || resp["bundle"] == "" {
+		t.Fatalf("trigger response = %s (%v)", body, err)
+	}
+	if !strings.Contains(resp["bundle"], flightPrefix) || !strings.HasSuffix(resp["bundle"], "-http") {
+		t.Fatalf("bundle path = %q", resp["bundle"])
+	}
+
+	// An immediate re-trigger is rate limited with a JSON error body.
+	code, body, ctype = get(t, base+"/debug/flightrec?trigger=1")
+	if code != http.StatusTooManyRequests || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("rate-limited trigger: %d %q\n%s", code, ctype, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+		t.Fatalf("rate-limit body = %s (%v)", body, err)
+	}
+
+	// Status reflects the dump and the suppression.
+	_, body, _ = get(t, base+"/debug/flightrec")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if st.Dumps != 1 || st.Suppressed != 1 || len(st.Bundles) != 1 {
+		t.Fatalf("post-trigger status = %+v", st)
+	}
+}
+
+func TestFlightrecEndpointDisabled(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	code, body, ctype := get(t, "http://"+srv.Addr()+"/debug/flightrec")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("disabled flightrec: %d %q", code, ctype)
+	}
+	var st flightStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.Enabled || st.Bundles == nil {
+		t.Fatalf("disabled status = %s (%v)", body, err)
+	}
+}
+
+// TestTracesErrorsAreJSON locks in the /debug/traces?id= error contract:
+// machine-readable {"error": ...} bodies with the right codes.
+func TestTracesErrorsAreJSON(t *testing.T) {
+	tr := NewTracer(8, 1)
+	tr.Record(Span{TraceID: 7, Op: "put"})
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), tr)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	base := "http://" + srv.Addr()
+
+	for _, tc := range []struct {
+		q    string
+		code int
+	}{
+		{"id=12345", 404}, // unknown trace id
+		{"id=nope", 400},  // malformed id
+	} {
+		code, body, ctype := get(t, base+"/debug/traces?"+tc.q)
+		if code != tc.code || !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("%s: %d %q, want %d application/json\n%s", tc.q, code, ctype, tc.code, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s body = %s (%v)", tc.q, body, err)
+		}
+	}
+}

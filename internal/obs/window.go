@@ -64,6 +64,7 @@ type Collector struct {
 	prevCtr  map[string]int64
 	prevHist map[string]*metrics.Histogram
 	prevAt   int64
+	onSample func()
 
 	stop chan struct{}
 	done chan struct{}
@@ -117,8 +118,24 @@ func (c *Collector) run() {
 			return
 		case now := <-t.C:
 			c.sample(now.UnixNano())
+			c.mu.Lock()
+			fn := c.onSample
+			c.mu.Unlock()
+			if fn != nil {
+				fn()
+			}
 		}
 	}
+}
+
+// SetOnSample registers fn to run on the collector goroutine after every
+// background tick appends its window — the hook the health engine
+// evaluates its rules from, so rule latency is one tick, never a poll.
+// The callback runs outside the collector's lock and may read Windows().
+func (c *Collector) SetOnSample(fn func()) {
+	c.mu.Lock()
+	c.onSample = fn
+	c.mu.Unlock()
 }
 
 // baseline primes the previous-sample state without emitting a window.

@@ -145,6 +145,54 @@ func TestCollectorRingWrapNewestFirst(t *testing.T) {
 	}
 }
 
+// TestCollectorRingWrapAtDefaultCapacity drives the ring past its default
+// 300-window capacity and checks the wrap invariants end to end: only the
+// newest 300 windows survive, strictly newest-first, with per-window
+// deltas intact across the wrap (no double-count, no loss, no stale
+// window resurfacing).
+func TestCollectorRingWrapAtDefaultCapacity(t *testing.T) {
+	reg := NewRegistry()
+	ms := metrics.NewSet()
+	reg.RegisterCounters("g", "dcart", "test counters", ms)
+	c := stalledCollector(t, reg, 0) // 0 selects DefaultWindowCount
+	c.baseline(0)
+
+	const total = DefaultWindowCount + 37 // > 300 samples, wraps the ring
+	for i := 1; i <= total; i++ {
+		ms.Add(metrics.CtrOpsWrite, int64(i)) // window i's delta is exactly i
+		c.sample(int64(i) * 1_000_000_000)
+	}
+
+	ws := c.Windows()
+	if len(ws) != DefaultWindowCount {
+		t.Fatalf("retained %d windows, want %d", len(ws), DefaultWindowCount)
+	}
+	var sum int64
+	for i, w := range ws {
+		want := int64(total - i) // newest first: total, total-1, ...
+		if got := w.Counters["ops_write"]; got != want {
+			t.Fatalf("ws[%d] delta = %d, want %d (eviction order broken)", i, got, want)
+		}
+		if w.EndUnixNano != want*1_000_000_000 || w.StartUnixNano != (want-1)*1_000_000_000 {
+			t.Fatalf("ws[%d] span [%d, %d], want the %d-second window",
+				i, w.StartUnixNano, w.EndUnixNano, want)
+		}
+		sum += w.Counters["ops_write"]
+	}
+	// The retained deltas must sum to exactly the traffic of the retained
+	// interval — the windows evicted by the wrap took their counts along.
+	oldest := total - DefaultWindowCount + 1
+	want := int64((oldest + total) * DefaultWindowCount / 2)
+	if sum != want {
+		t.Fatalf("retained delta sum = %d, want %d", sum, want)
+	}
+	// Evicted windows are unreachable: the oldest retained window is the
+	// (total-capacity+1)-th sample, nothing earlier.
+	if got := ws[len(ws)-1].Counters["ops_write"]; got != int64(oldest) {
+		t.Fatalf("oldest retained delta = %d, want %d", got, oldest)
+	}
+}
+
 func TestCollectorTopView(t *testing.T) {
 	reg := NewRegistry()
 	ms := metrics.NewSet()

@@ -54,6 +54,17 @@ func (e *Engine) BucketStateCounts() (idle, queued, running int) {
 // InflightOps returns the submitted-but-incomplete operation count.
 func (e *Engine) InflightOps() int64 { return e.inflight.Load() }
 
+// WorkerHeartbeat returns worker i's progress heartbeat (0 before the
+// pipeline starts or for an out-of-range worker).
+func (e *Engine) WorkerHeartbeat(i int) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if i < 0 || i >= len(e.workers) {
+		return 0
+	}
+	return e.workers[i].beats.Load()
+}
+
 // RegisterObs registers the engine's live gauges, counters, and (when
 // RecordLatency is on) latency histograms with the observability registry
 // under ObsGroup, replacing any previously registered engine. The exported
@@ -81,6 +92,10 @@ func (e *Engine) RegisterObsTagged(r *obs.Registry, group, labels string) {
 	r.RegisterGauge(group, "dcart_pctt_inflight_ops", labels,
 		"submitted-but-incomplete operations (bounded by MaxInflight)",
 		func() float64 { return float64(e.InflightOps()) })
+	r.RegisterGauge(group, "dcart_pctt_max_inflight", labels,
+		"configured MaxInflight bound (the saturation rule's denominator "+
+			"for dcart_pctt_inflight_ops)",
+		func() float64 { return float64(e.cfg.MaxInflight) })
 	r.RegisterGauge(group, "dcart_pctt_shortcut_entries", labels,
 		"live Shortcut_Table entries summed across workers",
 		func() float64 { return float64(e.ShortcutCount()) })
@@ -103,10 +118,14 @@ func (e *Engine) RegisterObsTagged(r *obs.Registry, group, labels string) {
 		func() float64 { return float64(e.ms.Get(metrics.CtrSharedDescents)) })
 	for i := 0; i < e.cfg.Workers; i++ {
 		i := i
-		r.RegisterGauge(group, "dcart_pctt_ring_depth",
-			obs.JoinLabels(labels, obs.Label("worker", strconv.Itoa(i))),
+		wl := obs.JoinLabels(labels, obs.Label("worker", strconv.Itoa(i)))
+		r.RegisterGauge(group, "dcart_pctt_ring_depth", wl,
 			"queued combine buckets in the worker's lock-free ring",
 			func() float64 { return float64(e.RingDepth(i)) })
+		r.RegisterGauge(group, "dcart_pctt_worker_heartbeat", wl,
+			"trigger batches completed by the worker (progress heartbeat; "+
+				"frozen while occupancy is non-zero = stalled)",
+			func() float64 { return float64(e.WorkerHeartbeat(i)) })
 	}
 	for _, st := range []struct {
 		label string

@@ -142,6 +142,13 @@ type Config struct {
 	// threshold. Unlike Tracer there is no sampling: a slow op must not
 	// escape because it wasn't the 1-in-N one.
 	Journal *obs.Journal
+	// BatchHook, when non-nil, runs on the worker goroutine immediately
+	// before each trigger batch executes (and once per bypass stream on the
+	// caller's goroutine). It is a test/fault-injection point: a hook that
+	// blocks stalls that worker exactly as a wedged batch would — heartbeat
+	// frozen, in-flight ops held — which is how the health engine's stall
+	// detection is exercised end to end. Production configs leave it nil.
+	BatchHook func(worker int)
 }
 
 // Defaults fills unset fields.
@@ -536,6 +543,10 @@ func (e *Engine) bypassEligible() bool {
 // sees one coherent story.
 func (e *Engine) runBypass(ops []workload.Op, slots []engine.ReadResult) {
 	w := e.workers[0]
+	if h := e.cfg.BatchHook; h != nil {
+		h(0)
+	}
+	defer w.beats.Add(1)
 	record := e.cfg.RecordLatency
 	tr := e.cfg.Tracer
 	j := e.cfg.Journal
@@ -658,6 +669,23 @@ func (e *Engine) WorkerOps() []int64 {
 	}
 	return out
 }
+
+// WorkerHeartbeats returns each worker's progress heartbeat: trigger
+// batches completed (plus bypass streams for worker 0). Safe while the
+// pipeline is live; returns per-worker zeros before the pool starts.
+func (e *Engine) WorkerHeartbeats() []uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]uint64, e.cfg.Workers)
+	for i, w := range e.workers {
+		out[i] = w.beats.Load()
+	}
+	return out
+}
+
+// MaxInflight returns the configured total in-flight bound (the
+// denominator of the obs layer's saturation gauge pair).
+func (e *Engine) MaxInflight() int { return e.cfg.MaxInflight }
 
 // ShortcutCount sums the live per-worker Shortcut_Table populations. Safe
 // to call while the pipeline is live (reads each table's atomic mirror).

@@ -1,0 +1,217 @@
+package pctt
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestWorkerStallFlipsHealthCriticalAndDumpsBundle is the observability
+// acceptance path end to end: a fault-injected stall in one P-CTT worker
+// (BatchHook blocking before trigger execution, freezing its heartbeat
+// with ops in flight) must flip the health engine to critical within the
+// stall rule's window budget, while the healthy worker keeps the other
+// bucket flowing; the flight-recorder bundle dumped at that moment must
+// carry the stalled worker's heartbeat series and a goroutine profile.
+func TestWorkerStallFlipsHealthCriticalAndDumpsBundle(t *testing.T) {
+	release := make(chan struct{})
+	var releasedOnce atomic.Bool
+	releaseAll := func() {
+		if releasedOnce.CompareAndSwap(false, true) {
+			close(release)
+		}
+	}
+
+	e := New(Config{
+		Workers: 2,
+		NoSteal: true, // keep the stalled bucket pinned to its home worker
+		BatchHook: func(worker int) {
+			if worker == 1 {
+				// Block before execution and before the heartbeat bump:
+				// the batch's ops stay counted in flight while the
+				// heartbeat freezes — a stalled worker, not an idle one.
+				<-release
+			}
+		},
+	})
+	defer e.Close()
+	// LIFO: the workers must be unblocked before Close waits for them.
+	defer releaseAll()
+
+	reg := obs.NewRegistry()
+	e.RegisterObs(reg)
+	const tick = 25 * time.Millisecond
+	col := obs.NewCollector(reg, tick, 64)
+	defer col.Stop()
+	health := obs.NewHealth(col, obs.DefaultHealthRules()...)
+
+	// Two keys pinned to the two workers via the combining prefix (no
+	// Load, so the prefix starts at byte 0 and bucket = first byte with
+	// the default 8 PrefixBits; owner = bucket mod Workers).
+	key0 := binary.BigEndian.AppendUint32(nil, 0<<24)
+	key1 := binary.BigEndian.AppendUint32(nil, 1<<24)
+	if got := e.shardOf(key0) % 2; got != 0 {
+		t.Fatalf("key0 maps to worker %d, want 0", got)
+	}
+	if got := e.shardOf(key1) % 2; got != 1 {
+		t.Fatalf("key1 maps to worker %d, want 1", got)
+	}
+
+	// Producer A: blocking writes through worker 0 — its heartbeat must
+	// keep advancing so only the injected stall fires.
+	stop := make(chan struct{})
+	var stoppedOnce atomic.Bool
+	stopProducers := func() {
+		if stoppedOnce.CompareAndSwap(false, true) {
+			close(stop)
+		}
+	}
+	defer stopProducers()
+	doneA := make(chan struct{})
+	go func() {
+		defer close(doneA)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Put(key0, 1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Producer B: async writes into worker 1's bucket. The first batch
+	// blocks in the hook; the rest pile up as in-flight backlog until the
+	// per-bucket queue gate blocks this goroutine too.
+	doneB := make(chan struct{})
+	go func() {
+		defer close(doneB)
+		for i := 0; i < 512; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.PutAsync(key1, uint64(i))
+		}
+	}()
+
+	// The stall rule needs DefaultHealthWindows consecutive holds (plus
+	// one window of history for the heartbeat comparison): well under a
+	// second at this tick. Poll with slack for loaded CI machines.
+	deadline := time.Now().Add(10 * time.Second)
+	var st obs.Status
+	for {
+		st = health.Status()
+		if st.Status == "critical" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never turned critical; status = %+v", st)
+		}
+		time.Sleep(tick / 2)
+	}
+	foundStall := false
+	for _, f := range st.Firing {
+		if f.Rule == "worker-stalled" && strings.Contains(f.Instance, `worker="1"`) {
+			foundStall = true
+		}
+	}
+	if !foundStall {
+		t.Fatalf("critical without a worker-1 stall firing: %+v", st.Firing)
+	}
+
+	// Dump the post-mortem bundle while the stall is live.
+	fr := obs.NewFlightRecorder(t.TempDir(), obs.Diagnostics{
+		Registry: reg, Collector: col, Health: health,
+	}, health)
+	bundle, err := fr.Trigger("test-stall")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	wdata, err := os.ReadFile(filepath.Join(bundle, "windows.json"))
+	if err != nil {
+		t.Fatalf("windows.json: %v", err)
+	}
+	// Series names carry labels; JSON escapes the inner quotes.
+	if !strings.Contains(string(wdata), `dcart_pctt_worker_heartbeat{worker=\"1\"}`) {
+		t.Fatalf("bundle windows missing the stalled worker's heartbeat series")
+	}
+	gdata, err := os.ReadFile(filepath.Join(bundle, "goroutines.txt"))
+	if err != nil {
+		t.Fatalf("goroutines.txt: %v", err)
+	}
+	if !strings.Contains(string(gdata), "goroutine ") {
+		t.Fatalf("goroutines.txt is not a stack profile")
+	}
+	hdata, err := os.ReadFile(filepath.Join(bundle, "health.json"))
+	if err != nil {
+		t.Fatalf("health.json: %v", err)
+	}
+	if !strings.Contains(string(hdata), "worker-stalled") {
+		t.Fatalf("health.json missing the firing rule:\n%s", hdata)
+	}
+
+	// Unblock the stalled worker and stop the producers; health must
+	// recover once the backlog drains and heartbeats resume.
+	releaseAll()
+	stopProducers()
+	<-doneA
+	<-doneB
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st = health.Status()
+		ok := true
+		for _, f := range st.Firing {
+			if f.Rule == "worker-stalled" {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stall firing never cleared after release; status = %+v", st)
+		}
+		time.Sleep(tick / 2)
+	}
+}
+
+// TestWorkerHeartbeatsAdvance checks the heartbeat instrumentation on the
+// happy path: every worker that executed batches shows progress, and the
+// registered gauges expose it per worker.
+func TestWorkerHeartbeatsAdvance(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	// The engine retains key slices; give every op its own buffer.
+	for i := 0; i < 2048; i++ {
+		key := binary.BigEndian.AppendUint32(nil, uint32(i)<<16)
+		e.Put(key, uint64(i))
+	}
+	beats := e.WorkerHeartbeats()
+	if len(beats) != 2 {
+		t.Fatalf("heartbeats = %v, want 2 workers", beats)
+	}
+	var total uint64
+	for i, b := range beats {
+		if b != e.WorkerHeartbeat(i) {
+			t.Fatalf("accessor mismatch for worker %d", i)
+		}
+		total += b
+	}
+	if total == 0 {
+		t.Fatal("no worker heartbeat advanced after 2048 pipelined ops")
+	}
+	if e.MaxInflight() <= 0 {
+		t.Fatalf("MaxInflight = %d, want the defaulted bound", e.MaxInflight())
+	}
+	if e.WorkerHeartbeat(99) != 0 || e.WorkerHeartbeat(-1) != 0 {
+		t.Fatal("out-of-range heartbeat accessor not zero")
+	}
+}

@@ -56,6 +56,13 @@ type worker struct {
 	// handed-off buckets); the skewed-load balance tests read it.
 	ops atomic.Int64
 
+	// beats is the progress heartbeat: bumped once per completed trigger
+	// batch (and once per bypass stream). The obs layer exports it as the
+	// dcart_pctt_worker_heartbeat gauge; a heartbeat that stops advancing
+	// while occupancy gauges are non-zero is the health engine's stalled
+	// signal.
+	beats atomic.Uint64
+
 	// wake unparks the worker; sleeping gates the producers' wake sends.
 	wake     chan struct{}
 	sleeping atomic.Bool
@@ -440,7 +447,13 @@ func (w *worker) collect(id int32, stolen bool) {
 // (possibly handing off to a parked peer), the rest return to idle.
 func (w *worker) finishBatch() {
 	e := w.e
+	if h := e.cfg.BatchHook; h != nil {
+		// Before execution and before the heartbeat bump: a blocking hook
+		// freezes this worker with its batch's ops still counted in flight.
+		h(w.id)
+	}
 	w.execBatch()
+	w.beats.Add(1)
 	e.inflight.Add(-int64(w.bn))
 	for _, c := range w.bchunks {
 		clearTasks(c) // drop key/reply/done refs before the chunk recycles

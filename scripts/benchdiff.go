@@ -7,9 +7,14 @@
 //
 // Rows are matched on their identity fields (system, mode, shards,
 // workers, conns, pipeline_depth, flush_every — whichever the report
-// carries); rows present on only one side are listed, not diffed. The
-// reader is schema-loose on purpose: it works across report kinds
-// (native, server) and survives fields coming and going between PRs.
+// carries); rows present on only one side are reported as "removed"
+// (only in the old report) or "added" (only in the new one), not diffed.
+// The reader is schema-loose on purpose: rows decode into maps, so it
+// works across report kinds (native, server) and tolerates unknown
+// fields coming and going between PRs. When both sides carry the
+// runtime-attribution columns (gc_pause_total_nanos, PR 10), a GC-pause
+// delta column helps attribute a p99 movement to the runtime vs the
+// pipeline.
 package main
 
 import (
@@ -65,26 +70,49 @@ func main() {
 	sort.Strings(keys)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "row\tops/sec\tdelta\tp99\tdelta\n")
+	fmt.Fprintf(tw, "row\tops/sec\tdelta\tp99\tdelta\tgc pause\n")
+	var removed []string
 	for _, k := range keys {
 		o := oldRows[k]
 		n, ok := newRows[k]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t(only in %s)\t\t\t\n", k, os.Args[1])
+			removed = append(removed, k)
 			continue
 		}
 		delete(newRows, k)
-		fmt.Fprintf(tw, "%s\t%.3g -> %.3g\t%s\t%.3gus -> %.3gus\t%s\n",
+		fmt.Fprintf(tw, "%s\t%.3g -> %.3g\t%s\t%.3gus -> %.3gus\t%s\t%s\n",
 			k,
 			num(o, "ops_per_sec"), num(n, "ops_per_sec"),
 			pct(num(o, "ops_per_sec"), num(n, "ops_per_sec")),
 			num(o, "p99_nanos")/1e3, num(n, "p99_nanos")/1e3,
-			pct(num(o, "p99_nanos"), num(n, "p99_nanos")))
+			pct(num(o, "p99_nanos"), num(n, "p99_nanos")),
+			gcCol(o, n))
 	}
+	// One-sided rows: removed = only in the old report, added = only in
+	// the new one. Both sorted, so the diff output is deterministic.
+	for _, k := range removed {
+		fmt.Fprintf(tw, "%s\tremoved\t\t\t\t\n", k)
+	}
+	added := make([]string, 0, len(newRows))
 	for k := range newRows {
-		fmt.Fprintf(tw, "%s\t(only in %s)\t\t\t\n", k, os.Args[2])
+		added = append(added, k)
+	}
+	sort.Strings(added)
+	for _, k := range added {
+		fmt.Fprintf(tw, "%s\tadded\t\t\t\t\n", k)
 	}
 	tw.Flush()
+}
+
+// gcCol renders the GC-pause-time movement when both rows carry the
+// runtime-attribution columns; blank otherwise (older reports).
+func gcCol(o, n row) string {
+	ov, oOK := o["gc_pause_total_nanos"].(float64)
+	nv, nOK := n["gc_pause_total_nanos"].(float64)
+	if !oOK || !nOK {
+		return ""
+	}
+	return fmt.Sprintf("%.3gms -> %.3gms", ov/1e6, nv/1e6)
 }
 
 func load(path string) (*report, error) {
